@@ -1,0 +1,82 @@
+// Command dbd runs the Database Designer (paper §6.3) against a database's
+// catalog and a workload file of SELECT statements (one per line or
+// semicolon-separated), printing the proposed CREATE PROJECTION statements.
+//
+//	dbd -dir /path/to/db -workload queries.sql [-policy balanced] [-sample 10000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/designer"
+	"repro/internal/types"
+)
+
+func main() {
+	dir := flag.String("dir", "", "database directory (required)")
+	workloadPath := flag.String("workload", "", "file of SELECT statements (required)")
+	policyName := flag.String("policy", "balanced", "load | balanced | query")
+	sampleN := flag.Int("sample", 10000, "sample rows per table for encoding experiments")
+	flag.Parse()
+	if *dir == "" || *workloadPath == "" {
+		fmt.Fprintln(os.Stderr, "dbd: -dir and -workload are required")
+		os.Exit(1)
+	}
+	db, err := core.Open(core.Options{Dir: *dir})
+	if err != nil {
+		fatal(err)
+	}
+	raw, err := os.ReadFile(*workloadPath)
+	if err != nil {
+		fatal(err)
+	}
+	var workload []string
+	for _, stmt := range strings.Split(string(raw), ";") {
+		if s := strings.TrimSpace(stmt); s != "" {
+			workload = append(workload, s)
+		}
+	}
+	var policy designer.Policy
+	switch *policyName {
+	case "load":
+		policy = designer.LoadOptimized
+	case "balanced":
+		policy = designer.Balanced
+	case "query":
+		policy = designer.QueryOptimized
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policyName))
+	}
+	samples := map[string][]types.Row{}
+	for _, t := range db.Catalog().Tables() {
+		res, err := db.Execute(fmt.Sprintf("SELECT * FROM %s LIMIT %d", t.Name, *sampleN))
+		if err != nil {
+			continue // tables without projections have no sample
+		}
+		samples[t.Name] = res.Rows
+	}
+	prop, err := designer.Design(db.Catalog(), workload, samples, policy)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("-- Database Designer proposal (policy: %s)\n", *policyName)
+	for _, p := range prop.Projections {
+		fmt.Printf("-- %s\n%s;\n", p.Reason, p.SQL())
+		if len(p.Encodings) > 0 {
+			var encs []string
+			for col, k := range p.Encodings {
+				encs = append(encs, col+"="+k.String())
+			}
+			fmt.Printf("--   encodings: %s\n", strings.Join(encs, ", "))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dbd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,140 @@
+// Command vbench regenerates the paper's tables and figures:
+//
+//	vbench -exp table3            C-Store vs Vertica, Q1-Q7 + disk (Table 3)
+//	vbench -exp table4            compression experiments (Table 4)
+//	vbench -exp locks             lock compatibility + conversion (Tables 1-2)
+//	vbench -exp figure3           the parallel query plan (Figure 3)
+//	vbench -exp all               everything
+//
+// Flags -scale, -meter-rows, -iters control workload sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+
+	"repro/internal/txn"
+	"repro/internal/types"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table3, table4, locks, figure3, all")
+	scale := flag.Int("scale", bench.Table3Scale, "lineitem rows for table3")
+	meterRows := flag.Int("meter-rows", 2_000_000, "meter rows for table4 (paper used 200M)")
+	intRows := flag.Int("int-rows", 1_000_000, "random integers for table4")
+	iters := flag.Int("iters", 3, "timing iterations per query")
+	parallel := flag.Int("parallel", 4, "intra-node parallelism")
+	dir := flag.String("dir", "", "work directory (default: temp)")
+	perColumn := flag.Bool("percolumn", true, "print per-column meter compression")
+	flag.Parse()
+
+	work := *dir
+	if work == "" {
+		var err error
+		work, err = os.MkdirTemp("", "vbench-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(work)
+	}
+	switch *exp {
+	case "table3":
+		runTable3(work, *scale, *iters, *parallel)
+	case "table4":
+		runTable4(work, *intRows, *meterRows, *perColumn)
+	case "locks":
+		runLocks()
+	case "figure3":
+		runFigure3(work, *parallel)
+	case "all":
+		runLocks()
+		runTable3(work, *scale, *iters, *parallel)
+		runTable4(work, *intRows, *meterRows, *perColumn)
+		runFigure3(filepath.Join(work, "fig3"), *parallel)
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func runTable3(dir string, scale, iters, parallel int) {
+	fmt.Printf("== Table 3: C-Store vs Vertica (lineitem rows = %d) ==\n", scale)
+	res, err := bench.Table3(filepath.Join(dir, "table3"), scale, iters, parallel)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(res.Format())
+}
+
+func runTable4(dir string, intRows, meterRows int, perColumn bool) {
+	fmt.Printf("== Table 4: compression ==\n")
+	rows, err := bench.Table4Ints(filepath.Join(dir, "t4ints"), intRows, 10_000_000)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(bench.FormatCompression(
+		fmt.Sprintf("%d Random Integers in [1, 10M]", intRows), rows))
+	summary, perCol, err := bench.Table4Meter(filepath.Join(dir, "t4meter"), meterRows)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(bench.FormatCompression(
+		fmt.Sprintf("Customer meter data (%d rows)", meterRows), summary))
+	if perColumn {
+		fmt.Println(bench.FormatCompression("Per column (paper §8.2.2)", perCol))
+	}
+}
+
+func runLocks() {
+	fmt.Println("== Table 1: Lock Compatibility Matrix ==")
+	fmt.Println(txn.CompatibilityTable())
+	fmt.Println("== Table 2: Lock Conversion Matrix ==")
+	fmt.Println(txn.ConversionTable())
+}
+
+func runFigure3(dir string, parallel int) {
+	fmt.Println("== Figure 3: parallel query plan ==")
+	db, err := core.Open(core.Options{Dir: dir, Parallelism: parallel})
+	if err != nil {
+		fatal(err)
+	}
+	mustExec(db, `CREATE TABLE sales (sale_id INT, cust INT, price FLOAT)`)
+	mustExec(db, `CREATE PROJECTION sales_super ON sales (sale_id, cust, price)
+		ORDER BY sale_id SEGMENTED BY HASH(sale_id)`)
+	// Several loads produce several ROS containers for the StorageUnion
+	// workers to divide.
+	for l := 0; l < parallel; l++ {
+		rows := make([]types.Row, 50_000)
+		for i := range rows {
+			id := l*len(rows) + i
+			rows[i] = types.Row{
+				types.NewInt(int64(id)), types.NewInt(int64(id % 1000)),
+				types.NewFloat(float64(id)),
+			}
+		}
+		if err := db.Load("sales", rows, true); err != nil {
+			fatal(err)
+		}
+	}
+	res, err := db.Execute(`EXPLAIN SELECT cust, COUNT(*), AVG(price) FROM sales
+		WHERE sale_id >= 0 GROUP BY cust`)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(res.Explain)
+}
+
+func mustExec(db *core.Database, sql string) {
+	if _, err := db.Execute(sql); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vbench:", err)
+	os.Exit(1)
+}

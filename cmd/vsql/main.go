@@ -1,0 +1,153 @@
+// Command vsql is the interactive SQL shell (the paper's "interactive vsql
+// command prompt", §6): it reads statements separated by semicolons and
+// prints results as aligned tables.
+//
+//	vsql -dir /path/to/db [-nodes 3] [-k 1]
+//
+// Meta commands: \q quits, \d lists tables and projections, \mover runs a
+// tuple mover cycle, \epoch shows the epoch state.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+)
+
+func main() {
+	dir := flag.String("dir", "", "database directory (required)")
+	nodes := flag.Int("nodes", 1, "cluster size")
+	k := flag.Int("k", 0, "K-safety level")
+	parallel := flag.Int("parallel", 0, "intra-node parallelism")
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "vsql: -dir is required")
+		os.Exit(1)
+	}
+	db, err := core.Open(core.Options{Dir: *dir, Nodes: *nodes, K: *k, Parallelism: *parallel})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vsql:", err)
+		os.Exit(1)
+	}
+	session := db.NewSession()
+	defer session.Close()
+	fmt.Println("vsql — type \\q to quit, \\d to describe, statements end with ;")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "=> "
+	for {
+		fmt.Print(prompt)
+		if !sc.Scan() {
+			return
+		}
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !metaCommand(db, trimmed) {
+				return
+			}
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if !strings.HasSuffix(trimmed, ";") {
+			prompt = "-> "
+			continue
+		}
+		prompt = "=> "
+		stmt := buf.String()
+		buf.Reset()
+		res, err := session.Execute(stmt)
+		if err != nil {
+			fmt.Println("ERROR:", err)
+			continue
+		}
+		printResult(res)
+	}
+}
+
+func metaCommand(db *core.Database, cmd string) bool {
+	switch {
+	case cmd == "\\q":
+		return false
+	case cmd == "\\d":
+		for _, t := range db.Catalog().Tables() {
+			fmt.Printf("table %s %s\n", t.Name, t.Schema)
+			for _, p := range db.Catalog().ProjectionsFor(t.Name) {
+				kind := "projection"
+				if p.IsSuper {
+					kind = "super projection"
+				}
+				if p.IsBuddy {
+					kind = "buddy projection"
+				}
+				seg := p.Seg.ExprText
+				if p.Seg.Replicated {
+					seg = "REPLICATED"
+				}
+				fmt.Printf("  %s %s order by %v seg %s\n", kind, p.Name, p.SortOrder, seg)
+			}
+		}
+	case cmd == "\\mover":
+		moved, merged, err := db.RunTupleMover()
+		if err != nil {
+			fmt.Println("ERROR:", err)
+		} else {
+			fmt.Printf("tuple mover: %d rows moved out, %d mergeouts\n", moved, merged)
+		}
+	case cmd == "\\epoch":
+		e := db.Txns().Epochs
+		fmt.Printf("current epoch %d, read epoch %d, AHM %d\n", e.Current(), e.ReadEpoch(), e.AHM())
+	default:
+		fmt.Println("unknown meta command; try \\q, \\d, \\mover, \\epoch")
+	}
+	return true
+}
+
+func printResult(res *core.Result) {
+	if res.Explain != "" && res.Schema == nil {
+		fmt.Print(res.Explain)
+		return
+	}
+	if res.Schema == nil {
+		fmt.Println(res.Message)
+		return
+	}
+	widths := make([]int, res.Schema.Len())
+	names := res.Schema.Names()
+	for i, n := range names {
+		widths[i] = len(n)
+	}
+	cells := make([][]string, len(res.Rows))
+	for r, row := range res.Rows {
+		cells[r] = make([]string, len(row))
+		for c, v := range row {
+			cells[r][c] = v.String()
+			if len(cells[r][c]) > widths[c] {
+				widths[c] = len(cells[r][c])
+			}
+		}
+	}
+	printRow := func(vals []string) {
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], v)
+		}
+		fmt.Println(" " + strings.Join(parts, " | "))
+	}
+	printRow(names)
+	sep := make([]string, len(names))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range cells {
+		printRow(row)
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable3SmallScale(t *testing.T) {
+	res, err := Table3(t.TempDir(), 30_000, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Queries) != 7 {
+		t.Fatalf("queries = %d", len(res.Queries))
+	}
+	for _, q := range res.Queries {
+		if q.GroupRows == 0 {
+			t.Errorf("%s returned no groups", q.Name)
+		}
+		if q.Vertica <= 0 || q.CStore <= 0 {
+			t.Errorf("%s has zero timing", q.Name)
+		}
+	}
+	if res.VerticaDisk <= 0 || res.CStoreDisk <= 0 {
+		t.Error("disk sizes missing")
+	}
+	// The paper's shape: Vertica uses less disk than C-Store.
+	if res.VerticaDisk >= res.CStoreDisk {
+		t.Errorf("vertica disk %d >= cstore disk %d: compression advantage lost",
+			res.VerticaDisk, res.CStoreDisk)
+	}
+	out := res.Format()
+	if !strings.Contains(out, "Q7") || !strings.Contains(out, "Total") {
+		t.Errorf("format output wrong:\n%s", out)
+	}
+}
+
+func TestTable4IntsShape(t *testing.T) {
+	rows, err := Table4Ints(t.TempDir(), 100_000, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	raw, gz, gzSort, vertica := rows[0], rows[1], rows[2], rows[3]
+	// Paper shape: raw > gzip > gzip+sort > Vertica.
+	if !(raw.Bytes > gz.Bytes && gz.Bytes > gzSort.Bytes && gzSort.Bytes > vertica.Bytes) {
+		t.Errorf("ordering violated: raw=%d gzip=%d gzip+sort=%d vertica=%d",
+			raw.Bytes, gz.Bytes, gzSort.Bytes, vertica.Bytes)
+	}
+	// Paper: Vertica ~12.5x vs raw (0.6 MB from 7.5 MB) at 1M rows; at this
+	// reduced scale the delta-dictionary overhead per block is relatively
+	// larger, so require >4x (the full-scale run in EXPERIMENTS.md shows
+	// ~9x).
+	if vertica.Ratio < 4 {
+		t.Errorf("vertica ratio = %.1f, want > 4", vertica.Ratio)
+	}
+}
+
+func TestTable4MeterShape(t *testing.T) {
+	summary, perCol, err := Table4Meter(t.TempDir(), 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(summary) != 3 || len(perCol) != 4 {
+		t.Fatalf("summary=%d perCol=%d", len(summary), len(perCol))
+	}
+	raw, gz, vertica := summary[0], summary[1], summary[2]
+	if !(raw.Bytes > gz.Bytes && gz.Bytes > vertica.Bytes) {
+		t.Errorf("ordering violated: raw=%d gzip=%d vertica=%d", raw.Bytes, gz.Bytes, vertica.Bytes)
+	}
+	// Paper: Vertica beats gzip (14.8x vs 5.9x) and lands near ~2 bytes/row
+	// at 200M rows; at small scale require simply beating gzip and raw by a
+	// wide margin.
+	if vertica.Ratio < gz.Ratio {
+		t.Errorf("vertica ratio %.1f < gzip ratio %.1f", vertica.Ratio, gz.Ratio)
+	}
+	// Per-column shape (§8.2.2): metric compresses to almost nothing;
+	// value dominates the footprint.
+	metric, value := perCol[0], perCol[3]
+	if metric.Bytes*10 > value.Bytes {
+		t.Errorf("metric (%d B) should be far smaller than value (%d B)", metric.Bytes, value.Bytes)
+	}
+	out := FormatCompression("meter data", summary)
+	if !strings.Contains(out, "Vertica") {
+		t.Error("format output wrong")
+	}
+}

@@ -1,0 +1,413 @@
+// Package catalog implements the metadata catalog (paper §5.3): tables,
+// projections and their sort orders, encodings and segmentation clauses.
+//
+// As in Vertica, the catalog is not stored in database tables — it is a
+// memory-resident structure transactionally persisted to disk via its own
+// mechanism (here: an atomically renamed JSON snapshot per change).
+// Expressions (partition and segmentation clauses) are persisted as SQL text
+// and re-bound by the engine on open.
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/encoding"
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+// Table is a logical table definition.
+type Table struct {
+	Name   string        `json:"name"`
+	Schema *types.Schema `json:"-"`
+	// Cols persists the schema.
+	Cols []types.Column `json:"columns"`
+	// PartitionExprText is the PARTITION BY clause source ("" when the
+	// table is unpartitioned); PartitionExpr is its bound runtime form over
+	// the table schema.
+	PartitionExprText string    `json:"partition_expr,omitempty"`
+	PartitionExpr     expr.Expr `json:"-"`
+}
+
+// Segmentation describes how a projection's tuples map to nodes (paper
+// §3.6): either replicated on every node or ring-segmented by an integral
+// expression over the projection's columns.
+type Segmentation struct {
+	Replicated bool   `json:"replicated"`
+	ExprText   string `json:"expr,omitempty"`
+	// Offset shifts the ring mapping by whole nodes; buddy projections use
+	// offset 1 so that "no row is stored on the same node by both
+	// projections" (§5.2).
+	Offset int       `json:"offset"`
+	Expr   expr.Expr `json:"-"`
+}
+
+// PrejoinDim denormalizes one N:1 dimension join into a prejoin projection
+// (paper §3.3).
+type PrejoinDim struct {
+	DimTable string   `json:"dim_table"`
+	FactKey  string   `json:"fact_key"` // join column on the anchor table
+	DimKey   string   `json:"dim_key"`  // join column on the dimension table
+	DimCols  []string `json:"dim_cols"` // dimension columns stored in the projection
+}
+
+// Projection is the only physical data structure in Vertica (paper §3.1):
+// a sorted subset of a table's columns, segmented across the cluster.
+type Projection struct {
+	Name   string `json:"name"`
+	Anchor string `json:"anchor"` // anchoring table
+	// Columns are anchor-table column names; for prejoin projections,
+	// dimension columns appear as "dimtable.col".
+	Columns   []string                 `json:"columns"`
+	SortOrder []string                 `json:"sort_order"`
+	Seg       Segmentation             `json:"segmentation"`
+	Encodings map[string]encoding.Kind `json:"encodings,omitempty"`
+	// IsSuper marks a super projection containing every anchor column;
+	// Vertica requires at least one per table in place of join indexes
+	// (§3.2).
+	IsSuper bool `json:"is_super"`
+	// Buddy names this projection's buddy (for K-safety); "" when none.
+	Buddy string `json:"buddy,omitempty"`
+	// IsBuddy marks projections created as buddies of another.
+	IsBuddy bool `json:"is_buddy,omitempty"`
+	// Prejoin lists denormalized dimension joins (nil for plain projections).
+	Prejoin []PrejoinDim `json:"prejoin,omitempty"`
+
+	// Schema is the bound projection schema (derived, not persisted).
+	Schema *types.Schema `json:"-"`
+}
+
+// SortKey returns sort-order column indexes into the projection schema.
+func (p *Projection) SortKey() []int {
+	out := make([]int, 0, len(p.SortOrder))
+	for _, name := range p.SortOrder {
+		if i := p.Schema.ColIndex(name); i >= 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// HasColumn reports whether the projection stores the named column.
+func (p *Projection) HasColumn(name string) bool {
+	return p.Schema.ColIndex(name) >= 0
+}
+
+// Catalog is the cluster-wide metadata store.
+type Catalog struct {
+	mu          sync.RWMutex
+	dir         string // "" for in-memory catalogs
+	tables      map[string]*Table
+	projections map[string]*Projection
+}
+
+// New creates an empty catalog persisted under dir ("" keeps it in memory).
+func New(dir string) *Catalog {
+	return &Catalog{dir: dir, tables: map[string]*Table{}, projections: map[string]*Projection{}}
+}
+
+// CreateTable registers a table.
+func (c *Catalog) CreateTable(t *Table) error {
+	if t.Schema == nil || t.Schema.Len() == 0 {
+		return fmt.Errorf("catalog: table %q has no columns", t.Name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[t.Name]; ok {
+		return fmt.Errorf("catalog: table %q already exists", t.Name)
+	}
+	t.Cols = t.Schema.Cols
+	c.tables[t.Name] = t
+	return c.persistLocked()
+}
+
+// DropTable removes a table and all of its projections.
+func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; !ok {
+		return fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	delete(c.tables, name)
+	for pn, p := range c.projections {
+		if p.Anchor == name {
+			delete(c.projections, pn)
+		}
+	}
+	return c.persistLocked()
+}
+
+// Table resolves a table by name.
+func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// Tables lists all tables sorted by name.
+func (c *Catalog) Tables() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// bindProjectionSchema derives the projection schema from its anchor (and
+// prejoin dimension) tables.
+func (c *Catalog) bindProjectionSchema(p *Projection) error {
+	anchor, ok := c.tables[p.Anchor]
+	if !ok {
+		return fmt.Errorf("catalog: projection %q anchors missing table %q", p.Name, p.Anchor)
+	}
+	cols := make([]types.Column, 0, len(p.Columns))
+	for _, name := range p.Columns {
+		if dim, col, isDim := splitDimRef(name); isDim {
+			dt, ok := c.tables[dim]
+			if !ok {
+				return fmt.Errorf("catalog: projection %q references missing dimension table %q", p.Name, dim)
+			}
+			i := dt.Schema.ColIndex(col)
+			if i < 0 {
+				return fmt.Errorf("catalog: projection %q references missing column %q", p.Name, name)
+			}
+			cc := dt.Schema.Col(i)
+			cc.Name = name
+			cols = append(cols, cc)
+			continue
+		}
+		i := anchor.Schema.ColIndex(name)
+		if i < 0 {
+			return fmt.Errorf("catalog: projection %q references missing column %q of %q", p.Name, name, p.Anchor)
+		}
+		cols = append(cols, anchor.Schema.Col(i))
+	}
+	p.Schema = types.NewSchema(cols...)
+	for _, s := range p.SortOrder {
+		if p.Schema.ColIndex(s) < 0 {
+			return fmt.Errorf("catalog: projection %q sorts on column %q it does not store", p.Name, s)
+		}
+	}
+	return nil
+}
+
+func splitDimRef(name string) (dim, col string, ok bool) {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '.' {
+			return name[:i], name[i+1:], true
+		}
+	}
+	return "", "", false
+}
+
+// CreateProjection validates and registers a projection. A projection is
+// super when it contains every column of its anchor table.
+func (c *Catalog) CreateProjection(p *Projection) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.projections[p.Name]; ok {
+		return fmt.Errorf("catalog: projection %q already exists", p.Name)
+	}
+	if err := c.bindProjectionSchema(p); err != nil {
+		return err
+	}
+	anchor := c.tables[p.Anchor]
+	p.IsSuper = true
+	for _, col := range anchor.Schema.Cols {
+		if p.Schema.ColIndex(col.Name) < 0 {
+			p.IsSuper = false
+			break
+		}
+	}
+	if p.Encodings == nil {
+		p.Encodings = map[string]encoding.Kind{}
+	}
+	c.projections[p.Name] = p
+	return c.persistLocked()
+}
+
+// DropProjection removes a projection. The last super projection of a table
+// cannot be dropped ("we have no plans to lift the super projection
+// requirement", §3.2).
+func (c *Catalog) DropProjection(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.projections[name]
+	if !ok {
+		return fmt.Errorf("catalog: projection %q does not exist", name)
+	}
+	if p.IsSuper {
+		supers := 0
+		for _, o := range c.projections {
+			if o.Anchor == p.Anchor && o.IsSuper {
+				supers++
+			}
+		}
+		if supers <= 1 {
+			return fmt.Errorf("catalog: cannot drop %q: every table requires at least one super projection", name)
+		}
+	}
+	delete(c.projections, name)
+	return c.persistLocked()
+}
+
+// Projection resolves a projection by name.
+func (c *Catalog) Projection(name string) (*Projection, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	p, ok := c.projections[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: projection %q does not exist", name)
+	}
+	return p, nil
+}
+
+// ProjectionsFor lists a table's projections sorted by name.
+func (c *Catalog) ProjectionsFor(table string) []*Projection {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []*Projection
+	for _, p := range c.projections {
+		if p.Anchor == table {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Projections lists every projection sorted by name.
+func (c *Catalog) Projections() []*Projection {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Projection, 0, len(c.projections))
+	for _, p := range c.projections {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SuperProjection returns a table's first super projection, preferring
+// plain ones over prejoin projections (a prejoin containing every anchor
+// column is super by the paper's definition, but refresh/update paths need
+// an undecorated source).
+func (c *Catalog) SuperProjection(table string) (*Projection, error) {
+	var prejoinSuper *Projection
+	for _, p := range c.ProjectionsFor(table) {
+		if !p.IsSuper || p.IsBuddy {
+			continue
+		}
+		if len(p.Prejoin) > 0 {
+			if prejoinSuper == nil {
+				prejoinSuper = p
+			}
+			continue
+		}
+		return p, nil
+	}
+	if prejoinSuper != nil {
+		return prejoinSuper, nil
+	}
+	return nil, fmt.Errorf("catalog: table %q has no super projection", table)
+}
+
+// persisted is the JSON snapshot layout.
+type persisted struct {
+	Tables      []*Table      `json:"tables"`
+	Projections []*Projection `json:"projections"`
+}
+
+func (c *Catalog) persistLocked() error {
+	if c.dir == "" {
+		return nil
+	}
+	var p persisted
+	for _, t := range c.tables {
+		p.Tables = append(p.Tables, t)
+	}
+	for _, pr := range c.projections {
+		p.Projections = append(p.Projections, pr)
+	}
+	sort.Slice(p.Tables, func(i, j int) bool { return p.Tables[i].Name < p.Tables[j].Name })
+	sort.Slice(p.Projections, func(i, j int) bool { return p.Projections[i].Name < p.Projections[j].Name })
+	b, err := json.MarshalIndent(&p, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return err
+	}
+	tmp := filepath.Join(c.dir, "catalog.json.tmp")
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(c.dir, "catalog.json"))
+}
+
+// Load reopens a persisted catalog. Expression re-binding (partition and
+// segmentation clauses) is left to the caller via RebindExprs, since parsing
+// lives above this package.
+func Load(dir string) (*Catalog, error) {
+	c := New(dir)
+	b, err := os.ReadFile(filepath.Join(dir, "catalog.json"))
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var p persisted
+	if err := json.Unmarshal(b, &p); err != nil {
+		return nil, fmt.Errorf("catalog: corrupt catalog.json: %w", err)
+	}
+	for _, t := range p.Tables {
+		t.Schema = types.NewSchema(t.Cols...)
+		c.tables[t.Name] = t
+	}
+	for _, pr := range p.Projections {
+		if err := c.bindProjectionSchema(pr); err != nil {
+			return nil, err
+		}
+		c.projections[pr.Name] = pr
+	}
+	return c, nil
+}
+
+// RebindExprs re-binds persisted expression text to runtime expressions
+// using the supplied binder (the SQL layer's expression parser).
+func (c *Catalog) RebindExprs(bind func(text string, schema *types.Schema) (expr.Expr, error)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, t := range c.tables {
+		if t.PartitionExprText != "" && t.PartitionExpr == nil {
+			e, err := bind(t.PartitionExprText, t.Schema)
+			if err != nil {
+				return fmt.Errorf("catalog: rebinding partition expr of %q: %w", t.Name, err)
+			}
+			t.PartitionExpr = e
+		}
+	}
+	for _, p := range c.projections {
+		if p.Seg.ExprText != "" && p.Seg.Expr == nil {
+			e, err := bind(p.Seg.ExprText, p.Schema)
+			if err != nil {
+				return fmt.Errorf("catalog: rebinding segmentation of %q: %w", p.Name, err)
+			}
+			p.Seg.Expr = e
+		}
+	}
+	return nil
+}

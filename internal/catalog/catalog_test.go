@@ -1,0 +1,260 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/encoding"
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+func salesTable() *Table {
+	return &Table{
+		Name: "sales",
+		Schema: types.NewSchema(
+			types.Column{Name: "sale_id", Typ: types.Int64},
+			types.Column{Name: "date", Typ: types.Timestamp},
+			types.Column{Name: "cust", Typ: types.Varchar},
+			types.Column{Name: "price", Typ: types.Float64},
+		),
+	}
+}
+
+func TestCreateAndDropTable(t *testing.T) {
+	c := New("")
+	if err := c.CreateTable(salesTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable(salesTable()); err == nil {
+		t.Error("duplicate table should fail")
+	}
+	if _, err := c.Table("sales"); err != nil {
+		t.Error(err)
+	}
+	if len(c.Tables()) != 1 {
+		t.Error("Tables() wrong")
+	}
+	if err := c.DropTable("nosuch"); err == nil {
+		t.Error("dropping missing table should fail")
+	}
+	if err := c.DropTable("sales"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Table("sales"); err == nil {
+		t.Error("table still resolvable after drop")
+	}
+}
+
+// TestFigure1Projections models the paper's Figure 1: the sales table has a
+// super projection sorted by date segmented by HASH(sale_id), and a narrow
+// (cust, price) projection sorted and segmented by cust.
+func TestFigure1Projections(t *testing.T) {
+	c := New("")
+	if err := c.CreateTable(salesTable()); err != nil {
+		t.Fatal(err)
+	}
+	super := &Projection{
+		Name:      "sales_super",
+		Anchor:    "sales",
+		Columns:   []string{"sale_id", "date", "cust", "price"},
+		SortOrder: []string{"date"},
+		Seg:       Segmentation{ExprText: "HASH(sale_id)"},
+	}
+	if err := c.CreateProjection(super); err != nil {
+		t.Fatal(err)
+	}
+	if !super.IsSuper {
+		t.Error("projection with every column must be marked super")
+	}
+	narrow := &Projection{
+		Name:      "sales_cust_price",
+		Anchor:    "sales",
+		Columns:   []string{"cust", "price"},
+		SortOrder: []string{"cust"},
+		Seg:       Segmentation{ExprText: "HASH(cust)"},
+	}
+	if err := c.CreateProjection(narrow); err != nil {
+		t.Fatal(err)
+	}
+	if narrow.IsSuper {
+		t.Error("partial projection must not be super")
+	}
+	if narrow.Schema.Len() != 2 || narrow.Schema.Col(0).Name != "cust" {
+		t.Errorf("narrow schema = %v", narrow.Schema)
+	}
+	if got := narrow.SortKey(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("sort key = %v", got)
+	}
+	sp, err := c.SuperProjection("sales")
+	if err != nil || sp.Name != "sales_super" {
+		t.Errorf("SuperProjection = %v, %v", sp, err)
+	}
+	if got := c.ProjectionsFor("sales"); len(got) != 2 {
+		t.Errorf("ProjectionsFor = %d", len(got))
+	}
+}
+
+func TestProjectionValidation(t *testing.T) {
+	c := New("")
+	c.CreateTable(salesTable())
+	// Unknown column.
+	err := c.CreateProjection(&Projection{
+		Name: "bad", Anchor: "sales", Columns: []string{"nosuch"},
+	})
+	if err == nil {
+		t.Error("unknown column should fail")
+	}
+	// Sort on unstored column.
+	err = c.CreateProjection(&Projection{
+		Name: "bad2", Anchor: "sales", Columns: []string{"cust"}, SortOrder: []string{"price"},
+	})
+	if err == nil {
+		t.Error("sort on unstored column should fail")
+	}
+	// Missing anchor.
+	err = c.CreateProjection(&Projection{Name: "bad3", Anchor: "nosuch", Columns: []string{"x"}})
+	if err == nil {
+		t.Error("missing anchor should fail")
+	}
+}
+
+func TestLastSuperProjectionCannotBeDropped(t *testing.T) {
+	c := New("")
+	c.CreateTable(salesTable())
+	super := &Projection{
+		Name: "s1", Anchor: "sales",
+		Columns: []string{"sale_id", "date", "cust", "price"},
+	}
+	if err := c.CreateProjection(super); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropProjection("s1"); err == nil ||
+		!strings.Contains(err.Error(), "super projection") {
+		t.Errorf("dropping the last super projection should fail: %v", err)
+	}
+	// With a second super projection it works.
+	super2 := &Projection{
+		Name: "s2", Anchor: "sales",
+		Columns: []string{"sale_id", "date", "cust", "price"},
+	}
+	c.CreateProjection(super2)
+	if err := c.DropProjection("s1"); err != nil {
+		t.Errorf("drop with remaining super: %v", err)
+	}
+}
+
+func TestPrejoinProjectionSchema(t *testing.T) {
+	c := New("")
+	c.CreateTable(salesTable())
+	c.CreateTable(&Table{
+		Name: "customers",
+		Schema: types.NewSchema(
+			types.Column{Name: "cust_id", Typ: types.Varchar},
+			types.Column{Name: "region", Typ: types.Varchar},
+		),
+	})
+	pj := &Projection{
+		Name:      "sales_prejoin",
+		Anchor:    "sales",
+		Columns:   []string{"sale_id", "cust", "price", "customers.region"},
+		SortOrder: []string{"sale_id"},
+		Prejoin: []PrejoinDim{{
+			DimTable: "customers", FactKey: "cust", DimKey: "cust_id",
+			DimCols: []string{"region"},
+		}},
+	}
+	if err := c.CreateProjection(pj); err != nil {
+		t.Fatal(err)
+	}
+	if pj.Schema.Len() != 4 {
+		t.Fatalf("prejoin schema = %v", pj.Schema)
+	}
+	if pj.Schema.Col(3).Name != "customers.region" || pj.Schema.Col(3).Typ != types.Varchar {
+		t.Errorf("dim column = %+v", pj.Schema.Col(3))
+	}
+	if pj.IsSuper {
+		t.Error("prejoin with all anchor columns is still 'super' by the paper's definition")
+	}
+}
+
+func TestPersistAndLoad(t *testing.T) {
+	dir := t.TempDir()
+	c := New(dir)
+	tab := salesTable()
+	tab.PartitionExprText = "EXTRACT_MONTH(date)"
+	if err := c.CreateTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateProjection(&Projection{
+		Name: "sales_super", Anchor: "sales",
+		Columns:   []string{"sale_id", "date", "cust", "price"},
+		SortOrder: []string{"date"},
+		Seg:       Segmentation{ExprText: "HASH(sale_id)"},
+		Encodings: map[string]encoding.Kind{"date": encoding.RLE},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := c2.Table("sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Schema.Len() != 4 || tb.PartitionExprText == "" {
+		t.Errorf("reloaded table = %+v", tb)
+	}
+	p, err := c2.Projection("sales_super")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Schema == nil || p.Encodings["date"] != encoding.RLE {
+		t.Errorf("reloaded projection = %+v", p)
+	}
+	// Rebind expressions with a trivial binder.
+	bound := 0
+	err = c2.RebindExprs(func(text string, schema *types.Schema) (expr.Expr, error) {
+		bound++
+		return expr.NewConst(types.NewInt(1)), nil
+	})
+	if err != nil || bound != 2 {
+		t.Errorf("rebind count = %d, err %v", bound, err)
+	}
+	if tb.PartitionExpr == nil || p.Seg.Expr == nil {
+		t.Error("expressions not rebound")
+	}
+}
+
+func TestLoadEmptyDir(t *testing.T) {
+	c, err := Load(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Tables()) != 0 {
+		t.Error("empty catalog should have no tables")
+	}
+}
+
+func TestDropTableCascadesProjections(t *testing.T) {
+	c := New("")
+	c.CreateTable(salesTable())
+	c.CreateProjection(&Projection{
+		Name: "p", Anchor: "sales", Columns: []string{"cust"},
+	})
+	c.DropTable("sales")
+	if _, err := c.Projection("p"); err == nil {
+		t.Error("projection should be dropped with its table")
+	}
+}
+
+func TestHasColumn(t *testing.T) {
+	c := New("")
+	c.CreateTable(salesTable())
+	p := &Projection{Name: "p", Anchor: "sales", Columns: []string{"cust", "price"}}
+	c.CreateProjection(p)
+	if !p.HasColumn("cust") || p.HasColumn("date") {
+		t.Error("HasColumn wrong")
+	}
+}

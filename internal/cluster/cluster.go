@@ -1,0 +1,310 @@
+// Package cluster implements the shared-nothing distribution layer of paper
+// §3.6 and §5.2–5.3 as an in-process simulation: N nodes each own a storage
+// directory; projections are replicated or ring-segmented across nodes;
+// buddy projections provide K-safety; commits require a quorum; failed nodes
+// are ejected and later recover via the historical/current two-phase copy
+// from their buddies.
+//
+// The simulation preserves the paper's logical protocols exactly — the
+// substitution is only that "network" message delivery is a method call,
+// which makes failure injection deterministic and testable.
+package cluster
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/types"
+)
+
+// Node is one cluster member: private storage per projection plus liveness.
+type Node struct {
+	ID   int
+	Name string
+	Dir  string
+
+	mu   sync.RWMutex
+	up   bool
+	mgrs map[string]*storage.Manager // projection name -> storage
+}
+
+// Up reports node liveness.
+func (n *Node) Up() bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.up
+}
+
+func (n *Node) setUp(up bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.up = up
+}
+
+// Mgr returns the node's storage manager for a projection, creating it on
+// first use.
+func (n *Node) Mgr(p *catalog.Projection, opts storage.ManagerOpts) (*storage.Manager, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if m, ok := n.mgrs[p.Name]; ok {
+		return m, nil
+	}
+	m, err := storage.NewManager(filepath.Join(n.Dir, p.Name), p.Schema, opts)
+	if err != nil {
+		return nil, err
+	}
+	n.mgrs[p.Name] = m
+	return m, nil
+}
+
+// Config sets cluster-wide parameters.
+type Config struct {
+	Nodes int
+	Dir   string
+	// K is the K-safety level: projections get K buddy copies.
+	K int
+	// LocalSegments per node (paper §3.6; Figure 2 shows 3).
+	LocalSegments int
+	WOSMaxBytes   int64
+}
+
+// Cluster owns the node set, the shared epoch clock and group membership.
+type Cluster struct {
+	cfg Config
+	cat *catalog.Catalog
+	Txn *txn.Manager
+
+	mu       sync.RWMutex
+	nodes    []*Node
+	shutdown bool
+}
+
+// New creates a cluster of cfg.Nodes nodes rooted at cfg.Dir.
+func New(cfg Config, cat *catalog.Catalog, tm *txn.Manager) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.LocalSegments <= 0 {
+		cfg.LocalSegments = 3
+	}
+	c := &Cluster{cfg: cfg, cat: cat, Txn: tm}
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &Node{
+			ID:   i,
+			Name: fmt.Sprintf("node%04d", i+1),
+			Dir:  filepath.Join(cfg.Dir, fmt.Sprintf("node%04d", i+1)),
+			up:   true,
+			mgrs: map[string]*storage.Manager{},
+		}
+		c.nodes = append(c.nodes, n)
+	}
+	return c, nil
+}
+
+// Catalog returns the shared metadata catalog.
+func (c *Cluster) Catalog() *catalog.Catalog { return c.cat }
+
+// Nodes returns all nodes (up and down).
+func (c *Cluster) Nodes() []*Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]*Node{}, c.nodes...)
+}
+
+// Node returns the node with the given ID.
+func (c *Cluster) Node(id int) *Node { return c.nodes[id] }
+
+// N returns the cluster size.
+func (c *Cluster) N() int { return len(c.nodes) }
+
+// UpNodes returns the currently live nodes.
+func (c *Cluster) UpNodes() []*Node {
+	var out []*Node
+	for _, n := range c.Nodes() {
+		if n.Up() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// QuorumSize is the agreement protocol's N/2+1 requirement (paper §5.3).
+func (c *Cluster) QuorumSize() int { return c.N()/2 + 1 }
+
+// HasQuorum reports whether enough nodes are up to accept commits.
+func (c *Cluster) HasQuorum() bool { return len(c.UpNodes()) >= c.QuorumSize() }
+
+// IsShutdown reports whether the cluster performed a safety shutdown.
+func (c *Cluster) IsShutdown() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.shutdown
+}
+
+// FailNode ejects a node from the cluster ("failure to receive a message
+// will cause a node to be ejected"). The AHM freezes so recovery can replay
+// missed DML (§5.1), and the cluster shuts down if quorum or data coverage
+// is lost (§5.3).
+func (c *Cluster) FailNode(id int) error {
+	n := c.nodes[id]
+	if !n.Up() {
+		return fmt.Errorf("cluster: node %d is already down", id)
+	}
+	n.setUp(false)
+	c.Txn.Epochs.HoldAHM(true)
+	if !c.HasQuorum() {
+		c.mu.Lock()
+		c.shutdown = true
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: lost quorum (%d/%d up): safety shutdown", len(c.UpNodes()), c.N())
+	}
+	if !c.DataAvailable() {
+		c.mu.Lock()
+		c.shutdown = true
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: segment coverage lost: database shutdown until recovery")
+	}
+	return nil
+}
+
+// DataAvailable verifies that every segmented projection still has every
+// segment reachable: for each down node, some live node must hold a buddy
+// copy of its rows. Replicated projections need any single live node.
+func (c *Cluster) DataAvailable() bool {
+	for _, p := range c.cat.Projections() {
+		if p.IsBuddy {
+			continue
+		}
+		if p.Seg.Replicated {
+			if len(c.UpNodes()) == 0 {
+				return false
+			}
+			continue
+		}
+		for _, n := range c.nodes {
+			if n.Up() {
+				continue
+			}
+			// Node n's primary segment must be covered by a live buddy.
+			covered := false
+			for off := 1; off <= c.cfg.K; off++ {
+				buddyNode := (n.ID + off) % c.N()
+				if c.nodes[buddyNode].Up() && p.Buddy != "" {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// UpProjectionNames lists the projections with in-memory WOS data for LGE
+// accounting.
+func (c *Cluster) projectionNames() []string {
+	var out []string
+	for _, p := range c.cat.Projections() {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// ManagerOpts returns the storage options nodes use.
+func (c *Cluster) ManagerOpts() storage.ManagerOpts {
+	return storage.ManagerOpts{
+		WOSMaxBytes:   c.cfg.WOSMaxBytes,
+		LocalSegments: c.cfg.LocalSegments,
+	}
+}
+
+// K returns the configured K-safety level.
+func (c *Cluster) K() int { return c.cfg.K }
+
+// EnsureStorage materializes storage managers for a projection on every
+// node (idempotent).
+func (c *Cluster) EnsureStorage(p *catalog.Projection) error {
+	for _, n := range c.nodes {
+		if _, err := n.Mgr(p, c.ManagerOpts()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ringNode maps an unsigned segmentation value to its ring node index with
+// the projection's offset applied (paper §3.6's range mapping).
+func (c *Cluster) ringNode(hash uint64, offset int) int {
+	n := uint64(c.N())
+	if n == 1 {
+		return 0
+	}
+	// Contiguous ranges of the hash space, CMAX/N wide.
+	idx := int(hash / (^uint64(0)/n + 1))
+	return (idx + offset) % c.N()
+}
+
+// RouteRow returns the node IDs that must store a row of projection p.
+func (c *Cluster) RouteRow(p *catalog.Projection, row types.Row) ([]int, error) {
+	if p.Seg.Replicated {
+		out := make([]int, c.N())
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	}
+	if p.Seg.Expr == nil {
+		return []int{0}, nil
+	}
+	v, err := p.Seg.Expr.EvalRow(row)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: segmentation expression: %w", err)
+	}
+	if !v.Typ.IsIntegral() {
+		return nil, fmt.Errorf("cluster: segmentation expression must be integral, got %s", v.Typ)
+	}
+	return []int{c.ringNode(uint64(v.I), p.Seg.Offset)}, nil
+}
+
+// PrimaryOwner returns the ring node for a row under a projection ignoring
+// the buddy offset — i.e. which node's primary segment the row belongs to.
+func (c *Cluster) PrimaryOwner(p *catalog.Projection, row types.Row) (int, error) {
+	if p.Seg.Expr == nil {
+		return 0, nil
+	}
+	v, err := p.Seg.Expr.EvalRow(row)
+	if err != nil {
+		return 0, err
+	}
+	return c.ringNode(uint64(v.I), 0), nil
+}
+
+// LocalSegmentOf splits a node's hash subrange into equal local segments
+// (paper §3.6: "local segments" let the cluster expand by reassigning whole
+// segments).
+func (c *Cluster) LocalSegmentOf(p *catalog.Projection) func(types.Row) int {
+	ls := c.cfg.LocalSegments
+	if p.Seg.Replicated || p.Seg.Expr == nil {
+		return func(types.Row) int { return 0 }
+	}
+	seg := p.Seg.Expr
+	n := uint64(c.N())
+	rangeWidth := ^uint64(0)
+	if n > 1 {
+		rangeWidth = ^uint64(0)/n + 1
+	}
+	return func(r types.Row) int {
+		v, err := seg.EvalRow(r)
+		if err != nil {
+			return 0
+		}
+		pos := uint64(v.I) % rangeWidth
+		return int(pos / (rangeWidth/uint64(ls) + 1))
+	}
+}

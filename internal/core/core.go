@@ -1,0 +1,675 @@
+// Package core is the public face of the engine: a Database handle that
+// parses and executes SQL, coordinates transactions and the tuple mover, and
+// exposes bulk load, backup, recovery and physical-design entry points. It
+// corresponds to the overall system of the paper — a shared-nothing columnar
+// RDBMS with projections as the only physical data structure.
+//
+// Typical use:
+//
+//	db, _ := core.Open(core.Options{Dir: dir, Nodes: 3, K: 1})
+//	db.Execute(`CREATE TABLE sales (sale_id INT, date TIMESTAMP, cust INT, price FLOAT)`)
+//	db.Execute(`CREATE PROJECTION sales_super ON sales (sale_id, date, cust, price)
+//	            ORDER BY date SEGMENTED BY HASH(sale_id)`)
+//	db.Load("sales", rows, true)
+//	res, _ := db.Execute(`SELECT cust, SUM(price) FROM sales GROUP BY cust`)
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/cluster"
+	"repro/internal/expr"
+	"repro/internal/optimizer"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/tuplemover"
+	"repro/internal/txn"
+	"repro/internal/types"
+)
+
+// Options configures a database instance.
+type Options struct {
+	// Dir is the root storage directory (one subdirectory per node).
+	Dir string
+	// Nodes is the simulated cluster size (default 1).
+	Nodes int
+	// K is the K-safety level: segmented projections automatically get K
+	// buddy projections (default 0 for single node, 1 otherwise).
+	K int
+	// Parallelism enables intra-node parallel plans (Figure 3) when > 1.
+	Parallelism int
+	// DirectLoadRowThreshold: Load calls with at least this many rows go
+	// straight to the ROS (paper §7, "Direct Loading to the ROS").
+	DirectLoadRowThreshold int
+	// WOSMaxBytes bounds each projection's WOS per node.
+	WOSMaxBytes int64
+	// LocalSegments per node (default 3).
+	LocalSegments int
+}
+
+// Database is one engine instance.
+type Database struct {
+	opts    Options
+	cat     *catalog.Catalog
+	cluster *cluster.Cluster
+	txns    *txn.Manager
+
+	moverMu sync.Mutex
+	movers  map[string]*tuplemover.TupleMover // "node/projection"
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	Schema       *types.Schema
+	Rows         []types.Row
+	RowsAffected int64
+	Explain      string
+	Message      string
+}
+
+// Open creates or reopens a database.
+func Open(opts Options) (*Database, error) {
+	if opts.Nodes <= 0 {
+		opts.Nodes = 1
+	}
+	if opts.DirectLoadRowThreshold <= 0 {
+		opts.DirectLoadRowThreshold = 10000
+	}
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("core: Options.Dir is required")
+	}
+	cat, err := catalog.Load(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := cat.RebindExprs(sql.BindScalarExpr); err != nil {
+		return nil, err
+	}
+	tm := txn.NewManager()
+	cl, err := cluster.New(cluster.Config{
+		Nodes:         opts.Nodes,
+		Dir:           opts.Dir,
+		K:             opts.K,
+		LocalSegments: opts.LocalSegments,
+		WOSMaxBytes:   opts.WOSMaxBytes,
+	}, cat, tm)
+	if err != nil {
+		return nil, err
+	}
+	db := &Database{
+		opts:    opts,
+		cat:     cat,
+		cluster: cl,
+		txns:    tm,
+		movers:  map[string]*tuplemover.TupleMover{},
+	}
+	// Restore the epoch clock from stored data: the epoch column is the
+	// durable log (paper §5.2), so the clock resumes past the newest stored
+	// epoch and each projection's LGE reflects what reached the ROS.
+	var maxEpoch types.Epoch
+	for _, p := range cat.Projections() {
+		if err := cl.EnsureStorage(p); err != nil {
+			return nil, err
+		}
+		var projMax types.Epoch
+		for _, n := range cl.Nodes() {
+			mgr, err := n.Mgr(p, cl.ManagerOpts())
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range mgr.Containers() {
+				if r.Meta.MaxEpoch > projMax {
+					projMax = r.Meta.MaxEpoch
+				}
+			}
+		}
+		tm.Epochs.SetLGE(p.Name, projMax)
+		if projMax > maxEpoch {
+			maxEpoch = projMax
+		}
+	}
+	tm.Epochs.Restore(maxEpoch)
+	return db, nil
+}
+
+// Catalog exposes the metadata catalog.
+func (db *Database) Catalog() *catalog.Catalog { return db.cat }
+
+// Cluster exposes the simulated cluster (failure injection, recovery).
+func (db *Database) Cluster() *cluster.Cluster { return db.cluster }
+
+// Txns exposes the transaction manager (epochs, locks).
+func (db *Database) Txns() *txn.Manager { return db.txns }
+
+// Execute parses and runs one SQL statement with autocommit.
+func (db *Database) Execute(sqlText string) (*Result, error) {
+	s := db.NewSession()
+	defer s.Close()
+	return s.Execute(sqlText)
+}
+
+// MustExecute is Execute that panics on error (examples and tests).
+func (db *Database) MustExecute(sqlText string) *Result {
+	r, err := db.Execute(sqlText)
+	if err != nil {
+		panic(fmt.Sprintf("core: %v\n  in: %s", err, sqlText))
+	}
+	return r
+}
+
+// Session is one client connection: it carries the open transaction.
+type Session struct {
+	db *Database
+	tx *txn.Txn
+}
+
+// NewSession opens a session.
+func (db *Database) NewSession() *Session { return &Session{db: db} }
+
+// Close rolls back any open transaction.
+func (s *Session) Close() {
+	if s.tx != nil {
+		s.db.txns.Rollback(s.tx)
+		s.tx = nil
+	}
+}
+
+// Execute runs one statement in the session. Without an explicit BEGIN the
+// statement autocommits.
+func (s *Session) Execute(sqlText string) (*Result, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	switch st := stmt.(type) {
+	case *sql.TxnStmt:
+		return s.execTxnStmt(st)
+	case *sql.SelectStmt:
+		return s.db.execSelect(st)
+	case *sql.CreateTableStmt:
+		return s.db.execCreateTable(st)
+	case *sql.CreateProjectionStmt:
+		return s.db.execCreateProjection(st)
+	case *sql.DropStmt:
+		return s.db.execDrop(st)
+	case *sql.InsertStmt:
+		return s.autocommitDML(func(tx *txn.Txn) (int64, error) {
+			return s.db.execInsert(tx, st)
+		})
+	case *sql.DeleteStmt:
+		return s.autocommitDML(func(tx *txn.Txn) (int64, error) {
+			return s.db.execDelete(tx, st)
+		})
+	case *sql.UpdateStmt:
+		return s.autocommitDML(func(tx *txn.Txn) (int64, error) {
+			return s.db.execUpdate(tx, st)
+		})
+	default:
+		return nil, fmt.Errorf("core: unsupported statement %T", stmt)
+	}
+}
+
+func (s *Session) execTxnStmt(st *sql.TxnStmt) (*Result, error) {
+	switch st.Kind {
+	case "BEGIN":
+		if s.tx != nil {
+			return nil, fmt.Errorf("core: transaction already open")
+		}
+		s.tx = s.db.txns.Begin(txn.ReadCommitted)
+		return &Result{Message: "BEGIN"}, nil
+	case "COMMIT":
+		if s.tx == nil {
+			return nil, fmt.Errorf("core: no open transaction")
+		}
+		_, err := s.db.txns.Commit(s.tx)
+		s.tx = nil
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Message: "COMMIT"}, nil
+	default: // ROLLBACK
+		if s.tx == nil {
+			return nil, fmt.Errorf("core: no open transaction")
+		}
+		s.db.txns.Rollback(s.tx)
+		s.tx = nil
+		return &Result{Message: "ROLLBACK"}, nil
+	}
+}
+
+// autocommitDML stages DML in the session transaction, committing
+// immediately when none is open.
+func (s *Session) autocommitDML(stage func(tx *txn.Txn) (int64, error)) (*Result, error) {
+	auto := s.tx == nil
+	tx := s.tx
+	if auto {
+		tx = s.db.txns.Begin(txn.ReadCommitted)
+	}
+	n, err := stage(tx)
+	if err != nil {
+		if auto {
+			s.db.txns.Rollback(tx)
+		}
+		return nil, err
+	}
+	if auto {
+		if _, err := s.db.txns.Commit(tx); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{RowsAffected: n, Message: fmt.Sprintf("%d rows", n)}, nil
+}
+
+// --- statement implementations ---------------------------------------------
+
+func (db *Database) execSelect(st *sql.SelectStmt) (*Result, error) {
+	q, err := sql.AnalyzeSelect(st, db.cat)
+	if err != nil {
+		return nil, err
+	}
+	opts := optimizer.PlanOpts{Parallelism: db.opts.Parallelism}
+	res, err := db.cluster.Run(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	if st.Explain {
+		return &Result{Explain: res.Explain, Message: res.Explain}, nil
+	}
+	return &Result{Schema: res.Schema, Rows: res.Rows, Explain: res.Explain}, nil
+}
+
+// QueryAt runs a SELECT at a historical epoch (time travel).
+func (db *Database) QueryAt(sqlText string, epoch types.Epoch) (*Result, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	st, ok := stmt.(*sql.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("core: QueryAt requires a SELECT")
+	}
+	q, err := sql.AnalyzeSelect(st, db.cat)
+	if err != nil {
+		return nil, err
+	}
+	res, err := db.cluster.RunAt(q, optimizer.PlanOpts{Parallelism: db.opts.Parallelism}, epoch)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schema: res.Schema, Rows: res.Rows, Explain: res.Explain}, nil
+}
+
+func (db *Database) execCreateTable(st *sql.CreateTableStmt) (*Result, error) {
+	cols := make([]types.Column, len(st.Cols))
+	for i, c := range st.Cols {
+		cols[i] = types.Column{Name: c.Name, Typ: c.Typ, Nullable: !c.NotNull}
+	}
+	t := &catalog.Table{
+		Name:              st.Name,
+		Schema:            types.NewSchema(cols...),
+		PartitionExprText: st.PartitionText,
+	}
+	if st.PartitionText != "" {
+		e, err := sql.BindScalarExpr(st.PartitionText, t.Schema)
+		if err != nil {
+			return nil, err
+		}
+		t.PartitionExpr = e
+	}
+	if err := db.cat.CreateTable(t); err != nil {
+		return nil, err
+	}
+	return &Result{Message: "CREATE TABLE"}, nil
+}
+
+func (db *Database) execCreateProjection(st *sql.CreateProjectionStmt) (*Result, error) {
+	p := &catalog.Projection{
+		Name:      st.Name,
+		Anchor:    st.Table,
+		Columns:   st.Columns,
+		SortOrder: st.SortOrder,
+		Encodings: st.Encodings,
+	}
+	if st.Replicated {
+		p.Seg.Replicated = true
+	} else if len(st.SegCols) > 0 {
+		p.Seg.ExprText = st.SegText
+	}
+	if st.BuddyOf != "" {
+		primary, err := db.cat.Projection(st.BuddyOf)
+		if err != nil {
+			return nil, err
+		}
+		p.IsBuddy = true
+		p.Seg.Offset = 1
+		primary.Buddy = p.Name
+	}
+	if err := db.CreateProjection(p); err != nil {
+		return nil, err
+	}
+	return &Result{Message: "CREATE PROJECTION"}, nil
+}
+
+// CreateProjection registers a projection (programmatic API), binding its
+// segmentation expression and auto-creating a buddy when K-safety requires
+// one (paper §5.2: "each projection must have at least one buddy projection
+// ... such that no row is stored on the same node by both").
+func (db *Database) CreateProjection(p *catalog.Projection) error {
+	if err := db.cat.CreateProjection(p); err != nil {
+		return err
+	}
+	if p.Seg.ExprText != "" {
+		if err := db.cat.RebindExprs(sql.BindScalarExpr); err != nil {
+			return err
+		}
+	}
+	if err := db.cluster.EnsureStorage(p); err != nil {
+		return err
+	}
+	// Auto-buddy for K-safety on multi-node clusters.
+	if db.opts.K >= 1 && !p.IsBuddy && !p.Seg.Replicated && p.Buddy == "" && db.opts.Nodes > 1 {
+		buddy := &catalog.Projection{
+			Name:      p.Name + "_b1",
+			Anchor:    p.Anchor,
+			Columns:   append([]string{}, p.Columns...),
+			SortOrder: append([]string{}, p.SortOrder...),
+			Encodings: p.Encodings,
+			Seg: catalog.Segmentation{
+				ExprText: p.Seg.ExprText,
+				Offset:   1,
+			},
+			IsBuddy: true,
+			Prejoin: p.Prejoin,
+		}
+		if err := db.cat.CreateProjection(buddy); err != nil {
+			return err
+		}
+		if err := db.cat.RebindExprs(sql.BindScalarExpr); err != nil {
+			return err
+		}
+		if err := db.cluster.EnsureStorage(buddy); err != nil {
+			return err
+		}
+		p.Buddy = buddy.Name
+	}
+	return nil
+}
+
+func (db *Database) execDrop(st *sql.DropStmt) (*Result, error) {
+	switch st.Kind {
+	case "TABLE":
+		if err := db.cat.DropTable(st.Name); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "DROP TABLE"}, nil
+	case "PROJECTION":
+		if err := db.cat.DropProjection(st.Name); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "DROP PROJECTION"}, nil
+	default: // PARTITION: fast bulk deletion by dropping container files
+		// (paper §3.5). Requires an Owner lock.
+		otx := db.txns.Begin(txn.ReadCommitted)
+		if err := db.txns.Locks.Acquire(otx.ID, st.Name, txn.O); err != nil {
+			return nil, err
+		}
+		defer db.txns.Locks.ReleaseAll(otx.ID)
+		var dropped int64
+		for _, p := range db.cat.ProjectionsFor(st.Name) {
+			for _, n := range db.cluster.UpNodes() {
+				mgr, err := n.Mgr(p, db.cluster.ManagerOpts())
+				if err != nil {
+					return nil, err
+				}
+				rows, err := mgr.DropPartition(st.Key)
+				if err != nil {
+					return nil, err
+				}
+				if p.IsSuper && !p.IsBuddy {
+					dropped += rows
+				}
+			}
+		}
+		return &Result{RowsAffected: dropped, Message: fmt.Sprintf("DROP PARTITION (%d rows)", dropped)}, nil
+	}
+}
+
+func (db *Database) execInsert(tx *txn.Txn, st *sql.InsertStmt) (int64, error) {
+	t, err := db.cat.Table(st.Table)
+	if err != nil {
+		return 0, err
+	}
+	// Insert lock: compatible with itself, so parallel loads proceed (§5).
+	if err := db.txns.Locks.Acquire(tx.ID, st.Table, txn.I); err != nil {
+		return 0, err
+	}
+	colIdx := make([]int, 0, t.Schema.Len())
+	if len(st.Cols) > 0 {
+		for _, cn := range st.Cols {
+			i := t.Schema.ColIndex(cn)
+			if i < 0 {
+				return 0, fmt.Errorf("core: unknown column %q", cn)
+			}
+			colIdx = append(colIdx, i)
+		}
+	} else {
+		for i := 0; i < t.Schema.Len(); i++ {
+			colIdx = append(colIdx, i)
+		}
+	}
+	rows := make([]types.Row, 0, len(st.Rows))
+	for _, astRow := range st.Rows {
+		if len(astRow) != len(colIdx) {
+			return 0, fmt.Errorf("core: INSERT arity mismatch")
+		}
+		row := make(types.Row, t.Schema.Len())
+		for i := range row {
+			row[i] = types.NewNull(t.Schema.Col(i).Typ)
+		}
+		for i, ae := range astRow {
+			v, err := evalLiteral(ae)
+			if err != nil {
+				return 0, err
+			}
+			row[colIdx[i]] = coerceValue(v, t.Schema.Col(colIdx[i]).Typ)
+		}
+		rows = append(rows, row)
+	}
+	if err := db.cluster.StageInsert(tx, st.Table, rows, false); err != nil {
+		return 0, err
+	}
+	return int64(len(rows)), nil
+}
+
+func (db *Database) execDelete(tx *txn.Txn, st *sql.DeleteStmt) (int64, error) {
+	t, err := db.cat.Table(st.Table)
+	if err != nil {
+		return 0, err
+	}
+	// Deletes require the eXclusive lock (paper §5).
+	if err := db.txns.Locks.Acquire(tx.ID, st.Table, txn.X); err != nil {
+		return 0, err
+	}
+	var pred expr.Expr
+	if st.Where != nil {
+		pred, err = sql.BindExprToTable(st.Where, t)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return db.cluster.StageDelete(tx, st.Table, pred, db.txns.Epochs.ReadEpoch())
+}
+
+func (db *Database) execUpdate(tx *txn.Txn, st *sql.UpdateStmt) (int64, error) {
+	t, err := db.cat.Table(st.Table)
+	if err != nil {
+		return 0, err
+	}
+	if err := db.txns.Locks.Acquire(tx.ID, st.Table, txn.X); err != nil {
+		return 0, err
+	}
+	set := map[int]expr.Expr{}
+	for _, cn := range st.Cols {
+		i := t.Schema.ColIndex(cn)
+		if i < 0 {
+			return 0, fmt.Errorf("core: unknown column %q", cn)
+		}
+		e, err := sql.BindExprToTable(st.Set[cn], t)
+		if err != nil {
+			return 0, err
+		}
+		set[i] = e
+	}
+	var pred expr.Expr
+	if st.Where != nil {
+		pred, err = sql.BindExprToTable(st.Where, t)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return db.cluster.StageUpdate(tx, st.Table, set, pred, db.txns.Epochs.ReadEpoch())
+}
+
+// Load bulk-loads rows into a table. Loads of DirectLoadRowThreshold rows or
+// more (or with direct=true) bypass the WOS and write ROS containers
+// immediately.
+func (db *Database) Load(table string, rows []types.Row, direct bool) error {
+	tx := db.txns.Begin(txn.ReadCommitted)
+	if err := db.txns.Locks.Acquire(tx.ID, table, txn.I); err != nil {
+		return err
+	}
+	direct = direct || len(rows) >= db.opts.DirectLoadRowThreshold
+	if err := db.cluster.StageInsert(tx, table, rows, direct); err != nil {
+		db.txns.Rollback(tx)
+		return err
+	}
+	_, err := db.txns.Commit(tx)
+	return err
+}
+
+// --- tuple mover -------------------------------------------------------------
+
+// moverFor builds (once) the tuple mover for a projection on a node.
+func (db *Database) moverFor(n *cluster.Node, p *catalog.Projection) (*tuplemover.TupleMover, error) {
+	key := fmt.Sprintf("%d/%s", n.ID, p.Name)
+	db.moverMu.Lock()
+	defer db.moverMu.Unlock()
+	if tm, ok := db.movers[key]; ok {
+		return tm, nil
+	}
+	mgr, err := n.Mgr(p, db.cluster.ManagerOpts())
+	if err != nil {
+		return nil, err
+	}
+	t, err := db.cat.Table(p.Anchor)
+	if err != nil {
+		return nil, err
+	}
+	encs := map[string]storage.ColumnSpec{}
+	for name, k := range p.Encodings {
+		if i := p.Schema.ColIndex(name); i >= 0 {
+			encs[name] = storage.ColumnSpec{Name: name, Typ: p.Schema.Col(i).Typ, Enc: k}
+		}
+	}
+	var partOf func(types.Row) (string, error)
+	if t.PartitionExpr != nil {
+		m := map[int]int{}
+		for i := 0; i < t.Schema.Len(); i++ {
+			if pi := p.Schema.ColIndex(t.Schema.Col(i).Name); pi >= 0 {
+				m[i] = pi
+			}
+		}
+		pe, err := expr.Remap(t.PartitionExpr, m)
+		if err == nil {
+			partOf = func(r types.Row) (string, error) {
+				v, err := pe.EvalRow(r)
+				if err != nil {
+					return "", err
+				}
+				return v.String(), nil
+			}
+		}
+	}
+	tm, err := tuplemover.New(tuplemover.Config{
+		Projection:     p.Name,
+		Mgr:            mgr,
+		Epochs:         db.txns.Epochs,
+		SortKey:        p.SortKey(),
+		Encodings:      encs,
+		PartitionOf:    partOf,
+		LocalSegmentOf: db.cluster.LocalSegmentOf(p),
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.movers[key] = tm
+	return tm, nil
+}
+
+// RunTupleMover performs one moveout+mergeout cycle on every node and
+// projection; the paper's tuple mover runs this continuously in the
+// background, here it is explicit for determinism. Returns total rows moved
+// out and merges performed.
+func (db *Database) RunTupleMover() (int, int, error) {
+	// Tuple mover operations take the T lock, compatible with queries and
+	// loads but not X (paper §5, Table 1).
+	ttx := db.txns.Begin(txn.ReadCommitted)
+	defer db.txns.Locks.ReleaseAll(ttx.ID)
+	totalMoved, totalMerged := 0, 0
+	for _, p := range db.cat.Projections() {
+		if err := db.txns.Locks.Acquire(ttx.ID, p.Anchor, txn.T); err != nil {
+			return totalMoved, totalMerged, err
+		}
+		for _, n := range db.cluster.UpNodes() {
+			tm, err := db.moverFor(n, p)
+			if err != nil {
+				return totalMoved, totalMerged, err
+			}
+			moved, merged, err := tm.Run()
+			if err != nil {
+				return totalMoved, totalMerged, err
+			}
+			totalMoved += moved
+			totalMerged += merged
+		}
+	}
+	db.txns.Epochs.AdvanceAHM()
+	return totalMoved, totalMerged, nil
+}
+
+// --- helpers ------------------------------------------------------------------
+
+// evalLiteral evaluates a literal-only AST expression (INSERT values).
+func evalLiteral(a sql.AstExpr) (types.Value, error) {
+	e, err := sql.BindLiteralExpr(a)
+	if err != nil {
+		return types.Value{}, err
+	}
+	return e.EvalRow(nil)
+}
+
+func coerceValue(v types.Value, t types.Type) types.Value {
+	if v.Null {
+		return types.NewNull(t)
+	}
+	switch {
+	case v.Typ == t:
+		return v
+	case t == types.Float64 && v.Typ.IsIntegral():
+		return types.NewFloat(float64(v.I))
+	case t.IsIntegral() && v.Typ == types.Float64:
+		return types.Value{Typ: t, I: int64(v.F)}
+	case t == types.Timestamp && v.Typ == types.Varchar:
+		if tv, err := sql.ParseTimestamp(v.S); err == nil {
+			return tv
+		}
+		return v
+	case t.IsIntegral() && v.Typ.IsIntegral():
+		v.Typ = t
+		return v
+	default:
+		return v
+	}
+}

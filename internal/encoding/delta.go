@@ -1,0 +1,140 @@
+package encoding
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// DeltaValue payload (integral only): varint blockMin, then per value
+// uvarint(v - blockMin). "Data is recorded as a difference from the smallest
+// value in a data block" (paper §3.4.1).
+
+func encodeDeltaValue(buf []byte, v *vector.Vector) ([]byte, error) {
+	if v.Typ == types.Float64 || v.Typ == types.Varchar {
+		return nil, fmt.Errorf("encoding: DELTAVAL requires integral column, got %s", v.Typ)
+	}
+	mn := int64(math.MaxInt64)
+	for _, x := range v.Ints {
+		if x < mn {
+			mn = x
+		}
+	}
+	if len(v.Ints) == 0 {
+		mn = 0
+	}
+	buf = appendVarint(buf, mn)
+	for _, x := range v.Ints {
+		buf = appendUvarint(buf, uint64(x-mn))
+	}
+	return buf, nil
+}
+
+func decodeDeltaValue(b []byte, t types.Type, n int) (*vector.Vector, error) {
+	mn, sz := varint(b)
+	if sz <= 0 {
+		return nil, fmt.Errorf("encoding: corrupt DELTAVAL base")
+	}
+	pos := sz
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		d, sz := uvarint(b[pos:])
+		if sz <= 0 {
+			return nil, fmt.Errorf("encoding: corrupt DELTAVAL delta at %d", i)
+		}
+		pos += sz
+		out[i] = mn + int64(d)
+	}
+	return vector.NewFromInts(t, out), nil
+}
+
+// CompressedDeltaRange payload: "stores each value as a delta from the
+// previous one" (paper §3.4.1).
+//
+//	integral: varint first value, then varint(v[i] - v[i-1]) per value.
+//	float:    8-byte first value, then uvarint(bits(v[i]) XOR bits(v[i-1]))
+//	          per value — the XOR of similar floats has mostly-zero high
+//	          bits after byte reversal, so we reverse bytes before varint.
+func encodeDeltaRange(buf []byte, v *vector.Vector) ([]byte, error) {
+	switch v.Typ {
+	case types.Float64:
+		if len(v.Floats) == 0 {
+			return buf, nil
+		}
+		buf = appendUint64(buf, math.Float64bits(v.Floats[0]))
+		prev := math.Float64bits(v.Floats[0])
+		for _, f := range v.Floats[1:] {
+			cur := math.Float64bits(f)
+			buf = appendUvarint(buf, reverseBytes(cur^prev))
+			prev = cur
+		}
+		return buf, nil
+	case types.Varchar:
+		return nil, fmt.Errorf("encoding: DELTARANGE_COMP requires numeric column, got %s", v.Typ)
+	default:
+		if len(v.Ints) == 0 {
+			return buf, nil
+		}
+		buf = appendVarint(buf, v.Ints[0])
+		prev := v.Ints[0]
+		for _, x := range v.Ints[1:] {
+			buf = appendVarint(buf, x-prev)
+			prev = x
+		}
+		return buf, nil
+	}
+}
+
+func decodeDeltaRange(b []byte, t types.Type, n int) (*vector.Vector, error) {
+	if n == 0 {
+		return vector.New(t, 0), nil
+	}
+	if t == types.Float64 {
+		if len(b) < 8 {
+			return nil, fmt.Errorf("encoding: corrupt DELTARANGE_COMP first value")
+		}
+		out := make([]float64, n)
+		prev := getUint64(b)
+		out[0] = math.Float64frombits(prev)
+		pos := 8
+		for i := 1; i < n; i++ {
+			x, sz := uvarint(b[pos:])
+			if sz <= 0 {
+				return nil, fmt.Errorf("encoding: corrupt DELTARANGE_COMP xor at %d", i)
+			}
+			pos += sz
+			prev ^= reverseBytes(x)
+			out[i] = math.Float64frombits(prev)
+		}
+		return vector.NewFromFloats(out), nil
+	}
+	out := make([]int64, n)
+	first, sz := varint(b)
+	if sz <= 0 {
+		return nil, fmt.Errorf("encoding: corrupt DELTARANGE_COMP first value")
+	}
+	out[0] = first
+	pos := sz
+	for i := 1; i < n; i++ {
+		d, sz := varint(b[pos:])
+		if sz <= 0 {
+			return nil, fmt.Errorf("encoding: corrupt DELTARANGE_COMP delta at %d", i)
+		}
+		pos += sz
+		out[i] = out[i-1] + d
+	}
+	return vector.NewFromInts(t, out), nil
+}
+
+// reverseBytes flips byte order so that XORs of similar floats (which differ
+// in low mantissa bytes) present their zero bytes to the varint encoder last.
+func reverseBytes(v uint64) uint64 {
+	var out uint64
+	for i := 0; i < 8; i++ {
+		out = out<<8 | v&0xff
+		v >>= 8
+	}
+	return out
+}

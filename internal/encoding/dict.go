@@ -1,0 +1,172 @@
+package encoding
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// BlockDict payload: uvarint dictSize, dict entries in raw per-value format
+// (sorted, so dictionary order is value order), then bit-packed indexes with
+// width = ceil(log2(dictSize)). "Within a data block, distinct column values
+// are stored in a dictionary and actual values are replaced with references"
+// (paper §3.4.1).
+
+func encodeBlockDict(buf []byte, v *vector.Vector) ([]byte, error) {
+	n := v.PhysLen()
+	switch v.Typ {
+	case types.Float64:
+		dict := map[float64]int{}
+		for _, f := range v.Floats {
+			if _, ok := dict[f]; !ok {
+				dict[f] = 0
+			}
+		}
+		keys := make([]float64, 0, len(dict))
+		for k := range dict {
+			keys = append(keys, k)
+		}
+		sort.Float64s(keys)
+		for i, k := range keys {
+			dict[k] = i
+		}
+		buf = appendUvarint(buf, uint64(len(keys)))
+		for _, k := range keys {
+			buf = appendUint64(buf, math.Float64bits(k))
+		}
+		idx := make([]int, n)
+		for i, f := range v.Floats {
+			idx[i] = dict[f]
+		}
+		return packBits(buf, idx, bitWidth(len(keys))), nil
+	case types.Varchar:
+		dict := map[string]int{}
+		for _, s := range v.Strs {
+			if _, ok := dict[s]; !ok {
+				dict[s] = 0
+			}
+		}
+		keys := make([]string, 0, len(dict))
+		for k := range dict {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for i, k := range keys {
+			dict[k] = i
+		}
+		buf = appendUvarint(buf, uint64(len(keys)))
+		for _, k := range keys {
+			buf = appendUvarint(buf, uint64(len(k)))
+			buf = append(buf, k...)
+		}
+		idx := make([]int, n)
+		for i, s := range v.Strs {
+			idx[i] = dict[s]
+		}
+		return packBits(buf, idx, bitWidth(len(keys))), nil
+	default:
+		dict := map[int64]int{}
+		for _, x := range v.Ints {
+			if _, ok := dict[x]; !ok {
+				dict[x] = 0
+			}
+		}
+		keys := make([]int64, 0, len(dict))
+		for k := range dict {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for i, k := range keys {
+			dict[k] = i
+		}
+		buf = appendUvarint(buf, uint64(len(keys)))
+		for _, k := range keys {
+			buf = appendVarint(buf, k)
+		}
+		idx := make([]int, n)
+		for i, x := range v.Ints {
+			idx[i] = dict[x]
+		}
+		return packBits(buf, idx, bitWidth(len(keys))), nil
+	}
+}
+
+func decodeBlockDict(b []byte, t types.Type, n int) (*vector.Vector, error) {
+	ds64, sz := uvarint(b)
+	if sz <= 0 {
+		return nil, fmt.Errorf("encoding: corrupt BLOCK_DICT size")
+	}
+	ds := int(ds64)
+	pos := sz
+	switch t {
+	case types.Float64:
+		dict := make([]float64, ds)
+		for i := range dict {
+			if pos+8 > len(b) {
+				return nil, fmt.Errorf("encoding: truncated BLOCK_DICT entries")
+			}
+			dict[i] = math.Float64frombits(getUint64(b[pos:]))
+			pos += 8
+		}
+		idx, _ := unpackBits(b[pos:], n, bitWidth(ds))
+		if idx == nil {
+			return nil, fmt.Errorf("encoding: truncated BLOCK_DICT indexes")
+		}
+		out := make([]float64, n)
+		for i, ix := range idx {
+			if ix >= ds {
+				return nil, fmt.Errorf("encoding: BLOCK_DICT index out of range")
+			}
+			out[i] = dict[ix]
+		}
+		return vector.NewFromFloats(out), nil
+	case types.Varchar:
+		dict := make([]string, ds)
+		for i := range dict {
+			l, sz := uvarint(b[pos:])
+			if sz <= 0 || pos+sz+int(l) > len(b) {
+				return nil, fmt.Errorf("encoding: truncated BLOCK_DICT entries")
+			}
+			pos += sz
+			dict[i] = string(b[pos : pos+int(l)])
+			pos += int(l)
+		}
+		idx, _ := unpackBits(b[pos:], n, bitWidth(ds))
+		if idx == nil {
+			return nil, fmt.Errorf("encoding: truncated BLOCK_DICT indexes")
+		}
+		out := make([]string, n)
+		for i, ix := range idx {
+			if ix >= ds {
+				return nil, fmt.Errorf("encoding: BLOCK_DICT index out of range")
+			}
+			out[i] = dict[ix]
+		}
+		return vector.NewFromStrings(out), nil
+	default:
+		dict := make([]int64, ds)
+		for i := range dict {
+			x, sz := varint(b[pos:])
+			if sz <= 0 {
+				return nil, fmt.Errorf("encoding: truncated BLOCK_DICT entries")
+			}
+			dict[i] = x
+			pos += sz
+		}
+		idx, _ := unpackBits(b[pos:], n, bitWidth(ds))
+		if idx == nil {
+			return nil, fmt.Errorf("encoding: truncated BLOCK_DICT indexes")
+		}
+		out := make([]int64, n)
+		for i, ix := range idx {
+			if ix >= ds {
+				return nil, fmt.Errorf("encoding: BLOCK_DICT index out of range")
+			}
+			out[i] = dict[ix]
+		}
+		return vector.NewFromInts(t, out), nil
+	}
+}

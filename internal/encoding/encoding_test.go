@@ -1,0 +1,443 @@
+package encoding
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// roundTrip encodes v with kind, decodes it back, and compares every value.
+func roundTrip(t *testing.T, kind Kind, v *vector.Vector) []byte {
+	t.Helper()
+	enc, err := EncodeBlock(kind, v)
+	if err != nil {
+		t.Fatalf("EncodeBlock(%s): %v", kind, err)
+	}
+	dec, err := DecodeBlock(enc, v.Typ, false)
+	if err != nil {
+		t.Fatalf("DecodeBlock(%s): %v", kind, err)
+	}
+	if dec.Len() != v.Len() {
+		t.Fatalf("%s: decoded %d rows, want %d", kind, dec.Len(), v.Len())
+	}
+	for i := 0; i < v.Len(); i++ {
+		want, got := v.ValueAt(i), dec.ValueAt(i)
+		if want.Null != got.Null || (!want.Null && want.Compare(got) != 0) {
+			t.Fatalf("%s: row %d = %v, want %v", kind, i, got, want)
+		}
+	}
+	return enc
+}
+
+func intVec(vals ...int64) *vector.Vector { return vector.NewFromInts(types.Int64, vals) }
+
+func TestRoundTripAllKindsInt(t *testing.T) {
+	data := intVec(5, 5, 5, 9, 9, 100, 101, 102, 103, 5)
+	for _, k := range []Kind{None, RLE, DeltaValue, BlockDict, CompressedDeltaRange, CompressedCommonDelta} {
+		roundTrip(t, k, data)
+	}
+}
+
+func TestRoundTripAllKindsFloat(t *testing.T) {
+	data := vector.NewFromFloats([]float64{1.5, 1.5, 2.25, 100.0, 98.5, 0, -3.75})
+	for _, k := range []Kind{None, RLE, BlockDict, CompressedDeltaRange} {
+		roundTrip(t, k, data)
+	}
+}
+
+func TestRoundTripAllKindsString(t *testing.T) {
+	data := vector.NewFromStrings([]string{"cpu", "cpu", "mem", "disk", "", "cpu"})
+	for _, k := range []Kind{None, RLE, BlockDict} {
+		roundTrip(t, k, data)
+	}
+}
+
+func TestRoundTripWithNulls(t *testing.T) {
+	v := vector.New(types.Int64, 6)
+	v.AppendNull()
+	v.AppendNull()
+	v.AppendValue(types.NewInt(7))
+	v.AppendValue(types.NewInt(7))
+	v.AppendNull()
+	v.AppendValue(types.NewInt(9))
+	for _, k := range []Kind{None, RLE, DeltaValue, BlockDict, CompressedDeltaRange, CompressedCommonDelta} {
+		roundTrip(t, k, v)
+	}
+}
+
+func TestRoundTripEmptyAndSingle(t *testing.T) {
+	for _, k := range []Kind{None, RLE, DeltaValue, BlockDict, CompressedDeltaRange, CompressedCommonDelta} {
+		roundTrip(t, k, intVec())
+		roundTrip(t, k, intVec(42))
+	}
+}
+
+func TestRoundTripNegativeAndExtremes(t *testing.T) {
+	data := intVec(-1, -9223372036854775808, 9223372036854775807, 0, -1)
+	for _, k := range []Kind{None, RLE, BlockDict, CompressedDeltaRange} {
+		roundTrip(t, k, data)
+	}
+}
+
+func TestRLEPreservesRuns(t *testing.T) {
+	data := intVec(3, 3, 3, 3, 8, 8, 1)
+	enc, err := EncodeBlock(RLE, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeBlock(enc, types.Int64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.IsRLE() {
+		t.Fatal("expected RLE-form vector")
+	}
+	if len(dec.RunLens) != 3 || dec.RunLens[0] != 4 || dec.RunLens[1] != 2 || dec.RunLens[2] != 1 {
+		t.Errorf("runs = %v", dec.RunLens)
+	}
+	if dec.Ints[0] != 3 || dec.Ints[1] != 8 || dec.Ints[2] != 1 {
+		t.Errorf("run values = %v", dec.Ints)
+	}
+	if dec.Len() != 7 {
+		t.Errorf("logical len = %d", dec.Len())
+	}
+}
+
+func TestRLECompressesSortedLowCardinality(t *testing.T) {
+	// Paper §3.4.1: RLE is best for low cardinality sorted columns.
+	v := vector.New(types.Int64, 4096)
+	for i := 0; i < 4096; i++ {
+		v.AppendValue(types.NewInt(int64(i / 1024))) // 4 distinct values, sorted
+	}
+	enc, _ := EncodeBlock(RLE, v)
+	raw, _ := EncodeBlock(None, v)
+	if len(enc)*100 > len(raw) {
+		t.Errorf("RLE %d bytes vs raw %d bytes: expected >100x compression", len(enc), len(raw))
+	}
+}
+
+func TestDeltaValueCompressesClusteredInts(t *testing.T) {
+	// Many-valued unsorted integers confined to a narrow range.
+	rng := rand.New(rand.NewSource(1))
+	v := vector.New(types.Int64, 4096)
+	for i := 0; i < 4096; i++ {
+		v.AppendValue(types.NewInt(1_000_000_000 + rng.Int63n(1000)))
+	}
+	enc, _ := EncodeBlock(DeltaValue, v)
+	raw, _ := EncodeBlock(None, v)
+	if len(enc)*3 > len(raw) {
+		t.Errorf("DELTAVAL %d vs raw %d: expected >3x compression", len(enc), len(raw))
+	}
+}
+
+func TestBlockDictCompressesFewValued(t *testing.T) {
+	// Paper §3.4.1: best for few-valued, unsorted columns such as stock prices.
+	rng := rand.New(rand.NewSource(2))
+	prices := []float64{99.5, 100.0, 100.25, 100.5, 101.0}
+	v := vector.New(types.Float64, 4096)
+	for i := 0; i < 4096; i++ {
+		v.AppendValue(types.NewFloat(prices[rng.Intn(len(prices))]))
+	}
+	enc, _ := EncodeBlock(BlockDict, v)
+	raw, _ := EncodeBlock(None, v)
+	if len(enc)*10 > len(raw) {
+		t.Errorf("BLOCK_DICT %d vs raw %d: expected >10x compression", len(enc), len(raw))
+	}
+}
+
+func TestCommonDeltaCompressesPeriodicTimestamps(t *testing.T) {
+	// Paper §3.4.1: ideal for timestamps recorded at periodic intervals.
+	v := vector.New(types.Timestamp, 4096)
+	ts := int64(1_600_000_000_000_000)
+	for i := 0; i < 4096; i++ {
+		v.AppendValue(types.NewTimestampMicros(ts))
+		ts += 300_000_000 // every 5 minutes
+		if i%500 == 499 {
+			ts += 7_000_000 // occasional sequence break
+		}
+	}
+	enc, _ := EncodeBlock(CompressedCommonDelta, v)
+	raw, _ := EncodeBlock(None, v)
+	if len(enc)*20 > len(raw) {
+		t.Errorf("COMMONDELTA_COMP %d vs raw %d: expected >20x compression", len(enc), len(raw))
+	}
+	roundTrip(t, CompressedCommonDelta, v)
+}
+
+func TestDeltaRangeCompressesSortedFloats(t *testing.T) {
+	v := vector.New(types.Float64, 4096)
+	x := 100.0
+	for i := 0; i < 4096; i++ {
+		v.AppendValue(types.NewFloat(x))
+		x += 0.25
+	}
+	enc, _ := EncodeBlock(CompressedDeltaRange, v)
+	raw, _ := EncodeBlock(None, v)
+	if len(enc)*2 > len(raw) {
+		t.Errorf("DELTARANGE_COMP %d vs raw %d: expected >2x compression", len(enc), len(raw))
+	}
+}
+
+func TestAutoPicksRLEForSorted(t *testing.T) {
+	v := vector.New(types.Int64, 1000)
+	for i := 0; i < 1000; i++ {
+		v.AppendValue(types.NewInt(int64(i / 250)))
+	}
+	if k := Choose(v); k != RLE {
+		t.Errorf("Choose picked %s for sorted low-cardinality data, want RLE", k)
+	}
+}
+
+func TestAutoNeverReturnsAuto(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	v := vector.New(types.Int64, 100)
+	for i := 0; i < 100; i++ {
+		v.AppendValue(types.NewInt(rng.Int63()))
+	}
+	if k := Choose(v); k == Auto {
+		t.Error("Choose returned Auto")
+	}
+}
+
+func TestAutoEncodeBlockResolves(t *testing.T) {
+	v := intVec(1, 1, 1, 1, 1, 1)
+	enc, err := EncodeBlock(Auto, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := BlockKind(enc)
+	if err != nil || k == Auto {
+		t.Errorf("stored kind = %v, %v", k, err)
+	}
+	dec, err := DecodeBlock(enc, types.Int64, false)
+	if err != nil || dec.Len() != 6 {
+		t.Fatalf("decode after auto: %v", err)
+	}
+}
+
+func TestApplicability(t *testing.T) {
+	if DeltaValue.Applicable(types.Varchar) || DeltaValue.Applicable(types.Float64) {
+		t.Error("DELTAVAL should be integral-only")
+	}
+	if CompressedCommonDelta.Applicable(types.Float64) {
+		t.Error("COMMONDELTA_COMP should be integral-only")
+	}
+	if !CompressedDeltaRange.Applicable(types.Float64) {
+		t.Error("DELTARANGE_COMP should accept floats")
+	}
+	if !RLE.Applicable(types.Varchar) || !BlockDict.Applicable(types.Varchar) {
+		t.Error("RLE/BLOCK_DICT should accept strings")
+	}
+	if _, err := EncodeBlock(DeltaValue, vector.NewFromStrings([]string{"x"})); err == nil {
+		t.Error("encoding strings with DELTAVAL should fail")
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{None, Auto, RLE, DeltaValue, BlockDict, CompressedDeltaRange, CompressedCommonDelta} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%s) = %v, %v", k, got, err)
+		}
+	}
+	if _, err := ParseKind("LZ4"); err == nil {
+		t.Error("ParseKind(LZ4) should fail")
+	}
+}
+
+func TestDecodeCorruptBlocks(t *testing.T) {
+	if _, err := DecodeBlock(nil, types.Int64, false); err == nil {
+		t.Error("nil block should fail")
+	}
+	if _, err := DecodeBlock([]byte{byte(RLE)}, types.Int64, false); err == nil {
+		t.Error("truncated block should fail")
+	}
+	if _, err := DecodeBlock([]byte{99, 1, 0}, types.Int64, false); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	// Valid header, truncated payload.
+	v := intVec(1, 2, 3, 4, 5, 6, 7, 8)
+	enc, _ := EncodeBlock(None, v)
+	if _, err := DecodeBlock(enc[:len(enc)-4], types.Int64, false); err == nil {
+		t.Error("truncated payload should fail")
+	}
+}
+
+func TestQuickRoundTripIntsAllKinds(t *testing.T) {
+	f := func(vals []int64) bool {
+		v := intVec(vals...)
+		for _, k := range []Kind{None, RLE, BlockDict, CompressedDeltaRange} {
+			enc, err := EncodeBlock(k, v)
+			if err != nil {
+				return false
+			}
+			dec, err := DecodeBlock(enc, types.Int64, false)
+			if err != nil || dec.Len() != len(vals) {
+				return false
+			}
+			for i, want := range vals {
+				if dec.Ints[i] != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRoundTripFloats(t *testing.T) {
+	f := func(vals []float64) bool {
+		v := vector.NewFromFloats(vals)
+		for _, k := range []Kind{None, RLE, BlockDict, CompressedDeltaRange} {
+			enc, err := EncodeBlock(k, v)
+			if err != nil {
+				return false
+			}
+			dec, err := DecodeBlock(enc, types.Float64, false)
+			if err != nil || dec.Len() != len(vals) {
+				return false
+			}
+			for i, want := range vals {
+				got := dec.Floats[i]
+				if got != want && !(got != got && want != want) { // NaN == NaN
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRoundTripStrings(t *testing.T) {
+	f := func(vals []string) bool {
+		v := vector.NewFromStrings(vals)
+		for _, k := range []Kind{None, RLE, BlockDict} {
+			enc, err := EncodeBlock(k, v)
+			if err != nil {
+				return false
+			}
+			dec, err := DecodeBlock(enc, types.Varchar, false)
+			if err != nil || dec.Len() != len(vals) {
+				return false
+			}
+			for i, want := range vals {
+				if dec.Strs[i] != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAutoAlwaysSmallestOrTied(t *testing.T) {
+	f := func(vals []int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		v := intVec(vals...)
+		chosen := Choose(v)
+		sizes := TrialSizes(v)
+		best := -1
+		for _, s := range sizes {
+			if best < 0 || s < best {
+				best = s
+			}
+		}
+		return sizes[chosen] == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHuffmanRoundTrip(t *testing.T) {
+	freq := []int{50, 30, 10, 5, 5}
+	lengths, err := huffmanCodeLengths(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kraft inequality must hold with equality for a complete code.
+	var kraft float64
+	for _, l := range lengths {
+		if l > 0 {
+			kraft += 1 / float64(uint64(1)<<uint(l))
+		}
+	}
+	if kraft > 1.0000001 {
+		t.Errorf("Kraft sum %f > 1", kraft)
+	}
+	syms := []int{0, 1, 2, 3, 4, 0, 0, 1, 2, 0, 4, 3, 2, 1, 0}
+	enc := huffmanEncode(nil, len(freq), lengths, syms)
+	dec, _, err := huffmanDecode(enc, len(syms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range syms {
+		if dec[i] != s {
+			t.Fatalf("symbol %d = %d, want %d", i, dec[i], s)
+		}
+	}
+}
+
+func TestHuffmanSingleSymbol(t *testing.T) {
+	lengths, err := huffmanCodeLengths([]int{100})
+	if err != nil || lengths[0] != 1 {
+		t.Fatalf("single-symbol lengths = %v, %v", lengths, err)
+	}
+	syms := []int{0, 0, 0, 0}
+	enc := huffmanEncode(nil, 1, lengths, syms)
+	dec, _, err := huffmanDecode(enc, 4)
+	if err != nil || len(dec) != 4 {
+		t.Fatalf("single-symbol decode: %v %v", dec, err)
+	}
+}
+
+func TestBitPackRoundTrip(t *testing.T) {
+	f := func(raw []uint8, width8 uint8) bool {
+		width := int(width8%16) + 1
+		vals := make([]int, len(raw))
+		for i, r := range raw {
+			vals[i] = int(r) % (1 << uint(width))
+		}
+		buf := packBits(nil, vals, width)
+		got, _ := unpackBits(buf, len(vals), width)
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommonDeltaDictTooLarge(t *testing.T) {
+	// Random data has ~n distinct deltas; beyond maxCommonDeltaDict the
+	// encoder must refuse rather than bloat.
+	rng := rand.New(rand.NewSource(4))
+	v := vector.New(types.Int64, maxCommonDeltaDict+100)
+	for i := 0; i < maxCommonDeltaDict+100; i++ {
+		v.AppendValue(types.NewInt(rng.Int63n(1 << 40)))
+	}
+	if _, err := EncodeBlock(CompressedCommonDelta, v); err == nil {
+		t.Error("expected dictionary-overflow error on random data")
+	}
+}

@@ -1,0 +1,230 @@
+package encoding
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Canonical Huffman coding over small symbol alphabets, used by the
+// Compressed Common Delta encoding to entropy-code delta-dictionary indexes
+// (paper §3.4.1: "stores indexes into the dictionary using entropy coding").
+
+const maxHuffmanCodeLen = 56 // fits in a uint64 accumulator with room to spare
+
+// huffmanCodeLengths computes canonical code lengths for the given symbol
+// frequencies (freq[i] > 0 for used symbols). Single-symbol alphabets get
+// length 1.
+func huffmanCodeLengths(freq []int) ([]int, error) {
+	var nodes []huffNode
+	var live []int
+	for s, f := range freq {
+		if f > 0 {
+			nodes = append(nodes, huffNode{weight: f, sym: s, left: -1, right: -1})
+			live = append(live, len(nodes)-1)
+		}
+	}
+	if len(live) == 0 {
+		return make([]int, len(freq)), nil
+	}
+	if len(live) == 1 {
+		out := make([]int, len(freq))
+		out[nodes[live[0]].sym] = 1
+		return out, nil
+	}
+	h := &nodeHeap{nodes: &nodes, idx: live}
+	heap.Init(h)
+	for h.Len() > 1 {
+		a := heap.Pop(h).(int)
+		b := heap.Pop(h).(int)
+		nodes = append(nodes, huffNode{
+			weight: nodes[a].weight + nodes[b].weight,
+			sym:    -1, left: a, right: b,
+		})
+		heap.Push(h, len(nodes)-1)
+	}
+	root := h.idx[0]
+	out := make([]int, len(freq))
+	var walk func(n, depth int) error
+	walk = func(n, depth int) error {
+		if depth > maxHuffmanCodeLen {
+			return fmt.Errorf("encoding: huffman code too long (%d)", depth)
+		}
+		nd := nodes[n]
+		if nd.sym >= 0 {
+			out[nd.sym] = depth
+			return nil
+		}
+		if err := walk(nd.left, depth+1); err != nil {
+			return err
+		}
+		return walk(nd.right, depth+1)
+	}
+	if err := walk(root, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// huffNode is one node of the Huffman construction forest; leaves carry a
+// symbol (sym >= 0), internal nodes carry child indexes.
+type huffNode struct {
+	weight      int
+	sym         int
+	left, right int
+}
+
+type nodeHeap struct {
+	nodes *[]huffNode
+	idx   []int
+}
+
+func (h *nodeHeap) Len() int { return len(h.idx) }
+func (h *nodeHeap) Less(i, j int) bool {
+	a, b := (*h.nodes)[h.idx[i]], (*h.nodes)[h.idx[j]]
+	if a.weight != b.weight {
+		return a.weight < b.weight
+	}
+	return h.idx[i] < h.idx[j] // deterministic tie-break
+}
+func (h *nodeHeap) Swap(i, j int)      { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *nodeHeap) Push(x interface{}) { h.idx = append(h.idx, x.(int)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := h.idx
+	n := len(old)
+	x := old[n-1]
+	h.idx = old[:n-1]
+	return x
+}
+
+// canonicalCodes assigns canonical codes (numerically increasing with length,
+// then symbol order) from code lengths. Returns code bits per symbol.
+func canonicalCodes(lengths []int) []uint64 {
+	type sl struct{ sym, length int }
+	var syms []sl
+	for s, l := range lengths {
+		if l > 0 {
+			syms = append(syms, sl{s, l})
+		}
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].length != syms[j].length {
+			return syms[i].length < syms[j].length
+		}
+		return syms[i].sym < syms[j].sym
+	})
+	codes := make([]uint64, len(lengths))
+	var code uint64
+	prevLen := 0
+	for _, s := range syms {
+		code <<= uint(s.length - prevLen)
+		codes[s.sym] = code
+		code++
+		prevLen = s.length
+	}
+	return codes
+}
+
+// huffmanEncode writes lengths table (uvarint per symbol) + uvarint bit count
+// + MSB-first bitstream of the symbols.
+func huffmanEncode(buf []byte, symCount int, lengths []int, syms []int) []byte {
+	buf = appendUvarint(buf, uint64(symCount))
+	for s := 0; s < symCount; s++ {
+		buf = appendUvarint(buf, uint64(lengths[s]))
+	}
+	codes := canonicalCodes(lengths)
+	totalBits := 0
+	for _, s := range syms {
+		totalBits += lengths[s]
+	}
+	buf = appendUvarint(buf, uint64(totalBits))
+	var acc uint64
+	accBits := 0
+	for _, s := range syms {
+		l := lengths[s]
+		acc = acc<<uint(l) | codes[s]
+		accBits += l
+		for accBits >= 8 {
+			buf = append(buf, byte(acc>>uint(accBits-8)))
+			accBits -= 8
+		}
+	}
+	if accBits > 0 {
+		buf = append(buf, byte(acc<<uint(8-accBits)))
+	}
+	return buf
+}
+
+// huffmanDecode reads what huffmanEncode wrote, returning n decoded symbols
+// and the number of payload bytes consumed.
+func huffmanDecode(b []byte, n int) ([]int, int, error) {
+	sc64, sz := uvarint(b)
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("encoding: corrupt huffman symbol count")
+	}
+	pos := sz
+	symCount := int(sc64)
+	lengths := make([]int, symCount)
+	for s := 0; s < symCount; s++ {
+		l, sz := uvarint(b[pos:])
+		if sz <= 0 {
+			return nil, 0, fmt.Errorf("encoding: corrupt huffman length table")
+		}
+		lengths[s] = int(l)
+		pos += sz
+	}
+	bits64, sz := uvarint(b[pos:])
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("encoding: corrupt huffman bit count")
+	}
+	pos += sz
+	totalBits := int(bits64)
+	byteLen := (totalBits + 7) / 8
+	if pos+byteLen > len(b) {
+		return nil, 0, fmt.Errorf("encoding: truncated huffman bitstream")
+	}
+	stream := b[pos : pos+byteLen]
+	pos += byteLen
+
+	codes := canonicalCodes(lengths)
+	// Decode table: (length, code) -> symbol.
+	type key struct {
+		length int
+		code   uint64
+	}
+	table := make(map[key]int, symCount)
+	maxLen := 0
+	for s, l := range lengths {
+		if l > 0 {
+			table[key{l, codes[s]}] = s
+			if l > maxLen {
+				maxLen = l
+			}
+		}
+	}
+	out := make([]int, 0, n)
+	var acc uint64
+	accLen := 0
+	bitPos := 0
+	for len(out) < n {
+		if accLen > maxLen {
+			return nil, 0, fmt.Errorf("encoding: invalid huffman stream")
+		}
+		if bitPos >= totalBits && accLen == 0 {
+			return nil, 0, fmt.Errorf("encoding: huffman stream exhausted after %d of %d symbols", len(out), n)
+		}
+		if bitPos < totalBits {
+			bit := stream[bitPos/8] >> (7 - bitPos%8) & 1
+			bitPos++
+			acc = acc<<1 | uint64(bit)
+			accLen++
+		} else {
+			return nil, 0, fmt.Errorf("encoding: huffman stream exhausted mid-symbol")
+		}
+		if s, ok := table[key{accLen, acc}]; ok {
+			out = append(out, s)
+			acc, accLen = 0, 0
+		}
+	}
+	return out, pos, nil
+}

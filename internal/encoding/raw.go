@@ -1,0 +1,109 @@
+package encoding
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// None payload: ints/timestamps/bools as fixed 8-byte little-endian words,
+// floats as 8-byte IEEE bits, strings as uvarint length + bytes. This is the
+// "uncompressed" baseline the paper's Table 4 compares against.
+
+func encodeNone(buf []byte, v *vector.Vector) ([]byte, error) {
+	switch v.Typ {
+	case types.Float64:
+		for _, f := range v.Floats {
+			buf = appendUint64(buf, math.Float64bits(f))
+		}
+	case types.Varchar:
+		for _, s := range v.Strs {
+			buf = appendUvarint(buf, uint64(len(s)))
+			buf = append(buf, s...)
+		}
+	default:
+		for _, i := range v.Ints {
+			buf = appendUint64(buf, uint64(i))
+		}
+	}
+	return buf, nil
+}
+
+func decodeNone(b []byte, t types.Type, n int) (*vector.Vector, error) {
+	switch t {
+	case types.Float64:
+		if len(b) < 8*n {
+			return nil, fmt.Errorf("encoding: raw float payload too short")
+		}
+		out := make([]float64, n)
+		for i := 0; i < n; i++ {
+			out[i] = math.Float64frombits(getUint64(b[8*i:]))
+		}
+		return vector.NewFromFloats(out), nil
+	case types.Varchar:
+		out := make([]string, n)
+		pos := 0
+		for i := 0; i < n; i++ {
+			l, sz := uvarint(b[pos:])
+			if sz <= 0 || pos+sz+int(l) > len(b) {
+				return nil, fmt.Errorf("encoding: raw string payload corrupt")
+			}
+			pos += sz
+			out[i] = string(b[pos : pos+int(l)])
+			pos += int(l)
+		}
+		return vector.NewFromStrings(out), nil
+	default:
+		if len(b) < 8*n {
+			return nil, fmt.Errorf("encoding: raw int payload too short")
+		}
+		out := make([]int64, n)
+		for i := 0; i < n; i++ {
+			out[i] = int64(getUint64(b[8*i:]))
+		}
+		return vector.NewFromInts(t, out), nil
+	}
+}
+
+// rawValueAppend encodes a single value in the None per-value format
+// (shared by the RLE and dictionary encoders).
+func rawValueAppend(buf []byte, t types.Type, v *vector.Vector, i int) []byte {
+	switch t {
+	case types.Float64:
+		return appendUint64(buf, math.Float64bits(v.Floats[i]))
+	case types.Varchar:
+		s := v.Strs[i]
+		buf = appendUvarint(buf, uint64(len(s)))
+		return append(buf, s...)
+	default:
+		return appendUint64(buf, uint64(v.Ints[i]))
+	}
+}
+
+// rawValueDecode decodes a single value in the None per-value format,
+// appending it to out and returning the bytes consumed.
+func rawValueDecode(b []byte, t types.Type, out *vector.Vector) (int, error) {
+	switch t {
+	case types.Float64:
+		if len(b) < 8 {
+			return 0, fmt.Errorf("encoding: truncated float value")
+		}
+		out.Floats = append(out.Floats, math.Float64frombits(getUint64(b)))
+		return 8, nil
+	case types.Varchar:
+		l, sz := uvarint(b)
+		if sz <= 0 || sz+int(l) > len(b) {
+			return 0, fmt.Errorf("encoding: truncated string value")
+		}
+		out.Strs = append(out.Strs, string(b[sz:sz+int(l)]))
+		return sz + int(l), nil
+	default:
+		if len(b) < 8 {
+			return 0, fmt.Errorf("encoding: truncated int value")
+		}
+		out.Ints = append(out.Ints, int64(getUint64(b)))
+		return 8, nil
+	}
+}

@@ -1,0 +1,111 @@
+package encoding
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// RLE payload: uvarint runCount, then per run: raw value + uvarint runLength.
+// Null slots participate in runs via their zero value; the null bitmap in the
+// block header restores them (null runs therefore compress exactly like value
+// runs when the column is sorted NULLS FIRST).
+
+func encodeRLE(buf []byte, v *vector.Vector) ([]byte, error) {
+	n := v.PhysLen()
+	type run struct {
+		start int
+		count int
+	}
+	var runs []run
+	for i := 0; i < n; i++ {
+		if len(runs) > 0 && sameSlot(v, runs[len(runs)-1].start, i) {
+			runs[len(runs)-1].count++
+			continue
+		}
+		runs = append(runs, run{start: i, count: 1})
+	}
+	buf = appendUvarint(buf, uint64(len(runs)))
+	for _, r := range runs {
+		buf = rawValueAppend(buf, v.Typ, v, r.start)
+		buf = appendUvarint(buf, uint64(r.count))
+	}
+	return buf, nil
+}
+
+// sameSlot reports whether physical slots i and j hold identical content
+// (treating any two NULL slots as equal for run purposes only when their
+// zero values also match, which they always do).
+func sameSlot(v *vector.Vector, i, j int) bool {
+	ni, nj := v.NullAt(i), v.NullAt(j)
+	if ni != nj {
+		return false
+	}
+	switch v.Typ {
+	case types.Float64:
+		return v.Floats[i] == v.Floats[j]
+	case types.Varchar:
+		return v.Strs[i] == v.Strs[j]
+	default:
+		return v.Ints[i] == v.Ints[j]
+	}
+}
+
+func decodeRLE(b []byte, t types.Type, n int, preserveRuns bool) (*vector.Vector, error) {
+	rc, sz := uvarint(b)
+	if sz <= 0 {
+		return nil, fmt.Errorf("encoding: corrupt RLE run count")
+	}
+	pos := sz
+	if preserveRuns {
+		out := vector.New(t, int(rc))
+		out.RunLens = make([]int, 0, rc)
+		total := 0
+		for r := 0; r < int(rc); r++ {
+			used, err := rawValueDecode(b[pos:], t, out)
+			if err != nil {
+				return nil, err
+			}
+			pos += used
+			rl, sz := uvarint(b[pos:])
+			if sz <= 0 {
+				return nil, fmt.Errorf("encoding: corrupt RLE run length")
+			}
+			pos += sz
+			out.RunLens = append(out.RunLens, int(rl))
+			total += int(rl)
+		}
+		if total != n {
+			return nil, fmt.Errorf("encoding: RLE run total %d != row count %d", total, n)
+		}
+		return out, nil
+	}
+	out := vector.New(t, n)
+	scratch := vector.New(t, 1)
+	total := 0
+	for r := 0; r < int(rc); r++ {
+		scratch.Ints = scratch.Ints[:0]
+		scratch.Floats = scratch.Floats[:0]
+		scratch.Strs = scratch.Strs[:0]
+		used, err := rawValueDecode(b[pos:], t, scratch)
+		if err != nil {
+			return nil, err
+		}
+		pos += used
+		rl, sz := uvarint(b[pos:])
+		if sz <= 0 {
+			return nil, fmt.Errorf("encoding: corrupt RLE run length")
+		}
+		pos += sz
+		val := scratch.ValueAt(0)
+		for k := 0; k < int(rl); k++ {
+			out.AppendValue(val)
+		}
+		total += int(rl)
+	}
+	if total != n {
+		return nil, fmt.Errorf("encoding: RLE run total %d != row count %d", total, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,336 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+// AggKind identifies an aggregate function.
+type AggKind uint8
+
+// Aggregate functions.
+const (
+	AggCountStar AggKind = iota
+	AggCount
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+	AggCountDistinct
+)
+
+func (k AggKind) String() string {
+	switch k {
+	case AggCountStar:
+		return "COUNT(*)"
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggCountDistinct:
+		return "COUNT(DISTINCT)"
+	default:
+		return fmt.Sprintf("AGG(%d)", k)
+	}
+}
+
+// AggSpec describes one aggregate output.
+type AggSpec struct {
+	Kind AggKind
+	// Arg is the aggregated expression over the input schema (nil for
+	// COUNT(*)).
+	Arg  expr.Expr
+	Name string
+}
+
+// ResultType returns the aggregate's output type.
+func (a *AggSpec) ResultType() types.Type {
+	switch a.Kind {
+	case AggCountStar, AggCount, AggCountDistinct:
+		return types.Int64
+	case AggAvg:
+		return types.Float64
+	default: // Sum, Min, Max follow the argument
+		return a.Arg.Type()
+	}
+}
+
+// String renders the spec.
+func (a *AggSpec) String() string {
+	switch a.Kind {
+	case AggCountStar:
+		return "COUNT(*)"
+	case AggCountDistinct:
+		return "COUNT(DISTINCT " + a.Arg.String() + ")"
+	default:
+		return a.Kind.String() + "(" + a.Arg.String() + ")"
+	}
+}
+
+func describeAggs(aggs []AggSpec) string {
+	parts := make([]string, len(aggs))
+	for i := range aggs {
+		parts[i] = aggs[i].String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// SupportsPartial reports whether the aggregate can be split into prepass
+// partials merged by a final GroupBy (COUNT DISTINCT cannot).
+func (a *AggSpec) SupportsPartial() bool { return a.Kind != AggCountDistinct }
+
+// PartialWidth is the number of columns the aggregate's partial state
+// occupies in a partial row (AVG needs sum and count).
+func (a *AggSpec) PartialWidth() int {
+	if a.Kind == AggAvg {
+		return 2
+	}
+	return 1
+}
+
+// PartialCols describes the partial-state columns for prepass output.
+func (a *AggSpec) PartialCols() []types.Column {
+	base := sanitizeAggName(a.Name)
+	switch a.Kind {
+	case AggCountStar, AggCount:
+		return []types.Column{{Name: base + "_cnt", Typ: types.Int64}}
+	case AggAvg:
+		return []types.Column{
+			{Name: base + "_sum", Typ: types.Float64},
+			{Name: base + "_cnt", Typ: types.Int64},
+		}
+	case AggSum:
+		return []types.Column{{Name: base + "_sum", Typ: a.Arg.Type()}}
+	case AggMin:
+		return []types.Column{{Name: base + "_min", Typ: a.Arg.Type()}}
+	case AggMax:
+		return []types.Column{{Name: base + "_max", Typ: a.Arg.Type()}}
+	default:
+		return nil
+	}
+}
+
+func sanitizeAggName(n string) string {
+	if n == "" {
+		return "agg"
+	}
+	return n
+}
+
+// aggAcc is one aggregate's accumulator within one group.
+type aggAcc struct {
+	kind  AggKind
+	typ   types.Type
+	count int64
+	sumI  int64
+	sumF  float64
+	minV  types.Value
+	maxV  types.Value
+	seen  bool
+	// distinct values for COUNT(DISTINCT) in hash mode.
+	distinct map[string]bool
+}
+
+func newAggAcc(spec *AggSpec) *aggAcc {
+	acc := &aggAcc{kind: spec.Kind}
+	if spec.Arg != nil {
+		acc.typ = spec.Arg.Type()
+	}
+	if spec.Kind == AggCountDistinct {
+		acc.distinct = map[string]bool{}
+	}
+	return acc
+}
+
+// update folds one input value into the accumulator (v ignored for
+// COUNT(*)).
+func (a *aggAcc) update(v types.Value) {
+	switch a.kind {
+	case AggCountStar:
+		a.count++
+	case AggCount:
+		if !v.Null {
+			a.count++
+		}
+	case AggCountDistinct:
+		if !v.Null {
+			a.distinct[distinctKey(v)] = true
+		}
+	case AggSum, AggAvg:
+		if v.Null {
+			return
+		}
+		a.seen = true
+		a.count++
+		if v.Typ == types.Float64 {
+			a.sumF += v.F
+		} else {
+			a.sumI += v.I
+			a.sumF += float64(v.I)
+		}
+	case AggMin:
+		if v.Null {
+			return
+		}
+		if !a.seen || v.Compare(a.minV) < 0 {
+			a.minV = v
+		}
+		a.seen = true
+	case AggMax:
+		if v.Null {
+			return
+		}
+		if !a.seen || v.Compare(a.maxV) > 0 {
+			a.maxV = v
+		}
+		a.seen = true
+	}
+}
+
+// updateRun folds a run of `n` identical values — the RLE-direct fast path
+// (paper §6.1: operators "operate directly on encoded data", which is
+// "especially important for ... certain low level aggregates").
+func (a *aggAcc) updateRun(v types.Value, n int64) {
+	switch a.kind {
+	case AggCountStar:
+		a.count += n
+	case AggCount:
+		if !v.Null {
+			a.count += n
+		}
+	case AggCountDistinct:
+		if !v.Null {
+			a.distinct[distinctKey(v)] = true
+		}
+	case AggSum, AggAvg:
+		if v.Null {
+			return
+		}
+		a.seen = true
+		a.count += n
+		if v.Typ == types.Float64 {
+			a.sumF += v.F * float64(n)
+		} else {
+			a.sumI += v.I * n
+			a.sumF += float64(v.I) * float64(n)
+		}
+	default:
+		a.update(v) // min/max of a run is the run value
+	}
+}
+
+// final produces the aggregate's result value.
+func (a *aggAcc) final() types.Value {
+	switch a.kind {
+	case AggCountStar, AggCount:
+		return types.NewInt(a.count)
+	case AggCountDistinct:
+		return types.NewInt(int64(len(a.distinct)))
+	case AggSum:
+		if !a.seen {
+			return types.NewNull(a.typ)
+		}
+		if a.typ == types.Float64 {
+			return types.NewFloat(a.sumF)
+		}
+		return types.Value{Typ: a.typ, I: a.sumI}
+	case AggAvg:
+		if !a.seen {
+			return types.NewNull(types.Float64)
+		}
+		return types.NewFloat(a.sumF / float64(a.count))
+	case AggMin:
+		if !a.seen {
+			return types.NewNull(a.typ)
+		}
+		return a.minV
+	default: // AggMax
+		if !a.seen {
+			return types.NewNull(a.typ)
+		}
+		return a.maxV
+	}
+}
+
+// partial serializes the accumulator as partial-state values (prepass
+// output; see AggSpec.PartialCols).
+func (a *aggAcc) partial() []types.Value {
+	switch a.kind {
+	case AggCountStar, AggCount:
+		return []types.Value{types.NewInt(a.count)}
+	case AggAvg:
+		if !a.seen {
+			return []types.Value{types.NewNull(types.Float64), types.NewInt(0)}
+		}
+		return []types.Value{types.NewFloat(a.sumF), types.NewInt(a.count)}
+	case AggSum:
+		return []types.Value{a.final()}
+	case AggMin, AggMax:
+		return []types.Value{a.final()}
+	default:
+		return nil
+	}
+}
+
+// mergePartial folds partial-state values (as produced by partial) in.
+func (a *aggAcc) mergePartial(vals []types.Value) {
+	switch a.kind {
+	case AggCountStar, AggCount:
+		a.count += vals[0].I
+	case AggAvg:
+		if vals[0].Null {
+			return
+		}
+		a.seen = true
+		a.sumF += vals[0].F
+		a.count += vals[1].I
+	case AggSum:
+		if vals[0].Null {
+			return
+		}
+		a.seen = true
+		if a.typ == types.Float64 {
+			a.sumF += vals[0].F
+		} else {
+			a.sumI += vals[0].I
+		}
+	case AggMin:
+		if !vals[0].Null {
+			a.update(vals[0])
+		}
+	case AggMax:
+		if !vals[0].Null {
+			a.update(vals[0])
+		}
+	}
+}
+
+// memBytes estimates the accumulator's footprint for budget accounting.
+func (a *aggAcc) memBytes() int64 {
+	b := int64(96)
+	if a.distinct != nil {
+		b += int64(len(a.distinct)) * 32
+	}
+	return b
+}
+
+// distinctKey canonicalizes a value for distinct-set membership.
+func distinctKey(v types.Value) string {
+	switch v.Typ {
+	case types.Varchar:
+		return "s" + v.S
+	case types.Float64:
+		return fmt.Sprintf("f%x", v.F)
+	default:
+		return fmt.Sprintf("i%d", v.I)
+	}
+}

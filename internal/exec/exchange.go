@@ -1,0 +1,247 @@
+package exec
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// Exchange implements the Send/Recv operator pair (paper §6.1 operator 7):
+// it moves rows from a set of input pipelines to a set of output ports,
+// either by segmentation-expression routing (all alike values reach the same
+// port, so each port can compute complete results independently) or by
+// broadcast. The same machinery serves intra-node resegmentation (the
+// StorageUnion "locally resegments the data for the above GroupBys",
+// Figure 3) and inter-node shipping in the simulated cluster.
+//
+// Each Send/Recv pair can retain the sortedness of its input stream: with
+// SortKey set, every port heap-merges the per-input sorted substreams.
+type Exchange struct {
+	inputs []Operator
+	ways   int
+	// Route maps a row to a port; nil means broadcast to every port.
+	Route func(types.Row) int
+	// SortKey, when non-nil, asserts inputs are sorted by these columns and
+	// makes every port merge-preserve that order.
+	SortKey []SortSpec
+
+	mu      sync.Mutex
+	started bool
+	closed  bool
+	// buffered rows per port per input (for sorted merge), or flat per port.
+	ports []chan types.Row
+	errCh chan error
+	wg    sync.WaitGroup
+}
+
+// NewExchange creates an exchange from the inputs to `ways` ports.
+func NewExchange(inputs []Operator, ways int, route func(types.Row) int) *Exchange {
+	return &Exchange{inputs: inputs, ways: ways, Route: route}
+}
+
+// Ports returns the `ways` receive operators. Each must be consumed by
+// exactly one reader (they share the exchange pump).
+func (e *Exchange) Ports() []Operator {
+	out := make([]Operator, e.ways)
+	for i := range out {
+		out[i] = &recvPort{ex: e, port: i}
+	}
+	return out
+}
+
+// start launches the pump on first Open: one goroutine per input drains it
+// and routes rows to ports.
+func (e *Exchange) start(ctx *Ctx) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return nil
+	}
+	e.started = true
+	e.ports = make([]chan types.Row, e.ways)
+	for i := range e.ports {
+		e.ports[i] = make(chan types.Row, vector.DefaultBatchSize)
+	}
+	e.errCh = make(chan error, len(e.inputs))
+	if e.SortKey != nil {
+		return e.startSorted(ctx)
+	}
+	for _, in := range e.inputs {
+		if err := in.Open(ctx); err != nil {
+			return err
+		}
+	}
+	for _, in := range e.inputs {
+		e.wg.Add(1)
+		go func(in Operator) {
+			defer e.wg.Done()
+			for {
+				b, err := in.Next(ctx)
+				if err != nil {
+					e.errCh <- err
+					return
+				}
+				if b == nil {
+					return
+				}
+				for _, r := range b.Rows() {
+					if e.Route == nil {
+						for _, p := range e.ports {
+							p <- r.Clone()
+						}
+					} else {
+						e.ports[e.Route(r)%e.ways] <- r
+					}
+				}
+			}
+		}(in)
+	}
+	go func() {
+		e.wg.Wait()
+		for _, p := range e.ports {
+			close(p)
+		}
+		close(e.errCh)
+	}()
+	return nil
+}
+
+// startSorted drains inputs sequentially, routes rows into per-port per-input
+// buckets, then merge-sorts each port's buckets to preserve order.
+func (e *Exchange) startSorted(ctx *Ctx) error {
+	buckets := make([][][]types.Row, e.ways)
+	for i := range buckets {
+		buckets[i] = make([][]types.Row, len(e.inputs))
+	}
+	for ii, in := range e.inputs {
+		if err := in.Open(ctx); err != nil {
+			return err
+		}
+		for {
+			b, err := in.Next(ctx)
+			if err != nil {
+				return err
+			}
+			if b == nil {
+				break
+			}
+			for _, r := range b.Rows() {
+				if e.Route == nil {
+					for p := range buckets {
+						buckets[p][ii] = append(buckets[p][ii], r.Clone())
+					}
+				} else {
+					p := e.Route(r) % e.ways
+					buckets[p][ii] = append(buckets[p][ii], r)
+				}
+			}
+		}
+		if err := in.Close(ctx); err != nil {
+			return err
+		}
+	}
+	for p := range buckets {
+		port := e.ports[p]
+		var runs []*sortedRun
+		for _, rows := range buckets[p] {
+			if len(rows) > 0 {
+				sr := &sortedRun{mem: rows}
+				sr.advance()
+				runs = append(runs, sr)
+			}
+		}
+		go func(runs []*sortedRun, port chan types.Row) {
+			h := &sortRunHeap{runs: runs, specs: e.SortKey}
+			heap.Init(h)
+			for h.Len() > 0 {
+				run := h.runs[0]
+				port <- run.cur
+				run.advance()
+				if run.cur == nil {
+					heap.Pop(h)
+				} else {
+					heap.Fix(h, 0)
+				}
+			}
+			close(port)
+		}(runs, port)
+	}
+	close(e.errCh)
+	return nil
+}
+
+// recvPort is the Recv operator for one exchange port.
+type recvPort struct {
+	ex   *Exchange
+	port int
+}
+
+// Schema implements Operator.
+func (r *recvPort) Schema() *types.Schema { return r.ex.inputs[0].Schema() }
+
+// Describe implements Operator.
+func (r *recvPort) Describe() string {
+	mode := "segment"
+	if r.ex.Route == nil {
+		mode = "broadcast"
+	}
+	if r.ex.SortKey != nil {
+		mode += "+sorted"
+	}
+	return fmt.Sprintf("Recv port=%d/%d (%s)", r.port, r.ex.ways, mode)
+}
+
+// Children implements the plan walker: show inputs under port 0 only.
+func (r *recvPort) Children() []Operator {
+	if r.port == 0 {
+		return r.ex.inputs
+	}
+	return nil
+}
+
+// Open implements Operator.
+func (r *recvPort) Open(ctx *Ctx) error { return r.ex.start(ctx) }
+
+// Next implements Operator.
+func (r *recvPort) Next(*Ctx) (*vector.Batch, error) {
+	ch := r.ex.ports[r.port]
+	batch := vector.NewBatchForSchema(r.Schema(), vector.DefaultBatchSize)
+	for row := range ch {
+		batch.AppendRow(row)
+		if batch.Len() >= vector.DefaultBatchSize {
+			return batch, nil
+		}
+	}
+	// Channel closed: surface any pump error once.
+	select {
+	case err, ok := <-r.ex.errCh:
+		if ok && err != nil {
+			return nil, err
+		}
+	default:
+	}
+	if batch.Len() == 0 {
+		return nil, nil
+	}
+	return batch, nil
+}
+
+// Close implements Operator.
+func (r *recvPort) Close(ctx *Ctx) error {
+	r.ex.mu.Lock()
+	defer r.ex.mu.Unlock()
+	if r.ex.closed || r.ex.SortKey != nil {
+		return nil
+	}
+	r.ex.closed = true
+	var firstErr error
+	for _, in := range r.ex.inputs {
+		if err := in.Close(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

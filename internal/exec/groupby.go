@@ -1,0 +1,611 @@
+package exec
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/expr"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// GroupBy groups and aggregates (paper §6.1 operator 2). Vertica has
+// "several different hash based algorithms depending on what is needed for
+// maximal performance, how much memory is allotted" plus "classic pipelined
+// (one-pass) aggregates"; this operator implements:
+//
+//   - hash aggregation with externalization: when the hash table exceeds
+//     the memory budget, groups spill to sorted partial runs that are
+//     k-way merged at the end (requires partial-able aggregates);
+//   - one-pass (pipelined) aggregation for inputs sorted by the group key,
+//     with an RLE-direct fast path for COUNT(*) over run-length keys;
+//   - a merge mode consuming partial rows produced by Prepass operators.
+type GroupBy struct {
+	single
+	Keys     []expr.Expr
+	KeyNames []string
+	Aggs     []AggSpec
+
+	// InputSorted selects one-pass aggregation (input sorted by Keys).
+	InputSorted bool
+	// MergePartials marks the input as prepass partial rows: the first
+	// len(Keys) columns are keys, followed by each aggregate's partial
+	// columns.
+	MergePartials bool
+
+	schema *types.Schema
+
+	// hash state
+	groups   map[uint64][]*groupEntry
+	memUsed  int64
+	spills   []*spillReader
+	rowArity int
+
+	// one-pass state
+	curKey  types.Row
+	curAccs []*aggAcc
+
+	// output
+	out    []types.Row
+	outPos int
+	opened bool
+}
+
+type groupEntry struct {
+	key  types.Row
+	accs []*aggAcc
+}
+
+// NewGroupBy builds a grouping node.
+func NewGroupBy(child Operator, keys []expr.Expr, keyNames []string, aggs []AggSpec) *GroupBy {
+	g := &GroupBy{single: single{child: child}, Keys: keys, KeyNames: keyNames, Aggs: aggs}
+	cols := make([]types.Column, 0, len(keys)+len(aggs))
+	for i, k := range keys {
+		name := ""
+		if keyNames != nil {
+			name = keyNames[i]
+		}
+		if name == "" {
+			name = k.String()
+		}
+		cols = append(cols, types.Column{Name: name, Typ: k.Type(), Nullable: true})
+	}
+	for i := range aggs {
+		name := aggs[i].Name
+		if name == "" {
+			name = aggs[i].String()
+		}
+		cols = append(cols, types.Column{Name: name, Typ: aggs[i].ResultType(), Nullable: true})
+	}
+	g.schema = types.NewSchema(cols...)
+	return g
+}
+
+// Schema implements Operator.
+func (g *GroupBy) Schema() *types.Schema { return g.schema }
+
+// Describe implements Operator.
+func (g *GroupBy) Describe() string {
+	mode := "hash"
+	if g.InputSorted {
+		mode = "one-pass"
+	}
+	if g.MergePartials {
+		mode += "+merge-partials"
+	}
+	keys := make([]string, len(g.Keys))
+	for i, k := range g.Keys {
+		keys[i] = k.String()
+	}
+	return fmt.Sprintf("GroupBy(%s) keys=%v aggs=[%s]", mode, keys, describeAggs(g.Aggs))
+}
+
+// Open implements Operator.
+func (g *GroupBy) Open(ctx *Ctx) error {
+	g.groups = map[uint64][]*groupEntry{}
+	g.memUsed = 0
+	g.spills = nil
+	g.out = nil
+	g.outPos = 0
+	g.curKey = nil
+	g.curAccs = nil
+	g.opened = false
+	g.rowArity = len(g.Keys)
+	for i := range g.Aggs {
+		g.rowArity += g.Aggs[i].PartialWidth()
+	}
+	return g.openChild(ctx)
+}
+
+// Close implements Operator.
+func (g *GroupBy) Close(ctx *Ctx) error {
+	for _, s := range g.spills {
+		s.close()
+	}
+	g.spills = nil
+	g.groups = nil
+	return g.closeChild(ctx)
+}
+
+// Next implements Operator.
+func (g *GroupBy) Next(ctx *Ctx) (*vector.Batch, error) {
+	if !g.opened {
+		if err := g.consumeAll(ctx); err != nil {
+			return nil, err
+		}
+		g.opened = true
+	}
+	if g.outPos >= len(g.out) {
+		return nil, nil
+	}
+	batch := vector.NewBatchForSchema(g.schema, vector.DefaultBatchSize)
+	for g.outPos < len(g.out) && batch.Len() < vector.DefaultBatchSize {
+		batch.AppendRow(g.out[g.outPos])
+		g.outPos++
+	}
+	return batch, nil
+}
+
+func (g *GroupBy) consumeAll(ctx *Ctx) error {
+	for {
+		in, err := g.child.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if in == nil {
+			break
+		}
+		if g.InputSorted {
+			if err := g.consumeSorted(ctx, in); err != nil {
+				return err
+			}
+		} else {
+			if err := g.consumeHash(ctx, in); err != nil {
+				return err
+			}
+		}
+	}
+	if g.InputSorted {
+		g.flushCurrentGroup()
+		return nil
+	}
+	return g.finishHash(ctx)
+}
+
+// --- hash aggregation ---------------------------------------------------
+
+func (g *GroupBy) consumeHash(ctx *Ctx, in *vector.Batch) error {
+	if in.Sel != nil {
+		in = in.Flatten()
+	} else {
+		in.ExpandRLE()
+	}
+	n := in.Len()
+	keyVecs, err := g.evalKeys(in)
+	if err != nil {
+		return err
+	}
+	argVecs, err := g.evalArgs(in)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		key := make(types.Row, len(keyVecs))
+		for k, kv := range keyVecs {
+			key[k] = kv.ValueAt(i)
+		}
+		e := g.findOrCreate(key)
+		g.updateEntry(e, argVecs, in, i)
+	}
+	if g.memUsed > ctx.MemBudget && g.canSpill() {
+		if err := g.spillGroups(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *GroupBy) evalKeys(in *vector.Batch) ([]*vector.Vector, error) {
+	out := make([]*vector.Vector, len(g.Keys))
+	for i, k := range g.Keys {
+		v, err := k.Eval(in)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (g *GroupBy) evalArgs(in *vector.Batch) ([]*vector.Vector, error) {
+	out := make([]*vector.Vector, len(g.Aggs))
+	for i := range g.Aggs {
+		if g.Aggs[i].Arg == nil || g.MergePartials {
+			continue
+		}
+		v, err := g.Aggs[i].Arg.Eval(in)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (g *GroupBy) findOrCreate(key types.Row) *groupEntry {
+	h := types.HashRow(key, seqIdx(len(key)))
+	for _, e := range g.groups[h] {
+		if e.key.Compare(key, seqIdx(len(key))) == 0 {
+			return e
+		}
+	}
+	e := &groupEntry{key: key, accs: make([]*aggAcc, len(g.Aggs))}
+	for i := range g.Aggs {
+		e.accs[i] = newAggAcc(&g.Aggs[i])
+	}
+	g.groups[h] = append(g.groups[h], e)
+	g.memUsed += int64(len(key))*24 + int64(len(e.accs))*96 + 64
+	return e
+}
+
+// updateEntry folds input row i into the group's accumulators; in merge
+// mode it consumes partial columns instead.
+func (g *GroupBy) updateEntry(e *groupEntry, argVecs []*vector.Vector, in *vector.Batch, i int) {
+	if g.MergePartials {
+		col := len(g.Keys)
+		for a := range g.Aggs {
+			w := g.Aggs[a].PartialWidth()
+			vals := make([]types.Value, w)
+			for j := 0; j < w; j++ {
+				vals[j] = in.Cols[col+j].ValueAt(i)
+			}
+			e.accs[a].mergePartial(vals)
+			col += w
+		}
+		return
+	}
+	for a := range g.Aggs {
+		if g.Aggs[a].Kind == AggCountStar {
+			e.accs[a].update(types.Value{})
+			continue
+		}
+		before := int64(0)
+		if e.accs[a].distinct != nil {
+			before = int64(len(e.accs[a].distinct))
+		}
+		e.accs[a].update(argVecs[a].ValueAt(i))
+		if e.accs[a].distinct != nil {
+			g.memUsed += (int64(len(e.accs[a].distinct)) - before) * 32
+		}
+	}
+}
+
+func (g *GroupBy) canSpill() bool {
+	if g.MergePartials {
+		return true
+	}
+	for i := range g.Aggs {
+		if !g.Aggs[i].SupportsPartial() {
+			return false
+		}
+	}
+	return true
+}
+
+// spillGroups writes the hash table as a key-sorted partial run and resets.
+func (g *GroupBy) spillGroups(ctx *Ctx) error {
+	entries := g.sortedEntries()
+	w, err := newSpillWriter(spillDir(ctx))
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		row := append(types.Row{}, e.key...)
+		for _, acc := range e.accs {
+			row = append(row, acc.partial()...)
+		}
+		if err := w.writeRow(row); err != nil {
+			return err
+		}
+	}
+	r, err := w.finish()
+	if err != nil {
+		return err
+	}
+	g.spills = append(g.spills, r)
+	g.groups = map[uint64][]*groupEntry{}
+	g.memUsed = 0
+	ctx.Spills.Add(1)
+	return nil
+}
+
+func (g *GroupBy) sortedEntries() []*groupEntry {
+	var entries []*groupEntry
+	for _, chain := range g.groups {
+		entries = append(entries, chain...)
+	}
+	keyIdx := seqIdx(len(g.Keys))
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].key.Compare(entries[j].key, keyIdx) < 0
+	})
+	return entries
+}
+
+// finishHash merges in-memory groups with any spilled runs and produces the
+// final output rows.
+func (g *GroupBy) finishHash(ctx *Ctx) error {
+	entries := g.sortedEntries()
+	// SQL semantics: a global aggregate (no GROUP BY) over an empty input
+	// still yields one row (COUNT(*) = 0, SUM = NULL, ...).
+	if len(g.Keys) == 0 && len(entries) == 0 && len(g.spills) == 0 && len(g.Aggs) > 0 {
+		e := &groupEntry{accs: make([]*aggAcc, len(g.Aggs))}
+		for i := range g.Aggs {
+			e.accs[i] = newAggAcc(&g.Aggs[i])
+		}
+		g.out = []types.Row{g.finalRow(e)}
+		return nil
+	}
+	if len(g.spills) == 0 {
+		g.out = make([]types.Row, 0, len(entries))
+		for _, e := range entries {
+			g.out = append(g.out, g.finalRow(e))
+		}
+		return nil
+	}
+	// K-way merge: in-memory entries become one more sorted partial run.
+	keyIdx := seqIdx(len(g.Keys))
+	var runs []*partialRun
+	for _, s := range g.spills {
+		r := &partialRun{src: s, arity: g.rowArity}
+		if err := r.advance(); err != nil {
+			return err
+		}
+		if r.cur != nil {
+			runs = append(runs, r)
+		}
+	}
+	memRun := &partialRun{mem: entriesToPartialRows(entries, g.Aggs), arity: g.rowArity}
+	if err := memRun.advance(); err != nil {
+		return err
+	}
+	if memRun.cur != nil {
+		runs = append(runs, memRun)
+	}
+	h := &partialHeap{runs: runs, keyIdx: keyIdx}
+	heap.Init(h)
+	var curKey types.Row
+	var accs []*aggAcc
+	flush := func() {
+		if curKey == nil {
+			return
+		}
+		e := &groupEntry{key: curKey, accs: accs}
+		g.out = append(g.out, g.finalRow(e))
+	}
+	for h.Len() > 0 {
+		run := h.runs[0]
+		row := run.cur
+		if err := run.advance(); err != nil {
+			return err
+		}
+		if run.cur == nil {
+			heap.Pop(h)
+		} else {
+			heap.Fix(h, 0)
+		}
+		key := row[:len(g.Keys)]
+		if curKey == nil || curKey.Compare(key, keyIdx) != 0 {
+			flush()
+			curKey = key.Clone()
+			accs = make([]*aggAcc, len(g.Aggs))
+			for i := range g.Aggs {
+				accs[i] = newAggAcc(&g.Aggs[i])
+			}
+		}
+		col := len(g.Keys)
+		for a := range g.Aggs {
+			w := g.Aggs[a].PartialWidth()
+			accs[a].mergePartial(row[col : col+w])
+			col += w
+		}
+	}
+	flush()
+	return nil
+}
+
+func entriesToPartialRows(entries []*groupEntry, aggs []AggSpec) []types.Row {
+	out := make([]types.Row, 0, len(entries))
+	for _, e := range entries {
+		row := append(types.Row{}, e.key...)
+		for _, acc := range e.accs {
+			row = append(row, acc.partial()...)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+func (g *GroupBy) finalRow(e *groupEntry) types.Row {
+	row := make(types.Row, 0, len(e.key)+len(e.accs))
+	row = append(row, e.key...)
+	for _, acc := range e.accs {
+		row = append(row, acc.final())
+	}
+	return row
+}
+
+// partialRun iterates one sorted partial run (spilled or in-memory).
+type partialRun struct {
+	src   *spillReader
+	mem   []types.Row
+	pos   int
+	arity int
+	cur   types.Row
+}
+
+func (r *partialRun) advance() error {
+	if r.src != nil {
+		row, err := r.src.readRow(r.arity)
+		if err == io.EOF {
+			r.cur = nil
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		r.cur = row
+		return nil
+	}
+	if r.pos >= len(r.mem) {
+		r.cur = nil
+		return nil
+	}
+	r.cur = r.mem[r.pos]
+	r.pos++
+	return nil
+}
+
+type partialHeap struct {
+	runs   []*partialRun
+	keyIdx []int
+}
+
+func (h *partialHeap) Len() int { return len(h.runs) }
+func (h *partialHeap) Less(i, j int) bool {
+	return h.runs[i].cur.Compare(h.runs[j].cur, h.keyIdx) < 0
+}
+func (h *partialHeap) Swap(i, j int)      { h.runs[i], h.runs[j] = h.runs[j], h.runs[i] }
+func (h *partialHeap) Push(x interface{}) { h.runs = append(h.runs, x.(*partialRun)) }
+func (h *partialHeap) Pop() interface{} {
+	old := h.runs
+	n := len(old)
+	x := old[n-1]
+	h.runs = old[:n-1]
+	return x
+}
+
+// --- one-pass (pipelined) aggregation ------------------------------------
+
+func (g *GroupBy) consumeSorted(ctx *Ctx, in *vector.Batch) error {
+	// RLE-direct fast path: COUNT(*)-only aggregates over run-length keys
+	// never touch individual rows.
+	if g.tryRLEDirect(in) {
+		return nil
+	}
+	if in.Sel != nil {
+		in = in.Flatten()
+	} else {
+		in.ExpandRLE()
+	}
+	keyVecs, err := g.evalKeys(in)
+	if err != nil {
+		return err
+	}
+	argVecs, err := g.evalArgs(in)
+	if err != nil {
+		return err
+	}
+	n := in.Len()
+	keyIdx := seqIdx(len(g.Keys))
+	for i := 0; i < n; i++ {
+		key := make(types.Row, len(keyVecs))
+		for k, kv := range keyVecs {
+			key[k] = kv.ValueAt(i)
+		}
+		if g.curKey == nil || g.curKey.Compare(key, keyIdx) != 0 {
+			g.flushCurrentGroup()
+			g.curKey = key
+			g.curAccs = make([]*aggAcc, len(g.Aggs))
+			for a := range g.Aggs {
+				g.curAccs[a] = newAggAcc(&g.Aggs[a])
+			}
+		}
+		g.updateEntry(&groupEntry{key: g.curKey, accs: g.curAccs}, argVecs, in, i)
+	}
+	return nil
+}
+
+// tryRLEDirect consumes the batch via run-length counts when every key is a
+// direct column reference in RLE form with aligned runs and every aggregate
+// is COUNT(*). Returns false (leaving the batch unconsumed) otherwise.
+func (g *GroupBy) tryRLEDirect(in *vector.Batch) bool {
+	if in.Sel != nil || g.MergePartials {
+		return false
+	}
+	for i := range g.Aggs {
+		if g.Aggs[i].Kind != AggCountStar {
+			return false
+		}
+	}
+	keyCols := make([]*vector.Vector, len(g.Keys))
+	var runs []int
+	for i, k := range g.Keys {
+		cr, ok := k.(*expr.ColRef)
+		if !ok || cr.Idx >= len(in.Cols) {
+			return false
+		}
+		v := in.Cols[cr.Idx]
+		if !v.IsRLE() {
+			return false
+		}
+		if runs == nil {
+			runs = v.RunLens
+		} else if !sameRuns(runs, v.RunLens) {
+			return false
+		}
+		keyCols[i] = v
+	}
+	if runs == nil {
+		return false
+	}
+	keyIdx := seqIdx(len(g.Keys))
+	for r, n := range runs {
+		key := make(types.Row, len(keyCols))
+		for k, kv := range keyCols {
+			key[k] = kv.ValueAt(r)
+		}
+		if g.curKey == nil || g.curKey.Compare(key, keyIdx) != 0 {
+			g.flushCurrentGroup()
+			g.curKey = key
+			g.curAccs = make([]*aggAcc, len(g.Aggs))
+			for a := range g.Aggs {
+				g.curAccs[a] = newAggAcc(&g.Aggs[a])
+			}
+		}
+		for a := range g.Aggs {
+			g.curAccs[a].updateRun(types.Value{}, int64(n))
+		}
+	}
+	return true
+}
+
+func sameRuns(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *GroupBy) flushCurrentGroup() {
+	if g.curKey == nil {
+		return
+	}
+	g.out = append(g.out, g.finalRow(&groupEntry{key: g.curKey, accs: g.curAccs}))
+	g.curKey, g.curAccs = nil, nil
+}
+
+// seqIdx returns [0, 1, ..., n-1].
+func seqIdx(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

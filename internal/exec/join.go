@@ -1,0 +1,515 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// JoinType enumerates the supported join flavors (paper §6.1: "all flavors
+// of INNER, LEFT OUTER, RIGHT OUTER, FULL OUTER, SEMI, and ANTI joins").
+type JoinType uint8
+
+// Join flavors.
+const (
+	InnerJoin JoinType = iota
+	LeftOuterJoin
+	RightOuterJoin
+	FullOuterJoin
+	SemiJoin
+	AntiJoin
+)
+
+func (t JoinType) String() string {
+	switch t {
+	case InnerJoin:
+		return "INNER"
+	case LeftOuterJoin:
+		return "LEFT OUTER"
+	case RightOuterJoin:
+		return "RIGHT OUTER"
+	case FullOuterJoin:
+		return "FULL OUTER"
+	case SemiJoin:
+		return "SEMI"
+	case AntiJoin:
+		return "ANTI"
+	default:
+		return fmt.Sprintf("JOIN(%d)", t)
+	}
+}
+
+// HashJoin builds a hash table from its inner (build) input and probes it
+// with the outer input. If the build side exceeds the memory budget at run
+// time, the operator switches to a sort-merge join ("we will perform a
+// sort-merge join instead", paper §6.1). When a SIP filter is attached, the
+// build-side key hashes are published to the probe-side scan.
+type HashJoin struct {
+	Type  JoinType
+	outer Operator
+	inner Operator
+	// OuterKeys / InnerKeys are equi-join column indexes (aligned pairs).
+	OuterKeys []int
+	InnerKeys []int
+	// Residual is an extra non-equi predicate over the combined schema
+	// (outer columns then inner columns).
+	Residual expr.Expr
+	// SIP, when set, receives the build-side key set (see sip.go).
+	SIP *SIPFilter
+
+	schema *types.Schema
+
+	table        map[uint64][]buildRow
+	matchedInner bool // inner match tracking needed (right/full outer)
+	built        bool
+	spilled      bool
+	merge        *mergeJoinState
+	pending      []types.Row
+	innerDone    bool
+	innerRowsAll []buildRow // for right/full outer emission
+}
+
+type buildRow struct {
+	row     types.Row
+	matched *bool
+}
+
+// NewHashJoin builds a hash join; outer is the probe side, inner the build
+// side ("the HashJoin will first create a hash table from the inner input").
+func NewHashJoin(t JoinType, outer, inner Operator, outerKeys, innerKeys []int) (*HashJoin, error) {
+	if len(outerKeys) != len(innerKeys) || len(outerKeys) == 0 {
+		return nil, fmt.Errorf("exec: join requires aligned, non-empty key lists")
+	}
+	j := &HashJoin{Type: t, outer: outer, inner: inner, OuterKeys: outerKeys, InnerKeys: innerKeys}
+	j.schema = joinSchema(t, outer.Schema(), inner.Schema())
+	return j, nil
+}
+
+func joinSchema(t JoinType, outer, inner *types.Schema) *types.Schema {
+	cols := append([]types.Column{}, outer.Cols...)
+	if t != SemiJoin && t != AntiJoin {
+		cols = append(cols, inner.Cols...)
+	}
+	// Join outputs are nullable on the padded side.
+	out := make([]types.Column, len(cols))
+	copy(out, cols)
+	for i := range out {
+		out[i].Nullable = true
+	}
+	return types.NewSchema(out...)
+}
+
+// Schema implements Operator.
+func (j *HashJoin) Schema() *types.Schema { return j.schema }
+
+// Children implements the plan walker.
+func (j *HashJoin) Children() []Operator { return []Operator{j.outer, j.inner} }
+
+// Describe implements Operator.
+func (j *HashJoin) Describe() string {
+	d := fmt.Sprintf("HashJoin %s outerKeys=%v innerKeys=%v", j.Type, j.OuterKeys, j.InnerKeys)
+	if j.spilled {
+		d += " (switched to sort-merge)"
+	}
+	if j.SIP != nil {
+		d += " +sip"
+	}
+	return d
+}
+
+// Open implements Operator.
+func (j *HashJoin) Open(ctx *Ctx) error {
+	j.table = nil
+	j.built, j.spilled, j.innerDone = false, false, false
+	j.pending = nil
+	j.innerRowsAll = nil
+	j.merge = nil
+	j.matchedInner = j.Type == RightOuterJoin || j.Type == FullOuterJoin
+	if err := j.outer.Open(ctx); err != nil {
+		return err
+	}
+	return j.inner.Open(ctx)
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close(ctx *Ctx) error {
+	if j.merge != nil {
+		j.merge.close()
+	}
+	if err := j.outer.Close(ctx); err != nil {
+		j.inner.Close(ctx)
+		return err
+	}
+	return j.inner.Close(ctx)
+}
+
+// build drains the inner input into the hash table, switching to sort-merge
+// when the memory budget is exceeded.
+func (j *HashJoin) build(ctx *Ctx) error {
+	j.table = map[uint64][]buildRow{}
+	var mem int64
+	for {
+		in, err := j.inner.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if in == nil {
+			break
+		}
+		for _, r := range in.Rows() {
+			h := HashKeyOfRow(r, j.InnerKeys)
+			br := buildRow{row: r}
+			if j.matchedInner {
+				br.matched = new(bool)
+			}
+			j.table[h] = append(j.table[h], br)
+			if j.matchedInner {
+				j.innerRowsAll = append(j.innerRowsAll, br)
+			}
+			mem += rowMemBytes(r) + 32
+		}
+		if mem > ctx.MemBudget {
+			// Runtime algorithm switch: abandon the hash table and join by
+			// sorting both sides.
+			return j.switchToSortMerge(ctx)
+		}
+	}
+	j.built = true
+	if j.SIP != nil {
+		keys := make(map[uint64]bool, len(j.table))
+		for h := range j.table {
+			keys[h] = true
+		}
+		j.SIP.Publish(keys)
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next(ctx *Ctx) (*vector.Batch, error) {
+	if !j.built && j.merge == nil {
+		if err := j.build(ctx); err != nil {
+			return nil, err
+		}
+	}
+	if j.merge != nil {
+		return j.merge.next(ctx, j)
+	}
+	for {
+		if len(j.pending) > 0 {
+			return j.drainPending(), nil
+		}
+		out, err := j.outer.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			// Emit unmatched inner rows for right/full outer joins.
+			if j.matchedInner && !j.innerDone {
+				j.innerDone = true
+				outerWidth := j.outer.Schema().Len()
+				for _, br := range j.innerRowsAll {
+					if !*br.matched {
+						j.pending = append(j.pending, padLeft(br.row, outerWidth))
+					}
+				}
+				continue
+			}
+			return nil, nil
+		}
+		for _, or := range out.Rows() {
+			if err := j.probeRow(or); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (j *HashJoin) probeRow(or types.Row) error {
+	// SQL semantics: NULL keys never match.
+	for _, k := range j.OuterKeys {
+		if or[k].Null {
+			return j.emitUnmatchedOuter(or)
+		}
+	}
+	h := HashKeyOfRow(or, j.OuterKeys)
+	matched := false
+	for _, br := range j.table[h] {
+		if !keysEqual(or, br.row, j.OuterKeys, j.InnerKeys) {
+			continue
+		}
+		combined := append(append(types.Row{}, or...), br.row...)
+		if j.Residual != nil {
+			ok, err := j.Residual.EvalRow(combined)
+			if err != nil {
+				return err
+			}
+			if !ok.Bool() {
+				continue
+			}
+		}
+		matched = true
+		if br.matched != nil {
+			*br.matched = true
+		}
+		switch j.Type {
+		case SemiJoin:
+			j.pending = append(j.pending, or.Clone())
+			return nil // one output per outer row
+		case AntiJoin:
+			return nil
+		default:
+			j.pending = append(j.pending, combined)
+		}
+	}
+	if !matched {
+		return j.emitUnmatchedOuter(or)
+	}
+	return nil
+}
+
+func (j *HashJoin) emitUnmatchedOuter(or types.Row) error {
+	switch j.Type {
+	case LeftOuterJoin, FullOuterJoin:
+		j.pending = append(j.pending, padRight(or, j.inner.Schema()))
+	case AntiJoin:
+		j.pending = append(j.pending, or.Clone())
+	}
+	return nil
+}
+
+func keysEqual(a, b types.Row, ak, bk []int) bool {
+	for i := range ak {
+		av, bv := a[ak[i]], b[bk[i]]
+		if av.Null || bv.Null {
+			return false
+		}
+		if av.Compare(bv) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func padRight(outer types.Row, inner *types.Schema) types.Row {
+	row := append(types.Row{}, outer...)
+	for _, c := range inner.Cols {
+		row = append(row, types.NewNull(c.Typ))
+	}
+	return row
+}
+
+func padLeft(inner types.Row, outerWidth int) types.Row {
+	row := make(types.Row, 0, outerWidth+len(inner))
+	for i := 0; i < outerWidth; i++ {
+		row = append(row, types.Value{Typ: types.Int64, Null: true})
+	}
+	return append(row, inner...)
+}
+
+func (j *HashJoin) drainPending() *vector.Batch {
+	batch := vector.NewBatchForSchema(j.schema, len(j.pending))
+	n := len(j.pending)
+	if n > vector.DefaultBatchSize {
+		n = vector.DefaultBatchSize
+	}
+	for i := 0; i < n; i++ {
+		batch.AppendRow(j.pending[i])
+	}
+	j.pending = j.pending[n:]
+	return batch
+}
+
+// --- runtime switch to sort-merge ----------------------------------------
+
+// mergeJoinState performs the sort-merge join after a budget-triggered
+// switch: both sides are externally sorted by their keys, then merged.
+type mergeJoinState struct {
+	outerIt, innerIt rowIter
+	outerSorter      *externalSorter
+	innerSorter      *externalSorter
+	done             bool
+	pendingRows      []types.Row
+
+	curOuter  types.Row
+	innerBuf  []types.Row // current inner key group
+	innerNext types.Row
+}
+
+func (m *mergeJoinState) close() {
+	if m.outerSorter != nil {
+		m.outerSorter.closeRuns()
+	}
+	if m.innerSorter != nil {
+		m.innerSorter.closeRuns()
+	}
+}
+
+func (j *HashJoin) switchToSortMerge(ctx *Ctx) error {
+	j.spilled = true
+	ctx.Spills.Add(1)
+	specsOf := func(keys []int) []SortSpec {
+		out := make([]SortSpec, len(keys))
+		for i, k := range keys {
+			out[i] = SortSpec{Col: k}
+		}
+		return out
+	}
+	m := &mergeJoinState{}
+	m.innerSorter = newExternalSorter(ctx, specsOf(j.InnerKeys), j.inner.Schema().Len())
+	// Rows already in the abandoned hash table move to the sorter.
+	for _, chain := range j.table {
+		for _, br := range chain {
+			if err := m.innerSorter.add(br.row); err != nil {
+				return err
+			}
+		}
+	}
+	j.table = nil
+	j.innerRowsAll = nil
+	for {
+		in, err := j.inner.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if in == nil {
+			break
+		}
+		for _, r := range in.Rows() {
+			if err := m.innerSorter.add(r); err != nil {
+				return err
+			}
+		}
+	}
+	m.outerSorter = newExternalSorter(ctx, specsOf(j.OuterKeys), j.outer.Schema().Len())
+	for {
+		in, err := j.outer.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if in == nil {
+			break
+		}
+		for _, r := range in.Rows() {
+			if err := m.outerSorter.add(r); err != nil {
+				return err
+			}
+		}
+	}
+	var err error
+	if m.innerIt, err = m.innerSorter.finish(); err != nil {
+		return err
+	}
+	if m.outerIt, err = m.outerSorter.finish(); err != nil {
+		return err
+	}
+	if m.innerNext, err = m.innerIt.next(); err != nil {
+		return err
+	}
+	j.merge = m
+	return nil
+}
+
+// next produces merge-join output batches. The switch path supports the
+// inner, left-outer, semi and anti flavors (right/full switch back is not
+// required by the planner, which puts the smaller input on the build side).
+func (m *mergeJoinState) next(ctx *Ctx, j *HashJoin) (*vector.Batch, error) {
+	for len(m.pendingRows) == 0 && !m.done {
+		or, err := m.outerIt.next()
+		if err != nil {
+			return nil, err
+		}
+		if or == nil {
+			m.done = true
+			break
+		}
+		// Advance the inner group until innerKey >= outerKey.
+		cmp := func(inner types.Row) int {
+			for i := range j.OuterKeys {
+				ov, iv := or[j.OuterKeys[i]], inner[j.InnerKeys[i]]
+				c := iv.Compare(ov)
+				if c != 0 {
+					return c
+				}
+			}
+			return 0
+		}
+		nullKey := false
+		for _, k := range j.OuterKeys {
+			if or[k].Null {
+				nullKey = true
+				break
+			}
+		}
+		if !nullKey {
+			// Load the matching inner group.
+			if len(m.innerBuf) == 0 || cmp(m.innerBuf[0]) != 0 {
+				m.innerBuf = m.innerBuf[:0]
+				for m.innerNext != nil && cmp(m.innerNext) < 0 {
+					if m.innerNext, err = m.innerIt.next(); err != nil {
+						return nil, err
+					}
+				}
+				for m.innerNext != nil && cmp(m.innerNext) == 0 {
+					m.innerBuf = append(m.innerBuf, m.innerNext)
+					if m.innerNext, err = m.innerIt.next(); err != nil {
+						return nil, err
+					}
+				}
+			}
+		} else {
+			m.innerBuf = m.innerBuf[:0]
+		}
+		matched := false
+		for _, ir := range m.innerBuf {
+			if nullKey {
+				break
+			}
+			combined := append(append(types.Row{}, or...), ir...)
+			if j.Residual != nil {
+				ok, err := j.Residual.EvalRow(combined)
+				if err != nil {
+					return nil, err
+				}
+				if !ok.Bool() {
+					continue
+				}
+			}
+			matched = true
+			switch j.Type {
+			case SemiJoin:
+				m.pendingRows = append(m.pendingRows, or.Clone())
+			case AntiJoin:
+				// matched anti rows produce nothing
+			default:
+				m.pendingRows = append(m.pendingRows, combined)
+			}
+			if j.Type == SemiJoin {
+				break
+			}
+		}
+		if !matched {
+			switch j.Type {
+			case LeftOuterJoin, FullOuterJoin:
+				m.pendingRows = append(m.pendingRows, padRight(or, j.inner.Schema()))
+			case AntiJoin:
+				m.pendingRows = append(m.pendingRows, or.Clone())
+			}
+		}
+	}
+	if len(m.pendingRows) == 0 {
+		return nil, nil
+	}
+	batch := vector.NewBatchForSchema(j.schema, len(m.pendingRows))
+	n := len(m.pendingRows)
+	if n > vector.DefaultBatchSize {
+		n = vector.DefaultBatchSize
+	}
+	for i := 0; i < n; i++ {
+		batch.AppendRow(m.pendingRows[i])
+	}
+	m.pendingRows = m.pendingRows[n:]
+	return batch, nil
+}

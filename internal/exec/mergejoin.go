@@ -1,0 +1,222 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// MergeJoin joins two inputs already sorted by their join keys (paper §6.1:
+// Vertica chooses merge join when projections' sort orders line up with the
+// join keys; the Send/Recv operators even retain sortedness to keep this
+// possible after an exchange). Supports INNER, LEFT OUTER, SEMI and ANTI;
+// the optimizer plans the other flavors as hash joins.
+type MergeJoin struct {
+	Type      JoinType
+	outer     Operator
+	inner     Operator
+	OuterKeys []int
+	InnerKeys []int
+	Residual  expr.Expr
+
+	schema *types.Schema
+
+	outerRows []types.Row
+	outerPos  int
+	innerRows []types.Row
+	innerPos  int
+	outerDone bool
+	innerDone bool
+	pending   []types.Row
+	innerBuf  []types.Row
+}
+
+// NewMergeJoin builds a merge join over key-sorted inputs.
+func NewMergeJoin(t JoinType, outer, inner Operator, outerKeys, innerKeys []int) (*MergeJoin, error) {
+	switch t {
+	case InnerJoin, LeftOuterJoin, SemiJoin, AntiJoin:
+	default:
+		return nil, fmt.Errorf("exec: merge join does not support %s", t)
+	}
+	if len(outerKeys) != len(innerKeys) || len(outerKeys) == 0 {
+		return nil, fmt.Errorf("exec: join requires aligned, non-empty key lists")
+	}
+	return &MergeJoin{
+		Type: t, outer: outer, inner: inner,
+		OuterKeys: outerKeys, InnerKeys: innerKeys,
+		schema: joinSchema(t, outer.Schema(), inner.Schema()),
+	}, nil
+}
+
+// Schema implements Operator.
+func (j *MergeJoin) Schema() *types.Schema { return j.schema }
+
+// Children implements the plan walker.
+func (j *MergeJoin) Children() []Operator { return []Operator{j.outer, j.inner} }
+
+// Describe implements Operator.
+func (j *MergeJoin) Describe() string {
+	return fmt.Sprintf("MergeJoin %s outerKeys=%v innerKeys=%v", j.Type, j.OuterKeys, j.InnerKeys)
+}
+
+// Open implements Operator.
+func (j *MergeJoin) Open(ctx *Ctx) error {
+	j.outerRows, j.innerRows = nil, nil
+	j.outerPos, j.innerPos = 0, 0
+	j.outerDone, j.innerDone = false, false
+	j.pending, j.innerBuf = nil, nil
+	if err := j.outer.Open(ctx); err != nil {
+		return err
+	}
+	return j.inner.Open(ctx)
+}
+
+// Close implements Operator.
+func (j *MergeJoin) Close(ctx *Ctx) error {
+	if err := j.outer.Close(ctx); err != nil {
+		j.inner.Close(ctx)
+		return err
+	}
+	return j.inner.Close(ctx)
+}
+
+func (j *MergeJoin) nextOuterRow(ctx *Ctx) (types.Row, error) {
+	for j.outerPos >= len(j.outerRows) && !j.outerDone {
+		b, err := j.outer.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			j.outerDone = true
+			break
+		}
+		j.outerRows = b.Rows()
+		j.outerPos = 0
+	}
+	if j.outerPos < len(j.outerRows) {
+		r := j.outerRows[j.outerPos]
+		j.outerPos++
+		return r, nil
+	}
+	return nil, nil
+}
+
+func (j *MergeJoin) peekInnerRow(ctx *Ctx) (types.Row, error) {
+	for j.innerPos >= len(j.innerRows) && !j.innerDone {
+		b, err := j.inner.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			j.innerDone = true
+			break
+		}
+		j.innerRows = b.Rows()
+		j.innerPos = 0
+	}
+	if j.innerPos < len(j.innerRows) {
+		return j.innerRows[j.innerPos], nil
+	}
+	return nil, nil
+}
+
+// Next implements Operator.
+func (j *MergeJoin) Next(ctx *Ctx) (*vector.Batch, error) {
+	for len(j.pending) == 0 {
+		or, err := j.nextOuterRow(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if or == nil {
+			return nil, nil
+		}
+		if err := j.joinOne(ctx, or); err != nil {
+			return nil, err
+		}
+	}
+	batch := vector.NewBatchForSchema(j.schema, len(j.pending))
+	n := len(j.pending)
+	if n > vector.DefaultBatchSize {
+		n = vector.DefaultBatchSize
+	}
+	for i := 0; i < n; i++ {
+		batch.AppendRow(j.pending[i])
+	}
+	j.pending = j.pending[n:]
+	return batch, nil
+}
+
+func (j *MergeJoin) joinOne(ctx *Ctx, or types.Row) error {
+	cmpKey := func(inner types.Row) int {
+		for i := range j.OuterKeys {
+			c := inner[j.InnerKeys[i]].Compare(or[j.OuterKeys[i]])
+			if c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+	nullKey := false
+	for _, k := range j.OuterKeys {
+		if or[k].Null {
+			nullKey = true
+			break
+		}
+	}
+	if !nullKey {
+		// Refresh the buffered inner group if it no longer matches.
+		if len(j.innerBuf) == 0 || cmpKey(j.innerBuf[0]) != 0 {
+			j.innerBuf = j.innerBuf[:0]
+			for {
+				ir, err := j.peekInnerRow(ctx)
+				if err != nil {
+					return err
+				}
+				if ir == nil || cmpKey(ir) > 0 {
+					break
+				}
+				if cmpKey(ir) == 0 {
+					j.innerBuf = append(j.innerBuf, ir)
+				}
+				j.innerPos++
+			}
+		}
+	}
+	matched := false
+	if !nullKey {
+		for _, ir := range j.innerBuf {
+			combined := append(append(types.Row{}, or...), ir...)
+			if j.Residual != nil {
+				ok, err := j.Residual.EvalRow(combined)
+				if err != nil {
+					return err
+				}
+				if !ok.Bool() {
+					continue
+				}
+			}
+			matched = true
+			switch j.Type {
+			case SemiJoin:
+				j.pending = append(j.pending, or.Clone())
+			case AntiJoin:
+			default:
+				j.pending = append(j.pending, combined)
+			}
+			if j.Type == SemiJoin {
+				break
+			}
+		}
+	}
+	if !matched {
+		switch j.Type {
+		case LeftOuterJoin:
+			j.pending = append(j.pending, padRight(or, j.inner.Schema()))
+		case AntiJoin:
+			j.pending = append(j.pending, or.Clone())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+// Package exec implements the Vertica Execution Engine (paper §6.1): a
+// multi-threaded, pipelined, vectorized pull-model engine. A query plan is a
+// tree of operators; each operator's Next returns a batch of rows pulled
+// from its upstream. Operators are optimized for sorted data and can work
+// directly on run-length-encoded columns; all stateful operators accept a
+// memory budget and externalize to disk when it is exceeded.
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// Ctx carries per-query execution state shared by the operators of a plan.
+type Ctx struct {
+	// Epoch is the snapshot epoch the query reads (paper §5: READ COMMITTED
+	// targets the latest epoch with no locks).
+	Epoch types.Epoch
+	// MemBudget is the per-operator memory budget in bytes (paper §6.1:
+	// "each operator is given a memory budget ... all operators are capable
+	// of handling arbitrary sized inputs ... by externalizing").
+	MemBudget int64
+	// TempDir hosts externalized spill files.
+	TempDir string
+	// Parallelism bounds intra-node worker threads (StorageUnion fan-out).
+	Parallelism int
+
+	// Stats counters (atomic; shared across worker pipelines).
+	RowsScanned     atomic.Int64
+	BlocksPruned    atomic.Int64
+	BlocksRead      atomic.Int64
+	SIPFiltered     atomic.Int64
+	Spills          atomic.Int64
+	PrepassBypassed atomic.Bool
+}
+
+// NewCtx returns a context with sensible defaults.
+func NewCtx(epoch types.Epoch) *Ctx {
+	return &Ctx{Epoch: epoch, MemBudget: 64 << 20, Parallelism: 4}
+}
+
+// Operator is one node of an executing plan. The contract is strict
+// pull-model: Open, then Next until it returns (nil, nil), then Close.
+type Operator interface {
+	// Schema describes the batches this operator produces.
+	Schema() *types.Schema
+	// Open prepares the operator (and its children) for execution.
+	Open(ctx *Ctx) error
+	// Next returns the next batch, or (nil, nil) at end of stream.
+	Next(ctx *Ctx) (*vector.Batch, error)
+	// Close releases resources (children included).
+	Close(ctx *Ctx) error
+	// Describe renders one line for plan display.
+	Describe() string
+}
+
+// Drain pulls every batch from op (Open/Next/Close) and returns all rows;
+// a convenience for tests, examples and plan roots.
+func Drain(ctx *Ctx, op Operator) ([]types.Row, error) {
+	if err := op.Open(ctx); err != nil {
+		return nil, err
+	}
+	var out []types.Row
+	for {
+		b, err := op.Next(ctx)
+		if err != nil {
+			op.Close(ctx)
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		out = append(out, b.Rows()...)
+	}
+	if err := op.Close(ctx); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Describe renders the whole plan tree, one operator per line.
+func Describe(op Operator) string {
+	var sb strings.Builder
+	describeInto(&sb, op, 0)
+	return sb.String()
+}
+
+func describeInto(sb *strings.Builder, op Operator, depth int) {
+	fmt.Fprintf(sb, "%s%s\n", strings.Repeat("  ", depth), op.Describe())
+	type hasChildren interface{ Children() []Operator }
+	if hc, ok := op.(hasChildren); ok {
+		for _, c := range hc.Children() {
+			describeInto(sb, c, depth+1)
+		}
+	}
+}
+
+// single wraps one child; embedded by most unary operators.
+type single struct {
+	child Operator
+}
+
+func (s *single) Children() []Operator { return []Operator{s.child} }
+
+func (s *single) openChild(ctx *Ctx) error  { return s.child.Open(ctx) }
+func (s *single) closeChild(ctx *Ctx) error { return s.child.Close(ctx) }

@@ -1,0 +1,264 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// Prepass computes partial aggregates close to the scan with a small,
+// cache-sized hash table (paper §6.1): "it attempts to aggregate immediately
+// after fetching columns off the disk using an L1 cache sized hash table.
+// When the hash table fills up, the operator outputs its current contents,
+// clears the hash table, and starts aggregating afresh ... Since there is
+// still a small, but non-zero cost to run the prepass operator, the EE will
+// decide at runtime to stop if it is not actually reducing the number of
+// rows which pass."
+//
+// Output rows are key columns followed by each aggregate's partial columns;
+// a final GroupBy in MergePartials mode combines them.
+type Prepass struct {
+	single
+	Keys     []expr.Expr
+	KeyNames []string
+	Aggs     []AggSpec
+	// MaxGroups bounds the hash table (the "L1 cache sized" table).
+	MaxGroups int
+
+	schema   *types.Schema
+	groups   map[uint64][]*groupEntry
+	nGroups  int
+	inRows   int64
+	outRows  int64
+	bypassed bool
+	pending  []types.Row
+	done     bool
+}
+
+// DefaultPrepassGroups approximates a cache-sized table. The paper says
+// "L1 cache sized"; Go's map entries are several times larger than a tuned
+// C++ open-addressing slot, so the equivalent entry count targets L2.
+const DefaultPrepassGroups = 4096
+
+// NewPrepass builds a prepass partial-aggregation node.
+func NewPrepass(child Operator, keys []expr.Expr, keyNames []string, aggs []AggSpec) (*Prepass, error) {
+	for i := range aggs {
+		if !aggs[i].SupportsPartial() {
+			return nil, fmt.Errorf("exec: %s cannot be computed by a prepass", aggs[i].String())
+		}
+	}
+	p := &Prepass{
+		single: single{child: child}, Keys: keys, KeyNames: keyNames,
+		Aggs: aggs, MaxGroups: DefaultPrepassGroups,
+	}
+	cols := make([]types.Column, 0, len(keys)+len(aggs)*2)
+	for i, k := range keys {
+		name := ""
+		if keyNames != nil {
+			name = keyNames[i]
+		}
+		if name == "" {
+			name = k.String()
+		}
+		cols = append(cols, types.Column{Name: name, Typ: k.Type(), Nullable: true})
+	}
+	for i := range aggs {
+		cols = append(cols, aggs[i].PartialCols()...)
+	}
+	p.schema = types.NewSchema(cols...)
+	return p, nil
+}
+
+// Schema implements Operator.
+func (p *Prepass) Schema() *types.Schema { return p.schema }
+
+// Describe implements Operator.
+func (p *Prepass) Describe() string {
+	return fmt.Sprintf("GroupByPrepass keys=%d aggs=[%s] maxGroups=%d", len(p.Keys), describeAggs(p.Aggs), p.MaxGroups)
+}
+
+// Open implements Operator.
+func (p *Prepass) Open(ctx *Ctx) error {
+	p.groups = map[uint64][]*groupEntry{}
+	p.nGroups, p.inRows, p.outRows = 0, 0, 0
+	p.bypassed, p.done = false, false
+	p.pending = nil
+	return p.openChild(ctx)
+}
+
+// Close implements Operator.
+func (p *Prepass) Close(ctx *Ctx) error { return p.closeChild(ctx) }
+
+// Next implements Operator.
+func (p *Prepass) Next(ctx *Ctx) (*vector.Batch, error) {
+	for {
+		if len(p.pending) > 0 {
+			return p.drainPending(), nil
+		}
+		if p.done {
+			return nil, nil
+		}
+		in, err := p.child.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if in == nil {
+			p.done = true
+			p.flushTable()
+			continue
+		}
+		if err := p.consume(ctx, in); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *Prepass) consume(ctx *Ctx, in *vector.Batch) error {
+	if in.Sel != nil {
+		in = in.Flatten()
+	} else {
+		in.ExpandRLE()
+	}
+	n := in.Len()
+	p.inRows += int64(n)
+	if p.bypassed {
+		// Not reducing rows: convert each row to a trivial partial.
+		return p.bypassBatch(in)
+	}
+	keyVecs := make([]*vector.Vector, len(p.Keys))
+	for i, k := range p.Keys {
+		v, err := k.Eval(in)
+		if err != nil {
+			return err
+		}
+		keyVecs[i] = v
+	}
+	argVecs := make([]*vector.Vector, len(p.Aggs))
+	for i := range p.Aggs {
+		if p.Aggs[i].Arg == nil {
+			continue
+		}
+		v, err := p.Aggs[i].Arg.Eval(in)
+		if err != nil {
+			return err
+		}
+		argVecs[i] = v
+	}
+	keyIdx := seqIdx(len(p.Keys))
+	for i := 0; i < n; i++ {
+		key := make(types.Row, len(keyVecs))
+		for k, kv := range keyVecs {
+			key[k] = kv.ValueAt(i)
+		}
+		h := types.HashRow(key, keyIdx)
+		var e *groupEntry
+		for _, c := range p.groups[h] {
+			if c.key.Compare(key, keyIdx) == 0 {
+				e = c
+				break
+			}
+		}
+		if e == nil {
+			if p.nGroups >= p.MaxGroups {
+				p.flushTable()
+			}
+			e = &groupEntry{key: key, accs: make([]*aggAcc, len(p.Aggs))}
+			for a := range p.Aggs {
+				e.accs[a] = newAggAcc(&p.Aggs[a])
+			}
+			p.groups[h] = append(p.groups[h], e)
+			p.nGroups++
+		}
+		for a := range p.Aggs {
+			if p.Aggs[a].Kind == AggCountStar {
+				e.accs[a].update(types.Value{})
+			} else {
+				e.accs[a].update(argVecs[a].ValueAt(i))
+			}
+		}
+	}
+	// Adaptivity: if after a meaningful sample the prepass is reducing rows
+	// by less than ~1.5x, its per-row cost is not paying off — stop
+	// aggregating and pass rows through as trivial partials ("the EE will
+	// decide at runtime to stop if it is not actually reducing the number
+	// of rows which pass", §6.1).
+	if p.inRows >= int64(p.MaxGroups)*4 && p.outRows*3 > p.inRows*2 {
+		p.bypassed = true
+		ctx.PrepassBypassed.Store(true)
+		p.flushTable()
+	}
+	return nil
+}
+
+// bypassBatch emits one trivial partial row per input row.
+func (p *Prepass) bypassBatch(in *vector.Batch) error {
+	keyVecs := make([]*vector.Vector, len(p.Keys))
+	for i, k := range p.Keys {
+		v, err := k.Eval(in)
+		if err != nil {
+			return err
+		}
+		keyVecs[i] = v
+	}
+	argVecs := make([]*vector.Vector, len(p.Aggs))
+	for i := range p.Aggs {
+		if p.Aggs[i].Arg == nil {
+			continue
+		}
+		v, err := p.Aggs[i].Arg.Eval(in)
+		if err != nil {
+			return err
+		}
+		argVecs[i] = v
+	}
+	n := in.Len()
+	for i := 0; i < n; i++ {
+		row := make(types.Row, 0, p.schema.Len())
+		for _, kv := range keyVecs {
+			row = append(row, kv.ValueAt(i))
+		}
+		for a := range p.Aggs {
+			acc := newAggAcc(&p.Aggs[a])
+			if p.Aggs[a].Kind == AggCountStar {
+				acc.update(types.Value{})
+			} else {
+				acc.update(argVecs[a].ValueAt(i))
+			}
+			row = append(row, acc.partial()...)
+		}
+		p.pending = append(p.pending, row)
+		p.outRows++
+	}
+	return nil
+}
+
+func (p *Prepass) flushTable() {
+	for _, chain := range p.groups {
+		for _, e := range chain {
+			row := make(types.Row, 0, p.schema.Len())
+			row = append(row, e.key...)
+			for _, acc := range e.accs {
+				row = append(row, acc.partial()...)
+			}
+			p.pending = append(p.pending, row)
+			p.outRows++
+		}
+	}
+	p.groups = map[uint64][]*groupEntry{}
+	p.nGroups = 0
+}
+
+func (p *Prepass) drainPending() *vector.Batch {
+	batch := vector.NewBatchForSchema(p.schema, len(p.pending))
+	n := len(p.pending)
+	if n > vector.DefaultBatchSize {
+		n = vector.DefaultBatchSize
+	}
+	for i := 0; i < n; i++ {
+		batch.AppendRow(p.pending[i])
+	}
+	p.pending = p.pending[n:]
+	return batch
+}

@@ -1,0 +1,465 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/storage"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// Scan reads a projection's ROS containers (and WOS) at the query's snapshot
+// epoch, applying predicates "in the most advantageous manner possible"
+// (paper §6.1): per-block min/max pruning from the position index, late
+// materialization of non-predicate columns, run-preserving decode of RLE
+// blocks, and SIP filters installed by downstream joins.
+type Scan struct {
+	Projection string
+	Mgr        *storage.Manager
+	// Columns are projection-schema column indexes to output, in order.
+	Columns []int
+	// Predicate is over the scan's OUTPUT columns (already remapped).
+	Predicate expr.Expr
+	// SIPs are sideways-information-passing filters (see sip.go), evaluated
+	// against output columns once their join builds are ready.
+	SIPs []*SIPFilter
+	// ContainerIDs restricts the scan to a subset (StorageUnion workers);
+	// nil scans everything.
+	ContainerIDs []string
+	// IncludeWOS scans the write-optimized store too (default true via
+	// NewScan; exactly one worker of a parallel scan includes it).
+	IncludeWOS bool
+	// MergeSorted presents rows globally sorted by SortKey by heap-merging
+	// container streams (used under merge joins and one-pass aggregation).
+	MergeSorted bool
+	// SortKey is the projection sort order as output column indexes
+	// (required when MergeSorted).
+	SortKey []int
+	// PreserveRuns requests RLE-form vectors where possible.
+	PreserveRuns bool
+
+	schema      *types.Schema
+	compactPred expr.Expr // predicate remapped onto predCols
+	predCols    []int     // output column indexes the predicate reads
+	containers  []*storage.ContainerReader
+	cur         int
+	curState    *containerScan
+	wosDone     bool
+	merged      *mergedScan
+	// singleSorted short-circuits MergeSorted when one container holds all
+	// visible rows: its storage order is already the requested order.
+	singleSorted bool
+}
+
+// NewScan builds a scan over the given projection columns.
+func NewScan(projection string, mgr *storage.Manager, schema *types.Schema, cols []int) *Scan {
+	out := make([]types.Column, len(cols))
+	for i, c := range cols {
+		out[i] = schema.Col(c)
+	}
+	return &Scan{
+		Projection: projection,
+		Mgr:        mgr,
+		Columns:    cols,
+		IncludeWOS: true,
+		schema:     types.NewSchema(out...),
+	}
+}
+
+// Schema implements Operator.
+func (s *Scan) Schema() *types.Schema { return s.schema }
+
+// Describe implements Operator.
+func (s *Scan) Describe() string {
+	var parts []string
+	parts = append(parts, fmt.Sprintf("Scan %s cols=%v", s.Projection, s.schema.Names()))
+	if s.Predicate != nil {
+		parts = append(parts, "filter="+s.Predicate.String())
+	}
+	for _, sip := range s.SIPs {
+		parts = append(parts, "sip="+sip.Describe())
+	}
+	if s.MergeSorted {
+		parts = append(parts, "merge-sorted")
+	}
+	return strings.Join(parts, " ")
+}
+
+// Children implements the plan-walk interface (scans are leaves).
+func (s *Scan) Children() []Operator { return nil }
+
+// Open implements Operator.
+func (s *Scan) Open(ctx *Ctx) error {
+	if s.Predicate != nil {
+		s.predCols = expr.ColumnsOf(s.Predicate)
+		m := make(map[int]int, len(s.predCols))
+		for i, c := range s.predCols {
+			m[c] = i
+		}
+		cp, err := expr.Remap(s.Predicate, m)
+		if err != nil {
+			return err
+		}
+		s.compactPred = cp
+	}
+	s.containers = nil
+	if s.ContainerIDs != nil {
+		for _, id := range s.ContainerIDs {
+			if r, ok := s.Mgr.Container(id); ok {
+				s.containers = append(s.containers, r)
+			}
+		}
+	} else {
+		s.containers = s.Mgr.Containers()
+	}
+	// Snapshot visibility: containers born after the snapshot are invisible.
+	visible := s.containers[:0]
+	for _, r := range s.containers {
+		if r.Meta.MinEpoch <= ctx.Epoch {
+			visible = append(visible, r)
+		}
+	}
+	s.containers = visible
+	s.cur, s.curState, s.wosDone = 0, nil, false
+	s.singleSorted = false
+	if s.MergeSorted {
+		if len(s.containers) <= 1 && len(s.visibleWOSRows(ctx)) == 0 {
+			// A single container is already in projection sort order.
+			s.singleSorted = true
+			return nil
+		}
+		return s.openMerged(ctx)
+	}
+	return nil
+}
+
+// Close implements Operator.
+func (s *Scan) Close(*Ctx) error {
+	s.curState, s.merged = nil, nil
+	return nil
+}
+
+// Next implements Operator.
+func (s *Scan) Next(ctx *Ctx) (*vector.Batch, error) {
+	if s.MergeSorted && !s.singleSorted {
+		return s.nextMerged(ctx)
+	}
+	for {
+		if s.curState == nil {
+			if s.cur >= len(s.containers) {
+				return s.nextWOS(ctx)
+			}
+			st, err := s.openContainer(ctx, s.containers[s.cur])
+			if err != nil {
+				return nil, err
+			}
+			s.cur++
+			s.curState = st
+			if st == nil {
+				continue
+			}
+		}
+		b, err := s.curState.nextBlock(ctx, s)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			s.curState = nil
+			continue
+		}
+		if b.Len() == 0 {
+			continue
+		}
+		return b, nil
+	}
+}
+
+// containerScan is the per-container cursor.
+type containerScan struct {
+	r         *storage.ContainerReader
+	colIdx    []int // container column index per output column
+	pidx      [][]storage.PidxEntry
+	epochIdx  int // container epoch column, -1 when visibility is trivial
+	epochPidx []storage.PidxEntry
+	deleted   []int64 // sorted deleted positions at the snapshot
+	block     int
+	numBlocks int
+	pruners   []blockPruner
+}
+
+// blockPruner prunes blocks via one predicate conjunct of the form
+// <col> <op> <const>.
+type blockPruner struct {
+	outCol int // index into s.Columns (and pidx)
+	op     expr.CmpOp
+	val    types.Value
+}
+
+func (p *blockPruner) mayMatch(e *storage.PidxEntry) bool {
+	pr := storage.PruneRange{Min: e.Min, Max: e.Max, Valid: true}
+	switch p.op {
+	case expr.Eq:
+		return pr.MayContainEq(p.val)
+	case expr.Lt:
+		return pr.MayContainLt(p.val, false)
+	case expr.Le:
+		return pr.MayContainLt(p.val, true)
+	case expr.Gt:
+		return pr.MayContainGt(p.val, false)
+	case expr.Ge:
+		return pr.MayContainGt(p.val, true)
+	default:
+		return true
+	}
+}
+
+// extractPruners finds prunable conjuncts of the scan predicate.
+func (s *Scan) extractPruners() []blockPruner {
+	var out []blockPruner
+	for _, c := range expr.Conjuncts(s.Predicate) {
+		cmp, ok := c.(*expr.Cmp)
+		if !ok {
+			continue
+		}
+		if col, okL := cmp.L.(*expr.ColRef); okL {
+			if k, okR := cmp.R.(*expr.Const); okR {
+				out = append(out, blockPruner{outCol: col.Idx, op: cmp.Op, val: k.Val})
+			}
+			continue
+		}
+		if k, okL := cmp.L.(*expr.Const); okL {
+			if col, okR := cmp.R.(*expr.ColRef); okR {
+				out = append(out, blockPruner{outCol: col.Idx, op: cmp.Op.Swap(), val: k.Val})
+			}
+		}
+	}
+	return out
+}
+
+func (s *Scan) openContainer(ctx *Ctx, r *storage.ContainerReader) (*containerScan, error) {
+	st := &containerScan{r: r, epochIdx: -1}
+	st.colIdx = make([]int, len(s.Columns))
+	for i, pc := range s.Columns {
+		name := s.Mgr.Schema().Col(pc).Name
+		ci := r.Meta.ColIndex(name)
+		if ci < 0 {
+			return nil, fmt.Errorf("exec: container %s lacks column %q", r.Meta.ID, name)
+		}
+		st.colIdx[i] = ci
+	}
+	st.pidx = make([][]storage.PidxEntry, len(st.colIdx))
+	for i, ci := range st.colIdx {
+		p, err := r.Pidx(ci)
+		if err != nil {
+			return nil, err
+		}
+		st.pidx[i] = p
+	}
+	if len(st.pidx) > 0 {
+		st.numBlocks = len(st.pidx[0])
+	}
+	// Container-level pruning: skip the whole container when a prunable
+	// conjunct excludes its full column range (paper §3.5).
+	st.pruners = s.extractPruners()
+	for _, p := range st.pruners {
+		rng, err := r.ColumnRange(st.colIdx[p.outCol])
+		if err != nil {
+			return nil, err
+		}
+		whole := storage.PidxEntry{Min: rng.Min, Max: rng.Max}
+		if rng.Valid && !p.mayMatch(&whole) {
+			ctx.BlocksPruned.Add(int64(st.numBlocks))
+			return nil, nil
+		}
+	}
+	// Epoch visibility: read the epoch column only when the container
+	// straddles the snapshot.
+	if r.Meta.MaxEpoch > ctx.Epoch {
+		ei := r.Meta.ColIndex(storage.EpochColumn)
+		if ei < 0 {
+			return nil, fmt.Errorf("exec: container %s lacks epoch column", r.Meta.ID)
+		}
+		st.epochIdx = ei
+		p, err := r.Pidx(ei)
+		if err != nil {
+			return nil, err
+		}
+		st.epochPidx = p
+		if st.numBlocks == 0 {
+			st.numBlocks = len(p)
+		}
+	}
+	st.deleted = s.Mgr.DVs().DeletedAt(r.Meta.ID, ctx.Epoch)
+	return st, nil
+}
+
+// nextBlock produces the batch for the next unpruned, visible block, or nil
+// when the container is exhausted.
+func (st *containerScan) nextBlock(ctx *Ctx, s *Scan) (*vector.Batch, error) {
+	for st.block < st.numBlocks {
+		b := st.block
+		st.block++
+		pruned := false
+		for _, p := range st.pruners {
+			if !p.mayMatch(&st.pidx[p.outCol][b]) {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			ctx.BlocksPruned.Add(1)
+			continue
+		}
+		ctx.BlocksRead.Add(1)
+		var firstPos, nRows int64
+		if len(st.pidx) > 0 {
+			firstPos, nRows = st.pidx[0][b].FirstPos, st.pidx[0][b].RowCount
+		} else {
+			firstPos, nRows = st.epochPidx[b].FirstPos, st.epochPidx[b].RowCount
+		}
+		cols := make([]*vector.Vector, len(s.Columns))
+		// Decode predicate columns first and evaluate (late materialization:
+		// remaining columns decode only if any row survives).
+		sel, err := st.evalPredicate(ctx, s, b, cols)
+		if err != nil {
+			return nil, err
+		}
+		if sel != nil && len(sel) == 0 {
+			continue
+		}
+		// Visibility: epoch column and delete vector.
+		sel, err = st.applyVisibility(ctx, s, b, firstPos, nRows, sel)
+		if err != nil {
+			return nil, err
+		}
+		if sel != nil && len(sel) == 0 {
+			continue
+		}
+		// Materialize remaining columns.
+		preserve := s.PreserveRuns && sel == nil
+		for i := range cols {
+			if cols[i] != nil {
+				continue
+			}
+			it := st.r.NewColumnIter(st.colIdx[i], nil)
+			it.PreserveRuns = preserve
+			if err := it.SkipTo(firstPos); err != nil {
+				return nil, err
+			}
+			v, _, err := it.Next()
+			if err != nil {
+				return nil, err
+			}
+			if v == nil {
+				return nil, fmt.Errorf("exec: short column %d in %s", i, st.r.Meta.ID)
+			}
+			cols[i] = v
+		}
+		batch := &vector.Batch{Cols: cols, Sel: sel}
+		// SIP filters: drop probe rows whose keys cannot match the join's
+		// hash table (paper §6.1).
+		for _, sip := range s.SIPs {
+			before := batch.Len()
+			if err := sip.Apply(batch); err != nil {
+				return nil, err
+			}
+			ctx.SIPFiltered.Add(int64(before - batch.Len()))
+			if batch.Len() == 0 {
+				break
+			}
+		}
+		if batch.Len() == 0 {
+			continue
+		}
+		ctx.RowsScanned.Add(int64(batch.Len()))
+		if batch.Sel != nil {
+			batch = batch.Flatten()
+		}
+		return batch, nil
+	}
+	return nil, nil
+}
+
+// evalPredicate decodes predicate columns into cols and returns the
+// selection (nil means "all rows pass" with no predicate).
+func (st *containerScan) evalPredicate(ctx *Ctx, s *Scan, b int, cols []*vector.Vector) ([]int, error) {
+	if s.compactPred == nil {
+		return nil, nil
+	}
+	compact := make([]*vector.Vector, len(s.predCols))
+	for i, oc := range s.predCols {
+		it := st.r.NewColumnIter(st.colIdx[oc], nil)
+		if err := it.SkipTo(st.pidx[oc][b].FirstPos); err != nil {
+			return nil, err
+		}
+		v, _, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			return nil, fmt.Errorf("exec: short predicate column in %s", st.r.Meta.ID)
+		}
+		cols[oc] = v.Expand()
+		compact[i] = cols[oc]
+	}
+	return expr.SelectWhere(&vector.Batch{Cols: compact}, s.compactPred)
+}
+
+// applyVisibility intersects sel with epoch-visible, undeleted rows.
+func (st *containerScan) applyVisibility(ctx *Ctx, s *Scan, b int, firstPos, nRows int64, sel []int) ([]int, error) {
+	// Deleted positions within this block.
+	var delSet map[int]bool
+	lo := sort.Search(len(st.deleted), func(i int) bool { return st.deleted[i] >= firstPos })
+	hi := sort.Search(len(st.deleted), func(i int) bool { return st.deleted[i] >= firstPos+nRows })
+	if lo < hi {
+		delSet = make(map[int]bool, hi-lo)
+		for _, p := range st.deleted[lo:hi] {
+			delSet[int(p-firstPos)] = true
+		}
+	}
+	var epochs *vector.Vector
+	if st.epochIdx >= 0 {
+		it := st.r.NewColumnIter(st.epochIdx, nil)
+		if err := it.SkipTo(firstPos); err != nil {
+			return nil, err
+		}
+		v, _, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		epochs = v.Expand()
+	}
+	if delSet == nil && epochs == nil {
+		return sel, nil
+	}
+	visible := func(i int) bool {
+		if delSet != nil && delSet[i] {
+			return false
+		}
+		if epochs != nil && types.Epoch(epochs.Ints[i]) > ctx.Epoch {
+			return false
+		}
+		return true
+	}
+	var out []int
+	if sel == nil {
+		for i := 0; i < int(nRows); i++ {
+			if visible(i) {
+				out = append(out, i)
+			}
+		}
+	} else {
+		for _, i := range sel {
+			if visible(i) {
+				out = append(out, i)
+			}
+		}
+	}
+	if out == nil {
+		out = []int{}
+	}
+	return out, nil
+}

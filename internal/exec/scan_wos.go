@@ -1,0 +1,196 @@
+package exec
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/expr"
+	"repro/internal/storage"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// WOS and merge-sorted scan paths.
+
+// projectRow picks the given column indexes out of a row.
+func projectRow(r types.Row, cols []int) types.Row {
+	out := make(types.Row, len(cols))
+	for i, c := range cols {
+		out[i] = r[c]
+	}
+	return out
+}
+
+// nextWOS produces the WOS's visible rows (once), then ends the stream.
+func (s *Scan) nextWOS(ctx *Ctx) (*vector.Batch, error) {
+	if s.wosDone || !s.IncludeWOS {
+		return nil, nil
+	}
+	s.wosDone = true
+	rows := s.visibleWOSRows(ctx)
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	batch := vector.NewBatchForSchema(s.schema, len(rows))
+	for _, r := range rows {
+		batch.AppendRow(projectRow(r.Row, s.Columns))
+	}
+	sel, err := expr.SelectWhere(batch, s.Predicate)
+	if err != nil {
+		return nil, err
+	}
+	batch.Sel = sel
+	for _, sip := range s.SIPs {
+		before := batch.Len()
+		if err := sip.Apply(batch); err != nil {
+			return nil, err
+		}
+		ctx.SIPFiltered.Add(int64(before - batch.Len()))
+	}
+	if batch.Len() == 0 {
+		return nil, nil
+	}
+	ctx.RowsScanned.Add(int64(batch.Len()))
+	return batch.Flatten(), nil
+}
+
+// visibleWOSRows snapshots the WOS at the query epoch, minus deleted rows.
+func (s *Scan) visibleWOSRows(ctx *Ctx) []storage.WOSRow {
+	rows := s.Mgr.WOS().Snapshot(ctx.Epoch)
+	if len(rows) == 0 {
+		return nil
+	}
+	deleted := s.Mgr.DVs().DeletedAt(storage.WOSTarget, ctx.Epoch)
+	if len(deleted) == 0 {
+		return rows
+	}
+	delSet := make(map[int64]bool, len(deleted))
+	for _, p := range deleted {
+		delSet[p] = true
+	}
+	out := rows[:0]
+	for _, r := range rows {
+		if !delSet[r.Pos] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// --- merge-sorted scan -------------------------------------------------
+
+// mergedScan heap-merges per-container sorted streams (plus the sorted WOS
+// snapshot) so the scan emits rows globally ordered by the projection sort
+// key — used under merge joins and one-pass aggregation (paper §6.1:
+// "Vertica's operators are optimized for the sorted data that the storage
+// system maintains").
+type mergedScan struct {
+	h *rowMergeHeap
+}
+
+// sortedSource is one source's visible, filtered rows (sorted internally).
+type sortedSource struct {
+	rows []types.Row
+	pos  int
+}
+
+type rowMergeHeap struct {
+	src     []*sortedSource
+	sortKey []int
+}
+
+func (h *rowMergeHeap) Len() int { return len(h.src) }
+func (h *rowMergeHeap) Less(i, j int) bool {
+	a := h.src[i].rows[h.src[i].pos]
+	b := h.src[j].rows[h.src[j].pos]
+	return a.Compare(b, h.sortKey) < 0
+}
+func (h *rowMergeHeap) Swap(i, j int)      { h.src[i], h.src[j] = h.src[j], h.src[i] }
+func (h *rowMergeHeap) Push(x interface{}) { h.src = append(h.src, x.(*sortedSource)) }
+func (h *rowMergeHeap) Pop() interface{} {
+	old := h.src
+	n := len(old)
+	x := old[n-1]
+	h.src = old[:n-1]
+	return x
+}
+
+func (s *Scan) openMerged(ctx *Ctx) error {
+	var sources []*sortedSource
+	for _, r := range s.containers {
+		st, err := s.openContainer(ctx, r)
+		if err != nil {
+			return err
+		}
+		if st == nil {
+			continue
+		}
+		src := &sortedSource{}
+		for {
+			b, err := st.nextBlock(ctx, s)
+			if err != nil {
+				return err
+			}
+			if b == nil {
+				break
+			}
+			src.rows = append(src.rows, b.Rows()...)
+		}
+		if len(src.rows) > 0 {
+			sources = append(sources, src)
+		}
+	}
+	if s.IncludeWOS {
+		wosRows := s.visibleWOSRows(ctx)
+		if len(wosRows) > 0 {
+			batch := vector.NewBatchForSchema(s.schema, len(wosRows))
+			for _, r := range wosRows {
+				batch.AppendRow(projectRow(r.Row, s.Columns))
+			}
+			sel, err := expr.SelectWhere(batch, s.Predicate)
+			if err != nil {
+				return err
+			}
+			batch.Sel = sel
+			for _, sip := range s.SIPs {
+				if err := sip.Apply(batch); err != nil {
+					return err
+				}
+			}
+			rows := batch.Rows()
+			sort.SliceStable(rows, func(i, j int) bool {
+				return rows[i].Compare(rows[j], s.SortKey) < 0
+			})
+			if len(rows) > 0 {
+				ctx.RowsScanned.Add(int64(len(rows)))
+				sources = append(sources, &sortedSource{rows: rows})
+			}
+		}
+	}
+	h := &rowMergeHeap{src: sources, sortKey: s.SortKey}
+	heap.Init(h)
+	s.merged = &mergedScan{h: h}
+	return nil
+}
+
+func (s *Scan) nextMerged(*Ctx) (*vector.Batch, error) {
+	h := s.merged.h
+	if h.Len() == 0 {
+		return nil, nil
+	}
+	batch := vector.NewBatchForSchema(s.schema, vector.DefaultBatchSize)
+	for batch.Len() < vector.DefaultBatchSize && h.Len() > 0 {
+		src := h.src[0]
+		batch.AppendRow(src.rows[src.pos])
+		src.pos++
+		if src.pos >= len(src.rows) {
+			heap.Pop(h)
+		} else {
+			heap.Fix(h, 0)
+		}
+	}
+	if batch.Len() == 0 {
+		return nil, nil
+	}
+	return batch, nil
+}

@@ -1,0 +1,397 @@
+package exec
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// SortSpec orders one column.
+type SortSpec struct {
+	Col  int
+	Desc bool
+}
+
+// compareRows orders rows by a sort spec (NULLS FIRST ascending).
+func compareRows(a, b types.Row, specs []SortSpec) int {
+	for _, s := range specs {
+		c := a[s.Col].Compare(b[s.Col])
+		if c != 0 {
+			if s.Desc {
+				return -c
+			}
+			return c
+		}
+	}
+	return 0
+}
+
+// Sort sorts its input (paper §6.1 operator 5: "sorts incoming data,
+// externalizing if needed"). Input batches accumulate in memory until the
+// budget is exceeded, at which point sorted runs spill to disk and the final
+// pass is a k-way merge of the runs.
+type Sort struct {
+	single
+	Specs []SortSpec
+
+	rows    []types.Row
+	memUsed int64
+	runs    []*spillReader
+	merge   *sortMerge
+	arity   int
+	sorted  bool
+	pos     int
+}
+
+// NewSort builds a sort node.
+func NewSort(child Operator, specs []SortSpec) *Sort {
+	return &Sort{single: single{child: child}, Specs: specs}
+}
+
+// Schema implements Operator.
+func (s *Sort) Schema() *types.Schema { return s.child.Schema() }
+
+// Describe implements Operator.
+func (s *Sort) Describe() string {
+	parts := make([]string, len(s.Specs))
+	for i, sp := range s.Specs {
+		dir := "asc"
+		if sp.Desc {
+			dir = "desc"
+		}
+		parts[i] = fmt.Sprintf("$%d %s", sp.Col, dir)
+	}
+	return fmt.Sprintf("Sort %v", parts)
+}
+
+// Open implements Operator.
+func (s *Sort) Open(ctx *Ctx) error {
+	s.rows = nil
+	s.memUsed = 0
+	s.runs = nil
+	s.merge = nil
+	s.sorted = false
+	s.pos = 0
+	s.arity = s.child.Schema().Len()
+	return s.openChild(ctx)
+}
+
+// Close implements Operator.
+func (s *Sort) Close(ctx *Ctx) error {
+	for _, r := range s.runs {
+		r.close()
+	}
+	s.runs = nil
+	return s.closeChild(ctx)
+}
+
+// Next implements Operator.
+func (s *Sort) Next(ctx *Ctx) (*vector.Batch, error) {
+	if !s.sorted {
+		if err := s.consume(ctx); err != nil {
+			return nil, err
+		}
+		s.sorted = true
+	}
+	if s.merge != nil {
+		return s.merge.next(s.child.Schema())
+	}
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	batch := vector.NewBatchForSchema(s.child.Schema(), vector.DefaultBatchSize)
+	for s.pos < len(s.rows) && batch.Len() < vector.DefaultBatchSize {
+		batch.AppendRow(s.rows[s.pos])
+		s.pos++
+	}
+	return batch, nil
+}
+
+func (s *Sort) consume(ctx *Ctx) error {
+	for {
+		in, err := s.child.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if in == nil {
+			break
+		}
+		for _, r := range in.Rows() {
+			s.rows = append(s.rows, r)
+			s.memUsed += rowMemBytes(r)
+		}
+		if s.memUsed > ctx.MemBudget {
+			if err := s.spillRun(ctx); err != nil {
+				return err
+			}
+		}
+	}
+	sort.SliceStable(s.rows, func(i, j int) bool {
+		return compareRows(s.rows[i], s.rows[j], s.Specs) < 0
+	})
+	if len(s.runs) == 0 {
+		return nil
+	}
+	// Final pass: merge spilled runs with the in-memory tail.
+	var srcs []*sortedRun
+	for _, r := range s.runs {
+		sr := &sortedRun{src: r, arity: s.arity}
+		if err := sr.advance(); err != nil {
+			return err
+		}
+		if sr.cur != nil {
+			srcs = append(srcs, sr)
+		}
+	}
+	memRun := &sortedRun{mem: s.rows, arity: s.arity}
+	if err := memRun.advance(); err != nil {
+		return err
+	}
+	if memRun.cur != nil {
+		srcs = append(srcs, memRun)
+	}
+	h := &sortRunHeap{runs: srcs, specs: s.Specs}
+	heap.Init(h)
+	s.merge = &sortMerge{h: h}
+	s.rows = nil
+	return nil
+}
+
+func (s *Sort) spillRun(ctx *Ctx) error {
+	sort.SliceStable(s.rows, func(i, j int) bool {
+		return compareRows(s.rows[i], s.rows[j], s.Specs) < 0
+	})
+	w, err := newSpillWriter(spillDir(ctx))
+	if err != nil {
+		return err
+	}
+	for _, r := range s.rows {
+		if err := w.writeRow(r); err != nil {
+			return err
+		}
+	}
+	rd, err := w.finish()
+	if err != nil {
+		return err
+	}
+	s.runs = append(s.runs, rd)
+	s.rows = nil
+	s.memUsed = 0
+	ctx.Spills.Add(1)
+	return nil
+}
+
+func rowMemBytes(r types.Row) int64 {
+	b := int64(24 * len(r))
+	for _, v := range r {
+		if v.Typ == types.Varchar {
+			b += int64(len(v.S))
+		}
+	}
+	return b
+}
+
+// sortedRun iterates one sorted run (spilled or in-memory).
+type sortedRun struct {
+	src   *spillReader
+	mem   []types.Row
+	pos   int
+	arity int
+	cur   types.Row
+}
+
+func (r *sortedRun) advance() error {
+	if r.src != nil {
+		row, err := r.src.readRow(r.arity)
+		if err == io.EOF {
+			r.cur = nil
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		r.cur = row
+		return nil
+	}
+	if r.pos >= len(r.mem) {
+		r.cur = nil
+		return nil
+	}
+	r.cur = r.mem[r.pos]
+	r.pos++
+	return nil
+}
+
+type sortRunHeap struct {
+	runs  []*sortedRun
+	specs []SortSpec
+}
+
+func (h *sortRunHeap) Len() int { return len(h.runs) }
+func (h *sortRunHeap) Less(i, j int) bool {
+	return compareRows(h.runs[i].cur, h.runs[j].cur, h.specs) < 0
+}
+func (h *sortRunHeap) Swap(i, j int)      { h.runs[i], h.runs[j] = h.runs[j], h.runs[i] }
+func (h *sortRunHeap) Push(x interface{}) { h.runs = append(h.runs, x.(*sortedRun)) }
+func (h *sortRunHeap) Pop() interface{} {
+	old := h.runs
+	n := len(old)
+	x := old[n-1]
+	h.runs = old[:n-1]
+	return x
+}
+
+type sortMerge struct {
+	h *sortRunHeap
+}
+
+func (m *sortMerge) next(schema *types.Schema) (*vector.Batch, error) {
+	if m.h.Len() == 0 {
+		return nil, nil
+	}
+	batch := vector.NewBatchForSchema(schema, vector.DefaultBatchSize)
+	for batch.Len() < vector.DefaultBatchSize && m.h.Len() > 0 {
+		run := m.h.runs[0]
+		batch.AppendRow(run.cur)
+		if err := run.advance(); err != nil {
+			return nil, err
+		}
+		if run.cur == nil {
+			heap.Pop(m.h)
+		} else {
+			heap.Fix(m.h, 0)
+		}
+	}
+	if batch.Len() == 0 {
+		return nil, nil
+	}
+	return batch, nil
+}
+
+// externalSortRows sorts an arbitrary row stream with bounded memory,
+// returning an iterator; used by the hash join's runtime switch to
+// sort-merge (paper §6.1: "if Vertica determines at runtime the hash table
+// for a hash join will not fit into memory, we will perform a sort-merge
+// join instead").
+type rowIter interface {
+	next() (types.Row, error) // nil row at end
+}
+
+type sliceRowIter struct {
+	rows []types.Row
+	pos  int
+}
+
+func (s *sliceRowIter) next() (types.Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, nil
+}
+
+type mergeRowIter struct{ h *sortRunHeap }
+
+func (m *mergeRowIter) next() (types.Row, error) {
+	if m.h.Len() == 0 {
+		return nil, nil
+	}
+	run := m.h.runs[0]
+	row := run.cur
+	if err := run.advance(); err != nil {
+		return nil, err
+	}
+	if run.cur == nil {
+		heap.Pop(m.h)
+	} else {
+		heap.Fix(m.h, 0)
+	}
+	return row, nil
+}
+
+// externalSorter accumulates rows and produces a sorted iterator.
+type externalSorter struct {
+	ctx     *Ctx
+	specs   []SortSpec
+	arity   int
+	rows    []types.Row
+	memUsed int64
+	runs    []*spillReader
+}
+
+func newExternalSorter(ctx *Ctx, specs []SortSpec, arity int) *externalSorter {
+	return &externalSorter{ctx: ctx, specs: specs, arity: arity}
+}
+
+func (e *externalSorter) add(r types.Row) error {
+	e.rows = append(e.rows, r)
+	e.memUsed += rowMemBytes(r)
+	if e.memUsed > e.ctx.MemBudget {
+		return e.spill()
+	}
+	return nil
+}
+
+func (e *externalSorter) spill() error {
+	sort.SliceStable(e.rows, func(i, j int) bool {
+		return compareRows(e.rows[i], e.rows[j], e.specs) < 0
+	})
+	w, err := newSpillWriter(spillDir(e.ctx))
+	if err != nil {
+		return err
+	}
+	for _, r := range e.rows {
+		if err := w.writeRow(r); err != nil {
+			return err
+		}
+	}
+	rd, err := w.finish()
+	if err != nil {
+		return err
+	}
+	e.runs = append(e.runs, rd)
+	e.rows = nil
+	e.memUsed = 0
+	e.ctx.Spills.Add(1)
+	return nil
+}
+
+func (e *externalSorter) finish() (rowIter, error) {
+	sort.SliceStable(e.rows, func(i, j int) bool {
+		return compareRows(e.rows[i], e.rows[j], e.specs) < 0
+	})
+	if len(e.runs) == 0 {
+		return &sliceRowIter{rows: e.rows}, nil
+	}
+	var srcs []*sortedRun
+	for _, r := range e.runs {
+		sr := &sortedRun{src: r, arity: e.arity}
+		if err := sr.advance(); err != nil {
+			return nil, err
+		}
+		if sr.cur != nil {
+			srcs = append(srcs, sr)
+		}
+	}
+	memRun := &sortedRun{mem: e.rows, arity: e.arity}
+	if err := memRun.advance(); err != nil {
+		return nil, err
+	}
+	if memRun.cur != nil {
+		srcs = append(srcs, memRun)
+	}
+	h := &sortRunHeap{runs: srcs, specs: e.specs}
+	heap.Init(h)
+	return &mergeRowIter{h: h}, nil
+}
+
+func (e *externalSorter) closeRuns() {
+	for _, r := range e.runs {
+		r.close()
+	}
+}

@@ -1,0 +1,147 @@
+package exec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/types"
+)
+
+// Row spill files: operators externalize arbitrary-size state to disk
+// (paper §6.1: "all operators are capable of handling arbitrary sized
+// inputs, regardless of the memory allocated, by externalizing their buffers
+// to disk"). The format is a stream of length-free self-describing rows:
+// per value, a tag byte (type | null bit) and a type-dependent payload.
+
+type spillWriter struct {
+	f *os.File
+	w *bufio.Writer
+	n int64 // rows written
+}
+
+func newSpillWriter(dir string) (*spillWriter, error) {
+	f, err := os.CreateTemp(dir, "spill-*.run")
+	if err != nil {
+		return nil, err
+	}
+	return &spillWriter{f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+func (s *spillWriter) writeRow(r types.Row) error {
+	var buf [10]byte
+	for _, v := range r {
+		tag := byte(v.Typ)
+		if v.Null {
+			tag |= 0x80
+		}
+		if err := s.w.WriteByte(tag); err != nil {
+			return err
+		}
+		if v.Null {
+			continue
+		}
+		switch v.Typ {
+		case types.Float64:
+			binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(v.F))
+			if _, err := s.w.Write(buf[:8]); err != nil {
+				return err
+			}
+		case types.Varchar:
+			n := binary.PutUvarint(buf[:], uint64(len(v.S)))
+			if _, err := s.w.Write(buf[:n]); err != nil {
+				return err
+			}
+			if _, err := s.w.WriteString(v.S); err != nil {
+				return err
+			}
+		default:
+			n := binary.PutVarint(buf[:], v.I)
+			if _, err := s.w.Write(buf[:n]); err != nil {
+				return err
+			}
+		}
+	}
+	s.n++
+	return nil
+}
+
+// finish flushes and reopens the run for reading.
+func (s *spillWriter) finish() (*spillReader, error) {
+	if err := s.w.Flush(); err != nil {
+		return nil, err
+	}
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return &spillReader{f: s.f, r: bufio.NewReaderSize(s.f, 1<<16), rows: s.n}, nil
+}
+
+type spillReader struct {
+	f    *os.File
+	r    *bufio.Reader
+	rows int64
+	read int64
+}
+
+// readRow reads the next row of the given arity; io.EOF at end.
+func (s *spillReader) readRow(arity int) (types.Row, error) {
+	if s.read >= s.rows {
+		return nil, io.EOF
+	}
+	row := make(types.Row, arity)
+	for i := 0; i < arity; i++ {
+		tag, err := s.r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("exec: corrupt spill run: %w", err)
+		}
+		typ := types.Type(tag & 0x7f)
+		if tag&0x80 != 0 {
+			row[i] = types.NewNull(typ)
+			continue
+		}
+		switch typ {
+		case types.Float64:
+			var b [8]byte
+			if _, err := io.ReadFull(s.r, b[:]); err != nil {
+				return nil, fmt.Errorf("exec: corrupt spill run: %w", err)
+			}
+			row[i] = types.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(b[:])))
+		case types.Varchar:
+			l, err := binary.ReadUvarint(s.r)
+			if err != nil {
+				return nil, fmt.Errorf("exec: corrupt spill run: %w", err)
+			}
+			b := make([]byte, l)
+			if _, err := io.ReadFull(s.r, b); err != nil {
+				return nil, fmt.Errorf("exec: corrupt spill run: %w", err)
+			}
+			row[i] = types.NewString(string(b))
+		default:
+			v, err := binary.ReadVarint(s.r)
+			if err != nil {
+				return nil, fmt.Errorf("exec: corrupt spill run: %w", err)
+			}
+			row[i] = types.Value{Typ: typ, I: v}
+		}
+	}
+	s.read++
+	return row, nil
+}
+
+func (s *spillReader) close() {
+	name := s.f.Name()
+	s.f.Close()
+	os.Remove(name)
+}
+
+// spillDir resolves the context's temp directory.
+func spillDir(ctx *Ctx) string {
+	if ctx.TempDir != "" {
+		return ctx.TempDir
+	}
+	return os.TempDir()
+}

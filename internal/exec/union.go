@@ -1,0 +1,210 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// ParallelUnion runs its children concurrently and merges their output into
+// one stream (Figure 3: "the ParallelUnion dispatches threads for processing
+// the GroupBys and Filters in parallel"). Order is not preserved.
+type ParallelUnion struct {
+	children []Operator
+
+	mu      sync.Mutex
+	started bool
+	out     chan *vector.Batch
+	errCh   chan error
+	wg      sync.WaitGroup
+}
+
+// NewParallelUnion builds a union over parallel pipelines; all children must
+// share a schema.
+func NewParallelUnion(children ...Operator) *ParallelUnion {
+	return &ParallelUnion{children: children}
+}
+
+// Schema implements Operator.
+func (u *ParallelUnion) Schema() *types.Schema { return u.children[0].Schema() }
+
+// Children implements the plan walker.
+func (u *ParallelUnion) Children() []Operator { return u.children }
+
+// Describe implements Operator.
+func (u *ParallelUnion) Describe() string {
+	return fmt.Sprintf("ParallelUnion ways=%d", len(u.children))
+}
+
+// Open implements Operator.
+func (u *ParallelUnion) Open(ctx *Ctx) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.started {
+		return nil
+	}
+	u.started = true
+	u.out = make(chan *vector.Batch, len(u.children))
+	u.errCh = make(chan error, len(u.children))
+	for _, c := range u.children {
+		if err := c.Open(ctx); err != nil {
+			return err
+		}
+	}
+	for _, c := range u.children {
+		u.wg.Add(1)
+		go func(c Operator) {
+			defer u.wg.Done()
+			for {
+				b, err := c.Next(ctx)
+				if err != nil {
+					u.errCh <- err
+					return
+				}
+				if b == nil {
+					return
+				}
+				u.out <- b
+			}
+		}(c)
+	}
+	go func() {
+		u.wg.Wait()
+		close(u.out)
+		close(u.errCh)
+	}()
+	return nil
+}
+
+// Next implements Operator.
+func (u *ParallelUnion) Next(*Ctx) (*vector.Batch, error) {
+	b, ok := <-u.out
+	if ok {
+		return b, nil
+	}
+	select {
+	case err, ok := <-u.errCh:
+		if ok && err != nil {
+			return nil, err
+		}
+	default:
+	}
+	return nil, nil
+}
+
+// Close implements Operator.
+func (u *ParallelUnion) Close(ctx *Ctx) error {
+	var firstErr error
+	for _, c := range u.children {
+		if err := c.Close(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// SerialUnion concatenates children sequentially (used where determinism
+// matters more than parallelism, e.g. under a Sort).
+type SerialUnion struct {
+	children []Operator
+	cur      int
+}
+
+// NewSerialUnion builds a sequential union.
+func NewSerialUnion(children ...Operator) *SerialUnion {
+	return &SerialUnion{children: children}
+}
+
+// Schema implements Operator.
+func (u *SerialUnion) Schema() *types.Schema { return u.children[0].Schema() }
+
+// Children implements the plan walker.
+func (u *SerialUnion) Children() []Operator { return u.children }
+
+// Describe implements Operator.
+func (u *SerialUnion) Describe() string {
+	return fmt.Sprintf("SerialUnion ways=%d", len(u.children))
+}
+
+// Open implements Operator.
+func (u *SerialUnion) Open(ctx *Ctx) error {
+	u.cur = 0
+	for _, c := range u.children {
+		if err := c.Open(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (u *SerialUnion) Next(ctx *Ctx) (*vector.Batch, error) {
+	for u.cur < len(u.children) {
+		b, err := u.children[u.cur].Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if b != nil {
+			return b, nil
+		}
+		u.cur++
+	}
+	return nil, nil
+}
+
+// Close implements Operator.
+func (u *SerialUnion) Close(ctx *Ctx) error {
+	var firstErr error
+	for _, c := range u.children {
+		if err := c.Close(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Values is an in-memory row source (tests, INSERT ... VALUES, and the
+// simulated cluster's row shipping).
+type Values struct {
+	Rows   []types.Row
+	schema *types.Schema
+	pos    int
+}
+
+// NewValues builds a values source.
+func NewValues(schema *types.Schema, rows []types.Row) *Values {
+	return &Values{Rows: rows, schema: schema}
+}
+
+// Schema implements Operator.
+func (v *Values) Schema() *types.Schema { return v.schema }
+
+// Children implements the plan walker (leaf).
+func (v *Values) Children() []Operator { return nil }
+
+// Describe implements Operator.
+func (v *Values) Describe() string { return fmt.Sprintf("Values rows=%d", len(v.Rows)) }
+
+// Open implements Operator.
+func (v *Values) Open(*Ctx) error {
+	v.pos = 0
+	return nil
+}
+
+// Close implements Operator.
+func (v *Values) Close(*Ctx) error { return nil }
+
+// Next implements Operator.
+func (v *Values) Next(*Ctx) (*vector.Batch, error) {
+	if v.pos >= len(v.Rows) {
+		return nil, nil
+	}
+	batch := vector.NewBatchForSchema(v.schema, vector.DefaultBatchSize)
+	for v.pos < len(v.Rows) && batch.Len() < vector.DefaultBatchSize {
+		batch.AppendRow(v.Rows[v.pos])
+		v.pos++
+	}
+	return batch, nil
+}

@@ -1,0 +1,224 @@
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// ArithOp identifies an arithmetic operator.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+	Mod
+)
+
+func (op ArithOp) String() string {
+	switch op {
+	case Add:
+		return "+"
+	case Sub:
+		return "-"
+	case Mul:
+		return "*"
+	case Div:
+		return "/"
+	case Mod:
+		return "%"
+	default:
+		return "?"
+	}
+}
+
+// Arith is a binary arithmetic expression. Its kernel (int or float) is
+// selected once at construction — the typed-kernel stand-in for Vertica's
+// expression JIT (paper §6.1).
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+
+	typ    types.Type
+	intKer func(a, b int64) (int64, error)
+	fltKer func(a, b float64) (float64, error)
+}
+
+// NewArith builds an arithmetic node, resolving the result type and kernel.
+func NewArith(op ArithOp, l, r Expr) (*Arith, error) {
+	lt, rt := l.Type(), r.Type()
+	if !lt.IsNumeric() || !rt.IsNumeric() {
+		return nil, fmt.Errorf("expr: %s not defined for %s %s %s", op, lt, op, rt)
+	}
+	a := &Arith{Op: op, L: l, R: r}
+	if lt == types.Float64 || rt == types.Float64 {
+		a.typ = types.Float64
+		switch op {
+		case Add:
+			a.fltKer = func(x, y float64) (float64, error) { return x + y, nil }
+		case Sub:
+			a.fltKer = func(x, y float64) (float64, error) { return x - y, nil }
+		case Mul:
+			a.fltKer = func(x, y float64) (float64, error) { return x * y, nil }
+		case Div:
+			a.fltKer = func(x, y float64) (float64, error) {
+				if y == 0 {
+					return 0, errDivZero
+				}
+				return x / y, nil
+			}
+		case Mod:
+			return nil, fmt.Errorf("expr: %% not defined for FLOAT")
+		}
+	} else {
+		// Timestamp arithmetic yields Timestamp only for ts±int; ts-ts is int.
+		a.typ = types.Int64
+		if (lt == types.Timestamp) != (rt == types.Timestamp) {
+			a.typ = types.Timestamp
+		}
+		switch op {
+		case Add:
+			a.intKer = func(x, y int64) (int64, error) { return x + y, nil }
+		case Sub:
+			a.intKer = func(x, y int64) (int64, error) { return x - y, nil }
+		case Mul:
+			a.intKer = func(x, y int64) (int64, error) { return x * y, nil }
+		case Div:
+			a.intKer = func(x, y int64) (int64, error) {
+				if y == 0 {
+					return 0, errDivZero
+				}
+				return x / y, nil
+			}
+		case Mod:
+			a.intKer = func(x, y int64) (int64, error) {
+				if y == 0 {
+					return 0, errDivZero
+				}
+				return x % y, nil
+			}
+		}
+	}
+	return a, nil
+}
+
+var errDivZero = fmt.Errorf("expr: division by zero")
+
+// Type implements Expr.
+func (a *Arith) Type() types.Type { return a.typ }
+
+// Eval implements Expr.
+func (a *Arith) Eval(b *vector.Batch) (*vector.Vector, error) {
+	lv, err := a.L.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := a.R.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	n := lv.PhysLen()
+	out := vector.New(a.typ, n)
+	nulls := mergeNulls(lv, rv, n)
+	if a.typ == types.Float64 {
+		lf := asFloats(lv)
+		rf := asFloats(rv)
+		res := make([]float64, n)
+		for i := 0; i < n; i++ {
+			if nulls != nil && nulls[i] {
+				continue
+			}
+			res[i], err = a.fltKer(lf[i], rf[i])
+			if err != nil {
+				return nil, err
+			}
+		}
+		out.Floats = res
+	} else {
+		li, ri := lv.Ints, rv.Ints
+		res := make([]int64, n)
+		for i := 0; i < n; i++ {
+			if nulls != nil && nulls[i] {
+				continue
+			}
+			res[i], err = a.intKer(li[i], ri[i])
+			if err != nil {
+				return nil, err
+			}
+		}
+		out.Ints = res
+	}
+	out.Nulls = nulls
+	return out, nil
+}
+
+// EvalRow implements Expr.
+func (a *Arith) EvalRow(r types.Row) (types.Value, error) {
+	lv, err := a.L.EvalRow(r)
+	if err != nil {
+		return types.Value{}, err
+	}
+	rv, err := a.R.EvalRow(r)
+	if err != nil {
+		return types.Value{}, err
+	}
+	if lv.Null || rv.Null {
+		return types.NewNull(a.typ), nil
+	}
+	if a.typ == types.Float64 {
+		f, err := a.fltKer(scalarFloat(lv), scalarFloat(rv))
+		if err != nil {
+			return types.Value{}, err
+		}
+		return types.NewFloat(f), nil
+	}
+	i, err := a.intKer(lv.I, rv.I)
+	if err != nil {
+		return types.Value{}, err
+	}
+	return types.Value{Typ: a.typ, I: i}, nil
+}
+
+// Columns implements Expr.
+func (a *Arith) Columns(acc []int) []int { return a.R.Columns(a.L.Columns(acc)) }
+
+// String implements Expr.
+func (a *Arith) String() string {
+	return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R)
+}
+
+// asFloats coerces an integral or float vector to a float64 slice.
+func asFloats(v *vector.Vector) []float64 {
+	if v.Typ == types.Float64 {
+		return v.Floats
+	}
+	out := make([]float64, len(v.Ints))
+	for i, x := range v.Ints {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+func scalarFloat(v types.Value) float64 {
+	if v.Typ == types.Float64 {
+		return v.F
+	}
+	return float64(v.I)
+}
+
+// mergeNulls combines the null bitmaps of two operand vectors, returning nil
+// when neither has nulls.
+func mergeNulls(a, b *vector.Vector, n int) []bool {
+	if a.Nulls == nil && b.Nulls == nil {
+		return nil
+	}
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		out[i] = (a.Nulls != nil && a.Nulls[i]) || (b.Nulls != nil && b.Nulls[i])
+	}
+	return out
+}

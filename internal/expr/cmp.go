@@ -1,0 +1,253 @@
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// CmpOp identifies a comparison operator.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case Eq:
+		return "="
+	case Ne:
+		return "<>"
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// Negate returns the logically negated operator (for NOT pushdown).
+func (op CmpOp) Negate() CmpOp {
+	switch op {
+	case Eq:
+		return Ne
+	case Ne:
+		return Eq
+	case Lt:
+		return Ge
+	case Le:
+		return Gt
+	case Gt:
+		return Le
+	default: // Ge
+		return Lt
+	}
+}
+
+// Swap returns the operator with operands exchanged (a op b == b op.Swap() a).
+func (op CmpOp) Swap() CmpOp {
+	switch op {
+	case Lt:
+		return Gt
+	case Le:
+		return Ge
+	case Gt:
+		return Lt
+	case Ge:
+		return Le
+	default:
+		return op
+	}
+}
+
+func cmpHolds(op CmpOp, c int) bool {
+	switch op {
+	case Eq:
+		return c == 0
+	case Ne:
+		return c != 0
+	case Lt:
+		return c < 0
+	case Le:
+		return c <= 0
+	case Gt:
+		return c > 0
+	default: // Ge
+		return c >= 0
+	}
+}
+
+// Cmp is a binary comparison yielding Bool. NULL operands yield NULL
+// (SQL ternary logic). The comparison kernel is chosen at construction.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+
+	kind cmpKind
+}
+
+type cmpKind uint8
+
+const (
+	cmpInt cmpKind = iota
+	cmpFloat
+	cmpStr
+)
+
+// NewCmp builds a comparison node, verifying operand type compatibility.
+func NewCmp(op CmpOp, l, r Expr) (*Cmp, error) {
+	lt, rt := l.Type(), r.Type()
+	c := &Cmp{Op: op, L: l, R: r}
+	switch {
+	case lt == types.Varchar && rt == types.Varchar:
+		c.kind = cmpStr
+	case lt == types.Float64 || rt == types.Float64:
+		if !lt.IsNumeric() || !rt.IsNumeric() {
+			return nil, fmt.Errorf("expr: cannot compare %s with %s", lt, rt)
+		}
+		c.kind = cmpFloat
+	case lt.IsIntegral() && rt.IsIntegral():
+		c.kind = cmpInt
+	default:
+		return nil, fmt.Errorf("expr: cannot compare %s with %s", lt, rt)
+	}
+	return c, nil
+}
+
+// MustCmp is NewCmp that panics on error, for statically-known-good trees.
+func MustCmp(op CmpOp, l, r Expr) *Cmp {
+	c, err := NewCmp(op, l, r)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Type implements Expr.
+func (c *Cmp) Type() types.Type { return types.Bool }
+
+// Eval implements Expr.
+func (c *Cmp) Eval(b *vector.Batch) (*vector.Vector, error) {
+	lv, err := c.L.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := c.R.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	n := lv.PhysLen()
+	res := make([]int64, n)
+	nulls := mergeNulls(lv, rv, n)
+	switch c.kind {
+	case cmpInt:
+		li, ri := lv.Ints, rv.Ints
+		op := c.Op
+		// Tight per-type loops with the operator hoisted: the typed-kernel
+		// equivalent of Vertica's JIT-compiled comparisons.
+		switch op {
+		case Eq:
+			for i := 0; i < n; i++ {
+				if li[i] == ri[i] {
+					res[i] = 1
+				}
+			}
+		case Ne:
+			for i := 0; i < n; i++ {
+				if li[i] != ri[i] {
+					res[i] = 1
+				}
+			}
+		case Lt:
+			for i := 0; i < n; i++ {
+				if li[i] < ri[i] {
+					res[i] = 1
+				}
+			}
+		case Le:
+			for i := 0; i < n; i++ {
+				if li[i] <= ri[i] {
+					res[i] = 1
+				}
+			}
+		case Gt:
+			for i := 0; i < n; i++ {
+				if li[i] > ri[i] {
+					res[i] = 1
+				}
+			}
+		default:
+			for i := 0; i < n; i++ {
+				if li[i] >= ri[i] {
+					res[i] = 1
+				}
+			}
+		}
+	case cmpFloat:
+		lf, rf := asFloats(lv), asFloats(rv)
+		for i := 0; i < n; i++ {
+			var cc int
+			switch {
+			case lf[i] < rf[i]:
+				cc = -1
+			case lf[i] > rf[i]:
+				cc = 1
+			}
+			if cmpHolds(c.Op, cc) {
+				res[i] = 1
+			}
+		}
+	case cmpStr:
+		ls, rs := lv.Strs, rv.Strs
+		for i := 0; i < n; i++ {
+			var cc int
+			switch {
+			case ls[i] < rs[i]:
+				cc = -1
+			case ls[i] > rs[i]:
+				cc = 1
+			}
+			if cmpHolds(c.Op, cc) {
+				res[i] = 1
+			}
+		}
+	}
+	out := vector.NewFromInts(types.Bool, res)
+	out.Nulls = nulls
+	return out, nil
+}
+
+// EvalRow implements Expr.
+func (c *Cmp) EvalRow(r types.Row) (types.Value, error) {
+	lv, err := c.L.EvalRow(r)
+	if err != nil {
+		return types.Value{}, err
+	}
+	rv, err := c.R.EvalRow(r)
+	if err != nil {
+		return types.Value{}, err
+	}
+	if lv.Null || rv.Null {
+		return types.NewNull(types.Bool), nil
+	}
+	return types.NewBool(cmpHolds(c.Op, lv.Compare(rv))), nil
+}
+
+// Columns implements Expr.
+func (c *Cmp) Columns(acc []int) []int { return c.R.Columns(c.L.Columns(acc)) }
+
+// String implements Expr.
+func (c *Cmp) String() string { return fmt.Sprintf("(%s %s %s)", c.L, c.Op, c.R) }

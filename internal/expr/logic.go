@@ -1,0 +1,445 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// LogicOp identifies a boolean connective.
+type LogicOp uint8
+
+// Boolean connectives.
+const (
+	And LogicOp = iota
+	Or
+	Not
+)
+
+func (op LogicOp) String() string {
+	switch op {
+	case And:
+		return "AND"
+	case Or:
+		return "OR"
+	default:
+		return "NOT"
+	}
+}
+
+// Logic is an n-ary AND/OR or unary NOT over Bool expressions, with SQL
+// ternary NULL semantics (NULL AND false = false, NULL OR true = true).
+type Logic struct {
+	Op   LogicOp
+	Args []Expr
+}
+
+// NewLogic builds a boolean connective node.
+func NewLogic(op LogicOp, args ...Expr) (*Logic, error) {
+	if op == Not && len(args) != 1 {
+		return nil, fmt.Errorf("expr: NOT takes exactly one argument")
+	}
+	if op != Not && len(args) < 2 {
+		return nil, fmt.Errorf("expr: %s takes at least two arguments", op)
+	}
+	for _, a := range args {
+		if a.Type() != types.Bool {
+			return nil, fmt.Errorf("expr: %s argument must be BOOLEAN, got %s", op, a.Type())
+		}
+	}
+	return &Logic{Op: op, Args: args}, nil
+}
+
+// MustAnd conjoins expressions, returning nil for no args and the sole
+// expression for one arg.
+func MustAnd(args ...Expr) Expr {
+	flat := args[:0:0]
+	for _, a := range args {
+		if a != nil {
+			flat = append(flat, a)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return nil
+	case 1:
+		return flat[0]
+	}
+	l, err := NewLogic(And, flat...)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Type implements Expr.
+func (l *Logic) Type() types.Type { return types.Bool }
+
+// ternary is SQL three-valued logic: -1 false, 0 unknown, +1 true.
+func ternaryOf(v *vector.Vector, i int) int8 {
+	if v.Nulls != nil && v.Nulls[i] {
+		return 0
+	}
+	if v.Ints[i] != 0 {
+		return 1
+	}
+	return -1
+}
+
+// Eval implements Expr.
+func (l *Logic) Eval(b *vector.Batch) (*vector.Vector, error) {
+	n := b.FullLen()
+	acc := make([]int8, n)
+	first := true
+	for _, a := range l.Args {
+		av, err := a.Eval(b)
+		if err != nil {
+			return nil, err
+		}
+		if l.Op == Not {
+			res := make([]int64, n)
+			var nulls []bool
+			for i := 0; i < n; i++ {
+				switch ternaryOf(av, i) {
+				case 1:
+					// stays 0 (false)
+				case -1:
+					res[i] = 1
+				default:
+					if nulls == nil {
+						nulls = make([]bool, n)
+					}
+					nulls[i] = true
+				}
+			}
+			out := vector.NewFromInts(types.Bool, res)
+			out.Nulls = nulls
+			return out, nil
+		}
+		for i := 0; i < n; i++ {
+			t := ternaryOf(av, i)
+			if first {
+				acc[i] = t
+				continue
+			}
+			if l.Op == And {
+				acc[i] = ternaryAnd(acc[i], t)
+			} else {
+				acc[i] = -ternaryAnd(-acc[i], -t) // de Morgan
+			}
+		}
+		first = false
+	}
+	res := make([]int64, n)
+	var nulls []bool
+	for i := 0; i < n; i++ {
+		switch acc[i] {
+		case 1:
+			res[i] = 1
+		case 0:
+			if nulls == nil {
+				nulls = make([]bool, n)
+			}
+			nulls[i] = true
+		}
+	}
+	out := vector.NewFromInts(types.Bool, res)
+	out.Nulls = nulls
+	return out, nil
+}
+
+func ternaryAnd(a, b int8) int8 {
+	if a == -1 || b == -1 {
+		return -1
+	}
+	if a == 1 && b == 1 {
+		return 1
+	}
+	return 0
+}
+
+// EvalRow implements Expr.
+func (l *Logic) EvalRow(r types.Row) (types.Value, error) {
+	if l.Op == Not {
+		v, err := l.Args[0].EvalRow(r)
+		if err != nil {
+			return types.Value{}, err
+		}
+		if v.Null {
+			return v, nil
+		}
+		return types.NewBool(v.I == 0), nil
+	}
+	acc := int8(1)
+	if l.Op == Or {
+		acc = -1
+	}
+	for _, a := range l.Args {
+		v, err := a.EvalRow(r)
+		if err != nil {
+			return types.Value{}, err
+		}
+		var t int8
+		switch {
+		case v.Null:
+			t = 0
+		case v.I != 0:
+			t = 1
+		default:
+			t = -1
+		}
+		if l.Op == And {
+			acc = ternaryAnd(acc, t)
+		} else {
+			acc = -ternaryAnd(-acc, -t)
+		}
+	}
+	switch acc {
+	case 0:
+		return types.NewNull(types.Bool), nil
+	case 1:
+		return types.NewBool(true), nil
+	default:
+		return types.NewBool(false), nil
+	}
+}
+
+// Columns implements Expr.
+func (l *Logic) Columns(acc []int) []int {
+	for _, a := range l.Args {
+		acc = a.Columns(acc)
+	}
+	return acc
+}
+
+// String implements Expr.
+func (l *Logic) String() string {
+	if l.Op == Not {
+		return "NOT " + l.Args[0].String()
+	}
+	parts := make([]string, len(l.Args))
+	for i, a := range l.Args {
+		parts[i] = a.String()
+	}
+	return "(" + strings.Join(parts, " "+l.Op.String()+" ") + ")"
+}
+
+// IsNull tests for SQL NULL (IS NULL / IS NOT NULL).
+type IsNull struct {
+	Arg    Expr
+	Negate bool
+}
+
+// Type implements Expr.
+func (e *IsNull) Type() types.Type { return types.Bool }
+
+// Eval implements Expr.
+func (e *IsNull) Eval(b *vector.Batch) (*vector.Vector, error) {
+	av, err := e.Arg.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	n := av.PhysLen()
+	res := make([]int64, n)
+	for i := 0; i < n; i++ {
+		isNull := av.Nulls != nil && av.Nulls[i]
+		if isNull != e.Negate {
+			res[i] = 1
+		}
+	}
+	return vector.NewFromInts(types.Bool, res), nil
+}
+
+// EvalRow implements Expr.
+func (e *IsNull) EvalRow(r types.Row) (types.Value, error) {
+	v, err := e.Arg.EvalRow(r)
+	if err != nil {
+		return types.Value{}, err
+	}
+	return types.NewBool(v.Null != e.Negate), nil
+}
+
+// Columns implements Expr.
+func (e *IsNull) Columns(acc []int) []int { return e.Arg.Columns(acc) }
+
+// String implements Expr.
+func (e *IsNull) String() string {
+	if e.Negate {
+		return e.Arg.String() + " IS NOT NULL"
+	}
+	return e.Arg.String() + " IS NULL"
+}
+
+// InList tests membership in a literal list (col IN (v1, v2, ...)).
+type InList struct {
+	Arg    Expr
+	Vals   []types.Value
+	Negate bool
+}
+
+// Type implements Expr.
+func (e *InList) Type() types.Type { return types.Bool }
+
+// Eval implements Expr.
+func (e *InList) Eval(b *vector.Batch) (*vector.Vector, error) {
+	av, err := e.Arg.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	n := av.PhysLen()
+	res := make([]int64, n)
+	var nulls []bool
+	for i := 0; i < n; i++ {
+		if av.Nulls != nil && av.Nulls[i] {
+			if nulls == nil {
+				nulls = make([]bool, n)
+			}
+			nulls[i] = true
+			continue
+		}
+		v := av.ValueAt(i)
+		found := false
+		for _, lv := range e.Vals {
+			if !lv.Null && v.Compare(lv) == 0 {
+				found = true
+				break
+			}
+		}
+		if found != e.Negate {
+			res[i] = 1
+		}
+	}
+	out := vector.NewFromInts(types.Bool, res)
+	out.Nulls = nulls
+	return out, nil
+}
+
+// EvalRow implements Expr.
+func (e *InList) EvalRow(r types.Row) (types.Value, error) {
+	v, err := e.Arg.EvalRow(r)
+	if err != nil {
+		return types.Value{}, err
+	}
+	if v.Null {
+		return types.NewNull(types.Bool), nil
+	}
+	for _, lv := range e.Vals {
+		if !lv.Null && v.Compare(lv) == 0 {
+			return types.NewBool(!e.Negate), nil
+		}
+	}
+	return types.NewBool(e.Negate), nil
+}
+
+// Columns implements Expr.
+func (e *InList) Columns(acc []int) []int { return e.Arg.Columns(acc) }
+
+// String implements Expr.
+func (e *InList) String() string {
+	parts := make([]string, len(e.Vals))
+	for i, v := range e.Vals {
+		parts[i] = v.String()
+	}
+	op := " IN ("
+	if e.Negate {
+		op = " NOT IN ("
+	}
+	return e.Arg.String() + op + strings.Join(parts, ", ") + ")"
+}
+
+// When is one CASE arm.
+type When struct {
+	Cond Expr
+	Then Expr
+}
+
+// Case is a searched CASE expression.
+type Case struct {
+	Whens []When
+	Else  Expr
+	Typ   types.Type
+}
+
+// NewCase builds a CASE node; all THEN/ELSE arms must share a type.
+func NewCase(whens []When, els Expr) (*Case, error) {
+	if len(whens) == 0 {
+		return nil, fmt.Errorf("expr: CASE requires at least one WHEN")
+	}
+	t := whens[0].Then.Type()
+	for _, w := range whens {
+		if w.Cond.Type() != types.Bool {
+			return nil, fmt.Errorf("expr: CASE WHEN condition must be BOOLEAN")
+		}
+		if w.Then.Type() != t {
+			return nil, fmt.Errorf("expr: CASE arms have mixed types %s and %s", t, w.Then.Type())
+		}
+	}
+	if els != nil && els.Type() != t {
+		return nil, fmt.Errorf("expr: CASE ELSE type %s does not match %s", els.Type(), t)
+	}
+	return &Case{Whens: whens, Else: els, Typ: t}, nil
+}
+
+// Type implements Expr.
+func (e *Case) Type() types.Type { return e.Typ }
+
+// Eval implements Expr (row-at-a-time over the batch; CASE is rare enough in
+// analytic inner loops that a vectorized kernel is not worth the complexity).
+func (e *Case) Eval(b *vector.Batch) (*vector.Vector, error) {
+	n := b.FullLen()
+	out := vector.New(e.Typ, n)
+	fb := b.Flatten()
+	for i := 0; i < n; i++ {
+		v, err := e.EvalRow(fb.Row(i))
+		if err != nil {
+			return nil, err
+		}
+		out.AppendValue(v)
+	}
+	return out, nil
+}
+
+// EvalRow implements Expr.
+func (e *Case) EvalRow(r types.Row) (types.Value, error) {
+	for _, w := range e.Whens {
+		c, err := w.Cond.EvalRow(r)
+		if err != nil {
+			return types.Value{}, err
+		}
+		if c.Bool() {
+			return w.Then.EvalRow(r)
+		}
+	}
+	if e.Else != nil {
+		return e.Else.EvalRow(r)
+	}
+	return types.NewNull(e.Typ), nil
+}
+
+// Columns implements Expr.
+func (e *Case) Columns(acc []int) []int {
+	for _, w := range e.Whens {
+		acc = w.Cond.Columns(acc)
+		acc = w.Then.Columns(acc)
+	}
+	if e.Else != nil {
+		acc = e.Else.Columns(acc)
+	}
+	return acc
+}
+
+// String implements Expr.
+func (e *Case) String() string {
+	var sb strings.Builder
+	sb.WriteString("CASE")
+	for _, w := range e.Whens {
+		fmt.Fprintf(&sb, " WHEN %s THEN %s", w.Cond, w.Then)
+	}
+	if e.Else != nil {
+		fmt.Fprintf(&sb, " ELSE %s", e.Else)
+	}
+	sb.WriteString(" END")
+	return sb.String()
+}

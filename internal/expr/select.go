@@ -1,0 +1,59 @@
+package expr
+
+import (
+	"repro/internal/vector"
+)
+
+// SelectWhere evaluates a boolean predicate over the batch and returns the
+// selection vector of rows where it is true (intersected with any existing
+// selection on the batch). A nil predicate keeps all live rows.
+func SelectWhere(b *vector.Batch, pred Expr) ([]int, error) {
+	if pred == nil {
+		if b.Sel != nil {
+			return b.Sel, nil
+		}
+		sel := make([]int, b.FullLen())
+		for i := range sel {
+			sel[i] = i
+		}
+		return sel, nil
+	}
+	b.ExpandRLE()
+	v, err := pred.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	// The result is never nil on success: callers distinguish "no predicate"
+	// (nil) from "predicate matched zero rows" (empty).
+	out := []int{}
+	if b.Sel != nil {
+		for _, i := range b.Sel {
+			if (v.Nulls == nil || !v.Nulls[i]) && v.Ints[i] != 0 {
+				out = append(out, i)
+			}
+		}
+		return out, nil
+	}
+	n := v.PhysLen()
+	for i := 0; i < n; i++ {
+		if (v.Nulls == nil || !v.Nulls[i]) && v.Ints[i] != 0 {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+// Conjuncts splits a predicate into its top-level AND terms.
+func Conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if l, ok := e.(*Logic); ok && l.Op == And {
+		var out []Expr
+		for _, a := range l.Args {
+			out = append(out, Conjuncts(a)...)
+		}
+		return out
+	}
+	return []Expr{e}
+}

@@ -1,0 +1,115 @@
+package gen
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestLineitemOrdersShape(t *testing.T) {
+	li, ord := LineitemOrders(4000, 1)
+	if len(li) != 4000 || len(ord) != 1000 {
+		t.Fatalf("rows: li=%d ord=%d", len(li), len(ord))
+	}
+	// Referential integrity: every l_orderkey exists in orders.
+	keys := map[int64]bool{}
+	for _, o := range ord {
+		keys[o[0].I] = true
+	}
+	for _, l := range li {
+		if !keys[l[0].I] {
+			t.Fatal("dangling l_orderkey")
+		}
+		if l[2].Typ != types.Timestamp {
+			t.Fatal("shipdate type wrong")
+		}
+		if l[3].F < 900 || l[3].F > 91000 {
+			t.Fatalf("price out of range: %v", l[3])
+		}
+	}
+	// Determinism.
+	li2, _ := LineitemOrders(4000, 1)
+	if li[0].String() != li2[0].String() {
+		t.Error("generator not deterministic")
+	}
+	li3, _ := LineitemOrders(4000, 2)
+	if li[0].String() == li3[0].String() {
+		t.Error("seed has no effect")
+	}
+}
+
+func TestMeterDataShape(t *testing.T) {
+	rows := MeterData(50_000, 10, 20, 1)
+	if len(rows) != 50_000 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	metrics := map[string]bool{}
+	meters := map[int64]bool{}
+	zeros := 0
+	for i, r := range rows {
+		metrics[r[0].S] = true
+		meters[r[1].I] = true
+		if r[3].F == 0 {
+			zeros++
+		}
+		// Sorted by (metric, meter, ts) — the paper's sort order.
+		if i > 0 && rows[i-1].Compare(r, []int{0, 1, 2}) > 0 {
+			t.Fatalf("rows not sorted at %d", i)
+		}
+	}
+	if len(metrics) == 0 || len(meters) == 0 {
+		t.Fatal("no variety")
+	}
+	// "lots of 0 values when nothing happens" for a third of metrics.
+	if zeros == 0 {
+		t.Error("no zero values generated")
+	}
+	// Periodic timestamps: consecutive samples of a series differ by the
+	// series period.
+	var prev types.Row
+	deltas := map[int64]int{}
+	for _, r := range rows {
+		if prev != nil && prev[0].S == r[0].S && prev[1].I == r[1].I {
+			deltas[r[2].I-prev[2].I]++
+		}
+		prev = r
+	}
+	for d := range deltas {
+		if d != 5*60*1_000_000 && d != 10*60*1_000_000 && d != 3600*1_000_000 {
+			t.Errorf("non-periodic delta %d us", d)
+		}
+	}
+}
+
+func TestCSVAndTextRendering(t *testing.T) {
+	rows := MeterData(100, 5, 5, 3)
+	csv := MeterCSVBytes(rows)
+	if lines := bytes.Count(csv, []byte("\n")); lines != 100 {
+		t.Errorf("csv lines = %d", lines)
+	}
+	if !bytes.Contains(csv, []byte("metric_000,")) {
+		t.Error("csv content wrong")
+	}
+	ints := RandomInts(1000, 10_000_000, 9)
+	for _, v := range ints {
+		if v < 1 || v > 10_000_000 {
+			t.Fatalf("int out of range: %d", v)
+		}
+	}
+	txt := IntsTextBytes(ints)
+	if lines := bytes.Count(txt, []byte("\n")); lines != 1000 {
+		t.Errorf("text lines = %d", lines)
+	}
+	// Paper: ~7 digits + newline per row -> ~8 bytes/row at full range.
+	if perRow := float64(len(txt)) / 1000; perRow < 6 || perRow > 9 {
+		t.Errorf("bytes/row = %.1f", perRow)
+	}
+}
+
+func TestDayHelper(t *testing.T) {
+	d0, d1 := Day(0), Day(1)
+	if d1.I-d0.I != 24*3600*1_000_000 {
+		t.Error("Day step is not one day")
+	}
+}

@@ -1,0 +1,342 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/storage"
+	"repro/internal/tuplemover"
+	"repro/internal/txn"
+	"repro/internal/types"
+)
+
+// mapProvider serves projections from a map of storage managers.
+type mapProvider struct {
+	cat  *catalog.Catalog
+	mgrs map[string]*storage.Manager
+}
+
+func (p *mapProvider) Catalog() *catalog.Catalog { return p.cat }
+func (p *mapProvider) ProjectionData(name string) (*storage.Manager, error) {
+	return p.mgrs[name], nil
+}
+
+type fixture struct {
+	p  *mapProvider
+	em *txn.EpochManager
+}
+
+// newFixture creates a sales fact (n rows) with a wide super projection
+// sorted by sale_id and a narrow (cust, price) projection sorted by cust,
+// plus a small replicated customers dimension — the Figure 1 physical
+// design.
+func newFixture(t *testing.T, n int) *fixture {
+	t.Helper()
+	cat := catalog.New("")
+	em := txn.NewEpochManager()
+	if err := cat.CreateTable(&catalog.Table{
+		Name: "sales",
+		Schema: types.NewSchema(
+			types.Column{Name: "sale_id", Typ: types.Int64},
+			types.Column{Name: "cust", Typ: types.Int64},
+			types.Column{Name: "price", Typ: types.Float64},
+		),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.CreateTable(&catalog.Table{
+		Name: "customers",
+		Schema: types.NewSchema(
+			types.Column{Name: "cust_id", Typ: types.Int64},
+			types.Column{Name: "region", Typ: types.Varchar},
+		),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mgrs := map[string]*storage.Manager{}
+	mkProj := func(pr *catalog.Projection, rows []types.Row) {
+		if err := cat.CreateProjection(pr); err != nil {
+			t.Fatal(err)
+		}
+		mgr, err := storage.NewManager(t.TempDir(), pr.Schema, storage.ManagerOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgrs[pr.Name] = mgr
+		mgr.WOS().Append(rows, em.CommitDML())
+		tm, err := tuplemover.New(tuplemover.Config{
+			Projection: pr.Name, Mgr: mgr, Epochs: em, SortKey: pr.SortKey(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tm.Moveout(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	salesRows := make([]types.Row, n)
+	narrowRows := make([]types.Row, n)
+	for i := 0; i < n; i++ {
+		salesRows[i] = types.Row{
+			types.NewInt(int64(i)), types.NewInt(int64(i % 20)), types.NewFloat(float64(i)),
+		}
+		narrowRows[i] = types.Row{types.NewInt(int64(i % 20)), types.NewFloat(float64(i))}
+	}
+	mkProj(&catalog.Projection{
+		Name: "sales_super", Anchor: "sales",
+		Columns:   []string{"sale_id", "cust", "price"},
+		SortOrder: []string{"sale_id"},
+		Seg:       catalog.Segmentation{ExprText: "HASH(sale_id)"},
+	}, salesRows)
+	mkProj(&catalog.Projection{
+		Name: "sales_by_cust", Anchor: "sales",
+		Columns:   []string{"cust", "price"},
+		SortOrder: []string{"cust"},
+		Seg:       catalog.Segmentation{ExprText: "HASH(cust)"},
+	}, narrowRows)
+	dimRows := make([]types.Row, 20)
+	for i := range dimRows {
+		dimRows[i] = types.Row{types.NewInt(int64(i)), types.NewString([]string{"e", "w"}[i%2])}
+	}
+	mkProj(&catalog.Projection{
+		Name: "customers_super", Anchor: "customers",
+		Columns:   []string{"cust_id", "region"},
+		SortOrder: []string{"cust_id"},
+		Seg:       catalog.Segmentation{Replicated: true},
+	}, dimRows)
+	return &fixture{p: &mapProvider{cat: cat, mgrs: mgrs}, em: em}
+}
+
+func (f *fixture) table(t *testing.T, name string) *catalog.Table {
+	tb, err := f.p.cat.Table(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func (f *fixture) run(t *testing.T, q *LogicalQuery, opts PlanOpts) ([]types.Row, *PhysicalPlan) {
+	t.Helper()
+	plan, err := Plan(f.p, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := exec.Drain(exec.NewCtx(f.em.ReadEpoch()), plan.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows, plan
+}
+
+func TestPlanChoosesNarrowProjection(t *testing.T) {
+	f := newFixture(t, 200)
+	sales := f.table(t, "sales")
+	// Query touching only cust and price: the narrow cust-sorted projection
+	// should win over the super projection.
+	q := &LogicalQuery{
+		From:     []TableRef{{Table: sales}},
+		GroupBy:  []int{1},
+		KeyNames: []string{"cust"},
+		Aggs: []exec.AggSpec{{
+			Kind: exec.AggSum, Arg: expr.NewColRef(2, types.Float64, "price"), Name: "s",
+		}},
+		Limit: -1,
+	}
+	rows, plan := f.run(t, q, PlanOpts{})
+	if len(rows) != 20 {
+		t.Fatalf("groups = %d", len(rows))
+	}
+	if plan.ProjectionsUsed[0] != "sales_by_cust" {
+		t.Errorf("chose %s, want sales_by_cust", plan.ProjectionsUsed[0])
+	}
+	// And it plans one-pass aggregation on the sorted projection.
+	if !strings.Contains(plan.Explain(), "one-pass") {
+		t.Errorf("expected one-pass aggregation:\n%s", plan.Explain())
+	}
+}
+
+func TestPlanPushesPredicateIntoScan(t *testing.T) {
+	f := newFixture(t, 200)
+	sales := f.table(t, "sales")
+	q := &LogicalQuery{
+		From:        []TableRef{{Table: sales}},
+		Where:       expr.MustCmp(expr.Gt, expr.NewColRef(0, types.Int64, "sale_id"), expr.NewConst(types.NewInt(150))),
+		SelectExprs: []expr.Expr{expr.NewColRef(0, types.Int64, "sale_id")},
+		SelectNames: []string{"sale_id"},
+		Limit:       -1,
+	}
+	rows, plan := f.run(t, q, PlanOpts{})
+	if len(rows) != 49 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !strings.Contains(plan.Explain(), "filter=") {
+		t.Errorf("predicate not pushed into scan:\n%s", plan.Explain())
+	}
+}
+
+func joinQuery(f *fixture, t *testing.T) *LogicalQuery {
+	sales := f.table(t, "sales")
+	custs := f.table(t, "customers")
+	// flat: sales(0,1,2) customers(3,4)
+	return &LogicalQuery{
+		From:      []TableRef{{Table: sales}, {Table: custs}},
+		JoinConds: []JoinCond{{LeftTbl: 0, LeftCol: 1, RightTbl: 1, RightCol: 0, Type: exec.InnerJoin}},
+		Where: expr.MustCmp(expr.Eq, expr.NewColRef(4, types.Varchar, "region"),
+			expr.NewConst(types.NewString("e"))),
+		GroupBy:  []int{4},
+		KeyNames: []string{"region"},
+		Aggs:     []exec.AggSpec{{Kind: exec.AggCountStar, Name: "n"}},
+		Limit:    -1,
+	}
+}
+
+func TestPlanMergeJoinWhenSortOrdersAlign(t *testing.T) {
+	// The narrow cust-sorted projection joins the cust_id-sorted dimension:
+	// the planner must pick a merge join (paper §6.2: "merge joins on
+	// compressed columns are applied first").
+	f := newFixture(t, 200)
+	q := joinQuery(f, t)
+	rows, plan := f.run(t, q, PlanOpts{})
+	if len(rows) != 1 || rows[0][1].I != 100 {
+		t.Fatalf("rows = %v", rows)
+	}
+	ex := plan.Explain()
+	if !strings.Contains(ex, "MergeJoin") {
+		t.Errorf("aligned sort orders should produce a merge join:\n%s", ex)
+	}
+	if !strings.Contains(ex, "fact table: sales") {
+		t.Errorf("star ordering note missing:\n%s", ex)
+	}
+}
+
+func TestPlanStarJoinWithSIP(t *testing.T) {
+	f := newFixture(t, 200)
+	q := joinQuery(f, t)
+	// Force the super projection (sorted by sale_id, not the join key) so
+	// the join must be a hash join — where SIP applies.
+	opts := PlanOpts{ExcludeProjections: map[string]bool{"sales_by_cust": true}}
+	rows, plan := f.run(t, q, opts)
+	if len(rows) != 1 || rows[0][1].I != 100 {
+		t.Fatalf("rows = %v", rows)
+	}
+	ex := plan.Explain()
+	if !strings.Contains(ex, "HashJoin") {
+		t.Fatalf("expected hash join:\n%s", ex)
+	}
+	if !strings.Contains(ex, "SIP") {
+		t.Errorf("SIP not placed:\n%s", ex)
+	}
+	// Ablation switch must remove it.
+	opts.NoSIP = true
+	_, plan2 := f.run(t, q, opts)
+	if strings.Contains(plan2.Explain(), "SIP") {
+		t.Error("NoSIP did not disable SIP")
+	}
+}
+
+func TestPlanParallelAggregate(t *testing.T) {
+	f := newFixture(t, 2000)
+	sales := f.table(t, "sales")
+	q := &LogicalQuery{
+		From:     []TableRef{{Table: sales}},
+		GroupBy:  []int{1},
+		KeyNames: []string{"cust"},
+		Aggs: []exec.AggSpec{{
+			Kind: exec.AggAvg, Arg: expr.NewColRef(2, types.Float64, "price"), Name: "ap",
+		}},
+		// Touch sale_id so the wide projection is required (its sort order
+		// does not match the grouping, forcing the parallel hash path).
+		Where: expr.MustCmp(expr.Ge, expr.NewColRef(0, types.Int64, "sale_id"), expr.NewConst(types.NewInt(0))),
+		Limit: -1,
+	}
+	rows, plan := f.run(t, q, PlanOpts{Parallelism: 3, NoSIP: true})
+	if len(rows) != 20 {
+		t.Fatalf("groups = %d", len(rows))
+	}
+	ex := plan.Explain()
+	// The Figure 3 shape: prepass, Recv (resegment), ParallelUnion.
+	for _, want := range []string{"GroupByPrepass", "Recv", "ParallelUnion"} {
+		if !strings.Contains(ex, want) {
+			t.Errorf("parallel plan missing %s:\n%s", want, ex)
+		}
+	}
+	// NoPrepass ablation falls back.
+	_, plan2 := f.run(t, q, PlanOpts{Parallelism: 3, NoPrepass: true})
+	if strings.Contains(plan2.Explain(), "GroupByPrepass") {
+		t.Error("NoPrepass did not disable the prepass")
+	}
+}
+
+func TestPlanExcludeProjectionsAndBuddies(t *testing.T) {
+	f := newFixture(t, 100)
+	sales := f.table(t, "sales")
+	q := &LogicalQuery{
+		From:        []TableRef{{Table: sales}},
+		SelectExprs: []expr.Expr{expr.NewColRef(1, types.Int64, "cust")},
+		SelectNames: []string{"cust"},
+		Limit:       -1,
+	}
+	_, plan := f.run(t, q, PlanOpts{ExcludeProjections: map[string]bool{"sales_by_cust": true}})
+	if plan.ProjectionsUsed[0] != "sales_super" {
+		t.Errorf("exclusion ignored: %s", plan.ProjectionsUsed[0])
+	}
+	// Excluding everything fails.
+	_, err := Plan(f.p, q, PlanOpts{ExcludeProjections: map[string]bool{
+		"sales_super": true, "sales_by_cust": true,
+	}})
+	if err == nil {
+		t.Error("planning with no projection should fail")
+	}
+}
+
+func TestPlanCostReflectsNarrowness(t *testing.T) {
+	f := newFixture(t, 500)
+	sales := f.table(t, "sales")
+	wide := &LogicalQuery{
+		From: []TableRef{{Table: sales}},
+		SelectExprs: []expr.Expr{
+			expr.NewColRef(0, types.Int64, "sale_id"),
+			expr.NewColRef(1, types.Int64, "cust"),
+			expr.NewColRef(2, types.Float64, "price"),
+		},
+		SelectNames: []string{"sale_id", "cust", "price"},
+		Limit:       -1,
+	}
+	narrow := &LogicalQuery{
+		From:        []TableRef{{Table: sales}},
+		SelectExprs: []expr.Expr{expr.NewColRef(1, types.Int64, "cust")},
+		SelectNames: []string{"cust"},
+		Limit:       -1,
+	}
+	_, widePlan := f.run(t, wide, PlanOpts{})
+	_, narrowPlan := f.run(t, narrow, PlanOpts{})
+	if narrowPlan.EstCost >= widePlan.EstCost {
+		t.Errorf("narrow query cost %.0f >= wide cost %.0f", narrowPlan.EstCost, widePlan.EstCost)
+	}
+}
+
+func TestPlanDistinct(t *testing.T) {
+	f := newFixture(t, 100)
+	sales := f.table(t, "sales")
+	q := &LogicalQuery{
+		From:        []TableRef{{Table: sales}},
+		SelectExprs: []expr.Expr{expr.NewColRef(1, types.Int64, "cust")},
+		SelectNames: []string{"cust"},
+		Distinct:    true,
+		Limit:       -1,
+	}
+	rows, _ := f.run(t, q, PlanOpts{})
+	if len(rows) != 20 {
+		t.Errorf("distinct rows = %d", len(rows))
+	}
+}
+
+func TestPlanNoFromFails(t *testing.T) {
+	f := newFixture(t, 10)
+	if _, err := Plan(f.p, &LogicalQuery{Limit: -1}, PlanOpts{}); err == nil {
+		t.Error("empty FROM should fail")
+	}
+}

@@ -1,0 +1,260 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/encoding"
+	"repro/internal/types"
+)
+
+// Manager owns the physical storage of one projection on one node: its ROS
+// containers, WOS and delete vectors. Container layouts are private to each
+// node — "while two nodes might contain the same tuples, it is common for
+// them to have a different layout of ROS containers" (paper §4).
+type Manager struct {
+	mu  sync.RWMutex
+	dir string
+
+	schema        *types.Schema // projection columns + implicit $epoch last
+	nextID        int64
+	containers    map[string]*ContainerReader
+	wos           *WOS
+	dvs           *DVStore
+	localSegments int
+	maxROSBytes   int64
+}
+
+// ManagerOpts configures a projection storage manager.
+type ManagerOpts struct {
+	WOSMaxBytes   int64
+	LocalSegments int   // intra-node local segments (paper §3.6); default 3
+	MaxROSBytes   int64 // mergeout output cap (the paper's 2TB); default 1<<40
+}
+
+// NewManager creates (or reopens) the storage for one projection under dir.
+// schema is the projection's user-visible schema; the implicit epoch column
+// is managed internally.
+func NewManager(dir string, schema *types.Schema, opts ManagerOpts) (*Manager, error) {
+	if opts.LocalSegments <= 0 {
+		opts.LocalSegments = 3
+	}
+	if opts.MaxROSBytes <= 0 {
+		opts.MaxROSBytes = 1 << 40
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	dvs, err := NewDVStore(filepath.Join(dir, "dv"))
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		dir:           dir,
+		schema:        schema,
+		containers:    map[string]*ContainerReader{},
+		wos:           NewWOS(schema, opts.WOSMaxBytes),
+		dvs:           dvs,
+		localSegments: opts.LocalSegments,
+		maxROSBytes:   opts.MaxROSBytes,
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range ents {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "ros_") {
+			continue
+		}
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			os.RemoveAll(filepath.Join(dir, e.Name())) // crash leftovers
+			continue
+		}
+		r, err := OpenContainer(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("storage: reopening %s: %w", e.Name(), err)
+		}
+		m.containers[r.Meta.ID] = r
+		var seq int64
+		if _, err := fmt.Sscanf(r.Meta.ID, "ros_%d", &seq); err == nil && seq >= m.nextID {
+			m.nextID = seq + 1
+		}
+	}
+	return m, nil
+}
+
+// Schema returns the projection schema (without the implicit epoch column).
+func (m *Manager) Schema() *types.Schema { return m.schema }
+
+// StoredColumns returns the full stored column specs including the trailing
+// implicit epoch column, applying the given per-column encodings (Auto when
+// enc is nil or missing a column).
+func (m *Manager) StoredColumns(encs map[string]ColumnSpec) []ColumnSpec {
+	cols := make([]ColumnSpec, 0, m.schema.Len()+1)
+	for _, c := range m.schema.Cols {
+		// Auto is the default encoding (paper §3.4.1): the system picks the
+		// most advantageous scheme from the data itself.
+		spec := ColumnSpec{Name: c.Name, Typ: c.Typ, Enc: encoding.Auto}
+		if e, ok := encs[c.Name]; ok {
+			spec.Enc = e.Enc
+		}
+		cols = append(cols, spec)
+	}
+	// The epoch column is always RLE: commits stamp long runs of equal epochs.
+	cols = append(cols, ColumnSpec{Name: EpochColumn, Typ: types.Int64, Enc: encoding.RLE})
+	return cols
+}
+
+// WOS returns the projection's write-optimized store.
+func (m *Manager) WOS() *WOS { return m.wos }
+
+// DVs returns the projection's delete-vector store.
+func (m *Manager) DVs() *DVStore { return m.dvs }
+
+// LocalSegments returns the number of intra-node local segments.
+func (m *Manager) LocalSegments() int { return m.localSegments }
+
+// MaxROSBytes returns the mergeout output size cap.
+func (m *Manager) MaxROSBytes() int64 { return m.maxROSBytes }
+
+// Dir returns the manager's root directory.
+func (m *Manager) Dir() string { return m.dir }
+
+// NewContainerID reserves the next container ID and returns (id, dir).
+func (m *Manager) NewContainerID() (string, string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := fmt.Sprintf("ros_%08d", m.nextID)
+	m.nextID++
+	return id, filepath.Join(m.dir, id)
+}
+
+// Publish registers a freshly written container.
+func (m *Manager) Publish(meta *ContainerMeta) error {
+	r, err := OpenContainer(filepath.Join(m.dir, meta.ID))
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.containers[meta.ID] = r
+	return nil
+}
+
+// Remove deletes containers (and their delete vectors) from disk; used by
+// mergeout, rollback and partition drop.
+func (m *Manager) Remove(ids ...string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, id := range ids {
+		delete(m.containers, id)
+		if err := os.RemoveAll(filepath.Join(m.dir, id)); err != nil {
+			return err
+		}
+		if err := m.dvs.Drop(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Containers returns a stable-ordered snapshot of current container readers.
+func (m *Manager) Containers() []*ContainerReader {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*ContainerReader, 0, len(m.containers))
+	for _, r := range m.containers {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Meta.ID < out[j].Meta.ID })
+	return out
+}
+
+// Container returns the reader for one container ID.
+func (m *Manager) Container(id string) (*ContainerReader, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	r, ok := m.containers[id]
+	return r, ok
+}
+
+// RowCount returns the total ROS row count (not excluding deleted rows).
+func (m *Manager) RowCount() int64 {
+	var n int64
+	for _, r := range m.Containers() {
+		n += r.Meta.RowCount
+	}
+	return n
+}
+
+// TotalBytes returns total encoded bytes across containers.
+func (m *Manager) TotalBytes() int64 {
+	var n int64
+	for _, r := range m.Containers() {
+		n += r.Meta.SizeBytes
+	}
+	return n
+}
+
+// Partitions returns the distinct partition keys present in the ROS.
+func (m *Manager) Partitions() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range m.Containers() {
+		if !seen[r.Meta.Partition] {
+			seen[r.Meta.Partition] = true
+			out = append(out, r.Meta.Partition)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DropPartition removes every container whose partition key matches —
+// the paper's "fast bulk deletion ... as simple as deleting files from a
+// filesystem" (§3.5). Returns the number of rows dropped.
+func (m *Manager) DropPartition(key string) (int64, error) {
+	var ids []string
+	var rows int64
+	for _, r := range m.Containers() {
+		if r.Meta.Partition == key {
+			ids = append(ids, r.Meta.ID)
+			rows += r.Meta.RowCount
+		}
+	}
+	if err := m.Remove(ids...); err != nil {
+		return 0, err
+	}
+	return rows, nil
+}
+
+// SnapshotHardlink hard-links every container file into destDir — the
+// paper's backup mechanism (§5.2): "creates hard-links for each Vertica data
+// file on the file system" so files cannot vanish while the backup is copied.
+func (m *Manager) SnapshotHardlink(destDir string) error {
+	if err := os.MkdirAll(destDir, 0o755); err != nil {
+		return err
+	}
+	for _, r := range m.Containers() {
+		cdir := filepath.Join(destDir, r.Meta.ID)
+		if err := os.MkdirAll(cdir, 0o755); err != nil {
+			return err
+		}
+		ents, err := os.ReadDir(r.Dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			src := filepath.Join(r.Dir, e.Name())
+			dst := filepath.Join(cdir, e.Name())
+			if err := os.Link(src, dst); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"repro/internal/types"
+)
+
+// The position index (paper §3.7) stores, per encoded block: the block's
+// offset and length in the data file, its first implicit position, its row
+// count, and the minimum and maximum column values. It is what lets the scan
+// prune blocks at read time and reconstruct tuples by position without a
+// B-tree — the containers are never modified, so a flat sorted array of
+// entries suffices. It is tiny relative to the data (the paper reports
+// ~1/1000 of the raw column size).
+
+// PidxEntry is one position-index record.
+type PidxEntry struct {
+	Offset   int64 // byte offset of the encoded block in the data file
+	Length   int64 // encoded byte length
+	FirstPos int64 // implicit position of the block's first row
+	RowCount int64
+	Min, Max types.Value // NULL when the block is entirely NULL
+}
+
+// Contains reports whether position p falls inside the block.
+func (e *PidxEntry) Contains(p int64) bool {
+	return p >= e.FirstPos && p < e.FirstPos+e.RowCount
+}
+
+// appendPidxEntry serializes an entry.
+func appendPidxEntry(buf []byte, e *PidxEntry) []byte {
+	buf = binary.AppendUvarint(buf, uint64(e.Offset))
+	buf = binary.AppendUvarint(buf, uint64(e.Length))
+	buf = binary.AppendUvarint(buf, uint64(e.FirstPos))
+	buf = binary.AppendUvarint(buf, uint64(e.RowCount))
+	buf = marshalValue(buf, e.Min)
+	buf = marshalValue(buf, e.Max)
+	return buf
+}
+
+// readPidx loads a column's whole position index.
+func readPidx(path string, t types.Type) ([]PidxEntry, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []PidxEntry
+	pos := 0
+	for pos < len(b) {
+		var e PidxEntry
+		var n int
+		var v uint64
+		if v, n = binary.Uvarint(b[pos:]); n <= 0 {
+			return nil, fmt.Errorf("storage: corrupt pidx %s", path)
+		}
+		e.Offset = int64(v)
+		pos += n
+		if v, n = binary.Uvarint(b[pos:]); n <= 0 {
+			return nil, fmt.Errorf("storage: corrupt pidx %s", path)
+		}
+		e.Length = int64(v)
+		pos += n
+		if v, n = binary.Uvarint(b[pos:]); n <= 0 {
+			return nil, fmt.Errorf("storage: corrupt pidx %s", path)
+		}
+		e.FirstPos = int64(v)
+		pos += n
+		if v, n = binary.Uvarint(b[pos:]); n <= 0 {
+			return nil, fmt.Errorf("storage: corrupt pidx %s", path)
+		}
+		e.RowCount = int64(v)
+		pos += n
+		var used int
+		if e.Min, used, err = unmarshalValue(b[pos:], t); err != nil {
+			return nil, fmt.Errorf("storage: corrupt pidx %s: %w", path, err)
+		}
+		pos += used
+		if e.Max, used, err = unmarshalValue(b[pos:], t); err != nil {
+			return nil, fmt.Errorf("storage: corrupt pidx %s: %w", path, err)
+		}
+		pos += used
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// PruneRange reports whether a block whose values span [min, max] could
+// contain a value satisfying `op bound` (used for plan-time and scan-time
+// container/block pruning, paper §3.5: "Vertica stores the minimum and
+// maximum values of the column data in each ROS to quickly prune containers
+// ... that can not possibly pass query predicates").
+type PruneRange struct {
+	Min, Max types.Value
+	Valid    bool // false when min/max are unknown (e.g. all-NULL)
+}
+
+// MayContainEq reports whether the range may contain v.
+func (r PruneRange) MayContainEq(v types.Value) bool {
+	if !r.Valid || v.Null {
+		return true
+	}
+	if r.Min.Null || r.Max.Null {
+		return true
+	}
+	return v.Compare(r.Min) >= 0 && v.Compare(r.Max) <= 0
+}
+
+// MayContainLt reports whether the range may contain a value < v (or <= v
+// when orEqual is set).
+func (r PruneRange) MayContainLt(v types.Value, orEqual bool) bool {
+	if !r.Valid || v.Null || r.Min.Null {
+		return true
+	}
+	c := r.Min.Compare(v)
+	if orEqual {
+		return c <= 0
+	}
+	return c < 0
+}
+
+// MayContainGt reports whether the range may contain a value > v (or >= v
+// when orEqual is set).
+func (r PruneRange) MayContainGt(v types.Value, orEqual bool) bool {
+	if !r.Valid || v.Null || r.Max.Null {
+		return true
+	}
+	c := r.Max.Compare(v)
+	if orEqual {
+		return c >= 0
+	}
+	return c > 0
+}

@@ -1,0 +1,223 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/encoding"
+	"repro/internal/vector"
+)
+
+// ContainerReader provides columnar access to one immutable ROS container:
+// sequential block iteration with min/max pruning, and random access by
+// implicit position ("complete tuples are reconstructed by fetching values
+// with the same position from each column file", paper §3.7).
+type ContainerReader struct {
+	Dir  string
+	Meta *ContainerMeta
+
+	pidx [][]PidxEntry // lazily loaded per column
+	data [][]byte      // lazily loaded per column (whole file)
+}
+
+// OpenContainer opens a container directory for reading.
+func OpenContainer(dir string) (*ContainerReader, error) {
+	meta, err := ReadMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &ContainerReader{
+		Dir:  dir,
+		Meta: meta,
+		pidx: make([][]PidxEntry, len(meta.Cols)),
+		data: make([][]byte, len(meta.Cols)),
+	}, nil
+}
+
+// Pidx returns the position index of column c, loading it on first use.
+func (r *ContainerReader) Pidx(c int) ([]PidxEntry, error) {
+	if r.pidx[c] == nil {
+		p, err := readPidx(r.Meta.pidxPath(r.Dir, c), r.Meta.Cols[c].Typ)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			p = []PidxEntry{}
+		}
+		r.pidx[c] = p
+	}
+	return r.pidx[c], nil
+}
+
+func (r *ContainerReader) colData(c int) ([]byte, error) {
+	if r.data[c] == nil {
+		b, err := os.ReadFile(r.Meta.dataPath(r.Dir, c))
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			b = []byte{}
+		}
+		r.data[c] = b
+	}
+	return r.data[c], nil
+}
+
+// ColumnRange returns the min/max across all blocks of a column, for
+// container-level pruning at plan time.
+func (r *ContainerReader) ColumnRange(c int) (PruneRange, error) {
+	pidx, err := r.Pidx(c)
+	if err != nil {
+		return PruneRange{}, err
+	}
+	var out PruneRange
+	for _, e := range pidx {
+		if e.Min.Null && e.Max.Null {
+			continue // all-NULL block constrains nothing
+		}
+		if !out.Valid {
+			out = PruneRange{Min: e.Min, Max: e.Max, Valid: true}
+			continue
+		}
+		if e.Min.Compare(out.Min) < 0 {
+			out.Min = e.Min
+		}
+		if e.Max.Compare(out.Max) > 0 {
+			out.Max = e.Max
+		}
+	}
+	return out, nil
+}
+
+// BlockFilter decides whether a block may be skipped given its min/max.
+// Returning false prunes the block.
+type BlockFilter func(e *PidxEntry) bool
+
+// ColumnIter iterates the blocks of one column in position order.
+type ColumnIter struct {
+	r      *ContainerReader
+	col    int
+	next   int
+	filter BlockFilter
+	// PreserveRuns requests RLE-form vectors for RLE blocks so operators can
+	// work on encoded data directly.
+	PreserveRuns bool
+}
+
+// NewColumnIter returns an iterator over column c's blocks. filter may be nil.
+func (r *ContainerReader) NewColumnIter(c int, filter BlockFilter) *ColumnIter {
+	return &ColumnIter{r: r, col: c, filter: filter}
+}
+
+// Next returns the next unpruned block and its first implicit position, or
+// (nil, 0, nil) at end of column.
+func (it *ColumnIter) Next() (*vector.Vector, int64, error) {
+	pidx, err := it.r.Pidx(it.col)
+	if err != nil {
+		return nil, 0, err
+	}
+	for it.next < len(pidx) {
+		e := &pidx[it.next]
+		it.next++
+		if it.filter != nil && !it.filter(e) {
+			continue
+		}
+		v, err := it.r.decodeBlock(it.col, e, it.PreserveRuns)
+		if err != nil {
+			return nil, 0, err
+		}
+		return v, e.FirstPos, nil
+	}
+	return nil, 0, nil
+}
+
+// SkipTo positions the iterator at the block containing position p (or the
+// first later block).
+func (it *ColumnIter) SkipTo(p int64) error {
+	pidx, err := it.r.Pidx(it.col)
+	if err != nil {
+		return err
+	}
+	it.next = sort.Search(len(pidx), func(i int) bool {
+		return pidx[i].FirstPos+pidx[i].RowCount > p
+	})
+	return nil
+}
+
+func (r *ContainerReader) decodeBlock(c int, e *PidxEntry, preserveRuns bool) (*vector.Vector, error) {
+	data, err := r.colData(c)
+	if err != nil {
+		return nil, err
+	}
+	if e.Offset+e.Length > int64(len(data)) {
+		return nil, fmt.Errorf("storage: block out of range in %s col %d", r.Dir, c)
+	}
+	return encoding.DecodeBlock(data[e.Offset:e.Offset+e.Length], r.Meta.Cols[c].Typ, preserveRuns)
+}
+
+// FetchPositions gathers the values of column c at the given ascending
+// positions — the tuple-reconstruction / late-materialization path.
+func (r *ContainerReader) FetchPositions(c int, positions []int64) (*vector.Vector, error) {
+	out := vector.New(r.Meta.Cols[c].Typ, len(positions))
+	if len(positions) == 0 {
+		return out, nil
+	}
+	pidx, err := r.Pidx(c)
+	if err != nil {
+		return nil, err
+	}
+	var cur *vector.Vector
+	curBlock := -1
+	for _, p := range positions {
+		bi := sort.Search(len(pidx), func(i int) bool {
+			return pidx[i].FirstPos+pidx[i].RowCount > p
+		})
+		if bi >= len(pidx) || !pidx[bi].Contains(p) {
+			return nil, fmt.Errorf("storage: position %d out of range in %s", p, r.Dir)
+		}
+		if bi != curBlock {
+			cur, err = r.decodeBlock(c, &pidx[bi], false)
+			if err != nil {
+				return nil, err
+			}
+			curBlock = bi
+		}
+		idx := int(p - pidx[bi].FirstPos)
+		if cur.NullAt(idx) {
+			out.AppendNull()
+		} else {
+			out.AppendValue(cur.ValueAt(idx))
+		}
+	}
+	return out, nil
+}
+
+// ReadAll reads entire columns (by container column index) into one batch,
+// for recovery/refresh/mergeout and tests.
+func (r *ContainerReader) ReadAll(cols []int) (*vector.Batch, error) {
+	out := &vector.Batch{Cols: make([]*vector.Vector, len(cols))}
+	for i, c := range cols {
+		full := vector.New(r.Meta.Cols[c].Typ, int(r.Meta.RowCount))
+		it := r.NewColumnIter(c, nil)
+		for {
+			v, _, err := it.Next()
+			if err != nil {
+				return nil, err
+			}
+			if v == nil {
+				break
+			}
+			v = v.Expand()
+			for j := 0; j < v.PhysLen(); j++ {
+				if v.NullAt(j) {
+					full.AppendNull()
+				} else {
+					full.AppendValue(v.ValueAt(j))
+				}
+			}
+		}
+		out.Cols[i] = full
+	}
+	return out, nil
+}

@@ -1,0 +1,298 @@
+package storage
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+
+	"repro/internal/encoding"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// ContainerWriter streams sorted batches into a new ROS container directory.
+// The caller is responsible for sort order (moveout/mergeout/bulk load sort
+// before writing) and for supplying the implicit epoch column if desired.
+//
+// The container is written into a temporary directory and atomically renamed
+// into place on Close, so a crash mid-write never leaves a half-container
+// visible — rollback is "simply discarding any ROS container ... created by
+// the transaction" (paper §5).
+type ContainerWriter struct {
+	meta     *ContainerMeta
+	finalDir string
+	tmpDir   string
+
+	blockRows int
+	files     []*os.File
+	bufs      []*bufio.Writer
+	offsets   []int64
+	pidxBufs  [][]byte
+	pending   []*vector.Vector // per-column accumulation toward a block
+	flushed   []int64          // per-column rows already written to blocks
+	rows      int64
+	closed    bool
+}
+
+// WriterOpts configures container writing.
+type WriterOpts struct {
+	BlockRows int // values per block; DefaultBlockRows if 0
+}
+
+// NewContainerWriter creates a writer for a container that will appear at
+// dir once Close succeeds. The meta's RowCount and SizeBytes are filled in
+// by Close.
+func NewContainerWriter(dir string, meta *ContainerMeta, opts WriterOpts) (*ContainerWriter, error) {
+	if opts.BlockRows <= 0 {
+		opts.BlockRows = DefaultBlockRows
+	}
+	tmp := dir + ".tmp"
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return nil, err
+	}
+	w := &ContainerWriter{
+		meta:      meta,
+		finalDir:  dir,
+		tmpDir:    tmp,
+		blockRows: opts.BlockRows,
+		files:     make([]*os.File, len(meta.Cols)),
+		bufs:      make([]*bufio.Writer, len(meta.Cols)),
+		offsets:   make([]int64, len(meta.Cols)),
+		pidxBufs:  make([][]byte, len(meta.Cols)),
+		pending:   make([]*vector.Vector, len(meta.Cols)),
+		flushed:   make([]int64, len(meta.Cols)),
+	}
+	for i, c := range meta.Cols {
+		f, err := os.Create(meta.dataPath(tmp, i))
+		if err != nil {
+			w.abort()
+			return nil, err
+		}
+		w.files[i] = f
+		w.bufs[i] = bufio.NewWriterSize(f, 1<<16)
+		w.pending[i] = vector.New(c.Typ, opts.BlockRows)
+	}
+	return w, nil
+}
+
+// Append adds a batch (flat or RLE; any selection is honoured). Columns must
+// be positionally aligned with the container spec.
+func (w *ContainerWriter) Append(b *vector.Batch) error {
+	if len(b.Cols) != len(w.meta.Cols) {
+		return fmt.Errorf("storage: batch has %d cols, container expects %d", len(b.Cols), len(w.meta.Cols))
+	}
+	fb := b
+	if b.Sel != nil {
+		fb = b.Flatten()
+	} else {
+		fb.ExpandRLE()
+	}
+	n := fb.Len()
+	for r := 0; r < n; r++ {
+		for c := range w.pending {
+			col := fb.Cols[c]
+			if col.NullAt(r) {
+				w.pending[c].AppendNull()
+			} else {
+				w.pending[c].AppendValue(col.ValueAt(r))
+			}
+		}
+	}
+	w.rows += int64(n)
+	return w.flushFullBlocks(false)
+}
+
+// AppendColumns adds pre-built column vectors directly (fast path used by
+// bulk load; avoids per-value copies when the caller already has full
+// columns). All vectors must be flat and the same length.
+func (w *ContainerWriter) AppendColumns(cols []*vector.Vector) error {
+	if len(cols) != len(w.meta.Cols) {
+		return fmt.Errorf("storage: got %d cols, container expects %d", len(cols), len(w.meta.Cols))
+	}
+	n := cols[0].Len()
+	for c, col := range cols {
+		if col.IsRLE() {
+			col = col.Expand()
+		}
+		if col.Len() != n {
+			return fmt.Errorf("storage: ragged columns (%d vs %d)", col.Len(), n)
+		}
+		// Append values wholesale into pending.
+		dst := w.pending[c]
+		switch dst.Typ {
+		case types.Float64:
+			dst.Floats = append(dst.Floats, col.Floats...)
+		case types.Varchar:
+			dst.Strs = append(dst.Strs, col.Strs...)
+		default:
+			dst.Ints = append(dst.Ints, col.Ints...)
+		}
+		if col.Nulls != nil || dst.Nulls != nil {
+			if dst.Nulls == nil {
+				dst.Nulls = make([]bool, dst.PhysLen()-col.Len())
+			}
+			if col.Nulls != nil {
+				dst.Nulls = append(dst.Nulls, col.Nulls...)
+			} else {
+				dst.Nulls = append(dst.Nulls, make([]bool, col.Len())...)
+			}
+		}
+	}
+	w.rows += int64(n)
+	return w.flushFullBlocks(false)
+}
+
+func (w *ContainerWriter) flushFullBlocks(final bool) error {
+	for {
+		n := w.pending[0].PhysLen()
+		if n == 0 || (n < w.blockRows && !final) {
+			return nil
+		}
+		take := n
+		if take > w.blockRows {
+			take = w.blockRows
+		}
+		for c := range w.pending {
+			block := slicePrefix(w.pending[c], take)
+			if err := w.writeBlock(c, block); err != nil {
+				return err
+			}
+			w.pending[c] = sliceSuffix(w.pending[c], take)
+		}
+		if take == n && final {
+			return nil
+		}
+	}
+}
+
+func slicePrefix(v *vector.Vector, n int) *vector.Vector {
+	out := &vector.Vector{Typ: v.Typ}
+	switch v.Typ {
+	case types.Float64:
+		out.Floats = v.Floats[:n]
+	case types.Varchar:
+		out.Strs = v.Strs[:n]
+	default:
+		out.Ints = v.Ints[:n]
+	}
+	if v.Nulls != nil {
+		out.Nulls = v.Nulls[:n]
+	}
+	return out
+}
+
+func sliceSuffix(v *vector.Vector, n int) *vector.Vector {
+	out := &vector.Vector{Typ: v.Typ}
+	switch v.Typ {
+	case types.Float64:
+		out.Floats = append(out.Floats, v.Floats[n:]...)
+	case types.Varchar:
+		out.Strs = append(out.Strs, v.Strs[n:]...)
+	default:
+		out.Ints = append(out.Ints, v.Ints[n:]...)
+	}
+	if v.Nulls != nil {
+		out.Nulls = append(out.Nulls, v.Nulls[n:]...)
+	}
+	return out
+}
+
+func (w *ContainerWriter) writeBlock(c int, block *vector.Vector) error {
+	enc, err := encoding.EncodeBlock(w.meta.Cols[c].Enc, block)
+	if err != nil {
+		return fmt.Errorf("storage: column %s: %w", w.meta.Cols[c].Name, err)
+	}
+	mn, mx, ok := block.MinMax()
+	if !ok {
+		mn, mx = types.NewNull(block.Typ), types.NewNull(block.Typ)
+	}
+	firstPos := w.flushed[c]
+	e := PidxEntry{
+		Offset:   w.offsets[c],
+		Length:   int64(len(enc)),
+		FirstPos: firstPos,
+		RowCount: int64(block.PhysLen()),
+		Min:      mn,
+		Max:      mx,
+	}
+	w.pidxBufs[c] = appendPidxEntry(w.pidxBufs[c], &e)
+	if _, err := w.bufs[c].Write(enc); err != nil {
+		return err
+	}
+	w.offsets[c] += int64(len(enc))
+	w.flushed[c] += int64(block.PhysLen())
+	return nil
+}
+
+// Close flushes remaining rows, writes position indexes and metadata, and
+// atomically publishes the container directory. On error the temporary
+// directory is removed.
+func (w *ContainerWriter) Close() (*ContainerMeta, error) {
+	if w.closed {
+		return w.meta, nil
+	}
+	w.closed = true
+	if err := w.flushFullBlocks(true); err != nil {
+		w.abort()
+		return nil, err
+	}
+	var total int64
+	for c := range w.meta.Cols {
+		if err := w.bufs[c].Flush(); err != nil {
+			w.abort()
+			return nil, err
+		}
+		if err := w.files[c].Close(); err != nil {
+			w.abort()
+			return nil, err
+		}
+		if err := os.WriteFile(w.meta.pidxPath(w.tmpDir, c), w.pidxBufs[c], 0o644); err != nil {
+			w.abort()
+			return nil, err
+		}
+		total += w.offsets[c]
+	}
+	w.meta.RowCount = w.rows
+	w.meta.SizeBytes = total
+	if err := writeMeta(w.tmpDir, w.meta); err != nil {
+		w.abort()
+		return nil, err
+	}
+	if err := os.Rename(w.tmpDir, w.finalDir); err != nil {
+		w.abort()
+		return nil, err
+	}
+	return w.meta, nil
+}
+
+// Abort discards the container without publishing it.
+func (w *ContainerWriter) Abort() {
+	if w.closed {
+		return
+	}
+	w.closed = true
+	w.abort()
+}
+
+func (w *ContainerWriter) abort() {
+	for _, f := range w.files {
+		if f != nil {
+			f.Close()
+		}
+	}
+	os.RemoveAll(w.tmpDir)
+}
+
+// WriteContainerFromBatch is a convenience that writes a whole in-memory
+// batch as one container.
+func WriteContainerFromBatch(dir string, meta *ContainerMeta, b *vector.Batch, opts WriterOpts) (*ContainerMeta, error) {
+	w, err := NewContainerWriter(dir, meta, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Append(b); err != nil {
+		w.Abort()
+		return nil, err
+	}
+	return w.Close()
+}

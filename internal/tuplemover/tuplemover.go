@@ -1,0 +1,482 @@
+// Package tuplemover implements the automatic storage-rearrangement service
+// of paper §4: moveout (asynchronously draining the WOS into new ROS
+// containers) and mergeout (merging small ROS containers into exponentially
+// larger strata, eliding rows deleted before the Ancient History Mark).
+//
+// Design points carried over from the paper:
+//
+//   - WOS and ROS data are never intermixed in one operation, strongly
+//     bounding how many times a tuple is (re)merged;
+//   - output containers land in a stratum at least one larger than any
+//     input, so a tuple is rewritten at most once per stratum;
+//   - containers never exceed a configured maximum size, bounding the
+//     number of strata and thus of merges;
+//   - merges preserve partition and local-segment boundaries;
+//   - operations are per-node and never centrally coordinated.
+package tuplemover
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// Config wires a tuple mover to one projection's storage on one node.
+type Config struct {
+	Projection string
+	Mgr        *storage.Manager
+	Epochs     *txn.EpochManager
+
+	// SortKey lists projection column indexes forming the sort order.
+	SortKey []int
+	// Encodings maps column name to its storage spec (Auto when absent).
+	Encodings map[string]storage.ColumnSpec
+	// PartitionOf computes the table's partition key for a row ("" when the
+	// table is unpartitioned).
+	PartitionOf func(types.Row) (string, error)
+	// LocalSegmentOf assigns a row to an intra-node local segment.
+	LocalSegmentOf func(types.Row) int
+
+	// BlockRows overrides the encoded block size (tests).
+	BlockRows int
+	// StrataBase is the size (bytes) of the smallest mergeout stratum.
+	StrataBase int64
+	// MinMergeCount is the minimum number of same-stratum containers that
+	// triggers a mergeout (default 2).
+	MinMergeCount int
+}
+
+// TupleMover runs moveout and mergeout for one projection on one node.
+type TupleMover struct {
+	cfg Config
+}
+
+// New validates the configuration and returns a tuple mover.
+func New(cfg Config) (*TupleMover, error) {
+	if cfg.Mgr == nil || cfg.Epochs == nil {
+		return nil, fmt.Errorf("tuplemover: Mgr and Epochs are required")
+	}
+	if cfg.StrataBase <= 0 {
+		cfg.StrataBase = 4 << 10
+	}
+	if cfg.MinMergeCount < 2 {
+		cfg.MinMergeCount = 2
+	}
+	if cfg.PartitionOf == nil {
+		cfg.PartitionOf = func(types.Row) (string, error) { return "", nil }
+	}
+	if cfg.LocalSegmentOf == nil {
+		cfg.LocalSegmentOf = func(types.Row) int { return 0 }
+	}
+	return &TupleMover{cfg: cfg}, nil
+}
+
+// Moveout drains every WOS row committed at or before the current epoch into
+// new ROS containers (one per partition x local segment), translates WOS
+// delete vectors to container positions, persists them, and advances the
+// projection's Last Good Epoch. It returns the number of rows moved.
+func (tm *TupleMover) Moveout() (int, error) {
+	cfg := &tm.cfg
+	bound := cfg.Epochs.Current()
+	rows := cfg.Mgr.WOS().DrainUpTo(bound)
+	if len(rows) == 0 {
+		cfg.Epochs.SetLGE(cfg.Projection, bound)
+		return 0, nil
+	}
+	// Group rows by (partition, local segment).
+	type groupKey struct {
+		part string
+		seg  int
+	}
+	groups := map[groupKey][]storage.WOSRow{}
+	for _, r := range rows {
+		part, err := cfg.PartitionOf(r.Row)
+		if err != nil {
+			return 0, fmt.Errorf("tuplemover: partition expression: %w", err)
+		}
+		k := groupKey{part, cfg.LocalSegmentOf(r.Row)}
+		groups[k] = append(groups[k], r)
+	}
+	keys := make([]groupKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].part != keys[j].part {
+			return keys[i].part < keys[j].part
+		}
+		return keys[i].seg < keys[j].seg
+	})
+
+	// WOS delete vectors, indexed by position for translation.
+	wosDVs := cfg.Mgr.DVs().Get(storage.WOSTarget)
+	dvByPos := make(map[int64]types.Epoch, len(wosDVs))
+	for _, e := range wosDVs {
+		dvByPos[e.Pos] = e.Epoch
+	}
+	moved := 0
+	translated := map[int64]bool{}
+	for _, k := range keys {
+		g := groups[k]
+		// Sort by the projection sort order (stable to keep epoch runs long).
+		sort.SliceStable(g, func(i, j int) bool {
+			return g[i].Row.Compare(g[j].Row, cfg.SortKey) < 0
+		})
+		minE, maxE := g[0].Epoch, g[0].Epoch
+		for _, r := range g {
+			if r.Epoch < minE {
+				minE = r.Epoch
+			}
+			if r.Epoch > maxE {
+				maxE = r.Epoch
+			}
+		}
+		id, dir := cfg.Mgr.NewContainerID()
+		meta := &storage.ContainerMeta{
+			ID:           id,
+			Projection:   cfg.Projection,
+			Cols:         cfg.Mgr.StoredColumns(cfg.Encodings),
+			Partition:    k.part,
+			LocalSegment: k.seg,
+			MinEpoch:     minE,
+			MaxEpoch:     maxE,
+		}
+		w, err := storage.NewContainerWriter(dir, meta, storage.WriterOpts{BlockRows: cfg.BlockRows})
+		if err != nil {
+			return moved, err
+		}
+		batch := vector.NewBatchForSchema(storedSchema(cfg.Mgr.Schema()), len(g))
+		var dvEntries []storage.DVEntry
+		for pos, r := range g {
+			full := append(r.Row.Clone(), types.NewInt(int64(r.Epoch)))
+			batch.AppendRow(full)
+			if de, ok := dvByPos[r.Pos]; ok {
+				dvEntries = append(dvEntries, storage.DVEntry{Pos: int64(pos), Epoch: de})
+				translated[r.Pos] = true
+			}
+		}
+		if err := w.Append(batch); err != nil {
+			w.Abort()
+			return moved, err
+		}
+		if _, err := w.Close(); err != nil {
+			return moved, err
+		}
+		if err := cfg.Mgr.Publish(meta); err != nil {
+			return moved, err
+		}
+		if len(dvEntries) > 0 {
+			cfg.Mgr.DVs().Add(id, dvEntries)
+			if err := cfg.Mgr.DVs().Persist(id); err != nil {
+				return moved, err
+			}
+		}
+		moved += len(g)
+	}
+	// Retain only WOS delete vectors that referenced undrained rows.
+	var remaining []storage.DVEntry
+	for _, e := range wosDVs {
+		if !translated[e.Pos] {
+			remaining = append(remaining, e)
+		}
+	}
+	cfg.Mgr.DVs().Rewrite(storage.WOSTarget, remaining)
+	cfg.Epochs.SetLGE(cfg.Projection, bound)
+	return moved, nil
+}
+
+// MoveoutDeleteVectors persists in-memory (DVWOS) delete vectors to DVROS
+// files; the paper moves delete vectors through the same WOS->ROS lifecycle
+// as data.
+func (tm *TupleMover) MoveoutDeleteVectors() error {
+	dvs := tm.cfg.Mgr.DVs()
+	for _, target := range dvs.MemTargets() {
+		if target == storage.WOSTarget {
+			continue // translated by Moveout, not persisted as-is
+		}
+		if err := dvs.Persist(target); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func storedSchema(s *types.Schema) *types.Schema {
+	cols := make([]types.Column, 0, s.Len()+1)
+	cols = append(cols, s.Cols...)
+	cols = append(cols, types.Column{Name: storage.EpochColumn, Typ: types.Int64})
+	return types.NewSchema(cols...)
+}
+
+// Stratum returns the exponential stratum index of a container size:
+// sizes in [0, base) are stratum 0, [base, 2*base) stratum 1, and so on.
+func (tm *TupleMover) Stratum(size int64) int {
+	s := 0
+	for size >= tm.cfg.StrataBase {
+		size /= 2
+		s++
+	}
+	return s
+}
+
+// mergeGroup identifies containers eligible to merge together: same
+// partition and local segment (boundaries are preserved, §4).
+type mergeGroup struct {
+	part string
+	seg  int
+}
+
+// Mergeout performs one round of merging: within each (partition, local
+// segment) group it finds the lowest stratum holding at least MinMergeCount
+// containers and merges those containers into one, eliding rows deleted at
+// or before the AHM. Returns the number of merge operations performed.
+func (tm *TupleMover) Mergeout() (int, error) {
+	cfg := &tm.cfg
+	ahm := cfg.Epochs.AHM()
+	groups := map[mergeGroup][]*storage.ContainerReader{}
+	for _, r := range cfg.Mgr.Containers() {
+		k := mergeGroup{r.Meta.Partition, r.Meta.LocalSegment}
+		groups[k] = append(groups[k], r)
+	}
+	gks := make([]mergeGroup, 0, len(groups))
+	for k := range groups {
+		gks = append(gks, k)
+	}
+	sort.Slice(gks, func(i, j int) bool {
+		if gks[i].part != gks[j].part {
+			return gks[i].part < gks[j].part
+		}
+		return gks[i].seg < gks[j].seg
+	})
+	merges := 0
+	for _, k := range gks {
+		inputs := tm.pickMergeInputs(groups[k])
+		if len(inputs) < cfg.MinMergeCount {
+			continue
+		}
+		if err := tm.mergeContainers(inputs, k.part, k.seg, ahm); err != nil {
+			return merges, err
+		}
+		merges++
+	}
+	return merges, nil
+}
+
+// pickMergeInputs chooses the containers of the lowest stratum with at least
+// MinMergeCount members, capping combined size at MaxROSBytes.
+func (tm *TupleMover) pickMergeInputs(rs []*storage.ContainerReader) []*storage.ContainerReader {
+	byStratum := map[int][]*storage.ContainerReader{}
+	for _, r := range rs {
+		s := tm.Stratum(r.Meta.SizeBytes)
+		byStratum[s] = append(byStratum[s], r)
+	}
+	strata := make([]int, 0, len(byStratum))
+	for s := range byStratum {
+		strata = append(strata, s)
+	}
+	sort.Ints(strata)
+	for _, s := range strata {
+		cand := byStratum[s]
+		if len(cand) < tm.cfg.MinMergeCount {
+			continue
+		}
+		sort.Slice(cand, func(i, j int) bool { return cand[i].Meta.SizeBytes < cand[j].Meta.SizeBytes })
+		var out []*storage.ContainerReader
+		var total int64
+		for _, r := range cand {
+			if total+r.Meta.SizeBytes > tm.cfg.Mgr.MaxROSBytes() && len(out) >= tm.cfg.MinMergeCount {
+				break
+			}
+			out = append(out, r)
+			total += r.Meta.SizeBytes
+		}
+		if len(out) >= tm.cfg.MinMergeCount {
+			return out
+		}
+	}
+	return nil
+}
+
+// containerCursor walks one container's rows in stored order for the k-way
+// merge. Rows are surfaced with their deletion epoch (0 = not deleted).
+type containerCursor struct {
+	rows    []types.Row // including trailing epoch column
+	deleted map[int64]types.Epoch
+	pos     int
+}
+
+func (c *containerCursor) current() types.Row { return c.rows[c.pos] }
+
+// mergeHeap orders cursors by their current row under the sort key.
+type mergeHeap struct {
+	cur     []*containerCursor
+	sortKey []int
+}
+
+func (h *mergeHeap) Len() int { return len(h.cur) }
+func (h *mergeHeap) Less(i, j int) bool {
+	return h.cur[i].current().Compare(h.cur[j].current(), h.sortKey) < 0
+}
+func (h *mergeHeap) Swap(i, j int)      { h.cur[i], h.cur[j] = h.cur[j], h.cur[i] }
+func (h *mergeHeap) Push(x interface{}) { h.cur = append(h.cur, x.(*containerCursor)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := h.cur
+	n := len(old)
+	x := old[n-1]
+	h.cur = old[:n-1]
+	return x
+}
+
+func (tm *TupleMover) mergeContainers(inputs []*storage.ContainerReader, part string, seg int, ahm types.Epoch) error {
+	cfg := &tm.cfg
+	nCols := len(inputs[0].Meta.Cols)
+	colIdx := make([]int, nCols)
+	for i := range colIdx {
+		colIdx[i] = i
+	}
+	h := &mergeHeap{sortKey: cfg.SortKey}
+	var minE, maxE types.Epoch
+	maxLevel := 0
+	for _, in := range inputs {
+		batch, err := in.ReadAll(colIdx)
+		if err != nil {
+			return err
+		}
+		cur := &containerCursor{deleted: map[int64]types.Epoch{}}
+		cur.rows = batch.Rows()
+		for _, e := range cfg.Mgr.DVs().Get(in.Meta.ID) {
+			cur.deleted[e.Pos] = e.Epoch
+		}
+		if len(cur.rows) > 0 {
+			// Tag rows with their in-container position via index map: we
+			// walk positions alongside rows using cur.pos, so nothing extra
+			// is needed — position == row index.
+			h.cur = append(h.cur, cur)
+		}
+		if minE == 0 || in.Meta.MinEpoch < minE {
+			minE = in.Meta.MinEpoch
+		}
+		if in.Meta.MaxEpoch > maxE {
+			maxE = in.Meta.MaxEpoch
+		}
+		if in.Meta.MergeLevel > maxLevel {
+			maxLevel = in.Meta.MergeLevel
+		}
+	}
+	heap.Init(h)
+
+	id, dir := cfg.Mgr.NewContainerID()
+	meta := &storage.ContainerMeta{
+		ID:           id,
+		Projection:   cfg.Projection,
+		Cols:         inputs[0].Meta.Cols,
+		Partition:    part,
+		LocalSegment: seg,
+		MinEpoch:     minE,
+		MaxEpoch:     maxE,
+		MergeLevel:   maxLevel + 1,
+	}
+	w, err := storage.NewContainerWriter(dir, meta, storage.WriterOpts{BlockRows: cfg.BlockRows})
+	if err != nil {
+		return err
+	}
+	outSchema := storedSchemaFromCols(inputs[0].Meta.Cols)
+	batch := vector.NewBatchForSchema(outSchema, storage.DefaultBlockRows)
+	var outDVs []storage.DVEntry
+	outPos := int64(0)
+	flush := func() error {
+		if batch.Len() == 0 {
+			return nil
+		}
+		if err := w.Append(batch); err != nil {
+			return err
+		}
+		batch = vector.NewBatchForSchema(outSchema, storage.DefaultBlockRows)
+		return nil
+	}
+	for h.Len() > 0 {
+		cur := h.cur[0]
+		row := cur.current()
+		delEpoch, isDeleted := cur.deleted[int64(cur.pos)]
+		cur.pos++
+		if cur.pos >= len(cur.rows) {
+			heap.Pop(h)
+		} else {
+			heap.Fix(h, 0)
+		}
+		if isDeleted && delEpoch <= ahm {
+			// "Whenever the tuple mover observes a row deleted prior to the
+			// AHM, it elides the row from the output" (§5.1).
+			continue
+		}
+		batch.AppendRow(row)
+		if isDeleted {
+			outDVs = append(outDVs, storage.DVEntry{Pos: outPos, Epoch: delEpoch})
+		}
+		outPos++
+		if batch.Len() >= storage.DefaultBlockRows {
+			if err := flush(); err != nil {
+				w.Abort()
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		w.Abort()
+		return err
+	}
+	if _, err := w.Close(); err != nil {
+		return err
+	}
+	if err := cfg.Mgr.Publish(meta); err != nil {
+		return err
+	}
+	if len(outDVs) > 0 {
+		cfg.Mgr.DVs().Add(id, outDVs)
+		if err := cfg.Mgr.DVs().Persist(id); err != nil {
+			return err
+		}
+	}
+	ids := make([]string, len(inputs))
+	for i, in := range inputs {
+		ids[i] = in.Meta.ID
+	}
+	return cfg.Mgr.Remove(ids...)
+}
+
+func storedSchemaFromCols(cols []storage.ColumnSpec) *types.Schema {
+	out := make([]types.Column, len(cols))
+	for i, c := range cols {
+		out[i] = types.Column{Name: c.Name, Typ: c.Typ}
+	}
+	return types.NewSchema(out...)
+}
+
+// Run performs one tuple mover cycle: moveout, DV moveout, then repeated
+// mergeout rounds until no more merges apply. It returns (rows moved out,
+// merge operations performed).
+func (tm *TupleMover) Run() (int, int, error) {
+	moved, err := tm.Moveout()
+	if err != nil {
+		return moved, 0, err
+	}
+	if err := tm.MoveoutDeleteVectors(); err != nil {
+		return moved, 0, err
+	}
+	totalMerges := 0
+	for {
+		n, err := tm.Mergeout()
+		if err != nil {
+			return moved, totalMerges, err
+		}
+		if n == 0 {
+			return moved, totalMerges, nil
+		}
+		totalMerges += n
+	}
+}

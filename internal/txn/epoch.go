@@ -1,0 +1,160 @@
+package txn
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// EpochManager tracks the cluster's logical clock (paper §5, §5.1):
+//
+//   - the current epoch, advanced automatically as part of commit whenever
+//     the committing transaction includes DML ("Vertica automatically
+//     advances the epoch as part of commit");
+//   - the Last Good Epoch (LGE) per projection — the epoch through which all
+//     data has been moved out of the WOS into ROS containers;
+//   - the Ancient History Mark (AHM) — history before it may be purged by
+//     the tuple mover. The AHM advances by policy and "normally does not
+//     advance when nodes are down".
+type EpochManager struct {
+	mu      sync.RWMutex
+	current types.Epoch
+	ahm     types.Epoch
+	lge     map[string]types.Epoch // projection name -> LGE
+
+	// AHMLagEpochs is the retention policy: AdvanceAHM keeps at least this
+	// many epochs of history behind the current epoch.
+	AHMLagEpochs types.Epoch
+	// holdAHM freezes AHM advancement (set while nodes are down so recovery
+	// can replay missed DML, §5.1).
+	holdAHM bool
+}
+
+// NewEpochManager starts the clock at epoch 1 (epoch 0 is "before all data").
+func NewEpochManager() *EpochManager {
+	return &EpochManager{current: 1, lge: map[string]types.Epoch{}, AHMLagEpochs: 0}
+}
+
+// Restore fast-forwards the clock on database reopen: the epoch column of
+// the stored data is the durable record of the clock ("the data+epoch itself
+// serves as a log of past system activity", §5.2), so the clock resumes just
+// past the newest stored epoch.
+func (em *EpochManager) Restore(maxStored types.Epoch) {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	if maxStored+1 > em.current {
+		em.current = maxStored + 1
+	}
+}
+
+// Current returns the current epoch.
+func (em *EpochManager) Current() types.Epoch {
+	em.mu.RLock()
+	defer em.mu.RUnlock()
+	return em.current
+}
+
+// ReadEpoch returns the epoch a READ COMMITTED query targets: "the latest
+// epoch (the current epoch - 1)" (§5).
+func (em *EpochManager) ReadEpoch() types.Epoch {
+	em.mu.RLock()
+	defer em.mu.RUnlock()
+	return em.current - 1
+}
+
+// CommitDML stamps a committing DML transaction: it returns the epoch the
+// transaction's effects belong to and advances the clock past it.
+func (em *EpochManager) CommitDML() types.Epoch {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	e := em.current
+	em.current++
+	return e
+}
+
+// AHM returns the Ancient History Mark.
+func (em *EpochManager) AHM() types.Epoch {
+	em.mu.RLock()
+	defer em.mu.RUnlock()
+	return em.ahm
+}
+
+// HoldAHM freezes (true) or unfreezes (false) AHM advancement.
+func (em *EpochManager) HoldAHM(hold bool) {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	em.holdAHM = hold
+}
+
+// AdvanceAHM moves the AHM per policy: to current-1-AHMLagEpochs, never
+// past any projection's LGE, never backward, and not at all while held.
+// It returns the (possibly unchanged) AHM.
+func (em *EpochManager) AdvanceAHM() types.Epoch {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	if em.holdAHM {
+		return em.ahm
+	}
+	target := em.current - 1
+	if target >= em.AHMLagEpochs {
+		target -= em.AHMLagEpochs
+	} else {
+		target = 0
+	}
+	for _, lge := range em.lge {
+		if lge < target {
+			target = lge
+		}
+	}
+	if target > em.ahm {
+		em.ahm = target
+	}
+	return em.ahm
+}
+
+// SetAHM forces the AHM (tests and explicit make_ahm_now-style operations).
+// It refuses to move backward.
+func (em *EpochManager) SetAHM(e types.Epoch) error {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	if e < em.ahm {
+		return fmt.Errorf("txn: AHM cannot move backward (%d < %d)", e, em.ahm)
+	}
+	em.ahm = e
+	return nil
+}
+
+// LGE returns a projection's Last Good Epoch.
+func (em *EpochManager) LGE(projection string) types.Epoch {
+	em.mu.RLock()
+	defer em.mu.RUnlock()
+	return em.lge[projection]
+}
+
+// SetLGE records that all of a projection's data through e is in the ROS
+// (moveout completion). It never moves backward.
+func (em *EpochManager) SetLGE(projection string, e types.Epoch) {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	if e > em.lge[projection] {
+		em.lge[projection] = e
+	}
+}
+
+// MinLGE returns the minimum LGE across the given projections, or the
+// current epoch when the list is empty (nothing pending in any WOS).
+func (em *EpochManager) MinLGE(projections []string) types.Epoch {
+	em.mu.RLock()
+	defer em.mu.RUnlock()
+	if len(projections) == 0 {
+		return em.current
+	}
+	mn := types.MaxEpoch
+	for _, p := range projections {
+		if l := em.lge[p]; l < mn {
+			mn = l
+		}
+	}
+	return mn
+}

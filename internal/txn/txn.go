@@ -1,0 +1,144 @@
+package txn
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/types"
+)
+
+// IsolationLevel selects the snapshot behaviour of reads.
+type IsolationLevel uint8
+
+const (
+	// ReadCommitted is Vertica's default: each query targets the latest
+	// epoch (current - 1) with no locks (paper §5).
+	ReadCommitted IsolationLevel = iota
+	// Serializable takes S locks on read tables, pinning a snapshot for the
+	// whole transaction.
+	Serializable
+)
+
+func (l IsolationLevel) String() string {
+	if l == Serializable {
+		return "SERIALIZABLE"
+	}
+	return "READ COMMITTED"
+}
+
+// Txn is one transaction's bookkeeping. Effects are staged as callbacks and
+// applied only at commit, mirroring Vertica's model where "transaction
+// rollback simply entails discarding any ROS container or WOS data created
+// by the transaction" (§5) — nothing is visible until commit.
+type Txn struct {
+	ID        TxnID
+	Isolation IsolationLevel
+
+	mu        sync.Mutex
+	commits   []func(epoch types.Epoch) error
+	rollbacks []func()
+	hasDML    bool
+	done      bool
+}
+
+// Manager creates transactions and coordinates their commit with the epoch
+// clock and the lock manager.
+type Manager struct {
+	Locks  *LockManager
+	Epochs *EpochManager
+
+	nextID   atomic.Uint64
+	commitMu sync.Mutex // serializes the commit critical section
+}
+
+// NewManager creates a transaction manager with fresh lock and epoch state.
+func NewManager() *Manager {
+	return &Manager{Locks: NewLockManager(0), Epochs: NewEpochManager()}
+}
+
+// Begin starts a transaction.
+func (m *Manager) Begin(iso IsolationLevel) *Txn {
+	return &Txn{ID: TxnID(m.nextID.Add(1)), Isolation: iso}
+}
+
+// StageCommit registers an effect applied at commit with the commit epoch.
+// dml marks the transaction as containing DML so commit advances the epoch.
+func (t *Txn) StageCommit(dml bool, apply func(epoch types.Epoch) error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hasDML = t.hasDML || dml
+	if apply != nil {
+		t.commits = append(t.commits, apply)
+	}
+}
+
+// StageRollback registers cleanup run if the transaction rolls back (e.g.
+// removing direct-loaded ROS containers).
+func (t *Txn) StageRollback(undo func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rollbacks = append(t.rollbacks, undo)
+}
+
+// HasDML reports whether DML has been staged.
+func (t *Txn) HasDML() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hasDML
+}
+
+// Commit applies staged effects at a single commit epoch and advances the
+// clock when DML is present ("Vertica automatically advances the epoch as
+// part of commit when the committing transaction includes DML", §5.1).
+// The commit epoch is returned (0 for read-only transactions).
+func (m *Manager) Commit(t *Txn) (types.Epoch, error) {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return 0, fmt.Errorf("txn: transaction %d already finished", t.ID)
+	}
+	t.done = true
+	commits := t.commits
+	hasDML := t.hasDML
+	t.mu.Unlock()
+
+	defer m.Locks.ReleaseAll(t.ID)
+	if !hasDML && len(commits) == 0 {
+		return 0, nil
+	}
+	m.commitMu.Lock()
+	defer m.commitMu.Unlock()
+	var epoch types.Epoch
+	if hasDML {
+		epoch = m.Epochs.CommitDML()
+	} else {
+		epoch = m.Epochs.Current()
+	}
+	for _, apply := range commits {
+		if err := apply(epoch); err != nil {
+			// A failed apply is fatal to the transaction; already-applied
+			// effects are at a consistent epoch boundary, matching the
+			// paper's "nodes either successfully complete the commit or
+			// are ejected" semantics at single-node scope.
+			return 0, fmt.Errorf("txn: commit of %d failed: %w", t.ID, err)
+		}
+	}
+	return epoch, nil
+}
+
+// Rollback discards the transaction, running staged cleanup in reverse.
+func (m *Manager) Rollback(t *Txn) {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return
+	}
+	t.done = true
+	rollbacks := t.rollbacks
+	t.mu.Unlock()
+	for i := len(rollbacks) - 1; i >= 0; i-- {
+		rollbacks[i]()
+	}
+	m.Locks.ReleaseAll(t.ID)
+}

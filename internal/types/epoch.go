@@ -1,0 +1,10 @@
+package types
+
+// Epoch is the cluster-wide logical commit clock (paper §5): every tuple is
+// stamped with the epoch in which its transaction committed, and an epoch
+// boundary is a globally consistent snapshot. Epoch 0 is "before all data".
+type Epoch uint64
+
+// MaxEpoch is the largest representable epoch, used as an "infinitely recent"
+// sentinel when scanning without a snapshot bound.
+const MaxEpoch = Epoch(^uint64(0))

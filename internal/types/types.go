@@ -1,0 +1,315 @@
+// Package types defines the SQL value types, typed values, schemas and rows
+// shared by every layer of the engine.
+//
+// Vertica (per the paper, §8.1) extended C-Store's INTEGER-only model with
+// FLOAT, VARCHAR, NULLs and 64-bit integral types; this package models that
+// type system.
+package types
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// Type identifies a column data type.
+type Type uint8
+
+const (
+	// Invalid is the zero Type; it is never valid in a schema.
+	Invalid Type = iota
+	// Int64 is a 64-bit signed integer (the paper's integral type).
+	Int64
+	// Float64 is a 64-bit IEEE-754 float.
+	Float64
+	// Varchar is a variable-length string.
+	Varchar
+	// Bool is a boolean.
+	Bool
+	// Timestamp is microseconds since the Unix epoch, stored as int64.
+	Timestamp
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case Int64:
+		return "INTEGER"
+	case Float64:
+		return "FLOAT"
+	case Varchar:
+		return "VARCHAR"
+	case Bool:
+		return "BOOLEAN"
+	case Timestamp:
+		return "TIMESTAMP"
+	default:
+		return "INVALID"
+	}
+}
+
+// IsIntegral reports whether values of t are represented as int64
+// (and are therefore valid segmentation-expression results).
+func (t Type) IsIntegral() bool {
+	return t == Int64 || t == Timestamp || t == Bool
+}
+
+// IsNumeric reports whether t supports arithmetic.
+func (t Type) IsNumeric() bool {
+	return t == Int64 || t == Float64 || t == Timestamp
+}
+
+// ParseType parses a SQL type name (as accepted by the parser) into a Type.
+func ParseType(s string) (Type, error) {
+	switch s {
+	case "INT", "INTEGER", "BIGINT", "INT8", "SMALLINT", "TINYINT":
+		return Int64, nil
+	case "FLOAT", "FLOAT8", "DOUBLE", "REAL", "NUMERIC", "DECIMAL":
+		return Float64, nil
+	case "VARCHAR", "CHAR", "TEXT", "STRING":
+		return Varchar, nil
+	case "BOOL", "BOOLEAN":
+		return Bool, nil
+	case "TIMESTAMP", "DATE", "DATETIME":
+		return Timestamp, nil
+	default:
+		return Invalid, fmt.Errorf("types: unknown type %q", s)
+	}
+}
+
+// Value is a single typed SQL value. The zero Value is the SQL NULL of an
+// invalid type. Values are small and passed by value.
+type Value struct {
+	Typ  Type
+	Null bool
+	I    int64   // Int64, Timestamp (micros), Bool (0/1)
+	F    float64 // Float64
+	S    string  // Varchar
+}
+
+// NewInt returns an Int64 value.
+func NewInt(v int64) Value { return Value{Typ: Int64, I: v} }
+
+// NewFloat returns a Float64 value.
+func NewFloat(v float64) Value { return Value{Typ: Float64, F: v} }
+
+// NewString returns a Varchar value.
+func NewString(v string) Value { return Value{Typ: Varchar, S: v} }
+
+// NewBool returns a Bool value.
+func NewBool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{Typ: Bool, I: i}
+}
+
+// NewTimestamp returns a Timestamp value from a time.Time.
+func NewTimestamp(t time.Time) Value {
+	return Value{Typ: Timestamp, I: t.UnixMicro()}
+}
+
+// NewTimestampMicros returns a Timestamp value from raw microseconds.
+func NewTimestampMicros(us int64) Value { return Value{Typ: Timestamp, I: us} }
+
+// NewNull returns the NULL value of type t.
+func NewNull(t Type) Value { return Value{Typ: t, Null: true} }
+
+// Bool reports the boolean interpretation of the value.
+func (v Value) Bool() bool { return !v.Null && v.I != 0 }
+
+// Time returns the timestamp as a time.Time (UTC).
+func (v Value) Time() time.Time { return time.UnixMicro(v.I).UTC() }
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.Null }
+
+// String renders the value for display.
+func (v Value) String() string {
+	if v.Null {
+		return "NULL"
+	}
+	switch v.Typ {
+	case Int64:
+		return strconv.FormatInt(v.I, 10)
+	case Float64:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case Varchar:
+		return v.S
+	case Bool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	case Timestamp:
+		return v.Time().Format("2006-01-02 15:04:05")
+	default:
+		return "<invalid>"
+	}
+}
+
+// Compare orders v against o. NULL sorts before all non-NULL values
+// (NULLS FIRST), matching the storage sort order. It panics if the types
+// are incomparable.
+func (v Value) Compare(o Value) int {
+	if v.Null || o.Null {
+		switch {
+		case v.Null && o.Null:
+			return 0
+		case v.Null:
+			return -1
+		default:
+			return 1
+		}
+	}
+	switch v.Typ {
+	case Int64, Timestamp, Bool:
+		var ov int64
+		switch o.Typ {
+		case Int64, Timestamp, Bool:
+			ov = o.I
+		case Float64:
+			return -NewFloat(o.F).Compare(NewFloat(float64(v.I)))
+		default:
+			panic(fmt.Sprintf("types: cannot compare %s with %s", v.Typ, o.Typ))
+		}
+		switch {
+		case v.I < ov:
+			return -1
+		case v.I > ov:
+			return 1
+		default:
+			return 0
+		}
+	case Float64:
+		var of float64
+		switch o.Typ {
+		case Float64:
+			of = o.F
+		case Int64, Timestamp, Bool:
+			of = float64(o.I)
+		default:
+			panic(fmt.Sprintf("types: cannot compare %s with %s", v.Typ, o.Typ))
+		}
+		switch {
+		case v.F < of:
+			return -1
+		case v.F > of:
+			return 1
+		default:
+			return 0
+		}
+	case Varchar:
+		if o.Typ != Varchar {
+			panic(fmt.Sprintf("types: cannot compare %s with %s", v.Typ, o.Typ))
+		}
+		switch {
+		case v.S < o.S:
+			return -1
+		case v.S > o.S:
+			return 1
+		default:
+			return 0
+		}
+	default:
+		panic("types: compare on invalid type")
+	}
+}
+
+// Equal reports v == o under Compare semantics (NULL equals NULL, which is
+// the grouping/sorting notion of equality, not SQL ternary equality).
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+// Column describes one attribute of a table or projection.
+type Column struct {
+	Name     string
+	Typ      Type
+	Nullable bool
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Cols []Column
+}
+
+// NewSchema builds a schema from columns.
+func NewSchema(cols ...Column) *Schema { return &Schema{Cols: cols} }
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Cols) }
+
+// ColIndex returns the index of the named column, or -1.
+func (s *Schema) ColIndex(name string) int {
+	for i, c := range s.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Col returns the column at index i.
+func (s *Schema) Col(i int) Column { return s.Cols[i] }
+
+// Project returns a new schema containing the columns at the given indexes.
+func (s *Schema) Project(idxs []int) *Schema {
+	out := &Schema{Cols: make([]Column, len(idxs))}
+	for i, idx := range idxs {
+		out.Cols[i] = s.Cols[idx]
+	}
+	return out
+}
+
+// Names returns the column names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// String renders the schema as "(a INTEGER, b VARCHAR)".
+func (s *Schema) String() string {
+	out := "("
+	for i, c := range s.Cols {
+		if i > 0 {
+			out += ", "
+		}
+		out += c.Name + " " + c.Typ.String()
+	}
+	return out + ")"
+}
+
+// Row is a tuple of values, positionally aligned with a schema.
+type Row []Value
+
+// Clone returns a deep copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Compare orders two rows by the given column indexes.
+func (r Row) Compare(o Row, keyIdx []int) int {
+	for _, k := range keyIdx {
+		if c := r[k].Compare(o[k]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// String renders the row for display.
+func (r Row) String() string {
+	out := "("
+	for i, v := range r {
+		if i > 0 {
+			out += ", "
+		}
+		out += v.String()
+	}
+	return out + ")"
+}

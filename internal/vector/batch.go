@@ -1,0 +1,123 @@
+package vector
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Batch is a horizontal slice of a table: one vector per column, all with the
+// same logical length. An optional selection vector (Sel) marks the subset of
+// rows that are live after filtering, which lets predicates avoid copying
+// survivors (qualifying rows flow onward by index).
+type Batch struct {
+	Cols []*Vector
+	// Sel, when non-nil, lists the live row indexes in increasing order.
+	// Vectors must be flat (non-RLE) when Sel is set.
+	Sel []int
+}
+
+// NewBatch returns a batch over the given column vectors.
+func NewBatch(cols ...*Vector) *Batch { return &Batch{Cols: cols} }
+
+// NumCols returns the number of columns.
+func (b *Batch) NumCols() int { return len(b.Cols) }
+
+// Len returns the number of live rows.
+func (b *Batch) Len() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	if len(b.Cols) == 0 {
+		return 0
+	}
+	return b.Cols[0].Len()
+}
+
+// FullLen returns the number of rows ignoring the selection vector.
+func (b *Batch) FullLen() int {
+	if len(b.Cols) == 0 {
+		return 0
+	}
+	return b.Cols[0].Len()
+}
+
+// Flatten expands any RLE columns and materializes the selection vector so
+// that every column is a dense, flat vector of exactly Len() rows.
+func (b *Batch) Flatten() *Batch {
+	out := &Batch{Cols: make([]*Vector, len(b.Cols))}
+	for i, c := range b.Cols {
+		flat := c.Expand()
+		if b.Sel != nil {
+			flat = flat.Gather(b.Sel)
+		}
+		out.Cols[i] = flat
+	}
+	return out
+}
+
+// ExpandRLE expands RLE columns in place (keeps Sel untouched).
+func (b *Batch) ExpandRLE() {
+	for i, c := range b.Cols {
+		if c.IsRLE() {
+			b.Cols[i] = c.Expand()
+		}
+	}
+}
+
+// Row materializes live row i (0 ≤ i < Len()) as a types.Row. Columns must be
+// flat; call Flatten or ExpandRLE first if RLE columns may be present.
+func (b *Batch) Row(i int) types.Row {
+	phys := i
+	if b.Sel != nil {
+		phys = b.Sel[i]
+	}
+	r := make(types.Row, len(b.Cols))
+	for c, col := range b.Cols {
+		r[c] = col.ValueAt(phys)
+	}
+	return r
+}
+
+// Rows materializes every live row (convenience for tests and small results).
+func (b *Batch) Rows() []types.Row {
+	fb := b
+	for _, c := range b.Cols {
+		if c.IsRLE() {
+			fb = b.Flatten()
+			break
+		}
+	}
+	out := make([]types.Row, fb.Len())
+	for i := range out {
+		out[i] = fb.Row(i)
+	}
+	return out
+}
+
+// AppendRow appends a row to a flat, unselected batch.
+func (b *Batch) AppendRow(r types.Row) {
+	if b.Sel != nil {
+		panic("vector: AppendRow on batch with selection vector")
+	}
+	if len(r) != len(b.Cols) {
+		panic(fmt.Sprintf("vector: AppendRow arity mismatch %d != %d", len(r), len(b.Cols)))
+	}
+	for i, v := range r {
+		b.Cols[i].AppendValue(v)
+	}
+}
+
+// NewBatchForSchema returns an empty flat batch shaped like the schema.
+func NewBatchForSchema(s *types.Schema, capacity int) *Batch {
+	cols := make([]*Vector, s.Len())
+	for i := range cols {
+		cols[i] = New(s.Col(i).Typ, capacity)
+	}
+	return &Batch{Cols: cols}
+}
+
+// String renders a short description for debugging.
+func (b *Batch) String() string {
+	return fmt.Sprintf("Batch{cols=%d, rows=%d, sel=%v}", len(b.Cols), b.Len(), b.Sel != nil)
+}

@@ -1,0 +1,174 @@
+package vector
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestVectorAppendAndValueAt(t *testing.T) {
+	v := New(types.Int64, 4)
+	v.AppendValue(types.NewInt(10))
+	v.AppendValue(types.NewInt(20))
+	v.AppendNull()
+	v.AppendValue(types.NewInt(30))
+	if v.Len() != 4 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	if v.ValueAt(0).I != 10 || v.ValueAt(1).I != 20 || v.ValueAt(3).I != 30 {
+		t.Error("values wrong")
+	}
+	if !v.ValueAt(2).Null || !v.NullAt(2) {
+		t.Error("null slot wrong")
+	}
+	if !v.HasNulls() {
+		t.Error("HasNulls should be true")
+	}
+}
+
+func TestVectorNullBackfill(t *testing.T) {
+	// Appending a NULL after non-nulls must backfill the bitmap.
+	v := New(types.Varchar, 2)
+	v.AppendValue(types.NewString("a"))
+	v.AppendNull()
+	if v.NullAt(0) || !v.NullAt(1) {
+		t.Error("null bitmap backfill wrong")
+	}
+}
+
+func TestRLEExpand(t *testing.T) {
+	v := New(types.Int64, 2)
+	v.AppendValue(types.NewInt(5))
+	v.AppendValue(types.NewInt(9))
+	v.RunLens = []int{3, 2}
+	if !v.IsRLE() {
+		t.Fatal("IsRLE should be true")
+	}
+	if v.Len() != 5 {
+		t.Fatalf("logical Len = %d, want 5", v.Len())
+	}
+	if v.PhysLen() != 2 {
+		t.Fatalf("PhysLen = %d, want 2", v.PhysLen())
+	}
+	e := v.Expand()
+	want := []int64{5, 5, 5, 9, 9}
+	for i, w := range want {
+		if e.Ints[i] != w {
+			t.Errorf("Expand[%d] = %d, want %d", i, e.Ints[i], w)
+		}
+	}
+	if e.IsRLE() {
+		t.Error("expanded vector should be flat")
+	}
+}
+
+func TestNewConst(t *testing.T) {
+	v := NewConst(types.NewFloat(1.5), 100)
+	if v.Len() != 100 || v.PhysLen() != 1 {
+		t.Fatalf("const vector len=%d phys=%d", v.Len(), v.PhysLen())
+	}
+	e := v.Expand()
+	if e.Len() != 100 || e.Floats[99] != 1.5 {
+		t.Error("const expand wrong")
+	}
+}
+
+func TestGatherSlice(t *testing.T) {
+	v := NewFromInts(types.Int64, []int64{1, 2, 3, 4, 5})
+	g := v.Gather([]int{4, 0, 2})
+	if g.Len() != 3 || g.Ints[0] != 5 || g.Ints[1] != 1 || g.Ints[2] != 3 {
+		t.Errorf("Gather wrong: %v", g.Ints)
+	}
+	s := v.Slice(1, 4)
+	if s.Len() != 3 || s.Ints[0] != 2 || s.Ints[2] != 4 {
+		t.Errorf("Slice wrong: %v", s.Ints)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	v := New(types.Int64, 4)
+	v.AppendNull()
+	v.AppendValue(types.NewInt(7))
+	v.AppendValue(types.NewInt(-3))
+	v.AppendValue(types.NewInt(4))
+	mn, mx, ok := v.MinMax()
+	if !ok || mn.I != -3 || mx.I != 7 {
+		t.Errorf("MinMax = %v, %v, %v", mn, mx, ok)
+	}
+	allNull := New(types.Int64, 1)
+	allNull.AppendNull()
+	if _, _, ok := allNull.MinMax(); ok {
+		t.Error("all-null MinMax should report !ok")
+	}
+}
+
+func TestBatchBasics(t *testing.T) {
+	a := NewFromInts(types.Int64, []int64{1, 2, 3})
+	b := NewFromStrings([]string{"x", "y", "z"})
+	batch := NewBatch(a, b)
+	if batch.Len() != 3 || batch.NumCols() != 2 {
+		t.Fatal("batch shape wrong")
+	}
+	r := batch.Row(1)
+	if r[0].I != 2 || r[1].S != "y" {
+		t.Errorf("Row(1) = %v", r)
+	}
+}
+
+func TestBatchSelection(t *testing.T) {
+	a := NewFromInts(types.Int64, []int64{10, 20, 30, 40})
+	batch := NewBatch(a)
+	batch.Sel = []int{1, 3}
+	if batch.Len() != 2 || batch.FullLen() != 4 {
+		t.Fatal("selected batch lengths wrong")
+	}
+	if batch.Row(0)[0].I != 20 || batch.Row(1)[0].I != 40 {
+		t.Error("selected Row access wrong")
+	}
+	flat := batch.Flatten()
+	if flat.Len() != 2 || flat.Sel != nil || flat.Cols[0].Ints[1] != 40 {
+		t.Error("Flatten wrong")
+	}
+}
+
+func TestBatchFlattenRLE(t *testing.T) {
+	rle := New(types.Varchar, 1)
+	rle.AppendValue(types.NewString("cpu"))
+	rle.RunLens = []int{3}
+	flat := NewFromInts(types.Int64, []int64{1, 2, 3})
+	batch := NewBatch(rle, flat)
+	fb := batch.Flatten()
+	if fb.Cols[0].Len() != 3 || fb.Cols[0].Strs[2] != "cpu" {
+		t.Error("RLE flatten wrong")
+	}
+	rows := batch.Rows()
+	if len(rows) != 3 || rows[2][0].S != "cpu" || rows[2][1].I != 3 {
+		t.Errorf("Rows() = %v", rows)
+	}
+}
+
+func TestBatchAppendRow(t *testing.T) {
+	s := types.NewSchema(
+		types.Column{Name: "a", Typ: types.Int64},
+		types.Column{Name: "b", Typ: types.Float64},
+	)
+	b := NewBatchForSchema(s, 4)
+	b.AppendRow(types.Row{types.NewInt(1), types.NewFloat(0.5)})
+	b.AppendRow(types.Row{types.NewInt(2), types.NewNull(types.Float64)})
+	if b.Len() != 2 {
+		t.Fatal("AppendRow length wrong")
+	}
+	if !b.Row(1)[1].Null {
+		t.Error("null not preserved through AppendRow")
+	}
+}
+
+func TestGatherPanicsOnRLE(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Gather on RLE should panic")
+		}
+	}()
+	v := NewConst(types.NewInt(1), 5)
+	v.Gather([]int{0})
+}
