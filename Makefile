@@ -1,0 +1,35 @@
+GO ?= go
+
+# Server defaults for `make serve`; override on the command line, e.g.
+#   make serve DB_DIR=/data/db SERVE_ADDR=:6000 MEM_POOL=1GB
+DB_DIR     ?= /tmp/vertica-repro
+SERVE_ADDR ?= :5433
+MEM_POOL   ?= 256MB
+MAX_CONC   ?= 4
+
+.PHONY: all build test race lint bench serve fmt
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# Tier-1 verification: what CI and the roadmap gate on.
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+serve:
+	$(GO) run ./cmd/vsql -dir $(DB_DIR) -serve $(SERVE_ADDR) -mem-pool $(MEM_POOL) -max-concurrency $(MAX_CONC)
+
+fmt:
+	gofmt -w .

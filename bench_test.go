@@ -5,9 +5,11 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -15,6 +17,7 @@ import (
 	"repro/internal/encoding"
 	"repro/internal/exec"
 	"repro/internal/expr"
+	"repro/internal/server"
 	"repro/internal/storage"
 	"repro/internal/tuplemover"
 	"repro/internal/txn"
@@ -446,4 +449,92 @@ func BenchmarkAblationJoinIndex(b *testing.B) {
 			scanAll(b, t)
 		}
 	})
+}
+
+// BenchmarkConcurrentWorkload drives 8 simultaneous TCP clients through the
+// SQL server and compares admission-controlled execution (2 concurrency
+// slots) against unbounded concurrency (all 8 run at once). Both configs
+// give each query the same 2MB grant — small enough that the ORDER BY
+// externalizes — so the comparison isolates the admission policy: bounded
+// peak memory and queueing versus 8 spilling sorts in flight at once. The
+// governor's peak-running and per-query queue-wait are reported as metrics.
+func BenchmarkConcurrentWorkload(b *testing.B) {
+	const clients = 8
+	const grantBytes = 2 << 20
+	setup := func(b *testing.B, conc int) (*server.Server, *core.Database, []*server.Client) {
+		db, err := core.Open(core.Options{
+			Dir:            b.TempDir(),
+			MemPoolBytes:   int64(grantBytes * conc), // grant = pool/conc stays fixed
+			MaxConcurrency: conc,
+			TempDir:        b.TempDir(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		db.MustExecute(`CREATE TABLE sales (sale_id INT, cust INT, price FLOAT)`)
+		db.MustExecute(`CREATE PROJECTION sales_super ON sales (sale_id, cust, price)
+			ORDER BY sale_id SEGMENTED BY HASH(sale_id)`)
+		rows := make([]types.Row, 50_000)
+		for i := range rows {
+			rows[i] = types.Row{
+				types.NewInt(int64(i)), types.NewInt(int64(i % 50)), types.NewFloat(float64(i * 7 % 9973)),
+			}
+		}
+		if err := db.Load("sales", rows, true); err != nil {
+			b.Fatal(err)
+		}
+		srv := server.New(db, server.Config{Addr: "127.0.0.1:0"})
+		if err := srv.Listen(); err != nil {
+			b.Fatal(err)
+		}
+		go srv.Serve()
+		cs := make([]*server.Client, clients)
+		for i := range cs {
+			c, err := server.Dial(srv.Addr().String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			cs[i] = c
+		}
+		return srv, db, cs
+	}
+	run := func(b *testing.B, conc int) {
+		srv, db, cs := setup(b, conc)
+		defer func() {
+			for _, c := range cs {
+				c.Close()
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for _, c := range cs {
+				wg.Add(1)
+				go func(c *server.Client) {
+					defer wg.Done()
+					res, err := c.Exec(`SELECT sale_id, price FROM sales ORDER BY price`)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if len(res.Rows) != 50_000 {
+						b.Errorf("got %d rows", len(res.Rows))
+					}
+				}(c)
+			}
+			wg.Wait()
+		}
+		b.StopTimer()
+		st := db.Governor().Stats()
+		b.ReportMetric(float64(st.PeakRunning), "peak-running")
+		if st.Admitted > 0 {
+			b.ReportMetric(float64(st.TotalQueueWait.Microseconds())/float64(st.Admitted), "queue-wait-us/query")
+		}
+		b.ReportMetric(float64(st.SpilledBytes)/float64(b.N), "spilled-B/round")
+	}
+	b.Run("admission-2-slots", func(b *testing.B) { run(b, 2) })
+	b.Run("unbounded", func(b *testing.B) { run(b, clients) })
 }

@@ -4,18 +4,31 @@
 //
 //	vsql -dir /path/to/db [-nodes 3] [-k 1]
 //
+// With -serve it instead runs the TCP SQL server on the given address,
+// admission-controlled by the resource governor:
+//
+//	vsql -dir /path/to/db -serve :5433 -mem-pool 256MB -max-concurrency 4
+//
 // Meta commands: \q quits, \d lists tables and projections, \mover runs a
-// tuple mover cycle, \epoch shows the epoch state.
+// tuple mover cycle, \epoch shows the epoch state, \stats shows governor
+// workload stats.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/server"
 )
 
 func main() {
@@ -23,15 +36,38 @@ func main() {
 	nodes := flag.Int("nodes", 1, "cluster size")
 	k := flag.Int("k", 0, "K-safety level")
 	parallel := flag.Int("parallel", 0, "intra-node parallelism")
+	serveAddr := flag.String("serve", "", "run the TCP SQL server on this address instead of the shell (e.g. :5433)")
+	memPool := flag.String("mem-pool", "", "global query-memory pool, e.g. 256MB or 1GB (default 1GB)")
+	maxConc := flag.Int("max-concurrency", 0, "max simultaneously running queries (default 8)")
+	queueTimeout := flag.Duration("queue-timeout", 0, "admission queue timeout (default 30s)")
+	tempDir := flag.String("tmp", "", "spill directory (default system temp)")
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "vsql: -dir is required")
 		os.Exit(1)
 	}
-	db, err := core.Open(core.Options{Dir: *dir, Nodes: *nodes, K: *k, Parallelism: *parallel})
+	poolBytes, err := parseBytes(*memPool)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vsql: -mem-pool:", err)
+		os.Exit(1)
+	}
+	db, err := core.Open(core.Options{
+		Dir: *dir, Nodes: *nodes, K: *k, Parallelism: *parallel,
+		MemPoolBytes:   poolBytes,
+		MaxConcurrency: *maxConc,
+		QueueTimeout:   *queueTimeout,
+		TempDir:        *tempDir,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vsql:", err)
 		os.Exit(1)
+	}
+	if *serveAddr != "" {
+		if err := serve(db, *serveAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "vsql:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	session := db.NewSession()
 	defer session.Close()
@@ -71,6 +107,68 @@ func main() {
 	}
 }
 
+// serve runs the TCP server until SIGINT/SIGTERM, then drains gracefully.
+func serve(db *core.Database, addr string) error {
+	srv := server.New(db, server.Config{Addr: addr})
+	if err := srv.Listen(); err != nil {
+		return err
+	}
+	gcfg := db.Governor().Config()
+	fmt.Printf("vsql: serving on %s (pool %s, concurrency %d, queue timeout %s)\n",
+		srv.Addr(), formatBytes(gcfg.PoolBytes), gcfg.MaxConcurrency, gcfg.QueueTimeout)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if errors.Is(err, server.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case s := <-sig:
+		fmt.Printf("vsql: %s, draining (%d sessions served)\n", s, srv.Sessions.Load())
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
+}
+
+// parseBytes reads "64MB", "1GB", "512KB" or a plain byte count.
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{{"GB", 1 << 30}, {"MB", 1 << 20}, {"KB", 1 << 10}, {"B", 1}} {
+		if strings.HasSuffix(s, u.suffix) {
+			s = strings.TrimSuffix(s, u.suffix)
+			mult = u.mult
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid size %q", s)
+	}
+	return n * mult, nil
+}
+
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dGB", n>>30)
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n>>20)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
 func metaCommand(db *core.Database, cmd string) bool {
 	switch {
 	case cmd == "\\q":
@@ -103,8 +201,10 @@ func metaCommand(db *core.Database, cmd string) bool {
 	case cmd == "\\epoch":
 		e := db.Txns().Epochs
 		fmt.Printf("current epoch %d, read epoch %d, AHM %d\n", e.Current(), e.ReadEpoch(), e.AHM())
+	case cmd == "\\stats":
+		fmt.Println(db.Governor().Stats())
 	default:
-		fmt.Println("unknown meta command; try \\q, \\d, \\mover, \\epoch")
+		fmt.Println("unknown meta command; try \\q, \\d, \\mover, \\epoch, \\stats")
 	}
 	return true
 }

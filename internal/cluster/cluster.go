@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"repro/internal/catalog"
+	"repro/internal/resmgr"
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/types"
@@ -70,6 +71,11 @@ type Config struct {
 	// LocalSegments per node (paper §3.6; Figure 2 shows 3).
 	LocalSegments int
 	WOSMaxBytes   int64
+	// Governor, when set, admission-controls query dispatch on the
+	// coordinator and sizes operator memory budgets from its grants.
+	Governor *resmgr.Governor
+	// TempDir hosts operator spill files (default: system temp).
+	TempDir string
 }
 
 // Cluster owns the node set, the shared epoch clock and group membership.
@@ -107,6 +113,9 @@ func New(cfg Config, cat *catalog.Catalog, tm *txn.Manager) (*Cluster, error) {
 
 // Catalog returns the shared metadata catalog.
 func (c *Cluster) Catalog() *catalog.Catalog { return c.cat }
+
+// Governor returns the coordinator's resource governor (nil if ungoverned).
+func (c *Cluster) Governor() *resmgr.Governor { return c.cfg.Governor }
 
 // Nodes returns all nodes (up and down).
 func (c *Cluster) Nodes() []*Node {

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/optimizer"
+	"repro/internal/resmgr"
 	"repro/internal/storage"
 	"repro/internal/types"
 )
@@ -45,11 +47,13 @@ func (p *nodeProvider) ProjectionData(name string) (*storage.Manager, error) {
 	return p.n.Mgr(proj, p.c.ManagerOpts())
 }
 
-// QueryResult carries the final rows plus plan diagnostics.
+// QueryResult carries the final rows plus plan diagnostics and the query's
+// resource stats (zero when the cluster runs ungoverned).
 type QueryResult struct {
 	Schema  *types.Schema
 	Rows    []types.Row
 	Explain string
+	Stats   resmgr.QueryStats
 }
 
 // Run executes a logical query across the cluster at the current READ
@@ -60,6 +64,32 @@ func (c *Cluster) Run(q *optimizer.LogicalQuery, opts optimizer.PlanOpts) (*Quer
 
 // RunAt executes at an explicit snapshot epoch (historical queries).
 func (c *Cluster) RunAt(q *optimizer.LogicalQuery, opts optimizer.PlanOpts, epoch types.Epoch) (*QueryResult, error) {
+	return c.RunAtCtx(context.Background(), q, opts, epoch)
+}
+
+// RunCtx is Run with caller-controlled cancellation and admission.
+func (c *Cluster) RunCtx(ctx context.Context, q *optimizer.LogicalQuery, opts optimizer.PlanOpts) (*QueryResult, error) {
+	return c.RunAtCtx(ctx, q, opts, c.Txn.Epochs.ReadEpoch())
+}
+
+// RunAtCtx executes at an explicit snapshot epoch under a cancellable
+// context. When the cluster has a governor the query is first admitted on
+// the coordinator — blocking in the admission queue if the cluster is at its
+// concurrency or memory limit — and every operator budget derives from the
+// admission grant instead of the built-in default.
+func (c *Cluster) RunAtCtx(ctx context.Context, q *optimizer.LogicalQuery, opts optimizer.PlanOpts, epoch types.Epoch) (*QueryResult, error) {
+	var grant *resmgr.Grant
+	if gov := c.cfg.Governor; gov != nil {
+		var err error
+		grant, err = gov.Admit(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer grant.Release()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if c.IsShutdown() {
 		return nil, fmt.Errorf("cluster: database is shut down")
 	}
@@ -118,7 +148,9 @@ func (c *Cluster) RunAt(q *optimizer.LogicalQuery, opts optimizer.PlanOpts, epoc
 		}
 	}
 
-	// Execute node plans in parallel (the MPP step).
+	// Execute node plans in parallel (the MPP step). Each node pipeline
+	// shares the query's admission grant; the per-operator budget splits the
+	// grant across the concurrent pipelines.
 	var mu sync.Mutex
 	var firstErr error
 	var partials []types.Row
@@ -127,11 +159,8 @@ func (c *Cluster) RunAt(q *optimizer.LogicalQuery, opts optimizer.PlanOpts, epoc
 		wg.Add(1)
 		go func(r nodeRun) {
 			defer wg.Done()
-			ctx := exec.NewCtx(epoch)
-			if opts.Parallelism > 0 {
-				ctx.Parallelism = opts.Parallelism
-			}
-			rows, err := exec.Drain(ctx, r.plan.Root)
+			ectx := c.execCtx(ctx, epoch, opts, grant, len(runs))
+			rows, err := exec.Drain(ectx, r.plan.Root)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil && firstErr == nil {
@@ -146,16 +175,36 @@ func (c *Cluster) RunAt(q *optimizer.LogicalQuery, opts optimizer.PlanOpts, epoc
 		return nil, firstErr
 	}
 
-	// Initiator merge.
+	// Initiator merge (single pipeline: full grant budget).
 	nodeSchema := runs[0].plan.Root.Schema()
-	final, schema, err := merge(partials, nodeSchema, epoch)
+	final, schema, err := merge(partials, nodeSchema, c.execCtx(ctx, epoch, opts, grant, 1))
 	if err != nil {
 		return nil, err
 	}
+	grant.ReportRows(int64(len(final)))
 	var explain strings.Builder
 	fmt.Fprintf(&explain, "-- distributed over %d node plan(s); local-final=%v\n", len(runs), localFinal)
 	explain.WriteString(runs[0].plan.Explain())
-	return &QueryResult{Schema: schema, Rows: final, Explain: explain.String()}, nil
+	return &QueryResult{Schema: schema, Rows: final, Explain: explain.String(), Stats: grant.Stats()}, nil
+}
+
+// execCtx builds one pipeline's execution context: snapshot epoch, the
+// query's cancellation context and grant, and a per-operator budget carved
+// from the grant when governed.
+func (c *Cluster) execCtx(cctx context.Context, epoch types.Epoch, opts optimizer.PlanOpts, grant *resmgr.Grant, pipelines int) *exec.Ctx {
+	ectx := exec.NewCtx(epoch)
+	if opts.Parallelism > 0 {
+		ectx.Parallelism = opts.Parallelism
+	}
+	ectx.Context = cctx
+	ectx.Grant = grant
+	if c.cfg.TempDir != "" {
+		ectx.TempDir = c.cfg.TempDir
+	}
+	if grant != nil {
+		ectx.MemBudget = grant.OperatorBudget(pipelines)
+	}
+	return ectx
 }
 
 // allReplicated reports whether every chosen projection is replicated.
@@ -327,15 +376,16 @@ func (c *Cluster) planBuddySegment(q *optimizer.LogicalQuery, opts optimizer.Pla
 	return plan, host, nil
 }
 
-// mergeFunc combines node-partial rows at the initiator.
-type mergeFunc func(partials []types.Row, nodeSchema *types.Schema, epoch types.Epoch) ([]types.Row, *types.Schema, error)
+// mergeFunc combines node-partial rows at the initiator under the query's
+// execution context (cancellation, grant budget, spill dir).
+type mergeFunc func(partials []types.Row, nodeSchema *types.Schema, ectx *exec.Ctx) ([]types.Row, *types.Schema, error)
 
 // buildDistributedAgg derives the per-node query and the initiator merge.
 func buildDistributedAgg(q *optimizer.LogicalQuery, localFinal bool) (*optimizer.LogicalQuery, mergeFunc, error) {
-	finishLocal := func(partials []types.Row, schema *types.Schema, epoch types.Epoch, ops func(exec.Operator) exec.Operator) ([]types.Row, *types.Schema, error) {
+	finishLocal := func(partials []types.Row, schema *types.Schema, ectx *exec.Ctx, ops func(exec.Operator) exec.Operator) ([]types.Row, *types.Schema, error) {
 		src := exec.NewValues(schema, partials)
 		root := ops(src)
-		rows, err := exec.Drain(exec.NewCtx(epoch), root)
+		rows, err := exec.Drain(ectx, root)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -351,8 +401,8 @@ func buildDistributedAgg(q *optimizer.LogicalQuery, localFinal bool) (*optimizer
 		nodeQ.Limit = -1
 		nodeQ.Offset = 0
 		nodeQ.Distinct = false
-		merge := func(partials []types.Row, schema *types.Schema, epoch types.Epoch) ([]types.Row, *types.Schema, error) {
-			return finishLocal(partials, schema, epoch, func(op exec.Operator) exec.Operator {
+		merge := func(partials []types.Row, schema *types.Schema, ectx *exec.Ctx) ([]types.Row, *types.Schema, error) {
+			return finishLocal(partials, schema, ectx, func(op exec.Operator) exec.Operator {
 				if q.Distinct {
 					keys := make([]expr.Expr, schema.Len())
 					names := make([]string, schema.Len())
@@ -384,8 +434,8 @@ func buildDistributedAgg(q *optimizer.LogicalQuery, localFinal bool) (*optimizer
 		nodeQ.OrderBy = nil
 		nodeQ.Limit = -1
 		nodeQ.Offset = 0
-		merge := func(partials []types.Row, schema *types.Schema, epoch types.Epoch) ([]types.Row, *types.Schema, error) {
-			return finishLocal(partials, schema, epoch, func(op exec.Operator) exec.Operator {
+		merge := func(partials []types.Row, schema *types.Schema, ectx *exec.Ctx) ([]types.Row, *types.Schema, error) {
+			return finishLocal(partials, schema, ectx, func(op exec.Operator) exec.Operator {
 				return finishAggregate(q, op)
 			})
 		}
@@ -425,8 +475,8 @@ func buildDistributedAgg(q *optimizer.LogicalQuery, localFinal bool) (*optimizer
 	}
 	nodeQ.Aggs = nodeAggs
 	nKeys := len(q.GroupBy)
-	merge := func(partials []types.Row, schema *types.Schema, epoch types.Epoch) ([]types.Row, *types.Schema, error) {
-		return finishLocal(partials, schema, epoch, func(op exec.Operator) exec.Operator {
+	merge := func(partials []types.Row, schema *types.Schema, ectx *exec.Ctx) ([]types.Row, *types.Schema, error) {
+		return finishLocal(partials, schema, ectx, func(op exec.Operator) exec.Operator {
 			// Re-aggregate node partials by the group keys.
 			keys := make([]expr.Expr, nKeys)
 			names := make([]string, nKeys)

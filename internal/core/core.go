@@ -15,13 +15,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/cluster"
 	"repro/internal/expr"
 	"repro/internal/optimizer"
+	"repro/internal/resmgr"
 	"repro/internal/sql"
 	"repro/internal/storage"
 	"repro/internal/tuplemover"
@@ -47,6 +50,19 @@ type Options struct {
 	WOSMaxBytes int64
 	// LocalSegments per node (default 3).
 	LocalSegments int
+
+	// Resource governor knobs (see internal/resmgr). Zero values take the
+	// resmgr defaults: 1 GiB pool, 8 concurrent queries, 30s queue timeout.
+	//
+	// MemPoolBytes is the global query-memory pool shared by all statements.
+	MemPoolBytes int64
+	// MaxConcurrency bounds simultaneously executing queries; excess
+	// statements wait in the admission queue.
+	MaxConcurrency int
+	// QueueTimeout bounds admission-queue wait (negative disables).
+	QueueTimeout time.Duration
+	// TempDir hosts operator spill files (default: system temp).
+	TempDir string
 }
 
 // Database is one engine instance.
@@ -67,6 +83,8 @@ type Result struct {
 	RowsAffected int64
 	Explain      string
 	Message      string
+	// Stats carries the statement's resource accounting (SELECTs only).
+	Stats resmgr.QueryStats
 }
 
 // Open creates or reopens a database.
@@ -88,12 +106,19 @@ func Open(opts Options) (*Database, error) {
 		return nil, err
 	}
 	tm := txn.NewManager()
+	gov := resmgr.NewGovernor(resmgr.Config{
+		PoolBytes:      opts.MemPoolBytes,
+		MaxConcurrency: opts.MaxConcurrency,
+		QueueTimeout:   opts.QueueTimeout,
+	})
 	cl, err := cluster.New(cluster.Config{
 		Nodes:         opts.Nodes,
 		Dir:           opts.Dir,
 		K:             opts.K,
 		LocalSegments: opts.LocalSegments,
 		WOSMaxBytes:   opts.WOSMaxBytes,
+		Governor:      gov,
+		TempDir:       opts.TempDir,
 	}, cat, tm)
 	if err != nil {
 		return nil, err
@@ -143,11 +168,21 @@ func (db *Database) Cluster() *cluster.Cluster { return db.cluster }
 // Txns exposes the transaction manager (epochs, locks).
 func (db *Database) Txns() *txn.Manager { return db.txns }
 
+// Governor exposes the resource governor (admission control, memory pool,
+// workload stats).
+func (db *Database) Governor() *resmgr.Governor { return db.cluster.Governor() }
+
 // Execute parses and runs one SQL statement with autocommit.
 func (db *Database) Execute(sqlText string) (*Result, error) {
+	return db.ExecuteContext(context.Background(), sqlText)
+}
+
+// ExecuteContext is Execute under a cancellable context: cancelling ctx
+// aborts a queued or running statement and returns its memory grant.
+func (db *Database) ExecuteContext(ctx context.Context, sqlText string) (*Result, error) {
 	s := db.NewSession()
 	defer s.Close()
-	return s.Execute(sqlText)
+	return s.ExecuteContext(ctx, sqlText)
 }
 
 // MustExecute is Execute that panics on error (examples and tests).
@@ -179,6 +214,13 @@ func (s *Session) Close() {
 // Execute runs one statement in the session. Without an explicit BEGIN the
 // statement autocommits.
 func (s *Session) Execute(sqlText string) (*Result, error) {
+	return s.ExecuteContext(context.Background(), sqlText)
+}
+
+// ExecuteContext runs one statement under a cancellable context. SELECTs are
+// admission-controlled by the database's resource governor and abandon
+// execution at the next batch boundary when ctx ends.
+func (s *Session) ExecuteContext(ctx context.Context, sqlText string) (*Result, error) {
 	stmt, err := sql.Parse(sqlText)
 	if err != nil {
 		return nil, err
@@ -187,7 +229,7 @@ func (s *Session) Execute(sqlText string) (*Result, error) {
 	case *sql.TxnStmt:
 		return s.execTxnStmt(st)
 	case *sql.SelectStmt:
-		return s.db.execSelect(st)
+		return s.db.execSelect(ctx, st)
 	case *sql.CreateTableStmt:
 		return s.db.execCreateTable(st)
 	case *sql.CreateProjectionStmt:
@@ -264,24 +306,30 @@ func (s *Session) autocommitDML(stage func(tx *txn.Txn) (int64, error)) (*Result
 
 // --- statement implementations ---------------------------------------------
 
-func (db *Database) execSelect(st *sql.SelectStmt) (*Result, error) {
+func (db *Database) execSelect(ctx context.Context, st *sql.SelectStmt) (*Result, error) {
 	q, err := sql.AnalyzeSelect(st, db.cat)
 	if err != nil {
 		return nil, err
 	}
 	opts := optimizer.PlanOpts{Parallelism: db.opts.Parallelism}
-	res, err := db.cluster.Run(q, opts)
+	res, err := db.cluster.RunCtx(ctx, q, opts)
 	if err != nil {
 		return nil, err
 	}
 	if st.Explain {
 		return &Result{Explain: res.Explain, Message: res.Explain}, nil
 	}
-	return &Result{Schema: res.Schema, Rows: res.Rows, Explain: res.Explain}, nil
+	return &Result{Schema: res.Schema, Rows: res.Rows, Explain: res.Explain, Stats: res.Stats}, nil
 }
 
 // QueryAt runs a SELECT at a historical epoch (time travel).
 func (db *Database) QueryAt(sqlText string, epoch types.Epoch) (*Result, error) {
+	return db.QueryAtContext(context.Background(), sqlText, epoch)
+}
+
+// QueryAtContext is QueryAt under a cancellable, admission-controlled
+// context (the server's pinned-epoch sessions run through here).
+func (db *Database) QueryAtContext(ctx context.Context, sqlText string, epoch types.Epoch) (*Result, error) {
 	stmt, err := sql.Parse(sqlText)
 	if err != nil {
 		return nil, err
@@ -294,11 +342,11 @@ func (db *Database) QueryAt(sqlText string, epoch types.Epoch) (*Result, error) 
 	if err != nil {
 		return nil, err
 	}
-	res, err := db.cluster.RunAt(q, optimizer.PlanOpts{Parallelism: db.opts.Parallelism}, epoch)
+	res, err := db.cluster.RunAtCtx(ctx, q, optimizer.PlanOpts{Parallelism: db.opts.Parallelism}, epoch)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Schema: res.Schema, Rows: res.Rows, Explain: res.Explain}, nil
+	return &Result{Schema: res.Schema, Rows: res.Rows, Explain: res.Explain, Stats: res.Stats}, nil
 }
 
 func (db *Database) execCreateTable(st *sql.CreateTableStmt) (*Result, error) {

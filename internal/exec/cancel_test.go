@@ -1,0 +1,168 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/resmgr"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// cancelSource produces synthetic batches and fires a context cancel after a
+// set number of them, simulating a client abandoning a running query.
+type cancelSource struct {
+	schema      *types.Schema
+	rowsPer     int
+	cancelAfter int // batches before cancel fires; -1 never
+	cancel      context.CancelFunc
+	produced    int
+}
+
+func (c *cancelSource) Schema() *types.Schema { return c.schema }
+func (c *cancelSource) Open(*Ctx) error       { c.produced = 0; return nil }
+func (c *cancelSource) Close(*Ctx) error      { return nil }
+func (c *cancelSource) Describe() string      { return "CancelSource" }
+
+func (c *cancelSource) Next(*Ctx) (*vector.Batch, error) {
+	if c.cancelAfter >= 0 && c.produced == c.cancelAfter {
+		c.cancel()
+	}
+	b := vector.NewBatchForSchema(c.schema, c.rowsPer)
+	for i := 0; i < c.rowsPer; i++ {
+		n := int64(c.produced*c.rowsPer + i)
+		b.AppendRow(types.Row{types.NewInt(n * 37 % 1009), types.NewString(fmt.Sprintf("payload-%d", n))})
+	}
+	c.produced++
+	return b, nil
+}
+
+func cancelSchema() *types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "k", Typ: types.Int64},
+		types.Column{Name: "s", Typ: types.Varchar},
+	)
+}
+
+// TestSortCancelWhileSpilling forces the sort to externalize on every batch
+// and cancels mid-stream: the query must abort with the context error within
+// one batch and leave no spill files behind.
+func TestSortCancelWhileSpilling(t *testing.T) {
+	cctx, cancel := context.WithCancel(context.Background())
+	src := &cancelSource{schema: cancelSchema(), rowsPer: 500, cancelAfter: 3, cancel: cancel}
+	s := NewSort(src, []SortSpec{{Col: 0}})
+
+	ctx := NewCtx(1)
+	ctx.Context = cctx
+	ctx.MemBudget = 4 << 10 // spill every batch
+	ctx.TempDir = t.TempDir()
+
+	_, err := Drain(ctx, s)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ctx.Spills.Load() == 0 {
+		t.Fatal("expected at least one spill before cancellation")
+	}
+	if src.produced > src.cancelAfter+1 {
+		t.Fatalf("source produced %d batches after cancel at %d: not aborted within one batch",
+			src.produced, src.cancelAfter)
+	}
+	ents, err := os.ReadDir(ctx.TempDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("spill files leaked after cancel: %d entries", len(ents))
+	}
+}
+
+// TestDrainPreCanceled verifies a query with an already-ended context never
+// produces a batch.
+func TestDrainPreCanceled(t *testing.T) {
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	src := &cancelSource{schema: cancelSchema(), rowsPer: 10, cancelAfter: -1, cancel: func() {}}
+	ctx := NewCtx(1)
+	ctx.Context = cctx
+	_, err := Drain(ctx, NewSort(src, []SortSpec{{Col: 0}}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if src.produced != 0 {
+		t.Fatalf("source produced %d batches under a pre-canceled context", src.produced)
+	}
+}
+
+// TestGroupByAndJoinCancel covers the other stateful consume loops.
+func TestGroupByAndJoinCancel(t *testing.T) {
+	t.Run("groupby", func(t *testing.T) {
+		cctx, cancel := context.WithCancel(context.Background())
+		src := &cancelSource{schema: cancelSchema(), rowsPer: 100, cancelAfter: 2, cancel: cancel}
+		ctx := NewCtx(1)
+		ctx.Context = cctx
+		ctx.TempDir = t.TempDir()
+		g := NewGroupBy(src, []expr.Expr{expr.NewColRef(0, types.Int64, "k")}, []string{"k"}, nil)
+		_, err := Drain(ctx, g)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("groupby err = %v, want context.Canceled", err)
+		}
+	})
+	t.Run("hashjoin-build", func(t *testing.T) {
+		cctx, cancel := context.WithCancel(context.Background())
+		inner := &cancelSource{schema: cancelSchema(), rowsPer: 100, cancelAfter: 2, cancel: cancel}
+		outer := &cancelSource{schema: cancelSchema(), rowsPer: 1, cancelAfter: -1, cancel: func() {}}
+		ctx := NewCtx(1)
+		ctx.Context = cctx
+		j, err := NewHashJoin(InnerJoin, outer, inner, []int{0}, []int{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = Drain(ctx, j)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("join err = %v, want context.Canceled", err)
+		}
+	})
+}
+
+// TestSpillReportsToGrant runs a governed, spilling sort and checks the
+// grant's counters reflect the externalizations.
+func TestSpillReportsToGrant(t *testing.T) {
+	gov := resmgr.NewGovernor(resmgr.Config{PoolBytes: 1 << 20, MaxConcurrency: 2})
+	grant, err := gov.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer grant.Release()
+
+	src := &cancelSource{schema: cancelSchema(), rowsPer: 500, cancelAfter: -1, cancel: func() {}}
+	// Bound the stream: stop after 4 batches by wrapping with Limit.
+	lim := NewLimit(src, 0, 2000)
+	s := NewSort(lim, []SortSpec{{Col: 0}})
+
+	ctx := NewCtx(1)
+	ctx.Grant = grant
+	ctx.MemBudget = 4 << 10
+	ctx.TempDir = t.TempDir()
+	rows, err := Drain(ctx, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2000 {
+		t.Fatalf("got %d rows, want 2000", len(rows))
+	}
+	qs := grant.Stats()
+	if qs.Spills == 0 || qs.SpilledBytes == 0 {
+		t.Fatalf("grant did not record spills: %+v", qs)
+	}
+	if qs.AllocPeak == 0 {
+		t.Fatalf("grant did not record alloc high-water: %+v", qs)
+	}
+	if ctx.SpilledBytes.Load() != qs.SpilledBytes {
+		t.Fatalf("ctx spilled %d bytes, grant %d", ctx.SpilledBytes.Load(), qs.SpilledBytes)
+	}
+}

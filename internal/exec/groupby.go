@@ -150,6 +150,9 @@ func (g *GroupBy) Next(ctx *Ctx) (*vector.Batch, error) {
 
 func (g *GroupBy) consumeAll(ctx *Ctx) error {
 	for {
+		if err := ctx.Canceled(); err != nil {
+			return err
+		}
 		in, err := g.child.Next(ctx)
 		if err != nil {
 			return err
@@ -199,6 +202,7 @@ func (g *GroupBy) consumeHash(ctx *Ctx, in *vector.Batch) error {
 		e := g.findOrCreate(key)
 		g.updateEntry(e, argVecs, in, i)
 	}
+	ctx.noteAlloc(g.memUsed)
 	if g.memUsed > ctx.MemBudget && g.canSpill() {
 		if err := g.spillGroups(ctx); err != nil {
 			return err
@@ -307,17 +311,19 @@ func (g *GroupBy) spillGroups(ctx *Ctx) error {
 			row = append(row, acc.partial()...)
 		}
 		if err := w.writeRow(row); err != nil {
+			w.abort()
 			return err
 		}
 	}
 	r, err := w.finish()
 	if err != nil {
+		w.abort()
 		return err
 	}
 	g.spills = append(g.spills, r)
 	g.groups = map[uint64][]*groupEntry{}
 	g.memUsed = 0
-	ctx.Spills.Add(1)
+	ctx.noteSpill(r.bytes)
 	return nil
 }
 

@@ -151,6 +151,9 @@ func (j *HashJoin) build(ctx *Ctx) error {
 	j.table = map[uint64][]buildRow{}
 	var mem int64
 	for {
+		if err := ctx.Canceled(); err != nil {
+			return err
+		}
 		in, err := j.inner.Next(ctx)
 		if err != nil {
 			return err
@@ -170,6 +173,7 @@ func (j *HashJoin) build(ctx *Ctx) error {
 			}
 			mem += rowMemBytes(r) + 32
 		}
+		ctx.noteAlloc(mem)
 		if mem > ctx.MemBudget {
 			// Runtime algorithm switch: abandon the hash table and join by
 			// sorting both sides.

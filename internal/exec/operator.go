@@ -7,10 +7,12 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync/atomic"
 
+	"repro/internal/resmgr"
 	"repro/internal/types"
 	"repro/internal/vector"
 )
@@ -28,6 +30,14 @@ type Ctx struct {
 	TempDir string
 	// Parallelism bounds intra-node worker threads (StorageUnion fan-out).
 	Parallelism int
+	// Context cancels the query: operators poll Canceled at batch
+	// boundaries and abandon the plan when it fires. Nil means
+	// non-cancellable (embedded/test use).
+	Context context.Context
+	// Grant is the query's admission grant from the resource governor;
+	// operators report spills and memory high-water into it. Nil-safe: an
+	// ungoverned query simply reports into the void.
+	Grant *resmgr.Grant
 
 	// Stats counters (atomic; shared across worker pipelines).
 	RowsScanned     atomic.Int64
@@ -35,6 +45,7 @@ type Ctx struct {
 	BlocksRead      atomic.Int64
 	SIPFiltered     atomic.Int64
 	Spills          atomic.Int64
+	SpilledBytes    atomic.Int64
 	PrepassBypassed atomic.Bool
 }
 
@@ -42,6 +53,26 @@ type Ctx struct {
 func NewCtx(epoch types.Epoch) *Ctx {
 	return &Ctx{Epoch: epoch, MemBudget: 64 << 20, Parallelism: 4}
 }
+
+// Canceled returns the cancellation cause when the query's Context has
+// ended, nil otherwise. Cheap enough to call per batch.
+func (c *Ctx) Canceled() error {
+	if c.Context == nil {
+		return nil
+	}
+	return c.Context.Err()
+}
+
+// noteSpill records one externalization of n bytes in the query counters
+// and the resource grant.
+func (c *Ctx) noteSpill(n int64) {
+	c.Spills.Add(1)
+	c.SpilledBytes.Add(n)
+	c.Grant.ReportSpill(n)
+}
+
+// noteAlloc reports an operator's memory high-water to the grant.
+func (c *Ctx) noteAlloc(n int64) { c.Grant.ReportAlloc(n) }
 
 // Operator is one node of an executing plan. The contract is strict
 // pull-model: Open, then Next until it returns (nil, nil), then Close.
@@ -66,6 +97,10 @@ func Drain(ctx *Ctx, op Operator) ([]types.Row, error) {
 	}
 	var out []types.Row
 	for {
+		if err := ctx.Canceled(); err != nil {
+			op.Close(ctx)
+			return nil, err
+		}
 		b, err := op.Next(ctx)
 		if err != nil {
 			op.Close(ctx)

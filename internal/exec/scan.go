@@ -144,6 +144,9 @@ func (s *Scan) Close(*Ctx) error {
 
 // Next implements Operator.
 func (s *Scan) Next(ctx *Ctx) (*vector.Batch, error) {
+	if err := ctx.Canceled(); err != nil {
+		return nil, err
+	}
 	if s.MergeSorted && !s.singleSorted {
 		return s.nextMerged(ctx)
 	}

@@ -113,6 +113,9 @@ func (s *Sort) Next(ctx *Ctx) (*vector.Batch, error) {
 
 func (s *Sort) consume(ctx *Ctx) error {
 	for {
+		if err := ctx.Canceled(); err != nil {
+			return err
+		}
 		in, err := s.child.Next(ctx)
 		if err != nil {
 			return err
@@ -124,6 +127,7 @@ func (s *Sort) consume(ctx *Ctx) error {
 			s.rows = append(s.rows, r)
 			s.memUsed += rowMemBytes(r)
 		}
+		ctx.noteAlloc(s.memUsed)
 		if s.memUsed > ctx.MemBudget {
 			if err := s.spillRun(ctx); err != nil {
 				return err
@@ -169,19 +173,29 @@ func (s *Sort) spillRun(ctx *Ctx) error {
 	if err != nil {
 		return err
 	}
-	for _, r := range s.rows {
+	for i, r := range s.rows {
+		// Poll cancellation mid-spill: a run can be long and the whole
+		// point of cancel is to stop burning disk and CPU promptly.
+		if i%1024 == 0 {
+			if err := ctx.Canceled(); err != nil {
+				w.abort()
+				return err
+			}
+		}
 		if err := w.writeRow(r); err != nil {
+			w.abort()
 			return err
 		}
 	}
 	rd, err := w.finish()
 	if err != nil {
+		w.abort()
 		return err
 	}
 	s.runs = append(s.runs, rd)
 	s.rows = nil
 	s.memUsed = 0
-	ctx.Spills.Add(1)
+	ctx.noteSpill(rd.bytes)
 	return nil
 }
 
@@ -331,6 +345,7 @@ func newExternalSorter(ctx *Ctx, specs []SortSpec, arity int) *externalSorter {
 func (e *externalSorter) add(r types.Row) error {
 	e.rows = append(e.rows, r)
 	e.memUsed += rowMemBytes(r)
+	e.ctx.noteAlloc(e.memUsed)
 	if e.memUsed > e.ctx.MemBudget {
 		return e.spill()
 	}
@@ -338,6 +353,9 @@ func (e *externalSorter) add(r types.Row) error {
 }
 
 func (e *externalSorter) spill() error {
+	if err := e.ctx.Canceled(); err != nil {
+		return err
+	}
 	sort.SliceStable(e.rows, func(i, j int) bool {
 		return compareRows(e.rows[i], e.rows[j], e.specs) < 0
 	})
@@ -347,17 +365,19 @@ func (e *externalSorter) spill() error {
 	}
 	for _, r := range e.rows {
 		if err := w.writeRow(r); err != nil {
+			w.abort()
 			return err
 		}
 	}
 	rd, err := w.finish()
 	if err != nil {
+		w.abort()
 		return err
 	}
 	e.runs = append(e.runs, rd)
 	e.rows = nil
 	e.memUsed = 0
-	e.ctx.Spills.Add(1)
+	e.ctx.noteSpill(rd.bytes)
 	return nil
 }
 

@@ -18,9 +18,23 @@ import (
 // per value, a tag byte (type | null bit) and a type-dependent payload.
 
 type spillWriter struct {
-	f *os.File
-	w *bufio.Writer
-	n int64 // rows written
+	f  *os.File
+	cw *countingWriter
+	w  *bufio.Writer
+	n  int64 // rows written
+}
+
+// countingWriter tracks bytes externalized so spills can be charged to the
+// query's resource grant.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func newSpillWriter(dir string) (*spillWriter, error) {
@@ -28,7 +42,8 @@ func newSpillWriter(dir string) (*spillWriter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &spillWriter{f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+	cw := &countingWriter{w: f}
+	return &spillWriter{f: f, cw: cw, w: bufio.NewWriterSize(cw, 1<<16)}, nil
 }
 
 func (s *spillWriter) writeRow(r types.Row) error {
@@ -69,6 +84,13 @@ func (s *spillWriter) writeRow(r types.Row) error {
 	return nil
 }
 
+// abort discards a partially written run (cancellation mid-spill).
+func (s *spillWriter) abort() {
+	name := s.f.Name()
+	s.f.Close()
+	os.Remove(name)
+}
+
 // finish flushes and reopens the run for reading.
 func (s *spillWriter) finish() (*spillReader, error) {
 	if err := s.w.Flush(); err != nil {
@@ -77,14 +99,15 @@ func (s *spillWriter) finish() (*spillReader, error) {
 	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
 		return nil, err
 	}
-	return &spillReader{f: s.f, r: bufio.NewReaderSize(s.f, 1<<16), rows: s.n}, nil
+	return &spillReader{f: s.f, r: bufio.NewReaderSize(s.f, 1<<16), rows: s.n, bytes: s.cw.n}, nil
 }
 
 type spillReader struct {
-	f    *os.File
-	r    *bufio.Reader
-	rows int64
-	read int64
+	f     *os.File
+	r     *bufio.Reader
+	rows  int64
+	read  int64
+	bytes int64 // bytes written to the run (grant accounting)
 }
 
 // readRow reads the next row of the given arity; io.EOF at end.

@@ -1,0 +1,411 @@
+// Package resmgr is the workload and resource management subsystem: a
+// resource governor that owns a global memory pool shared by all concurrent
+// queries, hands out per-query memory grants, and gates query starts through
+// an admission queue with bounded concurrency and queue timeouts.
+//
+// The paper (§6.1) gives every operator a memory budget so that "all
+// operators are capable of handling arbitrary sized inputs ... by
+// externalizing"; resmgr supplies the layer above those budgets: where the
+// bytes come from when many statements run at once, which statement runs
+// next, and how a statement in flight is cancelled and its memory returned.
+//
+// Usage:
+//
+//	gov := resmgr.NewGovernor(resmgr.Config{PoolBytes: 32 << 20, MaxConcurrency: 2})
+//	grant, err := gov.Admit(ctx)          // blocks in FIFO order; honors ctx
+//	if err != nil { ... }                 // ErrQueueTimeout or ctx.Err()
+//	defer grant.Release()                 // returns memory + slot, wakes queue
+//	budget := grant.OperatorBudget(nPipelines)
+package resmgr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults applied by NewGovernor when Config fields are zero.
+const (
+	DefaultPoolBytes      = 1 << 30 // 1 GiB global pool
+	DefaultMaxConcurrency = 8
+	DefaultQueueTimeout   = 30 * time.Second
+)
+
+// ErrQueueTimeout is returned by Admit when a query waits in the admission
+// queue longer than Config.QueueTimeout.
+var ErrQueueTimeout = errors.New("resmgr: admission queue timeout")
+
+// Config sets the governor's knobs.
+type Config struct {
+	// PoolBytes is the global memory pool shared by all running queries.
+	PoolBytes int64
+	// MaxConcurrency bounds simultaneously running queries; excess queries
+	// queue FIFO.
+	MaxConcurrency int
+	// QueueTimeout bounds time spent queued before Admit fails with
+	// ErrQueueTimeout. Negative disables the timeout; zero means default.
+	QueueTimeout time.Duration
+	// GrantBytes is the memory grant per query. Zero derives
+	// PoolBytes/MaxConcurrency so a full complement of running queries
+	// exactly consumes the pool.
+	GrantBytes int64
+}
+
+// Stats is a snapshot of governor counters.
+type Stats struct {
+	// Admitted counts queries granted admission (including those that later
+	// failed).
+	Admitted int64
+	// Queued counts admissions that had to wait for a slot or memory.
+	Queued int64
+	// TimedOut counts admissions that failed with ErrQueueTimeout.
+	TimedOut int64
+	// Canceled counts admissions abandoned because their context ended
+	// while queued.
+	Canceled int64
+	// Running is the number of queries currently holding a grant.
+	Running int
+	// Waiting is the current admission queue length.
+	Waiting int
+	// InUseBytes is pool memory currently granted.
+	InUseBytes int64
+	// PoolBytes echoes the configured pool size.
+	PoolBytes int64
+	// PeakRunning is the high-water mark of Running.
+	PeakRunning int
+	// TotalQueueWait accumulates time queries spent queued.
+	TotalQueueWait time.Duration
+	// RowsReturned, SpilledBytes aggregate released grants' counters.
+	RowsReturned int64
+	SpilledBytes int64
+}
+
+// waiter is one queued admission request.
+type waiter struct {
+	bytes   int64
+	ready   chan struct{} // closed by dispatch under g.mu when granted
+	granted bool
+}
+
+// Governor owns the pool and the admission queue.
+type Governor struct {
+	cfg Config
+
+	mu      sync.Mutex
+	inUse   int64
+	running int
+	queue   []*waiter
+
+	// counters (under mu)
+	admitted    int64
+	queuedTotal int64
+	timedOut    int64
+	canceled    int64
+	peakRunning int
+	queueWait   time.Duration
+	rows        int64
+	spilled     int64
+}
+
+// NewGovernor builds a governor, applying defaults for zero Config fields.
+func NewGovernor(cfg Config) *Governor {
+	if cfg.PoolBytes <= 0 {
+		cfg.PoolBytes = DefaultPoolBytes
+	}
+	if cfg.MaxConcurrency <= 0 {
+		cfg.MaxConcurrency = DefaultMaxConcurrency
+	}
+	if cfg.QueueTimeout == 0 {
+		cfg.QueueTimeout = DefaultQueueTimeout
+	}
+	if cfg.GrantBytes <= 0 {
+		cfg.GrantBytes = cfg.PoolBytes / int64(cfg.MaxConcurrency)
+		if cfg.GrantBytes < 64<<10 {
+			cfg.GrantBytes = 64 << 10
+		}
+	}
+	if cfg.GrantBytes > cfg.PoolBytes {
+		cfg.GrantBytes = cfg.PoolBytes
+	}
+	return &Governor{cfg: cfg}
+}
+
+// Config returns the effective (default-applied) configuration.
+func (g *Governor) Config() Config { return g.cfg }
+
+// Admit blocks until the query may run, returning its memory grant. Order is
+// FIFO. Fails with ctx.Err() if ctx ends first, or ErrQueueTimeout after
+// Config.QueueTimeout in the queue.
+func (g *Governor) Admit(ctx context.Context) (*Grant, error) {
+	return g.AdmitBytes(ctx, g.cfg.GrantBytes)
+}
+
+// AdmitBytes admits with an explicit grant size (workload classes wanting
+// bigger or smaller grants than the default).
+func (g *Governor) AdmitBytes(ctx context.Context, bytes int64) (*Grant, error) {
+	if bytes <= 0 {
+		bytes = g.cfg.GrantBytes
+	}
+	if bytes > g.cfg.PoolBytes {
+		return nil, fmt.Errorf("resmgr: grant %d bytes exceeds pool %d bytes", bytes, g.cfg.PoolBytes)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	enqueued := time.Now()
+	g.mu.Lock()
+	// Fast path: nothing queued ahead and resources free.
+	if len(g.queue) == 0 && g.running < g.cfg.MaxConcurrency && g.inUse+bytes <= g.cfg.PoolBytes {
+		g.reserveLocked(bytes)
+		gr := g.newGrantLocked(bytes, 0)
+		g.mu.Unlock()
+		return gr, nil
+	}
+	w := &waiter{bytes: bytes, ready: make(chan struct{})}
+	g.queue = append(g.queue, w)
+	g.queuedTotal++
+	g.mu.Unlock()
+
+	var timeout <-chan time.Time
+	if g.cfg.QueueTimeout > 0 {
+		t := time.NewTimer(g.cfg.QueueTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	// On the wake path dispatchLocked has already reserved the resources;
+	// only the grant record remains to be made.
+	take := func() *Grant {
+		wait := time.Since(enqueued)
+		g.mu.Lock()
+		gr := g.newGrantLocked(bytes, wait)
+		g.mu.Unlock()
+		return gr
+	}
+	select {
+	case <-w.ready:
+		return take(), nil
+	case <-ctx.Done():
+		if g.abandon(w, &g.canceled) {
+			return nil, ctx.Err()
+		}
+		// Granted concurrently with cancellation: take it and release.
+		take().Release()
+		return nil, ctx.Err()
+	case <-timeout:
+		if g.abandon(w, &g.timedOut) {
+			return nil, ErrQueueTimeout
+		}
+		return take(), nil // granted just as the timer fired: run it
+	}
+}
+
+// reserveLocked consumes a slot and bytes from the pool; caller holds g.mu.
+func (g *Governor) reserveLocked(bytes int64) {
+	g.running++
+	g.inUse += bytes
+	if g.running > g.peakRunning {
+		g.peakRunning = g.running
+	}
+}
+
+// newGrantLocked records an admission whose resources are already reserved;
+// caller holds g.mu.
+func (g *Governor) newGrantLocked(bytes int64, wait time.Duration) *Grant {
+	g.admitted++
+	g.queueWait += wait
+	return &Grant{gov: g, bytes: bytes, queueWait: wait, started: time.Now()}
+}
+
+// abandon removes w from the queue if it has not been granted, bumping
+// *counter. Reports whether the waiter was still queued.
+func (g *Governor) abandon(w *waiter, counter *int64) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if w.granted {
+		return false
+	}
+	for i, q := range g.queue {
+		if q == w {
+			g.queue = append(g.queue[:i], g.queue[i+1:]...)
+			break
+		}
+	}
+	*counter++
+	// The departed waiter may have been the head blocking smaller requests.
+	g.dispatchLocked()
+	return true
+}
+
+// dispatchLocked wakes queued waiters in FIFO order while resources last.
+// The head blocks the queue even if a smaller later request would fit — that
+// is what keeps admission fair (no starvation of large grants).
+func (g *Governor) dispatchLocked() {
+	for len(g.queue) > 0 {
+		w := g.queue[0]
+		if g.running >= g.cfg.MaxConcurrency || g.inUse+w.bytes > g.cfg.PoolBytes {
+			return
+		}
+		// Reserve on the waiter's behalf so a burst of releases cannot
+		// overcommit the pool before the waiter reschedules.
+		g.reserveLocked(w.bytes)
+		w.granted = true
+		g.queue = g.queue[1:]
+		close(w.ready)
+	}
+}
+
+// release returns a grant's resources and wakes the queue.
+func (g *Governor) release(gr *Grant) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.running--
+	g.inUse -= gr.bytes
+	g.rows += gr.rows.Load()
+	g.spilled += gr.spilledBytes.Load()
+	g.dispatchLocked()
+}
+
+// Stats snapshots the counters.
+func (g *Governor) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return Stats{
+		Admitted:       g.admitted,
+		Queued:         g.queuedTotal,
+		TimedOut:       g.timedOut,
+		Canceled:       g.canceled,
+		Running:        g.running,
+		Waiting:        len(g.queue),
+		InUseBytes:     g.inUse,
+		PoolBytes:      g.cfg.PoolBytes,
+		PeakRunning:    g.peakRunning,
+		TotalQueueWait: g.queueWait,
+		RowsReturned:   g.rows,
+		SpilledBytes:   g.spilled,
+	}
+}
+
+// String renders the snapshot for \stats-style display.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"pool %d/%d bytes, running %d (peak %d), waiting %d, admitted %d (queued %d, timeout %d, canceled %d), queue-wait %s, rows %d, spilled %d bytes",
+		s.InUseBytes, s.PoolBytes, s.Running, s.PeakRunning, s.Waiting,
+		s.Admitted, s.Queued, s.TimedOut, s.Canceled, s.TotalQueueWait,
+		s.RowsReturned, s.SpilledBytes)
+}
+
+// Grant is one query's admission: a slice of the pool plus runtime counters
+// the executor reports into. All methods are safe on a nil receiver so the
+// execution engine can run ungoverned (tests, embedded use) without
+// branching.
+type Grant struct {
+	gov       *Governor
+	bytes     int64
+	queueWait time.Duration
+	started   time.Time
+
+	released     atomic.Bool
+	rows         atomic.Int64
+	spilledBytes atomic.Int64
+	spills       atomic.Int64
+	allocPeak    atomic.Int64
+}
+
+// Bytes is the total memory granted to the query.
+func (gr *Grant) Bytes() int64 {
+	if gr == nil {
+		return 0
+	}
+	return gr.bytes
+}
+
+// OperatorBudget divides the grant across n concurrent pipelines, matching
+// the paper's per-operator budget model. n < 1 is treated as 1.
+func (gr *Grant) OperatorBudget(n int) int64 {
+	if gr == nil {
+		return 0
+	}
+	if n < 1 {
+		n = 1
+	}
+	b := gr.bytes / int64(n)
+	if b < 64<<10 {
+		b = 64 << 10 // floor: an operator can always buffer one batch
+	}
+	return b
+}
+
+// QueueWait is how long the query sat in the admission queue.
+func (gr *Grant) QueueWait() time.Duration {
+	if gr == nil {
+		return 0
+	}
+	return gr.queueWait
+}
+
+// ReportRows adds produced rows to the grant's counters.
+func (gr *Grant) ReportRows(n int64) {
+	if gr == nil {
+		return
+	}
+	gr.rows.Add(n)
+}
+
+// ReportSpill records one externalization of b bytes.
+func (gr *Grant) ReportSpill(b int64) {
+	if gr == nil {
+		return
+	}
+	gr.spills.Add(1)
+	gr.spilledBytes.Add(b)
+}
+
+// ReportAlloc raises the high-water mark of operator memory observed.
+func (gr *Grant) ReportAlloc(b int64) {
+	if gr == nil {
+		return
+	}
+	for {
+		cur := gr.allocPeak.Load()
+		if b <= cur || gr.allocPeak.CompareAndSwap(cur, b) {
+			return
+		}
+	}
+}
+
+// QueryStats is the per-query counter snapshot.
+type QueryStats struct {
+	Rows         int64
+	Spills       int64
+	SpilledBytes int64
+	AllocPeak    int64
+	QueueWait    time.Duration
+	WallTime     time.Duration
+}
+
+// Stats snapshots the grant's counters; WallTime runs until Release.
+func (gr *Grant) Stats() QueryStats {
+	if gr == nil {
+		return QueryStats{}
+	}
+	return QueryStats{
+		Rows:         gr.rows.Load(),
+		Spills:       gr.spills.Load(),
+		SpilledBytes: gr.spilledBytes.Load(),
+		AllocPeak:    gr.allocPeak.Load(),
+		QueueWait:    gr.queueWait,
+		WallTime:     time.Since(gr.started),
+	}
+}
+
+// Release returns the grant to the pool, waking queued queries. Idempotent
+// and nil-safe, so error paths can release unconditionally.
+func (gr *Grant) Release() {
+	if gr == nil || !gr.released.CompareAndSwap(false, true) {
+		return
+	}
+	gr.gov.release(gr)
+}

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Client speaks the line protocol; it is the reference implementation for
+// the wire format and the harness for the server tests and benchmarks.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+
+	reqMu   sync.Mutex // one request/response exchange at a time
+	writeMu sync.Mutex // raw writes (Cancel interleaves with Exec's write)
+}
+
+// Result is one statement's parsed reply.
+type Result struct {
+	// Message is the OK payload for row-less statements.
+	Message string
+	// Cols and Rows carry a SELECT's result set (string-typed; the wire
+	// protocol is text).
+	Cols []string
+	Rows [][]string
+	// QueueWait is how long the statement sat in the admission queue.
+	QueueWait time.Duration
+	// SpilledBytes counts operator externalizations during the statement.
+	SpilledBytes int64
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, br: bufio.NewReaderSize(conn, 1<<20)}, nil
+}
+
+// Close sends \q and closes the connection.
+func (c *Client) Close() error {
+	c.writeMu.Lock()
+	fmt.Fprintf(c.conn, "\\q\n")
+	c.writeMu.Unlock()
+	return c.conn.Close()
+}
+
+func (c *Client) send(text string) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	_, err := c.conn.Write([]byte(text))
+	return err
+}
+
+// Exec runs one statement (';' appended if missing) and parses the reply.
+// Safe for one statement at a time per client; use one client per goroutine
+// for concurrent load.
+func (c *Client) Exec(sqlText string) (*Result, error) {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	t := strings.TrimSpace(sqlText)
+	if !strings.HasSuffix(t, ";") {
+		t += ";"
+	}
+	if err := c.send(t + "\n"); err != nil {
+		return nil, err
+	}
+	return c.readReply()
+}
+
+// Cancel aborts the statement currently executing on this session. It
+// deliberately bypasses the request lock: its purpose is to overtake a
+// running Exec. The cancelled Exec returns the server's ERR reply.
+func (c *Client) Cancel() error {
+	return c.send("\\cancel\n")
+}
+
+// Meta sends a meta command that produces a single OK/ERR line
+// (\stats, \pin, \unpin).
+func (c *Client) Meta(cmd string) (*Result, error) {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	if err := c.send(cmd + "\n"); err != nil {
+		return nil, err
+	}
+	return c.readReply()
+}
+
+func (c *Client) readLine() (string, error) {
+	l, err := c.br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(l, "\n"), nil
+}
+
+func (c *Client) readReply() (*Result, error) {
+	head, err := c.readLine()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case strings.HasPrefix(head, "ERR "):
+		return nil, fmt.Errorf("server: %s", head[4:])
+	case strings.HasPrefix(head, "OK"):
+		return &Result{Message: strings.TrimPrefix(strings.TrimPrefix(head, "OK"), " ")}, nil
+	case strings.HasPrefix(head, "ROWS "):
+		parts := strings.Fields(head)
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("server: malformed header %q", head)
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("server: malformed row count %q", head)
+		}
+		waitUS, _ := strconv.ParseInt(parts[2], 10, 64)
+		spilled, _ := strconv.ParseInt(parts[3], 10, 64)
+		res := &Result{QueueWait: time.Duration(waitUS) * time.Microsecond, SpilledBytes: spilled}
+		hdr, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		res.Cols = splitFields(hdr)
+		res.Rows = make([][]string, 0, n)
+		for i := 0; i < n; i++ {
+			l, err := c.readLine()
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, splitFields(l))
+		}
+		tail, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if tail != "DONE" {
+			return nil, fmt.Errorf("server: missing DONE, got %q", tail)
+		}
+		return res, nil
+	default:
+		return nil, fmt.Errorf("server: unexpected reply %q", head)
+	}
+}
+
+func splitFields(l string) []string {
+	raw := strings.Split(l, "\t")
+	out := make([]string, len(raw))
+	for i, f := range raw {
+		out[i] = unescapeField(f)
+	}
+	return out
+}

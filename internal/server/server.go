@@ -1,0 +1,377 @@
+// Package server exposes a database over TCP with a line-oriented text
+// protocol, turning the embedded engine into a served, multi-client system.
+// Each connection is one session (its own transaction state and optional
+// pinned snapshot epoch); statements from different connections execute
+// concurrently and are admission-controlled by the database's resource
+// governor.
+//
+// Protocol, client to server (UTF-8 lines):
+//
+//	SELECT ...;            statements end with ';' at end of line and may
+//	                       span multiple lines
+//	\cancel                cancel the statement currently executing on this
+//	                       session (out of band: valid mid-statement)
+//	\pin                   pin the session's snapshot to the current epoch
+//	\unpin                 return to READ COMMITTED latest-epoch reads
+//	\stats                 report governor workload stats
+//	\q                     close the session
+//
+// Server to client, one reply per statement or meta command:
+//
+//	ERR <message>                      statement failed
+//	OK <message>                       statement succeeded, no row set
+//	ROWS <n> <queue-wait-us> <spilled-bytes>
+//	<tab-separated column names>
+//	<n tab-separated data lines>       values escape \t, \n, \r, \\
+//	DONE
+//
+// Cancelling a running statement produces its ERR reply (context canceled);
+// the session survives and accepts further statements.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+// Config sets server parameters.
+type Config struct {
+	// Addr is the TCP listen address (e.g. ":5433"; "127.0.0.1:0" in tests).
+	Addr string
+	// DrainTimeout bounds how long Shutdown waits for in-flight statements
+	// before cancelling them (default 5s).
+	DrainTimeout time.Duration
+}
+
+// Server accepts connections and runs sessions.
+type Server struct {
+	db  *core.Database
+	cfg Config
+
+	ln        net.Listener
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	connWG   sync.WaitGroup // connection handlers
+	stmtWG   sync.WaitGroup // in-flight statements (drain barrier)
+	draining atomic.Bool
+
+	// Sessions counts connections accepted over the server's lifetime.
+	Sessions atomic.Int64
+}
+
+// New builds a server for db.
+func New(db *core.Database, cfg Config) *Server {
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{db: db, cfg: cfg, baseCtx: ctx, cancelAll: cancel, conns: map[net.Conn]struct{}{}}
+}
+
+// Listen binds the configured address. Addr() is valid afterwards, so tests
+// can bind port 0 and dial the chosen port.
+func (s *Server) Listen() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr returns the bound listen address (nil before Listen).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve accepts connections until Shutdown closes the listener, then
+// returns ErrServerClosed (net/http idiom: any other error is a real
+// listener failure).
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		if err := s.Listen(); err != nil {
+			return err
+		}
+	}
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.Sessions.Add(1)
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			s.handleConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+			conn.Close()
+		}()
+	}
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (s *Server) ListenAndServe() error {
+	if err := s.Listen(); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// Shutdown drains the server: stop accepting, let in-flight statements
+// finish, cancel whatever remains, then close every connection. The drain
+// is bounded by ctx when it carries a deadline, by Config.DrainTimeout
+// otherwise — a caller-supplied deadline wins over the server default.
+func (s *Server) Shutdown(ctx context.Context) error {
+	// The mutex orders this store against runStatement's check-then-Add, so
+	// stmtWG.Wait() below cannot race a late Add.
+	s.mu.Lock()
+	s.draining.Store(true)
+	s.mu.Unlock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.stmtWG.Wait()
+		close(done)
+	}()
+	var timeout <-chan time.Time
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+		t := time.NewTimer(s.cfg.DrainTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case <-done:
+	case <-ctx.Done():
+	case <-timeout:
+	}
+	// Hard-cancel stragglers and unblock idle readers.
+	s.cancelAll()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
+	return nil
+}
+
+// session is one connection's state.
+type session struct {
+	srv  *Server
+	sess *core.Session
+	w    *bufio.Writer
+
+	writeMu sync.Mutex // serializes statement replies
+
+	cancelMu   sync.Mutex
+	cancelStmt context.CancelFunc // non-nil while a statement runs
+
+	pinned      bool
+	pinnedEpoch types.Epoch
+}
+
+// stmtRequest is one unit of work handed from the reader to the executor.
+type stmtRequest struct {
+	text    string
+	meta    string // non-empty for meta commands that execute in order
+	errText string // non-empty for reader-side failures to report in order
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	st := &session{srv: s, sess: s.db.NewSession(), w: bufio.NewWriter(conn)}
+	defer st.sess.Close()
+
+	// The reader parses lines into statements; \cancel acts immediately
+	// (that is the whole point: it must overtake the running statement).
+	// Everything else executes strictly in order on this goroutine.
+	reqs := make(chan stmtRequest, 16)
+	go func() {
+		defer close(reqs)
+		sc := bufio.NewScanner(conn)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		var buf strings.Builder
+		for sc.Scan() {
+			line := sc.Text()
+			trimmed := strings.TrimSpace(line)
+			if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+				if trimmed == "\\cancel" {
+					st.cancelCurrent()
+					continue
+				}
+				if trimmed == "\\q" {
+					return
+				}
+				reqs <- stmtRequest{meta: trimmed}
+				continue
+			}
+			if trimmed == "" && buf.Len() == 0 {
+				continue
+			}
+			buf.WriteString(line)
+			buf.WriteString("\n")
+			if strings.HasSuffix(trimmed, ";") {
+				reqs <- stmtRequest{text: buf.String()}
+				buf.Reset()
+			}
+		}
+		// Surface reader failures (e.g. a line over the scanner limit)
+		// instead of silently dropping the connection.
+		if err := sc.Err(); err != nil {
+			reqs <- stmtRequest{errText: err.Error()}
+		}
+	}()
+
+	for req := range reqs {
+		switch {
+		case req.errText != "":
+			st.reply(func() { st.line("ERR " + req.errText) })
+		case req.meta != "":
+			st.runMeta(req.meta)
+		default:
+			st.runStatement(req.text)
+		}
+	}
+}
+
+// cancelCurrent aborts the statement executing on this session, if any.
+func (st *session) cancelCurrent() {
+	st.cancelMu.Lock()
+	defer st.cancelMu.Unlock()
+	if st.cancelStmt != nil {
+		st.cancelStmt()
+	}
+}
+
+func (st *session) runMeta(cmd string) {
+	switch cmd {
+	case "\\stats":
+		st.reply(func() { st.line("OK " + st.srv.db.Governor().Stats().String()) })
+	case "\\pin":
+		st.pinned = true
+		st.pinnedEpoch = st.srv.db.Txns().Epochs.ReadEpoch()
+		st.reply(func() { st.line(fmt.Sprintf("OK pinned epoch %d", st.pinnedEpoch)) })
+	case "\\unpin":
+		st.pinned = false
+		st.reply(func() { st.line("OK unpinned") })
+	default:
+		st.reply(func() { st.line("ERR unknown meta command " + cmd) })
+	}
+}
+
+func (st *session) runStatement(text string) {
+	srv := st.srv
+	srv.mu.Lock()
+	if srv.draining.Load() {
+		srv.mu.Unlock()
+		st.reply(func() { st.line("ERR server draining") })
+		return
+	}
+	srv.stmtWG.Add(1)
+	srv.mu.Unlock()
+	defer srv.stmtWG.Done()
+
+	ctx, cancel := context.WithCancel(srv.baseCtx)
+	st.cancelMu.Lock()
+	st.cancelStmt = cancel
+	st.cancelMu.Unlock()
+	defer func() {
+		st.cancelMu.Lock()
+		st.cancelStmt = nil
+		st.cancelMu.Unlock()
+		cancel()
+	}()
+
+	var res *core.Result
+	var err error
+	if st.pinned && isSelect(text) {
+		res, err = srv.db.QueryAtContext(ctx, text, st.pinnedEpoch)
+	} else {
+		res, err = st.sess.ExecuteContext(ctx, text)
+	}
+	if err != nil {
+		st.reply(func() { st.line("ERR " + strings.ReplaceAll(err.Error(), "\n", " ")) })
+		return
+	}
+	st.reply(func() { st.writeResult(res) })
+}
+
+// reply serializes one full response frame onto the wire.
+func (st *session) reply(f func()) {
+	st.writeMu.Lock()
+	defer st.writeMu.Unlock()
+	f()
+	st.w.Flush()
+}
+
+func (st *session) line(l string) {
+	st.w.WriteString(l)
+	st.w.WriteByte('\n')
+}
+
+func (st *session) writeResult(res *core.Result) {
+	if res.Schema == nil {
+		msg := res.Message
+		if res.Explain != "" {
+			msg = strings.ReplaceAll(res.Explain, "\n", " | ")
+		}
+		st.line("OK " + strings.ReplaceAll(msg, "\n", " "))
+		return
+	}
+	st.line(fmt.Sprintf("ROWS %d %d %d", len(res.Rows),
+		res.Stats.QueueWait.Microseconds(), res.Stats.SpilledBytes))
+	names := res.Schema.Names()
+	esc := make([]string, len(names))
+	for i, n := range names {
+		esc[i] = escapeField(n)
+	}
+	st.line(strings.Join(esc, "\t"))
+	cells := make([]string, res.Schema.Len())
+	for _, row := range res.Rows {
+		for i, v := range row {
+			cells[i] = escapeField(v.String())
+		}
+		st.line(strings.Join(cells, "\t"))
+	}
+	st.line("DONE")
+}
+
+func isSelect(text string) bool {
+	return strings.HasPrefix(strings.ToUpper(strings.TrimSpace(text)), "SELECT")
+}
+
+var fieldEscaper = strings.NewReplacer("\\", "\\\\", "\t", "\\t", "\n", "\\n", "\r", "\\r")
+var fieldUnescaper = strings.NewReplacer("\\\\", "\\", "\\t", "\t", "\\n", "\n", "\\r", "\r")
+
+func escapeField(s string) string   { return fieldEscaper.Replace(s) }
+func unescapeField(s string) string { return fieldUnescaper.Replace(s) }
+
+// ErrServerClosed is returned by Serve after Shutdown closes the listener,
+// mirroring net/http's sentinel: it distinguishes a graceful drain from a
+// real accept failure.
+var ErrServerClosed = errors.New("server: closed")

@@ -1,0 +1,382 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+// startServer opens a governed database, seeds the sales table with n rows,
+// and serves it on an ephemeral port.
+func startServer(t *testing.T, n int, pool int64, conc int) (*Server, *core.Database) {
+	t.Helper()
+	db, err := core.Open(core.Options{
+		Dir:            t.TempDir(),
+		MemPoolBytes:   pool,
+		MaxConcurrency: conc,
+		TempDir:        t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, `CREATE TABLE sales (sale_id INT, cust INT, price FLOAT)`)
+	mustExec(t, db, `CREATE PROJECTION sales_super ON sales (sale_id, cust, price)
+		ORDER BY sale_id SEGMENTED BY HASH(sale_id)`)
+	rows := make([]types.Row, 0, n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, types.Row{
+			types.NewInt(int64(i)),
+			types.NewInt(int64(i % 10)),
+			types.NewFloat(float64(i)),
+		})
+	}
+	if err := db.Load("sales", rows, true); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db, Config{Addr: "127.0.0.1:0", DrainTimeout: 10 * time.Second})
+	if err := srv.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv, db
+}
+
+func mustExec(t *testing.T, db *core.Database, sqlText string) {
+	t.Helper()
+	if _, err := db.Execute(sqlText); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func dial(t *testing.T, srv *Server) *Client {
+	t.Helper()
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestEightClientsConstrainedPool is the acceptance scenario: 8 simultaneous
+// clients against a 32MB pool with 2 concurrency slots. Everyone completes
+// with correct results and the excess observably queues. Both slots are
+// pre-held until all 8 statements are enqueued so queueing is deterministic
+// even on a single-CPU machine where fast queries would otherwise never
+// overlap.
+func TestEightClientsConstrainedPool(t *testing.T) {
+	srv, db := startServer(t, 5_000, 32<<20, 2)
+	holdA, err := db.Governor().Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	holdB, err := db.Governor().Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	released := false
+	defer func() {
+		if !released {
+			holdA.Release()
+			holdB.Release()
+		}
+	}()
+	var wg sync.WaitGroup
+	results := make([]*Result, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(srv.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			res, err := c.Exec(`SELECT cust, COUNT(*) AS n, SUM(price) AS s FROM sales GROUP BY cust ORDER BY cust`)
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for db.Governor().Stats().Waiting != 8 {
+		if time.Now().After(deadline) {
+			t.Fatalf("clients never queued: %+v", db.Governor().Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	holdA.Release()
+	holdB.Release()
+	released = true
+	wg.Wait()
+
+	var sawQueueWait bool
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("client %d got no result", i)
+		}
+		if len(res.Rows) != 10 {
+			t.Fatalf("client %d: %d groups, want 10", i, len(res.Rows))
+		}
+		for g, row := range res.Rows {
+			if row[0] != strconv.Itoa(g) {
+				t.Fatalf("client %d group %d: key %q", i, g, row[0])
+			}
+			if n, _ := strconv.Atoi(row[1]); n != 500 {
+				t.Fatalf("client %d group %d: count %q, want 500", i, g, row[1])
+			}
+		}
+		if res.QueueWait > 0 {
+			sawQueueWait = true
+		}
+	}
+	if !sawQueueWait {
+		t.Fatal("8 clients over 2 slots: no client reported queue wait > 0")
+	}
+	st := db.Governor().Stats()
+	if st.PeakRunning > 2 {
+		t.Fatalf("concurrency limit violated: %+v", st)
+	}
+	if st.Queued == 0 || st.TotalQueueWait <= 0 {
+		t.Fatalf("expected observable queueing: %+v", st)
+	}
+	if st.Running != 0 || st.InUseBytes != 0 {
+		t.Fatalf("pool not drained: %+v", st)
+	}
+	if srv.Sessions.Load() != 8 {
+		t.Fatalf("sessions = %d, want 8", srv.Sessions.Load())
+	}
+}
+
+// TestCancelRunningStatement cancels a spilling sort mid-flight: the
+// statement must fail with a cancellation error and the grant must return
+// to the pool while the session stays usable.
+func TestCancelRunningStatement(t *testing.T) {
+	srv, db := startServer(t, 150_000, 2<<20, 2)
+	c := dial(t, srv)
+
+	done := make(chan error, 1)
+	go func() {
+		// Tiny grant (1MB/operator) forces the sort to externalize run
+		// after run; plenty of time to land the cancel.
+		_, err := c.Exec(`SELECT sale_id, price FROM sales ORDER BY price DESC`)
+		done <- err
+	}()
+	// Wait until the statement is actually running (holding a grant).
+	deadline := time.Now().Add(5 * time.Second)
+	for db.Governor().Stats().Running == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("statement never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := c.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	err := <-done
+	if err == nil {
+		t.Fatal("cancelled statement succeeded")
+	}
+	if !strings.Contains(err.Error(), "canceled") {
+		t.Fatalf("err = %v, want cancellation", err)
+	}
+	// Grant returned.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		st := db.Governor().Stats()
+		if st.Running == 0 && st.InUseBytes == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("grant not returned: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Session survives and runs the next statement.
+	res, err := c.Exec(`SELECT COUNT(*) AS n FROM sales`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != "150000" {
+		t.Fatalf("post-cancel count = %q", res.Rows[0][0])
+	}
+}
+
+// TestCancelQueuedStatement cancels a statement still waiting in the
+// admission queue.
+func TestCancelQueuedStatement(t *testing.T) {
+	srv, db := startServer(t, 1_000, 1<<20, 1)
+	// Occupy the only slot out-of-band so the client's statement queues.
+	hold, err := db.Governor().Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold.Release()
+
+	c := dial(t, srv)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Exec(`SELECT COUNT(*) AS n FROM sales`)
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for db.Governor().Stats().Waiting == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("statement never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := c.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err == nil || !strings.Contains(err.Error(), "canceled") {
+		t.Fatalf("queued cancel err = %v", err)
+	}
+	if st := db.Governor().Stats(); st.Canceled != 1 || st.Waiting != 0 {
+		t.Fatalf("governor stats after queued cancel: %+v", st)
+	}
+}
+
+// TestGracefulDrain lets an in-flight statement finish, then refuses new
+// connections.
+func TestGracefulDrain(t *testing.T) {
+	srv, _ := startServer(t, 30_000, 32<<20, 2)
+	c := dial(t, srv)
+	done := make(chan *Result, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		res, err := c.Exec(`SELECT cust, SUM(price) AS s FROM sales GROUP BY cust ORDER BY cust`)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		done <- res
+	}()
+	time.Sleep(5 * time.Millisecond) // let the statement reach the server
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-done:
+		if len(res.Rows) != 10 {
+			t.Fatalf("drained statement rows = %d", len(res.Rows))
+		}
+	case err := <-errCh:
+		t.Fatalf("in-flight statement failed during drain: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("drained statement never completed")
+	}
+	if _, err := Dial(srv.Addr().String()); err == nil {
+		t.Fatal("dial succeeded after shutdown")
+	}
+}
+
+// TestPinnedEpochSnapshot pins a session's snapshot, loads more rows, and
+// checks the pinned session keeps reading the old epoch while a fresh
+// session sees the new rows.
+func TestPinnedEpochSnapshot(t *testing.T) {
+	srv, db := startServer(t, 100, 32<<20, 2)
+	pinned := dial(t, srv)
+	if _, err := pinned.Meta(`\pin`); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, `INSERT INTO sales VALUES (100000, 99, 1.0)`)
+
+	res, err := pinned.Exec(`SELECT COUNT(*) AS n FROM sales`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != "100" {
+		t.Fatalf("pinned session sees %q rows, want 100", res.Rows[0][0])
+	}
+	fresh := dial(t, srv)
+	res, err = fresh.Exec(`SELECT COUNT(*) AS n FROM sales`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != "101" {
+		t.Fatalf("fresh session sees %q rows, want 101", res.Rows[0][0])
+	}
+	if _, err := pinned.Meta(`\unpin`); err != nil {
+		t.Fatal(err)
+	}
+	res, err = pinned.Exec(`SELECT COUNT(*) AS n FROM sales`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != "101" {
+		t.Fatalf("unpinned session sees %q rows, want 101", res.Rows[0][0])
+	}
+}
+
+// TestFieldEscaping round-trips values containing protocol delimiters.
+func TestFieldEscaping(t *testing.T) {
+	srv, db := startServer(t, 1, 32<<20, 2)
+	mustExec(t, db, `CREATE TABLE notes (id INT, body VARCHAR)`)
+	mustExec(t, db, `CREATE PROJECTION notes_super ON notes (id, body) ORDER BY id SEGMENTED BY HASH(id)`)
+	tricky := "line1\nline2\tcol\\end"
+	if err := db.Load("notes", []types.Row{{types.NewInt(1), types.NewString(tricky)}}, true); err != nil {
+		t.Fatal(err)
+	}
+	c := dial(t, srv)
+	res, err := c.Exec(`SELECT id, body FROM notes`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][1] != tricky {
+		t.Fatalf("round-trip = %q, want %q", res.Rows[0][1], tricky)
+	}
+}
+
+// TestSpillStatsOnWire checks a budget-constrained statement reports spill
+// bytes back to the client.
+func TestSpillStatsOnWire(t *testing.T) {
+	srv, _ := startServer(t, 60_000, 1<<20, 4)
+	c := dial(t, srv)
+	res, err := c.Exec(`SELECT sale_id, price FROM sales ORDER BY price`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 60_000 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.SpilledBytes == 0 {
+		t.Fatal("expected spill bytes under a 256KB operator budget")
+	}
+}
+
+// TestManySequentialStatements exercises statement framing (multi-line,
+// comments in strings, back-to-back statements).
+func TestManySequentialStatements(t *testing.T) {
+	srv, _ := startServer(t, 1_000, 32<<20, 2)
+	c := dial(t, srv)
+	for i := 0; i < 20; i++ {
+		res, err := c.Exec(fmt.Sprintf("SELECT COUNT(*) AS n\nFROM sales\nWHERE cust = %d", i%10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows[0][0] != "100" {
+			t.Fatalf("iter %d: %q", i, res.Rows[0][0])
+		}
+	}
+	if _, err := c.Meta(`\stats`); err != nil {
+		t.Fatal(err)
+	}
+}
