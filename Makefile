@@ -7,7 +7,7 @@ SERVE_ADDR ?= :5433
 MEM_POOL   ?= 256MB
 MAX_CONC   ?= 4
 
-.PHONY: all build test race lint bench serve fmt
+.PHONY: all build test race lint bench serve fmt fuzz cover sqltest-update
 
 all: build test
 
@@ -27,6 +27,19 @@ lint:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+# Short fuzz smoke, mirroring CI (10s per target).
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$'  -fuzztime 10s ./internal/sql
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/encoding
+
+# Per-package coverage report.
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate the SQL logic-test golden files from actual engine output.
+sqltest-update:
+	$(GO) test ./internal/sqltest -run TestSLTFiles -update
 
 serve:
 	$(GO) run ./cmd/vsql -dir $(DB_DIR) -serve $(SERVE_ADDR) -mem-pool $(MEM_POOL) -max-concurrency $(MAX_CONC)

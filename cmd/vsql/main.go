@@ -22,13 +22,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/server"
+	"repro/internal/sql"
 )
 
 func main() {
@@ -41,6 +41,7 @@ func main() {
 	maxConc := flag.Int("max-concurrency", 0, "max simultaneously running queries (default 8)")
 	queueTimeout := flag.Duration("queue-timeout", 0, "admission queue timeout (default 30s)")
 	tempDir := flag.String("tmp", "", "spill directory (default system temp)")
+	defaultPool := flag.String("pool", "", "resource pool new sessions admit against (default: general; see CREATE RESOURCE POOL)")
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "vsql: -dir is required")
@@ -57,6 +58,7 @@ func main() {
 		MaxConcurrency: *maxConc,
 		QueueTimeout:   *queueTimeout,
 		TempDir:        *tempDir,
+		DefaultPool:    *defaultPool,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vsql:", err)
@@ -135,27 +137,13 @@ func serve(db *core.Database, addr string) error {
 }
 
 // parseBytes reads "64MB", "1GB", "512KB" or a plain byte count.
+// parseBytes accepts the same size grammar as SQL MEMORYSIZE literals
+// ("256MB", "64K", "1G", plain bytes); empty means "use the default".
 func parseBytes(s string) (int64, error) {
-	s = strings.TrimSpace(strings.ToUpper(s))
-	if s == "" {
+	if strings.TrimSpace(s) == "" {
 		return 0, nil
 	}
-	mult := int64(1)
-	for _, u := range []struct {
-		suffix string
-		mult   int64
-	}{{"GB", 1 << 30}, {"MB", 1 << 20}, {"KB", 1 << 10}, {"B", 1}} {
-		if strings.HasSuffix(s, u.suffix) {
-			s = strings.TrimSuffix(s, u.suffix)
-			mult = u.mult
-			break
-		}
-	}
-	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
-	if err != nil {
-		return 0, fmt.Errorf("invalid size %q", s)
-	}
-	return n * mult, nil
+	return sql.ParseByteSize(s)
 }
 
 func formatBytes(n int64) string {

@@ -98,17 +98,65 @@ func (p *Projection) HasColumn(name string) bool {
 	return p.Schema.ColIndex(name) >= 0
 }
 
+// VirtualTable is a system table: a schema plus a row producer evaluated at
+// scan time. Virtual tables are not persisted and hold no projections; the
+// planner scans them through exec.VirtualScan. They model Vertica's
+// v_monitor/v_catalog metadata views — "Vertica is self-monitoring":
+// runtime state is queryable with plain SQL.
+type VirtualTable struct {
+	Table *Table
+	Rows  func() ([]types.Row, error)
+}
+
 // Catalog is the cluster-wide metadata store.
 type Catalog struct {
 	mu          sync.RWMutex
 	dir         string // "" for in-memory catalogs
 	tables      map[string]*Table
 	projections map[string]*Projection
+	virtual     map[string]*VirtualTable
 }
 
 // New creates an empty catalog persisted under dir ("" keeps it in memory).
 func New(dir string) *Catalog {
-	return &Catalog{dir: dir, tables: map[string]*Table{}, projections: map[string]*Projection{}}
+	return &Catalog{
+		dir:         dir,
+		tables:      map[string]*Table{},
+		projections: map[string]*Projection{},
+		virtual:     map[string]*VirtualTable{},
+	}
+}
+
+// RegisterVirtual installs (or replaces) a system table under its qualified
+// name (e.g. "v_monitor.resource_pools"). Virtual tables shadow nothing:
+// user tables resolve first.
+func (c *Catalog) RegisterVirtual(t *Table, rows func() ([]types.Row, error)) error {
+	if t == nil || t.Schema == nil || t.Schema.Len() == 0 {
+		return fmt.Errorf("catalog: virtual table needs a schema")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.virtual[t.Name] = &VirtualTable{Table: t, Rows: rows}
+	return nil
+}
+
+// Virtual resolves a virtual table by qualified name (nil when absent).
+func (c *Catalog) Virtual(name string) *VirtualTable {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.virtual[name]
+}
+
+// VirtualNames lists registered virtual tables sorted by name.
+func (c *Catalog) VirtualNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.virtual))
+	for n := range c.virtual {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // CreateTable registers a table.
@@ -142,12 +190,16 @@ func (c *Catalog) DropTable(name string) error {
 	return c.persistLocked()
 }
 
-// Table resolves a table by name.
+// Table resolves a table by name; virtual (system) tables resolve after
+// user tables.
 func (c *Catalog) Table(name string) (*Table, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	t, ok := c.tables[name]
 	if !ok {
+		if vt, vok := c.virtual[name]; vok {
+			return vt.Table, nil
+		}
 		return nil, fmt.Errorf("catalog: table %q does not exist", name)
 	}
 	return t, nil

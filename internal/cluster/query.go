@@ -74,18 +74,32 @@ func (c *Cluster) RunCtx(ctx context.Context, q *optimizer.LogicalQuery, opts op
 
 // RunAtCtx executes at an explicit snapshot epoch under a cancellable
 // context. When the cluster has a governor the query is first admitted on
-// the coordinator — blocking in the admission queue if the cluster is at its
-// concurrency or memory limit — and every operator budget derives from the
-// admission grant instead of the built-in default.
-func (c *Cluster) RunAtCtx(ctx context.Context, q *optimizer.LogicalQuery, opts optimizer.PlanOpts, epoch types.Epoch) (*QueryResult, error) {
+// the coordinator — blocking in its resource pool's admission queue
+// (resmgr.WithPool selects the pool; general by default) if the pool is at
+// its concurrency or memory limit — and every operator budget derives from
+// the admission grant instead of the built-in default.
+//
+// Queries over system tables only (v_monitor.*) bypass admission and run on
+// the coordinator alone, so the cluster stays observable even when every
+// pool is saturated — Vertica's SYSQUERY escape hatch.
+func (c *Cluster) RunAtCtx(ctx context.Context, q *optimizer.LogicalQuery, opts optimizer.PlanOpts, epoch types.Epoch) (res *QueryResult, err error) {
+	allVirtual, anyVirtual := c.virtualTables(q)
+	if anyVirtual && !allVirtual && c.N() > 1 {
+		return nil, fmt.Errorf("cluster: system tables cannot join user tables on a multi-node cluster")
+	}
 	var grant *resmgr.Grant
-	if gov := c.cfg.Governor; gov != nil {
-		var err error
+	if gov := c.cfg.Governor; gov != nil && !allVirtual {
 		grant, err = gov.Admit(ctx)
 		if err != nil {
 			return nil, err
 		}
-		defer grant.Release()
+		// Record failures in the retained query profile before releasing.
+		defer func() {
+			if err != nil {
+				grant.SetError(err)
+			}
+			grant.Release()
+		}()
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -106,7 +120,7 @@ func (c *Cluster) RunAtCtx(ctx context.Context, q *optimizer.LogicalQuery, opts 
 		return nil, err
 	}
 	allReplicated := c.allReplicated(probe)
-	localFinal := allReplicated || c.N() == 1 || c.groupsColocated(q, probe)
+	localFinal := allReplicated || allVirtual || c.N() == 1 || c.groupsColocated(q, probe)
 
 	// Build the per-node logical query and initiator merge pipeline.
 	nodeQ, merge, err := buildDistributedAgg(q, localFinal)
@@ -115,7 +129,9 @@ func (c *Cluster) RunAtCtx(ctx context.Context, q *optimizer.LogicalQuery, opts 
 	}
 
 	execNodes := up
-	if allReplicated {
+	if allReplicated || allVirtual {
+		// System-table state lives on the coordinator; replicated data is
+		// whole on any single node.
 		execNodes = up[:1]
 	}
 	type nodeRun struct {
@@ -133,7 +149,7 @@ func (c *Cluster) RunAtCtx(ctx context.Context, q *optimizer.LogicalQuery, opts 
 	}
 	// Buddy coverage for down nodes (skipped when everything is replicated:
 	// any single up node already has full data).
-	if !allReplicated {
+	if !allReplicated && !allVirtual {
 		for _, n := range c.Nodes() {
 			if n.Up() {
 				continue
@@ -205,6 +221,22 @@ func (c *Cluster) execCtx(cctx context.Context, epoch types.Epoch, opts optimize
 		ectx.MemBudget = grant.OperatorBudget(pipelines)
 	}
 	return ectx
+}
+
+// virtualTables classifies the query's FROM tables: all/any virtual.
+func (c *Cluster) virtualTables(q *optimizer.LogicalQuery) (all, any bool) {
+	if len(q.From) == 0 {
+		return false, false
+	}
+	all = true
+	for _, tr := range q.From {
+		if c.cat.Virtual(tr.Table.Name) != nil {
+			any = true
+		} else {
+			all = false
+		}
+	}
+	return all, any
 }
 
 // allReplicated reports whether every chosen projection is replicated.

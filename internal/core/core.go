@@ -17,8 +17,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
+	"unicode/utf8"
 
 	"repro/internal/catalog"
 	"repro/internal/cluster"
@@ -63,6 +65,12 @@ type Options struct {
 	QueueTimeout time.Duration
 	// TempDir hosts operator spill files (default: system temp).
 	TempDir string
+	// DefaultPool is the resource pool new sessions admit against until SET
+	// RESOURCE POOL changes it ("" = the built-in general pool).
+	DefaultPool string
+	// ProfileCapacity bounds the retained query-profile ring backing
+	// v_monitor.query_profiles (0 = resmgr default, negative disables).
+	ProfileCapacity int
 }
 
 // Database is one engine instance.
@@ -74,6 +82,11 @@ type Database struct {
 
 	moverMu sync.Mutex
 	movers  map[string]*tuplemover.TupleMover // "node/projection"
+
+	// Session registry backing v_monitor.sessions.
+	sessMu   sync.Mutex
+	sessSeq  int64
+	sessions map[int64]*Session
 }
 
 // Result is the outcome of one statement.
@@ -107,9 +120,10 @@ func Open(opts Options) (*Database, error) {
 	}
 	tm := txn.NewManager()
 	gov := resmgr.NewGovernor(resmgr.Config{
-		PoolBytes:      opts.MemPoolBytes,
-		MaxConcurrency: opts.MaxConcurrency,
-		QueueTimeout:   opts.QueueTimeout,
+		PoolBytes:       opts.MemPoolBytes,
+		MaxConcurrency:  opts.MaxConcurrency,
+		QueueTimeout:    opts.QueueTimeout,
+		ProfileCapacity: opts.ProfileCapacity,
 	})
 	cl, err := cluster.New(cluster.Config{
 		Nodes:         opts.Nodes,
@@ -124,11 +138,20 @@ func Open(opts Options) (*Database, error) {
 		return nil, err
 	}
 	db := &Database{
-		opts:    opts,
-		cat:     cat,
-		cluster: cl,
-		txns:    tm,
-		movers:  map[string]*tuplemover.TupleMover{},
+		opts:     opts,
+		cat:      cat,
+		cluster:  cl,
+		txns:     tm,
+		movers:   map[string]*tuplemover.TupleMover{},
+		sessions: map[int64]*Session{},
+	}
+	db.registerMonitorTables()
+	// Bootstrap the configured default pool so `vsql -pool x` works before
+	// any CREATE RESOURCE POOL has run (defaults apply; ALTER tunes it).
+	if opts.DefaultPool != "" && opts.DefaultPool != resmgr.GeneralPool && !gov.HasPool(opts.DefaultPool) {
+		if err := gov.CreatePool(resmgr.PoolConfig{Name: opts.DefaultPool}); err != nil {
+			return nil, fmt.Errorf("core: Options.DefaultPool: %w", err)
+		}
 	}
 	// Restore the epoch clock from stored data: the epoch column is the
 	// durable log (paper §5.2), so the clock resumes past the newest stored
@@ -194,21 +217,72 @@ func (db *Database) MustExecute(sqlText string) *Result {
 	return r
 }
 
-// Session is one client connection: it carries the open transaction.
+// Session is one client connection: it carries the open transaction and the
+// resource pool its statements admit against.
 type Session struct {
-	db *Database
-	tx *txn.Txn
+	db      *Database
+	tx      *txn.Txn
+	id      int64
+	created time.Time
+
+	mu      sync.Mutex
+	pool    string // "" = general
+	curStmt string // statement currently executing ("" when idle)
+	stmts   int64  // statements executed
 }
 
-// NewSession opens a session.
-func (db *Database) NewSession() *Session { return &Session{db: db} }
+// NewSession opens a session and registers it with v_monitor.sessions.
+func (db *Database) NewSession() *Session {
+	db.sessMu.Lock()
+	defer db.sessMu.Unlock()
+	db.sessSeq++
+	s := &Session{db: db, id: db.sessSeq, created: time.Now(), pool: db.opts.DefaultPool}
+	db.sessions[s.id] = s
+	return s
+}
 
-// Close rolls back any open transaction.
+// ID returns the session's monitor identifier.
+func (s *Session) ID() int64 { return s.id }
+
+// Pool returns the session's current resource pool ("" = general).
+func (s *Session) Pool() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pool
+}
+
+// Close rolls back any open transaction and unregisters the session.
 func (s *Session) Close() {
 	if s.tx != nil {
 		s.db.txns.Rollback(s.tx)
-		s.tx = nil
+		s.setTx(nil)
 	}
+	s.db.sessMu.Lock()
+	delete(s.db.sessions, s.id)
+	s.db.sessMu.Unlock()
+}
+
+// setTx stores the open transaction under the session mutex: the session's
+// own goroutine is the only writer, but v_monitor.sessions reads in_txn from
+// other goroutines.
+func (s *Session) setTx(tx *txn.Txn) {
+	s.mu.Lock()
+	s.tx = tx
+	s.mu.Unlock()
+}
+
+// noteStatement records the executing statement for v_monitor.sessions.
+func (s *Session) noteStatement(text string) {
+	s.mu.Lock()
+	s.curStmt = text
+	s.stmts++
+	s.mu.Unlock()
+}
+
+func (s *Session) clearStatement() {
+	s.mu.Lock()
+	s.curStmt = ""
+	s.mu.Unlock()
 }
 
 // Execute runs one statement in the session. Without an explicit BEGIN the
@@ -217,14 +291,18 @@ func (s *Session) Execute(sqlText string) (*Result, error) {
 	return s.ExecuteContext(context.Background(), sqlText)
 }
 
-// ExecuteContext runs one statement under a cancellable context. SELECTs are
-// admission-controlled by the database's resource governor and abandon
+// ExecuteContext runs one statement under a cancellable context. SELECTs and
+// DML are admission-controlled by the session's resource pool and abandon
 // execution at the next batch boundary when ctx ends.
 func (s *Session) ExecuteContext(ctx context.Context, sqlText string) (*Result, error) {
 	stmt, err := sql.Parse(sqlText)
 	if err != nil {
 		return nil, err
 	}
+	s.noteStatement(strings.TrimSpace(sqlText))
+	defer s.clearStatement()
+	ctx = resmgr.WithPool(ctx, s.Pool())
+	ctx = resmgr.WithLabel(ctx, statementLabel(sqlText))
 	switch st := stmt.(type) {
 	case *sql.TxnStmt:
 		return s.execTxnStmt(st)
@@ -234,23 +312,45 @@ func (s *Session) ExecuteContext(ctx context.Context, sqlText string) (*Result, 
 		return s.db.execCreateTable(st)
 	case *sql.CreateProjectionStmt:
 		return s.db.execCreateProjection(st)
+	case *sql.CreatePoolStmt:
+		return s.db.execCreatePool(st)
+	case *sql.AlterPoolStmt:
+		return s.db.execAlterPool(st)
+	case *sql.SetStmt:
+		return s.execSetPool(st)
 	case *sql.DropStmt:
 		return s.db.execDrop(st)
 	case *sql.InsertStmt:
-		return s.autocommitDML(func(tx *txn.Txn) (int64, error) {
+		return s.autocommitDML(ctx, func(tx *txn.Txn) (int64, error) {
 			return s.db.execInsert(tx, st)
 		})
 	case *sql.DeleteStmt:
-		return s.autocommitDML(func(tx *txn.Txn) (int64, error) {
+		return s.autocommitDML(ctx, func(tx *txn.Txn) (int64, error) {
 			return s.db.execDelete(tx, st)
 		})
 	case *sql.UpdateStmt:
-		return s.autocommitDML(func(tx *txn.Txn) (int64, error) {
+		return s.autocommitDML(ctx, func(tx *txn.Txn) (int64, error) {
 			return s.db.execUpdate(tx, st)
 		})
 	default:
 		return nil, fmt.Errorf("core: unsupported statement %T", stmt)
 	}
+}
+
+// statementLabel is the profile label for a statement: trimmed and bounded
+// so the profile ring cannot retain arbitrarily large SQL text. Truncation
+// backs up to a rune boundary so the label stays valid UTF-8.
+func statementLabel(sqlText string) string {
+	t := strings.TrimSpace(sqlText)
+	const maxLabel = 256
+	if len(t) > maxLabel {
+		cut := maxLabel
+		for cut > 0 && !utf8.RuneStart(t[cut]) {
+			cut--
+		}
+		t = t[:cut] + "…"
+	}
+	return t
 }
 
 func (s *Session) execTxnStmt(st *sql.TxnStmt) (*Result, error) {
@@ -259,14 +359,14 @@ func (s *Session) execTxnStmt(st *sql.TxnStmt) (*Result, error) {
 		if s.tx != nil {
 			return nil, fmt.Errorf("core: transaction already open")
 		}
-		s.tx = s.db.txns.Begin(txn.ReadCommitted)
+		s.setTx(s.db.txns.Begin(txn.ReadCommitted))
 		return &Result{Message: "BEGIN"}, nil
 	case "COMMIT":
 		if s.tx == nil {
 			return nil, fmt.Errorf("core: no open transaction")
 		}
 		_, err := s.db.txns.Commit(s.tx)
-		s.tx = nil
+		s.setTx(nil)
 		if err != nil {
 			return nil, err
 		}
@@ -276,14 +376,26 @@ func (s *Session) execTxnStmt(st *sql.TxnStmt) (*Result, error) {
 			return nil, fmt.Errorf("core: no open transaction")
 		}
 		s.db.txns.Rollback(s.tx)
-		s.tx = nil
+		s.setTx(nil)
 		return &Result{Message: "ROLLBACK"}, nil
 	}
 }
 
 // autocommitDML stages DML in the session transaction, committing
-// immediately when none is open.
-func (s *Session) autocommitDML(stage func(tx *txn.Txn) (int64, error)) (*Result, error) {
+// immediately when none is open. DML admits against the session's resource
+// pool like SELECTs do (before any lock is taken), so pools constrain load
+// statements too and the grant's stats ride on the Result.
+func (s *Session) autocommitDML(ctx context.Context, stage func(tx *txn.Txn) (int64, error)) (res *Result, err error) {
+	grant, err := s.db.Governor().Admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if err != nil {
+			grant.SetError(err)
+		}
+		grant.Release()
+	}()
 	auto := s.tx == nil
 	tx := s.tx
 	if auto {
@@ -301,7 +413,86 @@ func (s *Session) autocommitDML(stage func(tx *txn.Txn) (int64, error)) (*Result
 			return nil, err
 		}
 	}
-	return &Result{RowsAffected: n, Message: fmt.Sprintf("%d rows", n)}, nil
+	grant.ReportRows(n)
+	return &Result{RowsAffected: n, Message: fmt.Sprintf("%d rows", n), Stats: grant.Stats()}, nil
+}
+
+// --- resource pool statements ------------------------------------------------
+
+// poolConfigOf translates parsed CREATE RESOURCE POOL options.
+func poolConfigOf(name string, o sql.PoolOpts) resmgr.PoolConfig {
+	cfg := resmgr.PoolConfig{Name: name}
+	if o.MemBytes != nil {
+		cfg.MemBytes = *o.MemBytes
+	}
+	if o.MaxMemBytes != nil {
+		cfg.MaxMemBytes = *o.MaxMemBytes
+	}
+	if o.PlannedConcurrency != nil {
+		cfg.PlannedConcurrency = int(*o.PlannedConcurrency)
+	}
+	if o.MaxConcurrency != nil {
+		cfg.MaxConcurrency = int(*o.MaxConcurrency)
+	}
+	if o.QueueTimeoutMS != nil {
+		cfg.QueueTimeout = queueTimeoutOf(*o.QueueTimeoutMS)
+	}
+	return cfg
+}
+
+// queueTimeoutOf maps the parsed QUEUETIMEOUT milliseconds (-1 = NONE) onto
+// resmgr semantics (negative disables, zero inherits).
+func queueTimeoutOf(ms int64) time.Duration {
+	if ms < 0 {
+		return -1
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
+func (db *Database) execCreatePool(st *sql.CreatePoolStmt) (*Result, error) {
+	if err := db.Governor().CreatePool(poolConfigOf(st.Name, st.Opts)); err != nil {
+		return nil, err
+	}
+	return &Result{Message: "CREATE RESOURCE POOL"}, nil
+}
+
+func (db *Database) execAlterPool(st *sql.AlterPoolStmt) (*Result, error) {
+	var a resmgr.PoolAlter
+	a.MemBytes = st.Opts.MemBytes
+	a.MaxMemBytes = st.Opts.MaxMemBytes
+	if st.Opts.PlannedConcurrency != nil {
+		v := int(*st.Opts.PlannedConcurrency)
+		a.PlannedConcurrency = &v
+	}
+	if st.Opts.MaxConcurrency != nil {
+		v := int(*st.Opts.MaxConcurrency)
+		a.MaxConcurrency = &v
+	}
+	if st.Opts.QueueTimeoutMS != nil {
+		d := queueTimeoutOf(*st.Opts.QueueTimeoutMS)
+		a.QueueTimeout = &d
+	}
+	if err := db.Governor().AlterPool(st.Name, a); err != nil {
+		return nil, err
+	}
+	return &Result{Message: "ALTER RESOURCE POOL"}, nil
+}
+
+// execSetPool switches the session's admission pool after verifying the
+// pool exists (SET RESOURCE POOL general always works). It holds the
+// session registry lock across check and set so a concurrent DROP RESOURCE
+// POOL — whose fallback sweep runs under the same lock — cannot interleave
+// and leave the session pinned to a pool that no longer exists.
+func (s *Session) execSetPool(st *sql.SetStmt) (*Result, error) {
+	s.db.sessMu.Lock()
+	defer s.db.sessMu.Unlock()
+	if !s.db.Governor().HasPool(st.Pool) {
+		return nil, fmt.Errorf("core: resource pool %q does not exist", st.Pool)
+	}
+	s.mu.Lock()
+	s.pool = st.Pool
+	s.mu.Unlock()
+	return &Result{Message: "SET RESOURCE POOL " + st.Pool}, nil
 }
 
 // --- statement implementations ---------------------------------------------
@@ -338,6 +529,7 @@ func (db *Database) QueryAtContext(ctx context.Context, sqlText string, epoch ty
 	if !ok {
 		return nil, fmt.Errorf("core: QueryAt requires a SELECT")
 	}
+	ctx = resmgr.WithLabel(ctx, statementLabel(sqlText))
 	q, err := sql.AnalyzeSelect(st, db.cat)
 	if err != nil {
 		return nil, err
@@ -457,6 +649,26 @@ func (db *Database) execDrop(st *sql.DropStmt) (*Result, error) {
 			return nil, err
 		}
 		return &Result{Message: "DROP PROJECTION"}, nil
+	case "RESOURCE POOL":
+		if err := db.Governor().DropPool(st.Name); err != nil {
+			return nil, err
+		}
+		// Sessions still SET to the dropped pool — and the default for
+		// future sessions — fall back to general instead of failing every
+		// subsequent statement.
+		db.sessMu.Lock()
+		if db.opts.DefaultPool == st.Name {
+			db.opts.DefaultPool = ""
+		}
+		for _, s := range db.sessions {
+			s.mu.Lock()
+			if s.pool == st.Name {
+				s.pool = ""
+			}
+			s.mu.Unlock()
+		}
+		db.sessMu.Unlock()
+		return &Result{Message: "DROP RESOURCE POOL"}, nil
 	default: // PARTITION: fast bulk deletion by dropping container files
 		// (paper §3.5). Requires an Owner lock.
 		otx := db.txns.Begin(txn.ReadCommitted)

@@ -1,0 +1,155 @@
+// System tables (the v_monitor schema): the engine's runtime state exposed
+// as SQL-queryable virtual tables, mirroring Vertica's self-monitoring
+// design — resource pools, retained query profiles and live sessions are
+// plain tables to SELECT from, joinable, filterable and aggregatable like
+// any user data.
+package core
+
+import (
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/types"
+)
+
+func col(name string, t types.Type) types.Column {
+	return types.Column{Name: name, Typ: t, Nullable: true}
+}
+
+// registerMonitorTables installs the v_monitor.* virtual tables against this
+// database's governor and session registry.
+func (db *Database) registerMonitorTables() {
+	poolSchema := types.NewSchema(
+		col("name", types.Varchar),
+		col("memorysize", types.Int64),
+		col("maxmemorysize", types.Int64),
+		col("grantsize", types.Int64),
+		col("planned_concurrency", types.Int64),
+		col("max_concurrency", types.Int64),
+		col("queue_timeout_ms", types.Int64),
+		col("running", types.Int64),
+		col("waiting", types.Int64),
+		col("in_use_bytes", types.Int64),
+		col("borrowed_bytes", types.Int64),
+		col("admitted", types.Int64),
+		col("queued", types.Int64),
+		col("timed_out", types.Int64),
+		col("canceled", types.Int64),
+		col("peak_running", types.Int64),
+		col("queue_wait_us", types.Int64),
+	)
+	db.cat.RegisterVirtual(&catalog.Table{Name: "v_monitor.resource_pools", Schema: poolSchema},
+		func() ([]types.Row, error) {
+			pools := db.Governor().Pools()
+			rows := make([]types.Row, 0, len(pools))
+			for _, p := range pools {
+				timeoutMS := p.EffQueueTimeout.Milliseconds()
+				if p.EffQueueTimeout < 0 {
+					timeoutMS = -1
+				}
+				rows = append(rows, types.Row{
+					types.NewString(p.Name),
+					types.NewInt(p.MemBytes),
+					types.NewInt(p.EffMaxMemBytes),
+					types.NewInt(p.EffGrantBytes),
+					types.NewInt(int64(p.PlannedConcurrency)),
+					types.NewInt(int64(p.EffMaxConcurrency)),
+					types.NewInt(timeoutMS),
+					types.NewInt(int64(p.Running)),
+					types.NewInt(int64(p.Waiting)),
+					types.NewInt(p.InUseBytes),
+					types.NewInt(p.BorrowedBytes),
+					types.NewInt(p.Admitted),
+					types.NewInt(p.Queued),
+					types.NewInt(p.TimedOut),
+					types.NewInt(p.Canceled),
+					types.NewInt(int64(p.PeakRunning)),
+					types.NewInt(p.TotalQueueWait.Microseconds()),
+				})
+			}
+			return rows, nil
+		})
+
+	profSchema := types.NewSchema(
+		col("profile_id", types.Int64),
+		col("pool", types.Varchar),
+		col("statement", types.Varchar),
+		col("grant_bytes", types.Int64),
+		col("rows_produced", types.Int64),
+		col("spills", types.Int64),
+		col("spilled_bytes", types.Int64),
+		col("alloc_peak_bytes", types.Int64),
+		col("queue_wait_us", types.Int64),
+		col("wall_us", types.Int64),
+		col("started_at", types.Timestamp),
+		col("status", types.Varchar),
+		col("error", types.Varchar),
+	)
+	db.cat.RegisterVirtual(&catalog.Table{Name: "v_monitor.query_profiles", Schema: profSchema},
+		func() ([]types.Row, error) {
+			profs := db.Governor().Profiles()
+			rows := make([]types.Row, 0, len(profs))
+			for _, p := range profs {
+				status := "ok"
+				if p.Error != "" {
+					status = "error"
+				}
+				rows = append(rows, types.Row{
+					types.NewInt(p.ID),
+					types.NewString(p.Pool),
+					types.NewString(p.Label),
+					types.NewInt(p.GrantBytes),
+					types.NewInt(p.Rows),
+					types.NewInt(p.Spills),
+					types.NewInt(p.SpilledBytes),
+					types.NewInt(p.AllocPeak),
+					types.NewInt(p.QueueWait.Microseconds()),
+					types.NewInt(p.Wall.Microseconds()),
+					types.NewTimestamp(p.Started.UTC()),
+					types.NewString(status),
+					types.NewString(p.Error),
+				})
+			}
+			return rows, nil
+		})
+
+	sessSchema := types.NewSchema(
+		col("session_id", types.Int64),
+		col("pool", types.Varchar),
+		col("statements", types.Int64),
+		col("current_statement", types.Varchar),
+		col("in_txn", types.Bool),
+		col("created_at", types.Timestamp),
+	)
+	db.cat.RegisterVirtual(&catalog.Table{Name: "v_monitor.sessions", Schema: sessSchema},
+		func() ([]types.Row, error) {
+			db.sessMu.Lock()
+			sessions := make([]*Session, 0, len(db.sessions))
+			for _, s := range db.sessions {
+				sessions = append(sessions, s)
+			}
+			db.sessMu.Unlock()
+			sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
+			rows := make([]types.Row, 0, len(sessions))
+			for _, s := range sessions {
+				s.mu.Lock()
+				pool := s.pool
+				cur := s.curStmt
+				stmts := s.stmts
+				inTxn := s.tx != nil
+				s.mu.Unlock()
+				if pool == "" {
+					pool = "general"
+				}
+				rows = append(rows, types.Row{
+					types.NewInt(s.id),
+					types.NewString(pool),
+					types.NewInt(stmts),
+					types.NewString(cur),
+					types.NewBool(inTxn),
+					types.NewTimestamp(s.created.UTC()),
+				})
+			}
+			return rows, nil
+		})
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/resmgr"
+	"repro/internal/types"
+)
+
+func seedSales(t *testing.T, db *Database, n int) {
+	t.Helper()
+	db.MustExecute(`CREATE TABLE sales (sale_id INT, cust INT, price FLOAT)`)
+	db.MustExecute(`CREATE PROJECTION sales_super ON sales (sale_id, cust, price) ORDER BY sale_id`)
+	rows := make([]types.Row, 0, n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, types.Row{
+			types.NewInt(int64(i)), types.NewInt(int64(i % 7)), types.NewFloat(float64(i)),
+		})
+	}
+	if err := db.Load("sales", rows, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResourcePoolsTable: CREATE/ALTER RESOURCE POOL is visible through
+// v_monitor.resource_pools with effective knobs and live counters.
+func TestResourcePoolsTable(t *testing.T) {
+	db := openGovernedDB(t, 1, 64<<20, 4)
+	db.MustExecute(`CREATE RESOURCE POOL etl MEMORYSIZE '8M' MAXMEMORYSIZE '16M' MAXCONCURRENCY 2 QUEUETIMEOUT 500`)
+	res := db.MustExecute(`SELECT name, memorysize, maxmemorysize, max_concurrency, queue_timeout_ms
+		FROM v_monitor.resource_pools ORDER BY name`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("pools = %d rows: %v", len(res.Rows), res.Rows)
+	}
+	if res.Rows[0][0].S != "etl" || res.Rows[1][0].S != "general" {
+		t.Fatalf("pool names: %v", res.Rows)
+	}
+	etl := res.Rows[0]
+	if etl[1].I != 8<<20 || etl[2].I != 16<<20 || etl[3].I != 2 || etl[4].I != 500 {
+		t.Fatalf("etl row: %v", etl)
+	}
+
+	db.MustExecute(`ALTER RESOURCE POOL etl MAXCONCURRENCY 3`)
+	res = db.MustExecute(`SELECT max_concurrency FROM v_monitor.resource_pools WHERE name = 'etl'`)
+	if res.Rows[0][0].I != 3 {
+		t.Fatalf("altered max_concurrency = %v", res.Rows[0][0])
+	}
+
+	db.MustExecute(`DROP RESOURCE POOL etl`)
+	res = db.MustExecute(`SELECT COUNT(*) FROM v_monitor.resource_pools`)
+	if res.Rows[0][0].I != 1 {
+		t.Fatalf("pools after drop: %v", res.Rows)
+	}
+}
+
+// TestQueryProfilesTable: executed statements leave profiles carrying the
+// pool name, statement text and row counts, queryable over SQL.
+func TestQueryProfilesTable(t *testing.T) {
+	db := openGovernedDB(t, 1, 64<<20, 4)
+	seedSales(t, db, 100)
+	db.MustExecute(`CREATE RESOURCE POOL interactive`)
+
+	s := db.NewSession()
+	defer s.Close()
+	if _, err := s.Execute(`SET RESOURCE POOL interactive`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Execute(`SELECT COUNT(*) FROM sales`); err != nil {
+		t.Fatal(err)
+	}
+
+	res := db.MustExecute(`SELECT pool, statement, rows_produced, status
+		FROM v_monitor.query_profiles WHERE pool = 'interactive'`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("interactive profiles = %v", res.Rows)
+	}
+	row := res.Rows[0]
+	if row[1].S != `SELECT COUNT(*) FROM sales` || row[2].I != 1 || row[3].S != "ok" {
+		t.Fatalf("profile row = %v", row)
+	}
+
+	// The bulk Load and the seeding DDL ran on general; profiles aggregate.
+	res = db.MustExecute(`SELECT pool, COUNT(*) FROM v_monitor.query_profiles GROUP BY pool ORDER BY pool`)
+	if len(res.Rows) < 1 {
+		t.Fatalf("profile pools: %v", res.Rows)
+	}
+
+	// Failed statements record status 'error'.
+	s2 := db.NewSession()
+	defer s2.Close()
+	if _, err := s2.Execute(`INSERT INTO sales VALUES (1)`); err == nil {
+		t.Fatal("arity mismatch should fail")
+	}
+	res = db.MustExecute(`SELECT COUNT(*) FROM v_monitor.query_profiles WHERE status = 'error'`)
+	if res.Rows[0][0].I != 1 {
+		t.Fatalf("error profiles = %v", res.Rows)
+	}
+}
+
+// TestSessionsTable: open sessions appear with their pool and statement
+// counters; closed sessions disappear.
+func TestSessionsTable(t *testing.T) {
+	db := openGovernedDB(t, 1, 64<<20, 4)
+	db.MustExecute(`CREATE RESOURCE POOL etl`)
+	a := db.NewSession()
+	defer a.Close()
+	b := db.NewSession()
+	if _, err := b.Execute(`SET RESOURCE POOL etl`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Execute(`SELECT session_id, pool, in_txn FROM v_monitor.sessions ORDER BY session_id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("sessions = %v", res.Rows)
+	}
+	if res.Rows[0][1].S != "general" || res.Rows[1][1].S != "etl" {
+		t.Fatalf("session pools = %v", res.Rows)
+	}
+	b.Close()
+	res, err = a.Execute(`SELECT COUNT(*) FROM v_monitor.sessions`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 1 {
+		t.Fatalf("sessions after close = %v", res.Rows)
+	}
+}
+
+// TestPoolConstrainsAdmission: a MAXCONCURRENCY 1 pool with a short queue
+// timeout rejects the second concurrent statement, while general stays
+// unaffected — SET RESOURCE POOL demonstrably constrains admission.
+func TestPoolConstrainsAdmission(t *testing.T) {
+	db := openGovernedDB(t, 1, 64<<20, 8)
+	seedSales(t, db, 10)
+	db.MustExecute(`CREATE RESOURCE POOL tiny MAXCONCURRENCY 1 QUEUETIMEOUT 20`)
+
+	hold, err := db.Governor().AdmitPoolBytes(t.Context(), "tiny", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold.Release()
+
+	s := db.NewSession()
+	defer s.Close()
+	if _, err := s.Execute(`SET RESOURCE POOL tiny`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Execute(`SELECT COUNT(*) FROM sales`); !errors.Is(err, resmgr.ErrQueueTimeout) {
+		t.Fatalf("expected queue timeout on saturated pool, got %v", err)
+	}
+	// DML admits through the pool too.
+	if _, err := s.Execute(`INSERT INTO sales VALUES (100, 1, 1.0)`); !errors.Is(err, resmgr.ErrQueueTimeout) {
+		t.Fatalf("expected queue timeout for DML, got %v", err)
+	}
+	// The general pool still has slots: a fresh session is unaffected.
+	g := db.NewSession()
+	defer g.Close()
+	if _, err := g.Execute(`SELECT COUNT(*) FROM sales`); err != nil {
+		t.Fatalf("general pool should admit: %v", err)
+	}
+	// System tables bypass admission: monitoring works while saturated.
+	if _, err := s.Execute(`SELECT name, running FROM v_monitor.resource_pools`); err != nil {
+		t.Fatalf("v_monitor must bypass admission: %v", err)
+	}
+}
+
+// TestDMLStatsReported: DML results carry queue-wait and wall-time stats
+// like SELECTs (regression for the SELECT-only stats gap).
+func TestDMLStatsReported(t *testing.T) {
+	db := openGovernedDB(t, 1, 64<<20, 4)
+	seedSales(t, db, 10)
+	res := db.MustExecute(`INSERT INTO sales VALUES (1000, 1, 2.0)`)
+	if res.Stats.WallTime <= 0 || res.Stats.Rows != 1 {
+		t.Fatalf("DML stats = %+v", res.Stats)
+	}
+	res = db.MustExecute(`DELETE FROM sales WHERE sale_id = 1000`)
+	if res.Stats.WallTime <= 0 {
+		t.Fatalf("DELETE stats = %+v", res.Stats)
+	}
+}
+
+// TestVirtualJoinsAndDefaultPool: system tables join each other; the
+// DefaultPool option routes new sessions.
+func TestVirtualJoinsAndDefaultPool(t *testing.T) {
+	db, err := Open(Options{Dir: t.TempDir(), DefaultPool: "svc", MemPoolBytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Options.DefaultPool bootstraps the pool at Open; ALTER tunes it.
+	db.MustExecute(`ALTER RESOURCE POOL svc MAXCONCURRENCY 2`)
+	s := db.NewSession()
+	defer s.Close()
+	res, err := s.Execute(`SELECT p.name, s.session_id FROM v_monitor.resource_pools p
+		JOIN v_monitor.sessions s ON p.name = s.pool`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "svc" {
+		t.Fatalf("join rows = %v", res.Rows)
+	}
+	// Aggregation over a virtual table.
+	res, err = s.Execute(`SELECT COUNT(*), MAX(grantsize) FROM v_monitor.resource_pools`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 2 {
+		t.Fatalf("agg rows = %v", res.Rows)
+	}
+}
+
+// TestProfilesOnMultiNode: profiles and pools work on a simulated cluster
+// and v_monitor queries run on the coordinator only.
+func TestProfilesOnMultiNode(t *testing.T) {
+	db := openGovernedDB(t, 3, 64<<20, 4)
+	db.MustExecute(`CREATE TABLE kv (k INT, v INT)`)
+	db.MustExecute(`CREATE PROJECTION kv_super ON kv (k, v) ORDER BY k SEGMENTED BY HASH(k)`)
+	for i := 0; i < 5; i++ {
+		db.MustExecute(fmt.Sprintf(`INSERT INTO kv VALUES (%d, %d)`, i, i*i))
+	}
+	if _, err := db.Execute(`SELECT SUM(v) FROM kv`); err != nil {
+		t.Fatal(err)
+	}
+	res := db.MustExecute(`SELECT COUNT(*) FROM v_monitor.query_profiles`)
+	if res.Rows[0][0].I < 6 {
+		t.Fatalf("profiles on cluster = %v", res.Rows)
+	}
+	// Mixed system/user joins are rejected on multi-node clusters.
+	_, err := db.Execute(`SELECT * FROM kv JOIN v_monitor.sessions s ON kv.k = s.session_id`)
+	if err == nil || !strings.Contains(err.Error(), "system tables") {
+		t.Fatalf("mixed join error = %v", err)
+	}
+}
+
+// TestDropDefaultPoolFallsBackForNewSessions: dropping the configured
+// default pool must not break sessions opened afterwards.
+func TestDropDefaultPoolFallsBackForNewSessions(t *testing.T) {
+	db, err := Open(Options{Dir: t.TempDir(), DefaultPool: "etl", MemPoolBytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustExecute(`CREATE TABLE t (a INT)`)
+	db.MustExecute(`CREATE PROJECTION t_super ON t (a) ORDER BY a`)
+	db.MustExecute(`DROP RESOURCE POOL etl`)
+	s := db.NewSession()
+	defer s.Close()
+	if _, err := s.Execute(`SELECT COUNT(*) FROM t`); err != nil {
+		t.Fatalf("new session after dropping the default pool: %v", err)
+	}
+	if s.Pool() != "" {
+		t.Fatalf("new session pool = %q, want general", s.Pool())
+	}
+}

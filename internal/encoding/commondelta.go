@@ -86,6 +86,9 @@ func decodeCommonDelta(b []byte, t types.Type, n int) (*vector.Vector, error) {
 		return nil, fmt.Errorf("encoding: corrupt COMMONDELTA_COMP dict size")
 	}
 	pos += sz
+	if ds64 > uint64(len(b)) { // every dictionary entry costs ≥ 1 byte
+		return nil, fmt.Errorf("encoding: COMMONDELTA_COMP dict size %d exceeds payload", ds64)
+	}
 	ds := int(ds64)
 	dict := make([]int64, ds)
 	for i := range dict {

@@ -37,6 +37,9 @@ func decodeDeltaValue(b []byte, t types.Type, n int) (*vector.Vector, error) {
 	if sz <= 0 {
 		return nil, fmt.Errorf("encoding: corrupt DELTAVAL base")
 	}
+	if n > len(b) { // every delta costs at least one payload byte
+		return nil, fmt.Errorf("encoding: DELTAVAL payload too short for %d rows", n)
+	}
 	pos := sz
 	out := make([]int64, n)
 	for i := 0; i < n; i++ {
@@ -90,6 +93,9 @@ func encodeDeltaRange(buf []byte, v *vector.Vector) ([]byte, error) {
 func decodeDeltaRange(b []byte, t types.Type, n int) (*vector.Vector, error) {
 	if n == 0 {
 		return vector.New(t, 0), nil
+	}
+	if n > len(b) { // first value plus ≥1 byte per delta
+		return nil, fmt.Errorf("encoding: DELTARANGE_COMP payload too short for %d rows", n)
 	}
 	if t == types.Float64 {
 		if len(b) < 8 {

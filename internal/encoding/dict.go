@@ -99,6 +99,9 @@ func decodeBlockDict(b []byte, t types.Type, n int) (*vector.Vector, error) {
 	if sz <= 0 {
 		return nil, fmt.Errorf("encoding: corrupt BLOCK_DICT size")
 	}
+	if ds64 > uint64(len(b)) { // every dictionary entry costs ≥ 1 byte
+		return nil, fmt.Errorf("encoding: BLOCK_DICT size %d exceeds payload", ds64)
+	}
 	ds := int(ds64)
 	pos := sz
 	switch t {
@@ -127,7 +130,7 @@ func decodeBlockDict(b []byte, t types.Type, n int) (*vector.Vector, error) {
 		dict := make([]string, ds)
 		for i := range dict {
 			l, sz := uvarint(b[pos:])
-			if sz <= 0 || pos+sz+int(l) > len(b) {
+			if sz <= 0 || int(l) < 0 || pos+sz+int(l) > len(b) {
 				return nil, fmt.Errorf("encoding: truncated BLOCK_DICT entries")
 			}
 			pos += sz

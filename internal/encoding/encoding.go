@@ -167,12 +167,23 @@ func DecodeBlock(data []byte, t types.Type, preserveRuns bool) (*vector.Vector, 
 		return nil, fmt.Errorf("encoding: short block (%d bytes)", len(data))
 	}
 	kind := Kind(data[0])
+	if kind > CompressedCommonDelta {
+		return nil, fmt.Errorf("encoding: unknown block kind %d", kind)
+	}
+	if !kind.Applicable(t) {
+		return nil, fmt.Errorf("encoding: block kind %s not applicable to %s", kind, t)
+	}
 	pos := 1
 	n64, sz := uvarint(data[pos:])
 	if sz <= 0 {
 		return nil, fmt.Errorf("encoding: corrupt row count")
 	}
 	pos += sz
+	// Harden against corrupt headers: a row count beyond anything the writer
+	// produces is a malformed block, not a request to allocate.
+	if n64 > maxBlockRows {
+		return nil, fmt.Errorf("encoding: block row count %d exceeds limit %d", n64, maxBlockRows)
+	}
 	n := int(n64)
 	if pos >= len(data) {
 		return nil, fmt.Errorf("encoding: truncated block header")
@@ -220,6 +231,12 @@ func DecodeBlock(data []byte, t types.Type, preserveRuns bool) (*vector.Vector, 
 	}
 	return v, nil
 }
+
+// maxBlockRows bounds the row count a decoder will honor from a block
+// header. Storage blocks hold at most one batch of a column, far below this;
+// anything larger is corruption (or an attack) and must not drive
+// allocations.
+const maxBlockRows = 1 << 22
 
 // BlockKind returns the encoding kind stored in an encoded block.
 func BlockKind(data []byte) (Kind, error) {

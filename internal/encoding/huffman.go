@@ -162,6 +162,9 @@ func huffmanDecode(b []byte, n int) ([]int, int, error) {
 	if sz <= 0 {
 		return nil, 0, fmt.Errorf("encoding: corrupt huffman symbol count")
 	}
+	if sc64 > uint64(len(b)) { // every length entry costs ≥ 1 byte
+		return nil, 0, fmt.Errorf("encoding: huffman symbol count %d exceeds payload", sc64)
+	}
 	pos := sz
 	symCount := int(sc64)
 	lengths := make([]int, symCount)
@@ -169,6 +172,9 @@ func huffmanDecode(b []byte, n int) ([]int, int, error) {
 		l, sz := uvarint(b[pos:])
 		if sz <= 0 {
 			return nil, 0, fmt.Errorf("encoding: corrupt huffman length table")
+		}
+		if l > 64 { // codes are accumulated in a uint64
+			return nil, 0, fmt.Errorf("encoding: huffman code length %d exceeds 64 bits", l)
 		}
 		lengths[s] = int(l)
 		pos += sz

@@ -43,11 +43,14 @@ func decodeNone(b []byte, t types.Type, n int) (*vector.Vector, error) {
 		}
 		return vector.NewFromFloats(out), nil
 	case types.Varchar:
+		if n > len(b) { // every string needs at least its length byte
+			return nil, fmt.Errorf("encoding: raw string payload too short")
+		}
 		out := make([]string, n)
 		pos := 0
 		for i := 0; i < n; i++ {
 			l, sz := uvarint(b[pos:])
-			if sz <= 0 || pos+sz+int(l) > len(b) {
+			if sz <= 0 || int(l) < 0 || pos+sz+int(l) > len(b) {
 				return nil, fmt.Errorf("encoding: raw string payload corrupt")
 			}
 			pos += sz

@@ -57,6 +57,12 @@ func decodeRLE(b []byte, t types.Type, n int, preserveRuns bool) (*vector.Vector
 	if sz <= 0 {
 		return nil, fmt.Errorf("encoding: corrupt RLE run count")
 	}
+	// Every run costs at least two payload bytes (value + length), and no
+	// run may claim more rows than the block holds: reject before any
+	// count-sized allocation or expansion loop.
+	if rc > uint64(len(b))/2 {
+		return nil, fmt.Errorf("encoding: RLE run count %d exceeds payload", rc)
+	}
 	pos := sz
 	if preserveRuns {
 		out := vector.New(t, int(rc))
@@ -71,6 +77,9 @@ func decodeRLE(b []byte, t types.Type, n int, preserveRuns bool) (*vector.Vector
 			rl, sz := uvarint(b[pos:])
 			if sz <= 0 {
 				return nil, fmt.Errorf("encoding: corrupt RLE run length")
+			}
+			if rl > uint64(n) {
+				return nil, fmt.Errorf("encoding: RLE run length %d exceeds row count %d", rl, n)
 			}
 			pos += sz
 			out.RunLens = append(out.RunLens, int(rl))
@@ -96,6 +105,9 @@ func decodeRLE(b []byte, t types.Type, n int, preserveRuns bool) (*vector.Vector
 		rl, sz := uvarint(b[pos:])
 		if sz <= 0 {
 			return nil, fmt.Errorf("encoding: corrupt RLE run length")
+		}
+		if rl > uint64(n) {
+			return nil, fmt.Errorf("encoding: RLE run length %d exceeds row count %d", rl, n)
 		}
 		pos += sz
 		val := scratch.ValueAt(0)

@@ -1,0 +1,69 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// VirtualScan is the leaf operator over a system (virtual) table: a schema
+// plus a row producer invoked at Open, so every execution observes the
+// current engine state (pools, profiles, sessions). It is scanned, filtered
+// and joined like any storage-backed table; there simply is no projection or
+// ROS behind it.
+type VirtualScan struct {
+	Name string
+
+	schema *types.Schema
+	fetch  func() ([]types.Row, error)
+
+	rows []types.Row
+	pos  int
+}
+
+// NewVirtualScan builds a scan over a virtual table.
+func NewVirtualScan(name string, schema *types.Schema, fetch func() ([]types.Row, error)) *VirtualScan {
+	return &VirtualScan{Name: name, schema: schema, fetch: fetch}
+}
+
+// Schema implements Operator.
+func (v *VirtualScan) Schema() *types.Schema { return v.schema }
+
+// Children implements the plan walker (leaf).
+func (v *VirtualScan) Children() []Operator { return nil }
+
+// Describe implements Operator.
+func (v *VirtualScan) Describe() string {
+	return fmt.Sprintf("VirtualScan %s", v.Name)
+}
+
+// Open implements Operator: it snapshots the table's rows.
+func (v *VirtualScan) Open(ctx *Ctx) error {
+	rows, err := v.fetch()
+	if err != nil {
+		return fmt.Errorf("exec: virtual table %s: %w", v.Name, err)
+	}
+	v.rows, v.pos = rows, 0
+	return nil
+}
+
+// Next implements Operator.
+func (v *VirtualScan) Next(ctx *Ctx) (*vector.Batch, error) {
+	if v.pos >= len(v.rows) {
+		return nil, nil
+	}
+	batch := vector.NewBatchForSchema(v.schema, vector.DefaultBatchSize)
+	for v.pos < len(v.rows) && batch.Len() < vector.DefaultBatchSize {
+		batch.AppendRow(v.rows[v.pos])
+		v.pos++
+	}
+	ctx.RowsScanned.Add(int64(batch.Len()))
+	return batch, nil
+}
+
+// Close implements Operator.
+func (v *VirtualScan) Close(ctx *Ctx) error {
+	v.rows = nil
+	return nil
+}

@@ -14,14 +14,15 @@ import (
 // tableScan is the planner's working state for one FROM table.
 type tableScan struct {
 	tblIdx      int
-	proj        *catalog.Projection
-	mgr         *storage.Manager
-	cols        []int       // table-schema column indexes produced, in order
-	colToOut    map[int]int // table col -> scan output index
-	conjuncts   []expr.Expr // flat-schema local predicates
+	proj        *catalog.Projection // nil for virtual (system) tables
+	mgr         *storage.Manager    // nil for virtual tables
+	cols        []int               // table-schema column indexes produced, in order
+	colToOut    map[int]int         // table col -> scan output index
+	conjuncts   []expr.Expr         // flat-schema local predicates
 	selectivity float64
 	rows        int64
-	scan        *exec.Scan
+	scan        *exec.Scan    // nil for virtual tables
+	op          exec.Operator // the table's access path (scan, or virtual pipeline)
 }
 
 // Plan compiles a logical query into a physical operator tree.
@@ -49,8 +50,10 @@ func Plan(p Provider, q *LogicalQuery, opts PlanOpts) (*PhysicalPlan, error) {
 			return nil, err
 		}
 		scans[i] = ts
-		plan.ProjectionsUsed = append(plan.ProjectionsUsed, ts.proj.Name)
-		plan.EstCost += estimateScanCost(ts.mgr, ts.proj, len(ts.cols), ts.selectivity)
+		if ts.proj != nil {
+			plan.ProjectionsUsed = append(plan.ProjectionsUsed, ts.proj.Name)
+			plan.EstCost += estimateScanCost(ts.mgr, ts.proj, len(ts.cols), ts.selectivity)
+		}
 	}
 
 	if len(scans) == 1 {
@@ -59,7 +62,7 @@ func Plan(p Provider, q *LogicalQuery, opts PlanOpts) (*PhysicalPlan, error) {
 		for c, out := range ts.colToOut {
 			colMap[offs[0]+c] = out
 		}
-		return finishPlan(p, q, plan, ts.scan, colMap, residual, opts)
+		return finishPlan(p, q, plan, ts.op, colMap, residual, opts)
 	}
 
 	// Star-style join ordering (paper §6.2): the largest table is the fact;
@@ -90,7 +93,7 @@ func Plan(p Provider, q *LogicalQuery, opts PlanOpts) (*PhysicalPlan, error) {
 		colMap[offs[factIdx]+c] = out
 	}
 	joined := map[int]bool{factIdx: true}
-	var cur exec.Operator = fact.scan
+	cur := fact.op
 	curWidth := len(fact.cols)
 
 	for _, dim := range dims {
@@ -120,13 +123,17 @@ func Plan(p Provider, q *LogicalQuery, opts PlanOpts) (*PhysicalPlan, error) {
 		if len(q.From) == 2 {
 			jt = q.JoinConds[0].Type
 		}
+		dimDesc := q.From[dim.tblIdx].Table.Name
+		if dim.proj != nil {
+			dimDesc = dim.proj.Name
+		}
 		// Merge join when both sides are sorted on the join keys
 		// (paper §6.2: merge joins on sorted, compressed columns first).
 		if mj, ok := tryMergeJoin(q, jt, fact, dim, cur, outerKeys, innerKeys); ok {
 			cur = mj
-			plan.Notes = append(plan.Notes, fmt.Sprintf("merge join with %s (sort orders aligned)", dim.proj.Name))
+			plan.Notes = append(plan.Notes, fmt.Sprintf("merge join with %s (sort orders aligned)", dimDesc))
 		} else {
-			hj, err := exec.NewHashJoin(jt, cur, dim.scan, outerKeys, innerKeys)
+			hj, err := exec.NewHashJoin(jt, cur, dim.op, outerKeys, innerKeys)
 			if err != nil {
 				return nil, err
 			}
@@ -134,7 +141,7 @@ func Plan(p Provider, q *LogicalQuery, opts PlanOpts) (*PhysicalPlan, error) {
 			// owning every outer key, for join types that discard
 			// unmatched probe rows.
 			if !opts.NoSIP && (jt == exec.InnerJoin || jt == exec.SemiJoin || jt == exec.RightOuterJoin) {
-				if sip := trySIP(fact, outerKeys, dim.proj.Name); sip != nil {
+				if sip := trySIP(fact, outerKeys, dimDesc); sip != nil {
 					hj.SIP = sip
 					plan.Notes = append(plan.Notes, "SIP filter pushed to scan of "+fact.proj.Name)
 				}
@@ -173,6 +180,8 @@ func condsConnecting(q *LogicalQuery, joined map[int]bool, dim int) []JoinCond {
 }
 
 // buildTableScan chooses the projection and constructs the scan for a table.
+// Virtual (system) tables get a VirtualScan pipeline instead of a
+// projection-backed storage scan.
 func buildTableScan(p Provider, q *LogicalQuery, tblIdx int, needed columnSet, conjuncts []expr.Expr, opts PlanOpts) (*tableScan, error) {
 	t := q.From[tblIdx].Table
 	offs := q.flatOffsets()
@@ -180,6 +189,9 @@ func buildTableScan(p Provider, q *LogicalQuery, tblIdx int, needed columnSet, c
 	if len(cols) == 0 {
 		// A table contributing nothing still needs one column to count rows.
 		cols = []int{0}
+	}
+	if vt := p.Catalog().Virtual(t.Name); vt != nil {
+		return buildVirtualScan(q, tblIdx, t, vt, cols, conjuncts, offs)
 	}
 	predCols := map[int]bool{}
 	for _, c := range conjuncts {
@@ -234,12 +246,48 @@ func buildTableScan(p Provider, q *LogicalQuery, tblIdx int, needed columnSet, c
 		}
 		scan.Predicate = pred
 	}
+	ts.op = scan
 	return ts, nil
+}
+
+// buildVirtualScan assembles the access path for a system table: a
+// VirtualScan producing the full table schema, a projection down to the
+// needed columns, and the table's local predicates as a filter.
+func buildVirtualScan(q *LogicalQuery, tblIdx int, t *catalog.Table, vt *catalog.VirtualTable, cols []int, conjuncts []expr.Expr, offs []int) (*tableScan, error) {
+	exprs := make([]expr.Expr, len(cols))
+	names := make([]string, len(cols))
+	colToOut := map[int]int{}
+	for i, c := range cols {
+		col := t.Schema.Col(c)
+		exprs[i] = expr.NewColRef(c, col.Typ, col.Name)
+		names[i] = col.Name
+		colToOut[c] = i
+	}
+	var op exec.Operator = exec.NewProject(exec.NewVirtualScan(t.Name, t.Schema, vt.Rows), exprs, names)
+	if len(conjuncts) > 0 {
+		m := map[int]int{}
+		for c, out := range colToOut {
+			m[offs[tblIdx]+c] = out
+		}
+		pred, err := expr.Remap(expr.MustAnd(conjuncts...), m)
+		if err != nil {
+			return nil, err
+		}
+		op = exec.NewFilter(op, pred)
+	}
+	return &tableScan{
+		tblIdx: tblIdx, cols: cols, colToOut: colToOut, conjuncts: conjuncts,
+		selectivity: selectivityScore(conjuncts),
+		op:          op,
+	}, nil
 }
 
 // trySIP attaches a SIP filter to the fact scan when every outer key is one
 // of the scan's own output columns.
 func trySIP(fact *tableScan, outerKeys []int, joinDesc string) *exec.SIPFilter {
+	if fact.scan == nil {
+		return nil // virtual tables have no storage scan to push into
+	}
 	for _, k := range outerKeys {
 		if k >= len(fact.cols) {
 			return nil // key produced by an earlier join, not the base scan
@@ -256,6 +304,9 @@ func trySIP(fact *tableScan, outerKeys []int, joinDesc string) *exec.SIPFilter {
 func tryMergeJoin(q *LogicalQuery, jt exec.JoinType, fact, dim *tableScan, cur exec.Operator, outerKeys, innerKeys []int) (exec.Operator, bool) {
 	if jt != exec.InnerJoin && jt != exec.LeftOuterJoin {
 		return nil, false
+	}
+	if fact.scan == nil || dim.scan == nil {
+		return nil, false // virtual tables carry no sort order
 	}
 	if cur != exec.Operator(fact.scan) {
 		return nil, false // already joined: combined stream order unknown

@@ -1,7 +1,10 @@
 // Package resmgr is the workload and resource management subsystem: a
 // resource governor that owns a global memory pool shared by all concurrent
-// queries, hands out per-query memory grants, and gates query starts through
-// an admission queue with bounded concurrency and queue timeouts.
+// queries, partitions it into named resource pools with borrow-from-general
+// semantics, hands out per-query memory grants, and gates query starts
+// through per-pool admission queues with bounded concurrency and queue
+// timeouts. Finished statements leave a bounded ring of query profiles that
+// the engine exposes as the v_monitor.query_profiles system table.
 //
 // The paper (§6.1) gives every operator a memory budget so that "all
 // operators are capable of handling arbitrary sized inputs ... by
@@ -12,6 +15,8 @@
 // Usage:
 //
 //	gov := resmgr.NewGovernor(resmgr.Config{PoolBytes: 32 << 20, MaxConcurrency: 2})
+//	gov.CreatePool(resmgr.PoolConfig{Name: "etl", MemBytes: 8 << 20, MaxConcurrency: 1})
+//	ctx = resmgr.WithPool(ctx, "etl")
 //	grant, err := gov.Admit(ctx)          // blocks in FIFO order; honors ctx
 //	if err != nil { ... }                 // ErrQueueTimeout or ctx.Err()
 //	defer grant.Release()                 // returns memory + slot, wakes queue
@@ -29,32 +34,36 @@ import (
 
 // Defaults applied by NewGovernor when Config fields are zero.
 const (
-	DefaultPoolBytes      = 1 << 30 // 1 GiB global pool
-	DefaultMaxConcurrency = 8
-	DefaultQueueTimeout   = 30 * time.Second
+	DefaultPoolBytes       = 1 << 30 // 1 GiB global pool
+	DefaultMaxConcurrency  = 8
+	DefaultQueueTimeout    = 30 * time.Second
+	DefaultProfileCapacity = 512
 )
 
 // ErrQueueTimeout is returned by Admit when a query waits in the admission
-// queue longer than Config.QueueTimeout.
+// queue longer than its pool's queue timeout.
 var ErrQueueTimeout = errors.New("resmgr: admission queue timeout")
 
 // Config sets the governor's knobs.
 type Config struct {
 	// PoolBytes is the global memory pool shared by all running queries.
 	PoolBytes int64
-	// MaxConcurrency bounds simultaneously running queries; excess queries
-	// queue FIFO.
+	// MaxConcurrency bounds simultaneously running queries per pool (pools
+	// may override); excess queries queue FIFO within their pool.
 	MaxConcurrency int
 	// QueueTimeout bounds time spent queued before Admit fails with
 	// ErrQueueTimeout. Negative disables the timeout; zero means default.
 	QueueTimeout time.Duration
-	// GrantBytes is the memory grant per query. Zero derives
-	// PoolBytes/MaxConcurrency so a full complement of running queries
-	// exactly consumes the pool.
+	// GrantBytes is the memory grant per query in the general pool. Zero
+	// derives PoolBytes/MaxConcurrency so a full complement of running
+	// queries exactly consumes the pool.
 	GrantBytes int64
+	// ProfileCapacity bounds the retained query-profile ring. Zero means
+	// DefaultProfileCapacity; negative disables profiling.
+	ProfileCapacity int
 }
 
-// Stats is a snapshot of governor counters.
+// Stats is a snapshot of governor counters aggregated over all pools.
 type Stats struct {
 	// Admitted counts queries granted admission (including those that later
 	// failed).
@@ -68,7 +77,7 @@ type Stats struct {
 	Canceled int64
 	// Running is the number of queries currently holding a grant.
 	Running int
-	// Waiting is the current admission queue length.
+	// Waiting is the current admission queue length across pools.
 	Waiting int
 	// InUseBytes is pool memory currently granted.
 	InUseBytes int64
@@ -85,21 +94,23 @@ type Stats struct {
 
 // waiter is one queued admission request.
 type waiter struct {
+	pool    *pool
 	bytes   int64
 	ready   chan struct{} // closed by dispatch under g.mu when granted
 	granted bool
 }
 
-// Governor owns the pool and the admission queue.
+// Governor owns the global pool, the named pools and their admission queues.
 type Governor struct {
 	cfg Config
 
 	mu      sync.Mutex
-	inUse   int64
-	running int
-	queue   []*waiter
+	inUse   int64 // bytes granted across all pools
+	running int   // queries running across all pools
+	pools   map[string]*pool
+	order   []string // pool dispatch/listing order (general first)
 
-	// counters (under mu)
+	// aggregate counters (under mu); per-pool counters live on each pool
 	admitted    int64
 	queuedTotal int64
 	timedOut    int64
@@ -108,9 +119,16 @@ type Governor struct {
 	queueWait   time.Duration
 	rows        int64
 	spilled     int64
+
+	// query profile ring (under mu)
+	profileSeq int64
+	profiles   []QueryProfile
+	profHead   int
+	profLen    int
 }
 
 // NewGovernor builds a governor, applying defaults for zero Config fields.
+// The built-in general pool backs all unreserved memory.
 func NewGovernor(cfg Config) *Governor {
 	if cfg.PoolBytes <= 0 {
 		cfg.PoolBytes = DefaultPoolBytes
@@ -123,55 +141,109 @@ func NewGovernor(cfg Config) *Governor {
 	}
 	if cfg.GrantBytes <= 0 {
 		cfg.GrantBytes = cfg.PoolBytes / int64(cfg.MaxConcurrency)
-		if cfg.GrantBytes < 64<<10 {
-			cfg.GrantBytes = 64 << 10
+		if cfg.GrantBytes < minGrantBytes {
+			cfg.GrantBytes = minGrantBytes
 		}
 	}
 	if cfg.GrantBytes > cfg.PoolBytes {
 		cfg.GrantBytes = cfg.PoolBytes
 	}
-	return &Governor{cfg: cfg}
+	if cfg.ProfileCapacity == 0 {
+		cfg.ProfileCapacity = DefaultProfileCapacity
+	}
+	g := &Governor{cfg: cfg, pools: map[string]*pool{}}
+	if cfg.ProfileCapacity > 0 {
+		g.profiles = make([]QueryProfile, 0, cfg.ProfileCapacity)
+	}
+	g.pools[GeneralPool] = &pool{cfg: PoolConfig{
+		Name:           GeneralPool,
+		GrantBytes:     cfg.GrantBytes,
+		MaxConcurrency: cfg.MaxConcurrency,
+		QueueTimeout:   cfg.QueueTimeout,
+	}}
+	g.order = []string{GeneralPool}
+	return g
 }
 
 // Config returns the effective (default-applied) configuration.
 func (g *Governor) Config() Config { return g.cfg }
 
-// Admit blocks until the query may run, returning its memory grant. Order is
-// FIFO. Fails with ctx.Err() if ctx ends first, or ErrQueueTimeout after
-// Config.QueueTimeout in the queue.
+// Admit blocks until the query may run, returning its memory grant. The pool
+// comes from the context tag (WithPool), defaulting to general; order is
+// FIFO within a pool. Fails with ctx.Err() if ctx ends first, or
+// ErrQueueTimeout after the pool's queue timeout.
 func (g *Governor) Admit(ctx context.Context) (*Grant, error) {
-	return g.AdmitBytes(ctx, g.cfg.GrantBytes)
+	return g.AdmitPoolBytes(ctx, PoolFromContext(ctx), 0)
 }
 
 // AdmitBytes admits with an explicit grant size (workload classes wanting
-// bigger or smaller grants than the default).
+// bigger or smaller grants than the pool default).
 func (g *Governor) AdmitBytes(ctx context.Context, bytes int64) (*Grant, error) {
-	if bytes <= 0 {
-		bytes = g.cfg.GrantBytes
+	return g.AdmitPoolBytes(ctx, PoolFromContext(ctx), bytes)
+}
+
+// AdmitPoolBytes admits against a named pool ("" = general) with an explicit
+// grant size (<= 0 takes the pool default).
+func (g *Governor) AdmitPoolBytes(ctx context.Context, poolName string, bytes int64) (*Grant, error) {
+	if poolName == "" {
+		poolName = GeneralPool
 	}
-	if bytes > g.cfg.PoolBytes {
-		return nil, fmt.Errorf("resmgr: grant %d bytes exceeds pool %d bytes", bytes, g.cfg.PoolBytes)
-	}
+	label := LabelFromContext(ctx)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	enqueued := time.Now()
 	g.mu.Lock()
-	// Fast path: nothing queued ahead and resources free.
-	if len(g.queue) == 0 && g.running < g.cfg.MaxConcurrency && g.inUse+bytes <= g.cfg.PoolBytes {
-		g.reserveLocked(bytes)
-		gr := g.newGrantLocked(bytes, 0)
+	p, ok := g.pools[poolName]
+	if !ok {
+		g.mu.Unlock()
+		return nil, fmt.Errorf("resmgr: pool %q does not exist", poolName)
+	}
+	if bytes <= 0 {
+		bytes = p.grantSize(g)
+	}
+	if bytes > p.capBytes(g) {
+		g.mu.Unlock()
+		return nil, fmt.Errorf("resmgr: grant %d bytes exceeds pool %q limit of %d bytes",
+			bytes, poolName, p.capBytes(g))
+	}
+	// Fail fast on requests no amount of draining can satisfy: even with
+	// every other pool idle (reservations fully unfilled), the grant plus
+	// all outstanding guarantees must fit the global pool — otherwise the
+	// waiter would sit in the queue until timeout (or forever).
+	floor := bytes
+	for _, name := range g.order {
+		q := g.pools[name]
+		if q == p {
+			if q.cfg.MemBytes > bytes {
+				floor += q.cfg.MemBytes - bytes
+			}
+			continue
+		}
+		floor += q.cfg.MemBytes
+	}
+	if floor > g.cfg.PoolBytes {
+		g.mu.Unlock()
+		return nil, fmt.Errorf("resmgr: grant %d bytes on pool %q can never be admitted: other pools reserve %d of the %d-byte global pool",
+			bytes, poolName, floor-bytes, g.cfg.PoolBytes)
+	}
+	// Fast path: nothing queued ahead in this pool and resources free.
+	if len(p.queue) == 0 && g.canAdmitLocked(p, bytes) {
+		g.reserveLocked(p, bytes)
+		gr := g.newGrantLocked(p, bytes, 0, label)
 		g.mu.Unlock()
 		return gr, nil
 	}
-	w := &waiter{bytes: bytes, ready: make(chan struct{})}
-	g.queue = append(g.queue, w)
+	w := &waiter{pool: p, bytes: bytes, ready: make(chan struct{})}
+	p.queue = append(p.queue, w)
+	p.queuedTotal++
 	g.queuedTotal++
+	queueTimeout := p.timeout(g)
 	g.mu.Unlock()
 
 	var timeout <-chan time.Time
-	if g.cfg.QueueTimeout > 0 {
-		t := time.NewTimer(g.cfg.QueueTimeout)
+	if queueTimeout > 0 {
+		t := time.NewTimer(queueTimeout)
 		defer t.Stop()
 		timeout = t.C
 	}
@@ -180,7 +252,7 @@ func (g *Governor) AdmitBytes(ctx context.Context, bytes int64) (*Grant, error) 
 	take := func() *Grant {
 		wait := time.Since(enqueued)
 		g.mu.Lock()
-		gr := g.newGrantLocked(bytes, wait)
+		gr := g.newGrantLocked(p, bytes, wait, label)
 		g.mu.Unlock()
 		return gr
 	}
@@ -188,97 +260,167 @@ func (g *Governor) AdmitBytes(ctx context.Context, bytes int64) (*Grant, error) 
 	case <-w.ready:
 		return take(), nil
 	case <-ctx.Done():
-		if g.abandon(w, &g.canceled) {
+		if g.abandon(w, &p.canceled, &g.canceled) {
 			return nil, ctx.Err()
 		}
-		// Granted concurrently with cancellation: take it and release.
-		take().Release()
+		// Granted concurrently with cancellation: take it and release,
+		// marking the profile so it does not read as a successful query.
+		gr := take()
+		gr.SetError(ctx.Err())
+		gr.Release()
 		return nil, ctx.Err()
 	case <-timeout:
-		if g.abandon(w, &g.timedOut) {
+		if g.abandon(w, &p.timedOut, &g.timedOut) {
 			return nil, ErrQueueTimeout
 		}
 		return take(), nil // granted just as the timer fired: run it
 	}
 }
 
+// canAdmitLocked decides whether pool p can start a query of the given grant
+// right now: a free slot, under the pool's own ceiling, and — the
+// borrow-from-general rule — enough global memory left after honoring every
+// pool's outstanding reservation. Caller holds g.mu.
+func (g *Governor) canAdmitLocked(p *pool, bytes int64) bool {
+	if p.running >= p.maxConc(g) {
+		return false
+	}
+	if p.inUse+bytes > p.capBytes(g) {
+		return false
+	}
+	// Global fit: granted bytes plus every pool's unfilled reservation
+	// (computed as if this grant were placed) must fit the global pool, so
+	// one pool's borrowing can never consume another pool's guarantee.
+	need := g.inUse + bytes
+	for _, name := range g.order {
+		q := g.pools[name]
+		iu := q.inUse
+		if q == p {
+			iu += bytes
+		}
+		if q.cfg.MemBytes > iu {
+			need += q.cfg.MemBytes - iu
+		}
+	}
+	return need <= g.cfg.PoolBytes
+}
+
 // reserveLocked consumes a slot and bytes from the pool; caller holds g.mu.
-func (g *Governor) reserveLocked(bytes int64) {
+func (g *Governor) reserveLocked(p *pool, bytes int64) {
 	g.running++
 	g.inUse += bytes
 	if g.running > g.peakRunning {
 		g.peakRunning = g.running
 	}
+	p.running++
+	p.inUse += bytes
+	if p.running > p.peakRunning {
+		p.peakRunning = p.running
+	}
 }
 
 // newGrantLocked records an admission whose resources are already reserved;
 // caller holds g.mu.
-func (g *Governor) newGrantLocked(bytes int64, wait time.Duration) *Grant {
+func (g *Governor) newGrantLocked(p *pool, bytes int64, wait time.Duration, label string) *Grant {
 	g.admitted++
 	g.queueWait += wait
-	return &Grant{gov: g, bytes: bytes, queueWait: wait, started: time.Now()}
+	p.admitted++
+	p.queueWait += wait
+	return &Grant{gov: g, pool: p, bytes: bytes, label: label, queueWait: wait, started: time.Now()}
 }
 
-// abandon removes w from the queue if it has not been granted, bumping
-// *counter. Reports whether the waiter was still queued.
-func (g *Governor) abandon(w *waiter, counter *int64) bool {
+// abandon removes w from its pool's queue if it has not been granted,
+// bumping the pool and governor counters. Reports whether the waiter was
+// still queued.
+func (g *Governor) abandon(w *waiter, poolCounter, govCounter *int64) bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if w.granted {
 		return false
 	}
-	for i, q := range g.queue {
-		if q == w {
-			g.queue = append(g.queue[:i], g.queue[i+1:]...)
+	q := w.pool.queue
+	for i, x := range q {
+		if x == w {
+			w.pool.queue = append(q[:i], q[i+1:]...)
 			break
 		}
 	}
-	*counter++
+	*poolCounter++
+	*govCounter++
 	// The departed waiter may have been the head blocking smaller requests.
 	g.dispatchLocked()
 	return true
 }
 
-// dispatchLocked wakes queued waiters in FIFO order while resources last.
-// The head blocks the queue even if a smaller later request would fit — that
-// is what keeps admission fair (no starvation of large grants).
+// dispatchLocked wakes queued waiters while resources last: FIFO within each
+// pool, pools visited in creation order. A pool's queue head blocks only its
+// own pool — that keeps admission fair inside a workload class without
+// letting one saturated class stall the others.
 func (g *Governor) dispatchLocked() {
-	for len(g.queue) > 0 {
-		w := g.queue[0]
-		if g.running >= g.cfg.MaxConcurrency || g.inUse+w.bytes > g.cfg.PoolBytes {
-			return
+	for _, name := range g.order {
+		p := g.pools[name]
+		for len(p.queue) > 0 {
+			w := p.queue[0]
+			if !g.canAdmitLocked(p, w.bytes) {
+				break
+			}
+			// Reserve on the waiter's behalf so a burst of releases cannot
+			// overcommit the pool before the waiter reschedules.
+			g.reserveLocked(p, w.bytes)
+			w.granted = true
+			p.queue = p.queue[1:]
+			close(w.ready)
 		}
-		// Reserve on the waiter's behalf so a burst of releases cannot
-		// overcommit the pool before the waiter reschedules.
-		g.reserveLocked(w.bytes)
-		w.granted = true
-		g.queue = g.queue[1:]
-		close(w.ready)
 	}
 }
 
-// release returns a grant's resources and wakes the queue.
+// release returns a grant's resources, records its profile and wakes queues.
 func (g *Governor) release(gr *Grant) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	p := gr.pool
 	g.running--
 	g.inUse -= gr.bytes
-	g.rows += gr.rows.Load()
-	g.spilled += gr.spilledBytes.Load()
+	p.running--
+	p.inUse -= gr.bytes
+	rows, spilled := gr.rows.Load(), gr.spilledBytes.Load()
+	g.rows += rows
+	g.spilled += spilled
+	p.rows += rows
+	p.spilled += spilled
+	g.profileSeq++
+	g.addProfileLocked(QueryProfile{
+		ID:           g.profileSeq,
+		Pool:         p.cfg.Name,
+		Label:        gr.label,
+		GrantBytes:   gr.bytes,
+		Rows:         rows,
+		Spills:       gr.spills.Load(),
+		SpilledBytes: spilled,
+		AllocPeak:    gr.allocPeak.Load(),
+		QueueWait:    gr.queueWait,
+		Wall:         time.Since(gr.started),
+		Started:      gr.started,
+		Error:        gr.errMsg,
+	})
 	g.dispatchLocked()
 }
 
-// Stats snapshots the counters.
+// Stats snapshots the aggregate counters.
 func (g *Governor) Stats() Stats {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	waiting := 0
+	for _, p := range g.pools {
+		waiting += len(p.queue)
+	}
 	return Stats{
 		Admitted:       g.admitted,
 		Queued:         g.queuedTotal,
 		TimedOut:       g.timedOut,
 		Canceled:       g.canceled,
 		Running:        g.running,
-		Waiting:        len(g.queue),
+		Waiting:        waiting,
 		InUseBytes:     g.inUse,
 		PoolBytes:      g.cfg.PoolBytes,
 		PeakRunning:    g.peakRunning,
@@ -303,9 +445,12 @@ func (s Stats) String() string {
 // branching.
 type Grant struct {
 	gov       *Governor
+	pool      *pool
 	bytes     int64
+	label     string
 	queueWait time.Duration
 	started   time.Time
+	errMsg    string // set by SetError before Release
 
 	released     atomic.Bool
 	rows         atomic.Int64
@@ -322,6 +467,14 @@ func (gr *Grant) Bytes() int64 {
 	return gr.bytes
 }
 
+// Pool is the name of the pool the grant was admitted on.
+func (gr *Grant) Pool() string {
+	if gr == nil || gr.pool == nil {
+		return ""
+	}
+	return gr.pool.cfg.Name
+}
+
 // OperatorBudget divides the grant across n concurrent pipelines, matching
 // the paper's per-operator budget model. n < 1 is treated as 1.
 func (gr *Grant) OperatorBudget(n int) int64 {
@@ -332,8 +485,8 @@ func (gr *Grant) OperatorBudget(n int) int64 {
 		n = 1
 	}
 	b := gr.bytes / int64(n)
-	if b < 64<<10 {
-		b = 64 << 10 // floor: an operator can always buffer one batch
+	if b < minGrantBytes {
+		b = minGrantBytes // floor: an operator can always buffer one batch
 	}
 	return b
 }
@@ -374,6 +527,15 @@ func (gr *Grant) ReportAlloc(b int64) {
 			return
 		}
 	}
+}
+
+// SetError marks the grant's query as failed so its retained profile records
+// the failure. Must be called by the query's own goroutine before Release.
+func (gr *Grant) SetError(err error) {
+	if gr == nil || err == nil {
+		return
+	}
+	gr.errMsg = err.Error()
 }
 
 // QueryStats is the per-query counter snapshot.

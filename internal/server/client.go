@@ -109,7 +109,9 @@ func (c *Client) readReply() (*Result, error) {
 	case strings.HasPrefix(head, "ERR "):
 		return nil, fmt.Errorf("server: %s", head[4:])
 	case strings.HasPrefix(head, "OK"):
-		return &Result{Message: strings.TrimPrefix(strings.TrimPrefix(head, "OK"), " ")}, nil
+		res := &Result{Message: strings.TrimPrefix(strings.TrimPrefix(head, "OK"), " ")}
+		res.parseOKStats()
+		return res, nil
 	case strings.HasPrefix(head, "ROWS "):
 		parts := strings.Fields(head)
 		if len(parts) != 4 {
@@ -146,6 +148,23 @@ func (c *Client) readReply() (*Result, error) {
 	default:
 		return nil, fmt.Errorf("server: unexpected reply %q", head)
 	}
+}
+
+// parseOKStats extracts the DML stats suffix "[wait_us=N spilled=M]" from an
+// OK message into QueueWait/SpilledBytes, trimming it from Message.
+func (r *Result) parseOKStats() {
+	msg := r.Message
+	i := strings.LastIndex(msg, " [wait_us=")
+	if i < 0 || !strings.HasSuffix(msg, "]") {
+		return
+	}
+	var waitUS, spilled int64
+	if _, err := fmt.Sscanf(msg[i+1:], "[wait_us=%d spilled=%d]", &waitUS, &spilled); err != nil {
+		return
+	}
+	r.QueueWait = time.Duration(waitUS) * time.Microsecond
+	r.SpilledBytes = spilled
+	r.Message = msg[:i]
 }
 
 func splitFields(l string) []string {

@@ -20,6 +20,8 @@
 //
 //	ERR <message>                      statement failed
 //	OK <message>                       statement succeeded, no row set
+//	OK <message> [wait_us=N spilled=M] DML reply: admission queue wait and
+//	                                   spill bytes ride on the OK line
 //	ROWS <n> <queue-wait-us> <spilled-bytes>
 //	<tab-separated column names>
 //	<n tab-separated data lines>       values escape \t, \n, \r, \\
@@ -41,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/resmgr"
 	"repro/internal/types"
 )
 
@@ -310,7 +313,9 @@ func (st *session) runStatement(text string) {
 	var res *core.Result
 	var err error
 	if st.pinned && isSelect(text) {
-		res, err = srv.db.QueryAtContext(ctx, text, st.pinnedEpoch)
+		// The pinned path bypasses the session executor: carry the session's
+		// resource pool on the context so admission still honors it.
+		res, err = srv.db.QueryAtContext(resmgr.WithPool(ctx, st.sess.Pool()), text, st.pinnedEpoch)
 	} else {
 		res, err = st.sess.ExecuteContext(ctx, text)
 	}
@@ -339,6 +344,12 @@ func (st *session) writeResult(res *core.Result) {
 		msg := res.Message
 		if res.Explain != "" {
 			msg = strings.ReplaceAll(res.Explain, "\n", " | ")
+		}
+		// Row-less statements that ran under the governor (DML) surface
+		// their resource stats on the OK line, as SELECTs do on ROWS.
+		if res.Stats.WallTime > 0 {
+			msg += fmt.Sprintf(" [wait_us=%d spilled=%d]",
+				res.Stats.QueueWait.Microseconds(), res.Stats.SpilledBytes)
 		}
 		st.line("OK " + strings.ReplaceAll(msg, "\n", " "))
 		return

@@ -380,3 +380,161 @@ func TestManySequentialStatements(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDMLStatsOnWire is the regression test for the SELECT-only stats gap:
+// INSERT/DELETE replies must carry queue-wait stats on the OK line exactly
+// like SELECT replies carry them on the ROWS header.
+func TestDMLStatsOnWire(t *testing.T) {
+	srv, db := startServer(t, 100, 32<<20, 2)
+	c := dial(t, srv)
+
+	res, err := c.Exec(`INSERT INTO sales VALUES (100000, 1, 9.5)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Message != "1 rows" {
+		t.Fatalf("message = %q", res.Message)
+	}
+	// The DML admitted through the governor: its profile must be retained
+	// and the reply must have parsed a stats suffix (wait may be zero on an
+	// idle pool, but the suffix itself is mandatory — probe via a queued
+	// statement below).
+	st := db.Governor().Stats()
+	if st.Admitted == 0 {
+		t.Fatalf("governor saw no DML admission: %+v", st)
+	}
+
+	// Saturate both slots so the next DML observably queues.
+	g1, err := db.Governor().Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := db.Governor().Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan *Result, 1)
+	errc := make(chan error, 1)
+	go func() {
+		res, err := c.Exec(`DELETE FROM sales WHERE sale_id = 100000`)
+		if err != nil {
+			errc <- err
+			return
+		}
+		done <- res
+	}()
+	for db.Governor().Stats().Waiting != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	g1.Release()
+	g2.Release()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	case res = <-done:
+	}
+	if res.QueueWait <= 0 {
+		t.Fatalf("queued DELETE reported no queue wait: %+v", res)
+	}
+	if res.Message != "1 rows" {
+		t.Fatalf("message with stats stripped = %q", res.Message)
+	}
+}
+
+// TestResourcePoolsOverTCP is the acceptance scenario: pools are created,
+// selected and observed entirely over the wire — SET RESOURCE POOL
+// constrains admission per session, and v_monitor.query_profiles returns
+// profiles of previously executed statements with pool and queue-wait
+// populated even while the pool is saturated.
+func TestResourcePoolsOverTCP(t *testing.T) {
+	srv, db := startServer(t, 1_000, 32<<20, 4)
+	admin := dial(t, srv)
+
+	mustWire := func(c *Client, stmt string) *Result {
+		t.Helper()
+		res, err := c.Exec(stmt)
+		if err != nil {
+			t.Fatalf("%s: %v", stmt, err)
+		}
+		return res
+	}
+
+	mustWire(admin, `CREATE RESOURCE POOL reporting MEMORYSIZE '4M' MAXMEMORYSIZE '8M' MAXCONCURRENCY 1 QUEUETIMEOUT 100`)
+
+	// Session A runs in the reporting pool.
+	a := dial(t, srv)
+	mustWire(a, `SET RESOURCE POOL reporting`)
+	mustWire(a, `SELECT COUNT(*) FROM sales`)
+
+	// Saturate the reporting pool out-of-band; session A now times out...
+	hold, err := db.Governor().AdmitPoolBytes(context.Background(), "reporting", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Exec(`SELECT COUNT(*) FROM sales`); err == nil ||
+		!strings.Contains(err.Error(), "queue timeout") {
+		t.Fatalf("saturated pool should time out, got %v", err)
+	}
+	// ...while the admin session (general pool) is unaffected, and the
+	// system tables remain queryable.
+	mustWire(admin, `SELECT COUNT(*) FROM sales`)
+	res := mustWire(admin, `SELECT name, running, waiting, timed_out FROM v_monitor.resource_pools WHERE name = 'reporting'`)
+	if len(res.Rows) != 1 || res.Rows[0][1] != "1" || res.Rows[0][3] != "1" {
+		t.Fatalf("reporting pool row = %v", res.Rows)
+	}
+	hold.Release()
+
+	// Profiles of the earlier statements are queryable with pool names.
+	res = mustWire(admin, `SELECT profile_id, statement, rows_produced, status
+		FROM v_monitor.query_profiles WHERE pool = 'reporting' ORDER BY profile_id`)
+	if len(res.Rows) < 1 {
+		t.Fatalf("no reporting profiles: %v", res.Rows)
+	}
+	if res.Rows[0][1] != `SELECT COUNT(*) FROM sales;` || res.Rows[0][3] != "ok" {
+		t.Fatalf("profile row = %v", res.Rows[0])
+	}
+	// The timed-out admission left an error profile? No grant existed, so
+	// no profile: verify only successful profiles are present and every one
+	// carries the pool name.
+	for _, r := range res.Rows {
+		if r[3] != "ok" {
+			t.Fatalf("unexpected non-ok profile: %v", r)
+		}
+	}
+
+	// Sessions table shows the pool assignment of the live sessions.
+	res = mustWire(admin, `SELECT pool, COUNT(*) FROM v_monitor.sessions GROUP BY pool ORDER BY pool`)
+	got := map[string]string{}
+	for _, r := range res.Rows {
+		got[r[0]] = r[1]
+	}
+	if got["reporting"] != "1" || got["general"] == "" {
+		t.Fatalf("session pools = %v", got)
+	}
+
+	// Queue-wait lands in profiles when a statement actually queues.
+	hold2, err := db.Governor().AdmitPoolBytes(context.Background(), "reporting", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Exec(`SELECT MAX(price) FROM sales`)
+		done <- err
+	}()
+	for db.Governor().Stats().Waiting != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	hold2.Release()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	res = mustWire(admin, `SELECT queue_wait_us FROM v_monitor.query_profiles
+		WHERE pool = 'reporting' AND statement = 'SELECT MAX(price) FROM sales;'`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("queued profile missing: %v", res.Rows)
+	}
+	if w, err := strconv.ParseInt(res.Rows[0][0], 10, 64); err != nil || w <= 0 {
+		t.Fatalf("queue_wait_us = %v (%v)", res.Rows[0][0], err)
+	}
+}

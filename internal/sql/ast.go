@@ -163,15 +163,44 @@ type UpdateStmt struct {
 	Where AstExpr
 }
 
-// DropStmt is DROP TABLE/PROJECTION name, or DROP PARTITION t 'key'.
+// DropStmt is DROP TABLE/PROJECTION/RESOURCE POOL name, or
+// DROP PARTITION t 'key'.
 type DropStmt struct {
-	Kind string // "TABLE", "PROJECTION", "PARTITION"
+	Kind string // "TABLE", "PROJECTION", "PARTITION", "RESOURCE POOL"
 	Name string
 	Key  string // partition key for DROP PARTITION
 }
 
 // TxnStmt is BEGIN/COMMIT/ROLLBACK.
 type TxnStmt struct{ Kind string }
+
+// PoolOpts carries CREATE/ALTER RESOURCE POOL options; nil fields were not
+// specified (ALTER keeps the current value, CREATE takes defaults).
+type PoolOpts struct {
+	MemBytes           *int64 // MEMORYSIZE
+	MaxMemBytes        *int64 // MAXMEMORYSIZE
+	PlannedConcurrency *int64 // PLANNEDCONCURRENCY
+	MaxConcurrency     *int64 // MAXCONCURRENCY
+	QueueTimeoutMS     *int64 // QUEUETIMEOUT in ms; -1 = NONE (disabled)
+}
+
+// CreatePoolStmt is CREATE RESOURCE POOL name [options].
+type CreatePoolStmt struct {
+	Name string
+	Opts PoolOpts
+}
+
+// AlterPoolStmt is ALTER RESOURCE POOL name options.
+type AlterPoolStmt struct {
+	Name string
+	Opts PoolOpts
+}
+
+// SetStmt is SET RESOURCE POOL name: it switches the session's admission
+// pool.
+type SetStmt struct {
+	Pool string
+}
 
 func (*SelectStmt) stmt()           {}
 func (*CreateTableStmt) stmt()      {}
@@ -181,3 +210,6 @@ func (*DeleteStmt) stmt()           {}
 func (*UpdateStmt) stmt()           {}
 func (*DropStmt) stmt()             {}
 func (*TxnStmt) stmt()              {}
+func (*CreatePoolStmt) stmt()       {}
+func (*AlterPoolStmt) stmt()        {}
+func (*SetStmt) stmt()              {}

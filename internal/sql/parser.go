@@ -109,6 +109,10 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseUpdate()
 	case p.at(tokKeyword, "DROP"):
 		return p.parseDrop()
+	case p.at(tokIdent, "alter"):
+		return p.parseAlter()
+	case p.at(tokKeyword, "SET"):
+		return p.parseSet()
 	case p.at(tokKeyword, "BEGIN"), p.at(tokKeyword, "COMMIT"), p.at(tokKeyword, "ROLLBACK"):
 		return &TxnStmt{Kind: p.next().text}, nil
 	default:
@@ -297,6 +301,17 @@ func (p *parser) parseTableRef() (TableExpr, error) {
 		return TableExpr{}, err
 	}
 	te := TableExpr{Table: t.text, Alias: t.text}
+	// Schema-qualified name (system tables: v_monitor.query_profiles). The
+	// qualified name is the table's catalog name; the bare table name is the
+	// default alias so columns resolve unqualified.
+	if p.accept(tokSymbol, ".") {
+		t2, err := p.expectIdent()
+		if err != nil {
+			return TableExpr{}, err
+		}
+		te.Table = te.Table + "." + t2.text
+		te.Alias = t2.text
+	}
 	if p.accept(tokKeyword, "AS") {
 		a, err := p.expectIdent()
 		if err != nil {
@@ -706,9 +721,172 @@ func (p *parser) parseCreate() (Statement, error) {
 		return p.parseCreateTable()
 	case p.accept(tokKeyword, "PROJECTION"):
 		return p.parseCreateProjection()
+	case p.at(tokIdent, "resource"):
+		if err := p.expectResourcePool(); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		opts, err := p.parsePoolOpts()
+		if err != nil {
+			return nil, err
+		}
+		return &CreatePoolStmt{Name: name.text, Opts: opts}, nil
 	default:
-		return nil, p.errHere("expected TABLE or PROJECTION after CREATE")
+		return nil, p.errHere("expected TABLE, PROJECTION or RESOURCE POOL after CREATE")
 	}
+}
+
+// expectResourcePool consumes the two-word RESOURCE POOL introducer.
+func (p *parser) expectResourcePool() error {
+	if !p.accept(tokIdent, "resource") {
+		return p.errHere("expected RESOURCE, found %q", p.cur().text)
+	}
+	if !p.accept(tokIdent, "pool") {
+		return p.errHere("expected POOL after RESOURCE, found %q", p.cur().text)
+	}
+	return nil
+}
+
+// parseAlter parses ALTER RESOURCE POOL name options.
+func (p *parser) parseAlter() (Statement, error) {
+	p.next() // ALTER
+	if err := p.expectResourcePool(); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	opts, err := p.parsePoolOpts()
+	if err != nil {
+		return nil, err
+	}
+	return &AlterPoolStmt{Name: name.text, Opts: opts}, nil
+}
+
+// parseSet parses SET RESOURCE POOL name.
+func (p *parser) parseSet() (Statement, error) {
+	p.next() // SET
+	if err := p.expectResourcePool(); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &SetStmt{Pool: name.text}, nil
+}
+
+// parsePoolOpts parses the CREATE/ALTER RESOURCE POOL option list:
+// MEMORYSIZE/MAXMEMORYSIZE take bytes (integer or a '64K'/'10M'/'1G'
+// string), PLANNEDCONCURRENCY/MAXCONCURRENCY an integer, QUEUETIMEOUT
+// milliseconds (integer) or NONE to disable.
+func (p *parser) parsePoolOpts() (PoolOpts, error) {
+	var o PoolOpts
+	for p.at(tokIdent, "") {
+		opt := p.next().text
+		switch opt {
+		case "memorysize":
+			v, err := p.parseSizeValue()
+			if err != nil {
+				return o, err
+			}
+			o.MemBytes = &v
+		case "maxmemorysize":
+			v, err := p.parseSizeValue()
+			if err != nil {
+				return o, err
+			}
+			o.MaxMemBytes = &v
+		case "plannedconcurrency":
+			v, err := p.parseIntLiteral()
+			if err != nil {
+				return o, err
+			}
+			if v <= 0 {
+				return o, p.errHere("PLANNEDCONCURRENCY must be positive")
+			}
+			o.PlannedConcurrency = &v
+		case "maxconcurrency":
+			v, err := p.parseIntLiteral()
+			if err != nil {
+				return o, err
+			}
+			if v <= 0 {
+				return o, p.errHere("MAXCONCURRENCY must be positive")
+			}
+			o.MaxConcurrency = &v
+		case "queuetimeout":
+			if p.accept(tokIdent, "none") {
+				v := int64(-1)
+				o.QueueTimeoutMS = &v
+				continue
+			}
+			v, err := p.parseIntLiteral()
+			if err != nil {
+				return o, err
+			}
+			if v <= 0 {
+				return o, p.errHere("QUEUETIMEOUT must be positive milliseconds (or NONE to disable)")
+			}
+			o.QueueTimeoutMS = &v
+		default:
+			return o, p.errHere("unknown resource pool option %q", opt)
+		}
+	}
+	return o, nil
+}
+
+// parseSizeValue accepts a byte count as an integer literal or a string
+// literal with an optional K/M/G suffix.
+func (p *parser) parseSizeValue() (int64, error) {
+	if p.at(tokInt, "") {
+		return p.parseIntLiteral()
+	}
+	t, err := p.expect(tokString, "")
+	if err != nil {
+		return 0, err
+	}
+	v, err := ParseByteSize(t.text)
+	if err != nil {
+		return 0, p.errHere("%v", err)
+	}
+	return v, nil
+}
+
+// ParseByteSize parses a byte count with an optional binary suffix —
+// "123", "64K"/"64KB", "10M"/"10MB", "1G"/"1GB", "512B" — case-insensitive.
+// It is the one size grammar shared by SQL (MEMORYSIZE literals) and the
+// CLI's -mem-pool flag.
+func ParseByteSize(s string) (int64, error) {
+	orig := s
+	s = strings.TrimSpace(strings.ToUpper(s))
+	if s == "" {
+		return 0, fmt.Errorf("sql: empty size")
+	}
+	s = strings.TrimSuffix(s, "B")
+	mult := int64(1)
+	if len(s) > 0 {
+		switch s[len(s)-1] {
+		case 'K':
+			mult = 1 << 10
+			s = s[:len(s)-1]
+		case 'M':
+			mult = 1 << 20
+			s = s[:len(s)-1]
+		case 'G':
+			mult = 1 << 30
+			s = s[:len(s)-1]
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sql: bad size %q", orig)
+	}
+	return n * mult, nil
 }
 
 func (p *parser) parseCreateTable() (Statement, error) {
@@ -1017,7 +1195,16 @@ func (p *parser) parseDrop() (Statement, error) {
 			return nil, err
 		}
 		return &DropStmt{Kind: "PARTITION", Name: n.text, Key: k.text}, nil
+	case p.at(tokIdent, "resource"):
+		if err := p.expectResourcePool(); err != nil {
+			return nil, err
+		}
+		n, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &DropStmt{Kind: "RESOURCE POOL", Name: n.text}, nil
 	default:
-		return nil, p.errHere("expected TABLE, PROJECTION or PARTITION after DROP")
+		return nil, p.errHere("expected TABLE, PROJECTION, PARTITION or RESOURCE POOL after DROP")
 	}
 }

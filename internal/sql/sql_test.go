@@ -405,3 +405,99 @@ func TestOrderByPosition(t *testing.T) {
 		t.Error("out-of-range position should fail")
 	}
 }
+
+func TestParseResourcePoolDDL(t *testing.T) {
+	stmt, err := Parse(`CREATE RESOURCE POOL etl MEMORYSIZE '64M' MAXMEMORYSIZE 134217728
+		PLANNEDCONCURRENCY 4 MAXCONCURRENCY 2 QUEUETIMEOUT 250`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, ok := stmt.(*CreatePoolStmt)
+	if !ok || cp.Name != "etl" {
+		t.Fatalf("parsed %T %+v", stmt, stmt)
+	}
+	if *cp.Opts.MemBytes != 64<<20 || *cp.Opts.MaxMemBytes != 128<<20 ||
+		*cp.Opts.PlannedConcurrency != 4 || *cp.Opts.MaxConcurrency != 2 ||
+		*cp.Opts.QueueTimeoutMS != 250 {
+		t.Fatalf("opts = %+v", cp.Opts)
+	}
+
+	stmt, err = Parse(`ALTER RESOURCE POOL etl QUEUETIMEOUT NONE`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := stmt.(*AlterPoolStmt)
+	if ap.Name != "etl" || *ap.Opts.QueueTimeoutMS != -1 || ap.Opts.MemBytes != nil {
+		t.Fatalf("alter opts = %+v", ap.Opts)
+	}
+
+	stmt, err = Parse(`SET RESOURCE POOL interactive`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := stmt.(*SetStmt); st.Pool != "interactive" {
+		t.Fatalf("set = %+v", st)
+	}
+
+	stmt, err = Parse(`DROP RESOURCE POOL etl`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds := stmt.(*DropStmt); ds.Kind != "RESOURCE POOL" || ds.Name != "etl" {
+		t.Fatalf("drop = %+v", ds)
+	}
+
+	for _, bad := range []string{
+		`CREATE RESOURCE etl`,
+		`CREATE RESOURCE POOL`,
+		`CREATE RESOURCE POOL p NOSUCHOPT 1`,
+		`CREATE RESOURCE POOL p MEMORYSIZE 'abcM'`,
+		`CREATE RESOURCE POOL p MAXCONCURRENCY 0`,
+		`CREATE RESOURCE POOL p PLANNEDCONCURRENCY 0`,
+		`ALTER RESOURCE POOL p QUEUETIMEOUT 0`,
+		`ALTER RESOURCE POOL`,
+		`SET RESOURCE GROUP x`,
+		`SET POOL x`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("expected parse error for %q", bad)
+		}
+	}
+}
+
+func TestParseQualifiedTableRef(t *testing.T) {
+	stmt, err := Parse(`SELECT name FROM v_monitor.resource_pools rp WHERE rp.name = 'general'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stmt.(*SelectStmt)
+	if s.From[0].Table != "v_monitor.resource_pools" || s.From[0].Alias != "rp" {
+		t.Fatalf("from = %+v", s.From[0])
+	}
+	stmt, err = Parse(`SELECT pool FROM v_monitor.query_profiles`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = stmt.(*SelectStmt)
+	if s.From[0].Table != "v_monitor.query_profiles" || s.From[0].Alias != "query_profiles" {
+		t.Fatalf("from = %+v", s.From[0])
+	}
+}
+
+func TestParseByteSize(t *testing.T) {
+	cases := map[string]int64{
+		"123": 123, "64K": 64 << 10, "10m": 10 << 20, "1G": 1 << 30, " 2 K ": 2 << 10,
+		"256MB": 256 << 20, "1gb": 1 << 30, "512B": 512, "64kb": 64 << 10,
+	}
+	for in, want := range cases {
+		got, err := ParseByteSize(in)
+		if err != nil || got != want {
+			t.Errorf("ParseByteSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "K", "x12", "12X3"} {
+		if _, err := ParseByteSize(bad); err == nil {
+			t.Errorf("ParseByteSize(%q) should fail", bad)
+		}
+	}
+}

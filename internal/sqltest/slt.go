@@ -1,0 +1,247 @@
+// Package sqltest is a table-driven SQL logic-test harness in the spirit of
+// sqllogictest, applied to this engine as the VDBMS testing roadmap
+// (Wang et al., arXiv:2502.20812) prescribes for young engines: golden
+// `.slt` files of statement/query/expected-rows triples run against a fresh
+// in-memory database, with `-update` regeneration of expectations.
+//
+// File format (testdata/*.slt), records separated by blank lines:
+//
+//	# comment                     anywhere; kept verbatim on -update
+//
+//	statement ok                  the SQL (following lines) must succeed
+//	CREATE TABLE t (a INT)
+//
+//	statement error <substring>   the SQL must fail; the error must contain
+//	SELECT * FROM nope            the (case-insensitive) substring
+//
+//	query                         run the SELECT; compare rendered rows
+//	SELECT a FROM t ORDER BY a
+//	----
+//	1|x                           one line per row, columns joined by '|'
+//	2|y
+//
+//	session <name>                switch the current session (created on
+//	                              first use; "main" is the default)
+//
+// Rows render NULL as "NULL", timestamps as "2006-01-02 15:04:05". Use
+// ORDER BY (or single-row aggregates) to keep expectations deterministic.
+package sqltest
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+var update = flag.Bool("update", false, "rewrite .slt query expectations from actual engine output")
+
+// record is one parsed directive.
+type record struct {
+	kind     string // "statement" | "query" | "session"
+	arg      string // "ok" / error substring / session name
+	sql      string
+	expected []string
+	line     int // 1-based line of the directive
+	expStart int // line index (0-based) where the expected block starts
+	expEnd   int // one past the last expected line
+}
+
+// parseFile splits an .slt file into records, retaining line spans so
+// -update can splice regenerated expectations back in.
+func parseFile(path string) ([]string, []*record, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	lines := strings.Split(strings.ReplaceAll(string(raw), "\r\n", "\n"), "\n")
+	var recs []*record
+	i := 0
+	for i < len(lines) {
+		line := strings.TrimSpace(lines[i])
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+			i++
+		case line == "statement ok" || strings.HasPrefix(line, "statement error"):
+			r := &record{kind: "statement", arg: "ok", line: i + 1}
+			if strings.HasPrefix(line, "statement error") {
+				r.arg = strings.TrimSpace(strings.TrimPrefix(line, "statement error"))
+				if r.arg == "" {
+					return nil, nil, fmt.Errorf("%s:%d: statement error needs a substring", path, i+1)
+				}
+			}
+			i++
+			var sqlLines []string
+			for i < len(lines) && strings.TrimSpace(lines[i]) != "" {
+				sqlLines = append(sqlLines, lines[i])
+				i++
+			}
+			if len(sqlLines) == 0 {
+				return nil, nil, fmt.Errorf("%s:%d: statement without SQL", path, r.line)
+			}
+			r.sql = strings.Join(sqlLines, "\n")
+			recs = append(recs, r)
+		case line == "query":
+			r := &record{kind: "query", line: i + 1}
+			i++
+			var sqlLines []string
+			for i < len(lines) && strings.TrimSpace(lines[i]) != "----" {
+				if strings.TrimSpace(lines[i]) == "" {
+					return nil, nil, fmt.Errorf("%s:%d: query needs a ---- separator", path, r.line)
+				}
+				sqlLines = append(sqlLines, lines[i])
+				i++
+			}
+			if i >= len(lines) {
+				return nil, nil, fmt.Errorf("%s:%d: query needs a ---- separator", path, r.line)
+			}
+			r.sql = strings.Join(sqlLines, "\n")
+			i++ // skip ----
+			r.expStart = i
+			for i < len(lines) && strings.TrimSpace(lines[i]) != "" {
+				r.expected = append(r.expected, lines[i])
+				i++
+			}
+			r.expEnd = i
+			recs = append(recs, r)
+		case strings.HasPrefix(line, "session"):
+			name := strings.TrimSpace(strings.TrimPrefix(line, "session"))
+			if name == "" {
+				return nil, nil, fmt.Errorf("%s:%d: session needs a name", path, i+1)
+			}
+			recs = append(recs, &record{kind: "session", arg: name, line: i + 1})
+			i++
+		default:
+			return nil, nil, fmt.Errorf("%s:%d: unknown directive %q", path, i+1, line)
+		}
+	}
+	return lines, recs, nil
+}
+
+// renderRows renders a result set one line per row, columns joined by '|'.
+func renderRows(res *core.Result) []string {
+	out := make([]string, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		out = append(out, strings.Join(cells, "|"))
+	}
+	return out
+}
+
+// DefaultOptions is the engine configuration .slt files run under: small
+// in-memory-style database, governed, single node.
+func DefaultOptions(t *testing.T) core.Options {
+	return core.Options{
+		Dir:          t.TempDir(),
+		TempDir:      t.TempDir(),
+		MemPoolBytes: 64 << 20,
+	}
+}
+
+// RunFile executes one .slt file against a fresh database. With -update,
+// query expectations are regenerated from the engine's actual output and the
+// file is rewritten.
+func RunFile(t *testing.T, path string, opts core.Options) {
+	t.Helper()
+	lines, recs, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := core.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := map[string]*core.Session{}
+	t.Cleanup(func() {
+		for _, s := range sessions {
+			s.Close()
+		}
+	})
+	sess := func(name string) *core.Session {
+		if s, ok := sessions[name]; ok {
+			return s
+		}
+		s := db.NewSession()
+		sessions[name] = s
+		return s
+	}
+	cur := "main"
+
+	type patch struct {
+		start, end int
+		repl       []string
+	}
+	var patches []patch
+	failed := false
+	for _, r := range recs {
+		switch r.kind {
+		case "session":
+			cur = r.arg
+			sess(cur)
+		case "statement":
+			res, err := sess(cur).Execute(r.sql)
+			_ = res
+			if r.arg == "ok" {
+				if err != nil {
+					t.Errorf("%s:%d: statement failed: %v\n  %s", path, r.line, err, r.sql)
+					failed = true
+				}
+				continue
+			}
+			if err == nil {
+				t.Errorf("%s:%d: statement succeeded, want error containing %q\n  %s", path, r.line, r.arg, r.sql)
+				failed = true
+			} else if !strings.Contains(strings.ToLower(err.Error()), strings.ToLower(r.arg)) {
+				t.Errorf("%s:%d: error %q does not contain %q", path, r.line, err, r.arg)
+				failed = true
+			}
+		case "query":
+			res, err := sess(cur).Execute(r.sql)
+			if err != nil {
+				t.Errorf("%s:%d: query failed: %v\n  %s", path, r.line, err, r.sql)
+				failed = true
+				continue
+			}
+			got := renderRows(res)
+			if *update {
+				patches = append(patches, patch{r.expStart, r.expEnd, got})
+				continue
+			}
+			if strings.Join(got, "\n") != strings.Join(r.expected, "\n") {
+				t.Errorf("%s:%d: query mismatch\n  %s\ngot:\n  %s\nwant:\n  %s",
+					path, r.line, r.sql,
+					strings.Join(got, "\n  "), strings.Join(r.expected, "\n  "))
+				failed = true
+			}
+		}
+	}
+	if *update && !failed {
+		// Apply patches back-to-front so earlier spans stay valid.
+		out := append([]string{}, lines...)
+		for i := len(patches) - 1; i >= 0; i-- {
+			p := patches[i]
+			out = append(out[:p.start], append(append([]string{}, p.repl...), out[p.end:]...)...)
+		}
+		if err := os.WriteFile(path, []byte(strings.Join(out, "\n")), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+	}
+}
+
+// Rows builds test rows (helper for seeding programmatically in harness
+// tests).
+func Rows(vals ...[]types.Value) []types.Row {
+	out := make([]types.Row, len(vals))
+	for i, v := range vals {
+		out[i] = types.Row(v)
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package sqltest
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSLTFiles runs every golden file under testdata against a fresh
+// engine. Regenerate expectations with:
+//
+//	go test ./internal/sqltest -run TestSLTFiles -update
+func TestSLTFiles(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.slt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no .slt files found")
+	}
+	for _, f := range files {
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			RunFile(t, f, DefaultOptions(t))
+		})
+	}
+}
+
+// TestHarnessRejectsMalformed covers the harness's own parser errors.
+func TestHarnessRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"statement ok\n",
+		"statement error\nSELECT 1 FROM t\n",
+		"query\nSELECT 1 FROM t\n",
+		"bogus directive\n",
+		"session\n",
+	} {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "bad.slt")
+		if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := parseFile(path); err == nil {
+			t.Errorf("expected parse error for %q", bad)
+		}
+	}
+}
