@@ -32,6 +32,7 @@ bench:
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$'  -fuzztime 10s ./internal/sql
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/encoding
+	$(GO) test -run '^$$' -fuzz '^FuzzHistogramEstimate$$' -fuzztime 10s ./internal/stats
 
 # Per-package coverage report.
 cover:

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/encoding"
 	"repro/internal/expr"
+	"repro/internal/stats"
 	"repro/internal/types"
 )
 
@@ -108,6 +109,23 @@ type VirtualTable struct {
 	Rows  func() ([]types.Row, error)
 }
 
+// PoolDef is a persisted resource-pool definition (paper §8: workload
+// management survives restarts). The catalog stores pool *definitions* only;
+// runtime state (queues, grants, counters) lives in the governor, which
+// core.Open re-registers these definitions with.
+type PoolDef struct {
+	Name               string `json:"name"`
+	MemBytes           int64  `json:"memorysize,omitempty"`
+	MaxMemBytes        int64  `json:"maxmemorysize,omitempty"`
+	PlannedConcurrency int    `json:"planned_concurrency,omitempty"`
+	MaxConcurrency     int    `json:"max_concurrency,omitempty"`
+	// QueueTimeoutMS: 0 inherits the governor default, negative disables.
+	QueueTimeoutMS int64 `json:"queue_timeout_ms,omitempty"`
+	Priority       int   `json:"priority,omitempty"`
+	// RuntimeCapMS bounds statement execution time (0 = uncapped).
+	RuntimeCapMS int64 `json:"runtime_cap_ms,omitempty"`
+}
+
 // Catalog is the cluster-wide metadata store.
 type Catalog struct {
 	mu          sync.RWMutex
@@ -115,6 +133,11 @@ type Catalog struct {
 	tables      map[string]*Table
 	projections map[string]*Projection
 	virtual     map[string]*VirtualTable
+	// colStats holds per-table, per-column optimizer statistics written by
+	// ANALYZE_STATISTICS. Kept beside (not inside) Table so planner reads
+	// and ANALYZE writes synchronize on the catalog lock.
+	colStats map[string]map[string]*stats.ColumnStats
+	pools    map[string]*PoolDef
 }
 
 // New creates an empty catalog persisted under dir ("" keeps it in memory).
@@ -124,6 +147,8 @@ func New(dir string) *Catalog {
 		tables:      map[string]*Table{},
 		projections: map[string]*Projection{},
 		virtual:     map[string]*VirtualTable{},
+		colStats:    map[string]map[string]*stats.ColumnStats{},
+		pools:       map[string]*PoolDef{},
 	}
 }
 
@@ -182,6 +207,7 @@ func (c *Catalog) DropTable(name string) error {
 		return fmt.Errorf("catalog: table %q does not exist", name)
 	}
 	delete(c.tables, name)
+	delete(c.colStats, name)
 	for pn, p := range c.projections {
 		if p.Anchor == name {
 			delete(c.projections, pn)
@@ -376,10 +402,109 @@ func (c *Catalog) SuperProjection(table string) (*Projection, error) {
 	return nil, fmt.Errorf("catalog: table %q has no super projection", table)
 }
 
+// --- column statistics -------------------------------------------------------
+
+// SetTableStats merges per-column statistics for a table (ANALYZE of a
+// single column replaces only that column's record) and persists the
+// catalog, so statistics survive restart next to their table.
+func (c *Catalog) SetTableStats(table string, cols []*stats.ColumnStats) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[table]; !ok {
+		return fmt.Errorf("catalog: table %q does not exist", table)
+	}
+	m := c.colStats[table]
+	if m == nil {
+		m = map[string]*stats.ColumnStats{}
+		c.colStats[table] = m
+	}
+	for _, cs := range cols {
+		m[cs.Column] = cs
+	}
+	return c.persistLocked()
+}
+
+// TableStats snapshots a table's column statistics (nil when unanalyzed).
+// ColumnStats records are immutable once stored; the returned map is a
+// private copy the caller may hold without locking.
+func (c *Catalog) TableStats(table string) map[string]*stats.ColumnStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m := c.colStats[table]
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]*stats.ColumnStats, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// ColumnStats returns one column's statistics (nil when unanalyzed).
+func (c *Catalog) ColumnStats(table, column string) *stats.ColumnStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.colStats[table][column]
+}
+
+// --- resource pool definitions ----------------------------------------------
+
+// SavePool upserts a persisted resource-pool definition.
+func (c *Catalog) SavePool(def PoolDef) error {
+	if def.Name == "" {
+		return fmt.Errorf("catalog: pool definition needs a name")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := def
+	c.pools[def.Name] = &d
+	return c.persistLocked()
+}
+
+// DropPool removes a persisted pool definition (no error when absent: the
+// built-in general pool and pre-persistence pools have no definition).
+func (c *Catalog) DropPool(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.pools[name]; !ok {
+		return nil
+	}
+	delete(c.pools, name)
+	return c.persistLocked()
+}
+
+// PoolDef returns one persisted pool definition.
+func (c *Catalog) PoolDef(name string) (PoolDef, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.pools[name]
+	if !ok {
+		return PoolDef{}, false
+	}
+	return *d, true
+}
+
+// PoolDefs lists persisted pool definitions sorted by name.
+func (c *Catalog) PoolDefs() []PoolDef {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]PoolDef, 0, len(c.pools))
+	for _, d := range c.pools {
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // persisted is the JSON snapshot layout.
 type persisted struct {
 	Tables      []*Table      `json:"tables"`
 	Projections []*Projection `json:"projections"`
+	// Stats maps table -> column -> statistics, "next to tables" as the
+	// paper keeps optimizer statistics in the catalog.
+	Stats map[string]map[string]*stats.ColumnStats `json:"column_statistics,omitempty"`
+	Pools []PoolDef                                `json:"resource_pools,omitempty"`
 }
 
 func (c *Catalog) persistLocked() error {
@@ -395,6 +520,13 @@ func (c *Catalog) persistLocked() error {
 	}
 	sort.Slice(p.Tables, func(i, j int) bool { return p.Tables[i].Name < p.Tables[j].Name })
 	sort.Slice(p.Projections, func(i, j int) bool { return p.Projections[i].Name < p.Projections[j].Name })
+	if len(c.colStats) > 0 {
+		p.Stats = c.colStats
+	}
+	for _, d := range c.pools {
+		p.Pools = append(p.Pools, *d)
+	}
+	sort.Slice(p.Pools, func(i, j int) bool { return p.Pools[i].Name < p.Pools[j].Name })
 	b, err := json.MarshalIndent(&p, "", " ")
 	if err != nil {
 		return err
@@ -434,6 +566,15 @@ func Load(dir string) (*Catalog, error) {
 			return nil, err
 		}
 		c.projections[pr.Name] = pr
+	}
+	for table, m := range p.Stats {
+		if _, ok := c.tables[table]; ok {
+			c.colStats[table] = m
+		}
+	}
+	for i := range p.Pools {
+		d := p.Pools[i]
+		c.pools[d.Name] = &d
 	}
 	return c, nil
 }

@@ -2,9 +2,11 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/exec"
@@ -87,20 +89,6 @@ func (c *Cluster) RunAtCtx(ctx context.Context, q *optimizer.LogicalQuery, opts 
 	if anyVirtual && !allVirtual && c.N() > 1 {
 		return nil, fmt.Errorf("cluster: system tables cannot join user tables on a multi-node cluster")
 	}
-	var grant *resmgr.Grant
-	if gov := c.cfg.Governor; gov != nil && !allVirtual {
-		grant, err = gov.Admit(ctx)
-		if err != nil {
-			return nil, err
-		}
-		// Record failures in the retained query profile before releasing.
-		defer func() {
-			if err != nil {
-				grant.SetError(err)
-			}
-			grant.Release()
-		}()
-	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -111,13 +99,60 @@ func (c *Cluster) RunAtCtx(ctx context.Context, q *optimizer.LogicalQuery, opts 
 	if len(up) == 0 {
 		return nil, fmt.Errorf("cluster: no nodes available")
 	}
-	// Probe plan on the first up node determines projection choices.
+	// Probe plan on the first up node, BEFORE admission: it determines
+	// projection choices, placement validity, and — when every base table
+	// has statistics — the memory estimate the admission request is sized
+	// from (dynamic grant sizing; planning itself consumes no governed
+	// memory). Per-node plans are rebuilt after admission, so a long queue
+	// wait cannot execute a stale probe.
 	probe, err := optimizer.Plan(&nodeProvider{c, up[0]}, q, opts)
+	if err == nil {
+		err = c.checkPlacement(q, probe)
+	}
 	if err != nil {
+		// Pre-admission failures still leave a query profile, so operators
+		// watching v_monitor.query_profiles see this failure class.
+		if gov := c.cfg.Governor; gov != nil && !allVirtual {
+			gov.RecordFailure(resmgr.PoolFromContext(ctx), resmgr.LabelFromContext(ctx), err)
+		}
 		return nil, err
 	}
-	if err := c.checkPlacement(q, probe); err != nil {
-		return nil, err
+	var grant *resmgr.Grant
+	if gov := c.cfg.Governor; gov != nil && !allVirtual {
+		poolName := resmgr.PoolFromContext(ctx)
+		grant, err = gov.AdmitPoolBytes(ctx, poolName, c.grantRequest(poolName, probe))
+		if err != nil {
+			return nil, err
+		}
+		// Record failures in the retained query profile before releasing.
+		defer func() {
+			if err != nil {
+				grant.SetError(err)
+			}
+			grant.Release()
+		}()
+		// RUNTIMECAP: a capped pool's statements run under a deadline, so a
+		// runaway statement cancels at the next batch boundary and releases
+		// its slot and memory instead of holding them forever. The error is
+		// attributed to the cap only when the cap is the binding deadline —
+		// a tighter caller-supplied deadline keeps its own error.
+		if d := grant.RuntimeCap(); d > 0 {
+			outerDeadline, hasOuter := ctx.Deadline()
+			capBinds := !hasOuter || time.Now().Add(d).Before(outerDeadline)
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+			if capBinds {
+				defer func() {
+					if err != nil && errors.Is(err, context.DeadlineExceeded) {
+						err = fmt.Errorf("resmgr: statement exceeded the pool runtime cap of %s: %w", d, err)
+					}
+				}()
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	allReplicated := c.allReplicated(probe)
 	localFinal := allReplicated || allVirtual || c.N() == 1 || c.groupsColocated(q, probe)
@@ -202,6 +237,36 @@ func (c *Cluster) RunAtCtx(ctx context.Context, q *optimizer.LogicalQuery, opts 
 	fmt.Fprintf(&explain, "-- distributed over %d node plan(s); local-final=%v\n", len(runs), localFinal)
 	explain.WriteString(runs[0].plan.Explain())
 	return &QueryResult{Schema: schema, Rows: final, Explain: explain.String(), Stats: grant.Stats()}, nil
+}
+
+// grantRequest sizes the admission request from the probe plan (the
+// roadmap's "dynamic grant sizing"): a statistics-backed plan requests its
+// estimated working memory instead of the static pool/concurrency split, so
+// well-estimated small queries stop reserving the full slice and more of
+// them run concurrently under memory pressure. The request is clamped to
+// [MinGrantBytes, the pool's default grant]: growing beyond the static
+// slice would need mid-flight renegotiation, which stays an open item.
+// Returning 0 keeps the pool's default (heuristic-only plans, unknown
+// pools).
+func (c *Cluster) grantRequest(poolName string, probe *optimizer.PhysicalPlan) int64 {
+	if probe == nil || !probe.StatsBacked {
+		return 0
+	}
+	if poolName == "" {
+		poolName = resmgr.GeneralPool
+	}
+	st, ok := c.cfg.Governor.PoolStatus(poolName)
+	if !ok {
+		return 0
+	}
+	req := probe.EstMemBytes
+	if req < resmgr.MinGrantBytes {
+		req = resmgr.MinGrantBytes
+	}
+	if st.EffGrantBytes > 0 && req > st.EffGrantBytes {
+		req = st.EffGrantBytes
+	}
+	return req
 }
 
 // execCtx builds one pipeline's execution context: snapshot epoch, the

@@ -71,6 +71,9 @@ type Options struct {
 	// ProfileCapacity bounds the retained query-profile ring backing
 	// v_monitor.query_profiles (0 = resmgr default, negative disables).
 	ProfileCapacity int
+	// StatsBuckets is the histogram bucket count ANALYZE_STATISTICS builds
+	// when the statement does not name one (0 = stats.DefaultBuckets).
+	StatsBuckets int
 }
 
 // Database is one engine instance.
@@ -146,6 +149,21 @@ func Open(opts Options) (*Database, error) {
 		sessions: map[int64]*Session{},
 	}
 	db.registerMonitorTables()
+	// Re-register persisted resource pools with the fresh governor: CREATE
+	// RESOURCE POOL definitions live in the catalog and survive restart;
+	// runtime state (queues, counters) starts clean. A persisted definition
+	// of the built-in general pool records ALTERs to it. Restore is
+	// best-effort: a definition that no longer validates (the global pool
+	// shrank below a reservation, say) is skipped — not restoring one pool
+	// must never brick Open, and the definition stays in the catalog so a
+	// compatible configuration restores it on a later start.
+	for _, d := range cat.PoolDefs() {
+		if d.Name == resmgr.GeneralPool {
+			_ = gov.AlterPool(resmgr.GeneralPool, poolAlterFromDef(d))
+			continue
+		}
+		_ = gov.CreatePool(poolConfigFromDef(d))
+	}
 	// Bootstrap the configured default pool so `vsql -pool x` works before
 	// any CREATE RESOURCE POOL has run (defaults apply; ALTER tunes it).
 	if opts.DefaultPool != "" && opts.DefaultPool != resmgr.GeneralPool && !gov.HasPool(opts.DefaultPool) {
@@ -318,6 +336,8 @@ func (s *Session) ExecuteContext(ctx context.Context, sqlText string) (*Result, 
 		return s.db.execAlterPool(st)
 	case *sql.SetStmt:
 		return s.execSetPool(st)
+	case *sql.AnalyzeStmt:
+		return s.db.execAnalyze(ctx, st)
 	case *sql.DropStmt:
 		return s.db.execDrop(st)
 	case *sql.InsertStmt:
@@ -437,7 +457,134 @@ func poolConfigOf(name string, o sql.PoolOpts) resmgr.PoolConfig {
 	if o.QueueTimeoutMS != nil {
 		cfg.QueueTimeout = queueTimeoutOf(*o.QueueTimeoutMS)
 	}
+	if o.Priority != nil {
+		cfg.Priority = int(*o.Priority)
+	}
+	if o.RuntimeCapMS != nil {
+		cfg.RuntimeCap = time.Duration(*o.RuntimeCapMS) * time.Millisecond
+	}
 	return cfg
+}
+
+// poolDefOf snapshots a pool's configured (not effective) knobs into the
+// catalog's persisted form.
+func poolDefOf(cfg resmgr.PoolConfig) catalog.PoolDef {
+	d := catalog.PoolDef{
+		Name:               cfg.Name,
+		MemBytes:           cfg.MemBytes,
+		MaxMemBytes:        cfg.MaxMemBytes,
+		PlannedConcurrency: cfg.PlannedConcurrency,
+		MaxConcurrency:     cfg.MaxConcurrency,
+		Priority:           cfg.Priority,
+	}
+	switch {
+	case cfg.QueueTimeout < 0:
+		d.QueueTimeoutMS = -1
+	case cfg.QueueTimeout > 0:
+		d.QueueTimeoutMS = cfg.QueueTimeout.Milliseconds()
+	}
+	if cfg.RuntimeCap > 0 {
+		d.RuntimeCapMS = cfg.RuntimeCap.Milliseconds()
+	}
+	return d
+}
+
+// poolConfigFromDef rebuilds a governor pool configuration from its
+// persisted definition.
+func poolConfigFromDef(d catalog.PoolDef) resmgr.PoolConfig {
+	cfg := resmgr.PoolConfig{
+		Name:               d.Name,
+		MemBytes:           d.MemBytes,
+		MaxMemBytes:        d.MaxMemBytes,
+		PlannedConcurrency: d.PlannedConcurrency,
+		MaxConcurrency:     d.MaxConcurrency,
+		Priority:           d.Priority,
+	}
+	if d.QueueTimeoutMS != 0 {
+		cfg.QueueTimeout = queueTimeoutOf(d.QueueTimeoutMS)
+	}
+	if d.RuntimeCapMS > 0 {
+		cfg.RuntimeCap = time.Duration(d.RuntimeCapMS) * time.Millisecond
+	}
+	return cfg
+}
+
+// poolAlterFromDef expresses a persisted general-pool definition as an
+// ALTER of only the knobs the definition records (non-zero fields): the
+// general pool's other settings come from CLI flags / Options on every
+// start, and restoring an ALTER must not freeze those.
+func poolAlterFromDef(d catalog.PoolDef) resmgr.PoolAlter {
+	cfg := poolConfigFromDef(d)
+	var a resmgr.PoolAlter
+	if cfg.MemBytes != 0 {
+		a.MemBytes = &cfg.MemBytes
+	}
+	if cfg.MaxMemBytes != 0 {
+		a.MaxMemBytes = &cfg.MaxMemBytes
+	}
+	if cfg.PlannedConcurrency != 0 {
+		a.PlannedConcurrency = &cfg.PlannedConcurrency
+	}
+	if cfg.MaxConcurrency != 0 {
+		a.MaxConcurrency = &cfg.MaxConcurrency
+	}
+	if cfg.QueueTimeout != 0 {
+		a.QueueTimeout = &cfg.QueueTimeout
+	}
+	if cfg.Priority != 0 {
+		a.Priority = &cfg.Priority
+	}
+	if cfg.RuntimeCap != 0 {
+		a.RuntimeCap = &cfg.RuntimeCap
+	}
+	return a
+}
+
+// persistPool snapshots the named pool's current configuration into the
+// catalog so CREATE/ALTER RESOURCE POOL survive restart. The built-in
+// general pool is special: its baseline comes from CLI flags / Options, so
+// only the knobs actually ALTERed (accumulated across statements) persist —
+// never the flag-derived snapshot.
+func (db *Database) persistPool(name string, opts *sql.PoolOpts) error {
+	if name == resmgr.GeneralPool {
+		d, _ := db.cat.PoolDef(name)
+		d.Name = name
+		if opts != nil {
+			mergePoolOpts(&d, *opts)
+		}
+		return db.cat.SavePool(d)
+	}
+	st, ok := db.Governor().PoolStatus(name)
+	if !ok {
+		return fmt.Errorf("core: pool %q vanished before persisting", name)
+	}
+	return db.cat.SavePool(poolDefOf(st.PoolConfig))
+}
+
+// mergePoolOpts applies the fields one ALTER statement specified onto a
+// persisted definition.
+func mergePoolOpts(d *catalog.PoolDef, o sql.PoolOpts) {
+	if o.MemBytes != nil {
+		d.MemBytes = *o.MemBytes
+	}
+	if o.MaxMemBytes != nil {
+		d.MaxMemBytes = *o.MaxMemBytes
+	}
+	if o.PlannedConcurrency != nil {
+		d.PlannedConcurrency = int(*o.PlannedConcurrency)
+	}
+	if o.MaxConcurrency != nil {
+		d.MaxConcurrency = int(*o.MaxConcurrency)
+	}
+	if o.QueueTimeoutMS != nil {
+		d.QueueTimeoutMS = *o.QueueTimeoutMS
+	}
+	if o.Priority != nil {
+		d.Priority = int(*o.Priority)
+	}
+	if o.RuntimeCapMS != nil {
+		d.RuntimeCapMS = *o.RuntimeCapMS
+	}
 }
 
 // queueTimeoutOf maps the parsed QUEUETIMEOUT milliseconds (-1 = NONE) onto
@@ -451,6 +598,9 @@ func queueTimeoutOf(ms int64) time.Duration {
 
 func (db *Database) execCreatePool(st *sql.CreatePoolStmt) (*Result, error) {
 	if err := db.Governor().CreatePool(poolConfigOf(st.Name, st.Opts)); err != nil {
+		return nil, err
+	}
+	if err := db.persistPool(st.Name, &st.Opts); err != nil {
 		return nil, err
 	}
 	return &Result{Message: "CREATE RESOURCE POOL"}, nil
@@ -472,7 +622,18 @@ func (db *Database) execAlterPool(st *sql.AlterPoolStmt) (*Result, error) {
 		d := queueTimeoutOf(*st.Opts.QueueTimeoutMS)
 		a.QueueTimeout = &d
 	}
+	if st.Opts.Priority != nil {
+		v := int(*st.Opts.Priority)
+		a.Priority = &v
+	}
+	if st.Opts.RuntimeCapMS != nil {
+		d := time.Duration(*st.Opts.RuntimeCapMS) * time.Millisecond
+		a.RuntimeCap = &d
+	}
 	if err := db.Governor().AlterPool(st.Name, a); err != nil {
+		return nil, err
+	}
+	if err := db.persistPool(st.Name, &st.Opts); err != nil {
 		return nil, err
 	}
 	return &Result{Message: "ALTER RESOURCE POOL"}, nil
@@ -651,6 +812,9 @@ func (db *Database) execDrop(st *sql.DropStmt) (*Result, error) {
 		return &Result{Message: "DROP PROJECTION"}, nil
 	case "RESOURCE POOL":
 		if err := db.Governor().DropPool(st.Name); err != nil {
+			return nil, err
+		}
+		if err := db.cat.DropPool(st.Name); err != nil {
 			return nil, err
 		}
 		// Sessions still SET to the dropped pool — and the default for

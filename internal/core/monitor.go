@@ -7,8 +7,10 @@ package core
 
 import (
 	"sort"
+	"strings"
 
 	"repro/internal/catalog"
+	"repro/internal/storage"
 	"repro/internal/types"
 )
 
@@ -37,6 +39,8 @@ func (db *Database) registerMonitorTables() {
 		col("canceled", types.Int64),
 		col("peak_running", types.Int64),
 		col("queue_wait_us", types.Int64),
+		col("priority", types.Int64),
+		col("runtimecap_ms", types.Int64),
 	)
 	db.cat.RegisterVirtual(&catalog.Table{Name: "v_monitor.resource_pools", Schema: poolSchema},
 		func() ([]types.Row, error) {
@@ -65,6 +69,8 @@ func (db *Database) registerMonitorTables() {
 					types.NewInt(p.Canceled),
 					types.NewInt(int64(p.PeakRunning)),
 					types.NewInt(p.TotalQueueWait.Microseconds()),
+					types.NewInt(int64(p.Priority)),
+					types.NewInt(p.RuntimeCap.Milliseconds()),
 				})
 			}
 			return rows, nil
@@ -109,6 +115,131 @@ func (db *Database) registerMonitorTables() {
 					types.NewString(status),
 					types.NewString(p.Error),
 				})
+			}
+			return rows, nil
+		})
+
+	// v_catalog.column_statistics: the optimizer statistics written by
+	// ANALYZE_STATISTICS, one row per analyzed column.
+	statsSchema := types.NewSchema(
+		col("table_name", types.Varchar),
+		col("column_name", types.Varchar),
+		col("row_count", types.Int64),
+		col("null_count", types.Int64),
+		col("ndv", types.Int64),
+		col("min_value", types.Varchar),
+		col("max_value", types.Varchar),
+		col("histogram_buckets", types.Int64),
+	)
+	db.cat.RegisterVirtual(&catalog.Table{Name: "v_catalog.column_statistics", Schema: statsSchema},
+		func() ([]types.Row, error) {
+			var rows []types.Row
+			for _, t := range db.cat.Tables() {
+				m := db.cat.TableStats(t.Name)
+				if m == nil {
+					continue
+				}
+				names := make([]string, 0, len(m))
+				for n := range m {
+					names = append(names, n)
+				}
+				sort.Strings(names)
+				for _, n := range names {
+					cs := m[n]
+					buckets := int64(0)
+					if cs.Hist != nil {
+						buckets = int64(len(cs.Hist.Buckets))
+					}
+					rows = append(rows, types.Row{
+						types.NewString(t.Name),
+						types.NewString(cs.Column),
+						types.NewInt(cs.RowCount),
+						types.NewInt(cs.NullCount),
+						types.NewInt(cs.NDV),
+						types.NewString(cs.Min.String()),
+						types.NewString(cs.Max.String()),
+						types.NewInt(buckets),
+					})
+				}
+			}
+			return rows, nil
+		})
+
+	// v_catalog.projections: the physical design, one row per projection.
+	projSchema := types.NewSchema(
+		col("projection_name", types.Varchar),
+		col("anchor_table", types.Varchar),
+		col("columns", types.Varchar),
+		col("sort_order", types.Varchar),
+		col("segmentation", types.Varchar),
+		col("is_super", types.Bool),
+		col("is_buddy", types.Bool),
+		col("buddy", types.Varchar),
+		col("is_prejoin", types.Bool),
+	)
+	db.cat.RegisterVirtual(&catalog.Table{Name: "v_catalog.projections", Schema: projSchema},
+		func() ([]types.Row, error) {
+			projs := db.cat.Projections()
+			rows := make([]types.Row, 0, len(projs))
+			for _, p := range projs {
+				seg := "unsegmented"
+				switch {
+				case p.Seg.Replicated:
+					seg = "replicated"
+				case p.Seg.ExprText != "":
+					seg = p.Seg.ExprText
+				}
+				rows = append(rows, types.Row{
+					types.NewString(p.Name),
+					types.NewString(p.Anchor),
+					types.NewString(strings.Join(p.Columns, ",")),
+					types.NewString(strings.Join(p.SortOrder, ",")),
+					types.NewString(seg),
+					types.NewBool(p.IsSuper),
+					types.NewBool(p.IsBuddy),
+					types.NewString(p.Buddy),
+					types.NewBool(len(p.Prejoin) > 0),
+				})
+			}
+			return rows, nil
+		})
+
+	// v_monitor.projection_storage: per-projection, per-node physical
+	// storage — ROS/WOS bytes and rows, container and delete-vector counts.
+	storSchema := types.NewSchema(
+		col("projection_name", types.Varchar),
+		col("node_name", types.Varchar),
+		col("ros_bytes", types.Int64),
+		col("ros_containers", types.Int64),
+		col("ros_rows", types.Int64),
+		col("wos_bytes", types.Int64),
+		col("wos_rows", types.Int64),
+		col("dv_count", types.Int64),
+	)
+	db.cat.RegisterVirtual(&catalog.Table{Name: "v_monitor.projection_storage", Schema: storSchema},
+		func() ([]types.Row, error) {
+			var rows []types.Row
+			for _, p := range db.cat.Projections() {
+				for _, n := range db.cluster.UpNodes() {
+					mgr, err := n.Mgr(p, db.cluster.ManagerOpts())
+					if err != nil {
+						return nil, err
+					}
+					dvCount := int64(len(mgr.DVs().Get(storage.WOSTarget)))
+					for _, r := range mgr.Containers() {
+						dvCount += int64(len(mgr.DVs().Get(r.Meta.ID)))
+					}
+					rows = append(rows, types.Row{
+						types.NewString(p.Name),
+						types.NewString(n.Name),
+						types.NewInt(mgr.TotalBytes()),
+						types.NewInt(int64(len(mgr.Containers()))),
+						types.NewInt(mgr.RowCount()),
+						types.NewInt(mgr.WOS().Bytes()),
+						types.NewInt(int64(mgr.WOS().Len())),
+						types.NewInt(dvCount),
+					})
+				}
 			}
 			return rows, nil
 		})

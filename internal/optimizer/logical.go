@@ -127,6 +127,19 @@ type PhysicalPlan struct {
 	EstCost float64
 	// Notes explains planning decisions for EXPLAIN output.
 	Notes []string
+
+	// EstRows and EstBytes are the estimated output cardinality and size;
+	// EstMemBytes is the estimated working memory of the whole plan, the
+	// basis for plan-derived admission grants. StatsBacked reports whether
+	// every base table had ANALYZE_STATISTICS records (estimates from shape
+	// heuristics alone are too crude to size memory grants with).
+	EstRows     int64
+	EstBytes    int64
+	EstMemBytes int64
+	StatsBacked bool
+
+	estInput float64 // running row estimate through the join tree
+	memAcc   float64 // accumulated operator working-set bytes
 }
 
 // Explain renders the plan tree plus planner notes.
@@ -224,23 +237,13 @@ func (q *LogicalQuery) splitConjuncts() (perTable map[int][]expr.Expr, residual 
 }
 
 // selectivityScore estimates the fraction of rows surviving a table's local
-// predicates (the crude classifier used for star join ordering; paper §6.2
-// uses equi-height histograms — we use conjunct shapes).
+// predicates from conjunct shapes alone — the fallback classifier for
+// unanalyzed tables (paper §6.2 uses equi-height histograms; see
+// estimate.go for the histogram-backed path).
 func selectivityScore(conjuncts []expr.Expr) float64 {
 	s := 1.0
 	for _, c := range conjuncts {
-		switch e := c.(type) {
-		case *expr.Cmp:
-			if e.Op == expr.Eq {
-				s *= 0.05
-			} else {
-				s *= 0.4
-			}
-		case *expr.InList:
-			s *= 0.1
-		default:
-			s *= 0.5
-		}
+		s *= shapeSelectivity(c)
 	}
 	return s
 }
@@ -249,8 +252,11 @@ var errNoProjection = fmt.Errorf("optimizer: no projection covers the required c
 
 // chooseProjection picks the best projection of a table for the needed
 // columns and local predicates: it must cover the columns; ties break by
-// (1) sort-order match with predicate/grouping columns, then (2) narrowness.
-func chooseProjection(p Provider, t *catalog.Table, needed []int, predCols map[int]bool, preferSortCols []int, opts PlanOpts) (*catalog.Projection, *storage.Manager, error) {
+// (1) sort-order match with predicate/grouping columns — weighted, when the
+// table is analyzed, by how selective the leading column's predicates are
+// (histogram-backed block pruning pays off most on selective leads) —
+// then (2) narrowness.
+func chooseProjection(p Provider, t *catalog.Table, needed []int, predCols map[int]bool, preferSortCols []int, est tableEstimate, opts PlanOpts) (*catalog.Projection, *storage.Manager, error) {
 	var best *catalog.Projection
 	var bestMgr *storage.Manager
 	bestScore := -1.0
@@ -280,6 +286,14 @@ func chooseProjection(p Provider, t *catalog.Table, needed []int, predCols map[i
 			leadIdx := t.Schema.ColIndex(lead)
 			if predCols[leadIdx] {
 				score += 10
+				if est.analyzed {
+					if sel, ok := est.colSel[leadIdx]; ok {
+						// Statistics break the tie between projections that
+						// each lead with some predicate column: the more
+						// selective lead prunes more blocks.
+						score += 8 * (1 - sel)
+					}
+				}
 			}
 			for i, pc := range preferSortCols {
 				if i < len(proj.SortOrder) && t.Schema.ColIndex(proj.SortOrder[i]) == pc {

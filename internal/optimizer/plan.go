@@ -21,6 +21,8 @@ type tableScan struct {
 	conjuncts   []expr.Expr         // flat-schema local predicates
 	selectivity float64
 	rows        int64
+	est         tableEstimate // statistics-backed estimation state
+	estRows     float64       // rows surviving local predicates
 	scan        *exec.Scan    // nil for virtual tables
 	op          exec.Operator // the table's access path (scan, or virtual pipeline)
 }
@@ -36,14 +38,26 @@ func Plan(p Provider, q *LogicalQuery, opts PlanOpts) (*PhysicalPlan, error) {
 	offs := q.flatOffsets()
 
 	// Prejoin projection shortcut (paper §3.3): a denormalized projection
-	// can answer a fact-dimension join with a single scan.
+	// can answer a fact-dimension join with a single scan. Prejoin scans
+	// keep the heuristic estimator: their storage mixes two tables' columns,
+	// so per-table statistics do not apply directly.
 	if op, colMap, note, ok := tryPrejoin(p, q, needed, perTable, opts); ok {
 		plan.Notes = append(plan.Notes, note)
+		if scan, isScan := op.(*exec.Scan); isScan {
+			rows := scan.Mgr.RowCount() + int64(scan.Mgr.WOS().Len())
+			sel := 1.0
+			for _, conjs := range perTable {
+				sel *= selectivityScore(conjs)
+			}
+			plan.estInput = float64(rows) * sel
+			plan.memAcc = plan.estInput * float64(rowWidthOf(op.Schema()))
+		}
 		return finishPlan(p, q, plan, op, colMap, residual, opts)
 	}
 
 	// Build per-table scans.
 	scans := make([]*tableScan, len(q.From))
+	plan.StatsBacked = true
 	for i := range q.From {
 		ts, err := buildTableScan(p, q, i, needed, perTable[i], opts)
 		if err != nil {
@@ -53,7 +67,14 @@ func Plan(p Provider, q *LogicalQuery, opts PlanOpts) (*PhysicalPlan, error) {
 		if ts.proj != nil {
 			plan.ProjectionsUsed = append(plan.ProjectionsUsed, ts.proj.Name)
 			plan.EstCost += estimateScanCost(ts.mgr, ts.proj, len(ts.cols), ts.selectivity)
+			plan.Notes = append(plan.Notes, fmt.Sprintf("est: scan %s ~%s of %d rows (%s)",
+				ts.proj.Name, fmtEst(ts.estRows), ts.rows, estSource(ts.est.analyzed)))
 		}
+		if !ts.est.analyzed {
+			plan.StatsBacked = false
+		}
+		// Every scanned stream occupies operator memory downstream.
+		plan.memAcc += ts.estRows * float64(rowWidthOf(ts.op.Schema()))
 	}
 
 	if len(scans) == 1 {
@@ -62,6 +83,7 @@ func Plan(p Provider, q *LogicalQuery, opts PlanOpts) (*PhysicalPlan, error) {
 		for c, out := range ts.colToOut {
 			colMap[offs[0]+c] = out
 		}
+		plan.estInput = ts.estRows
 		return finishPlan(p, q, plan, ts.op, colMap, residual, opts)
 	}
 
@@ -95,6 +117,7 @@ func Plan(p Provider, q *LogicalQuery, opts PlanOpts) (*PhysicalPlan, error) {
 	joined := map[int]bool{factIdx: true}
 	cur := fact.op
 	curWidth := len(fact.cols)
+	runningEst := fact.estRows
 
 	for _, dim := range dims {
 		conds := condsConnecting(q, joined, dim.tblIdx)
@@ -155,7 +178,21 @@ func Plan(p Provider, q *LogicalQuery, opts PlanOpts) (*PhysicalPlan, error) {
 			curWidth += len(dim.cols)
 		}
 		joined[dim.tblIdx] = true
+
+		// Join output cardinality from the key columns' distinct counts
+		// (paper §6.2); unknown NDVs assume the star-schema N:1 shape.
+		jc := conds[0]
+		ot, oc, dc := jc.LeftTbl, jc.LeftCol, jc.RightCol
+		if jc.RightTbl != dim.tblIdx {
+			ot, oc, dc = jc.RightTbl, jc.RightCol, jc.LeftCol
+		}
+		ndvOuter := ndvOf(p.Catalog(), q.From[ot].Table, oc)
+		ndvDim := ndvOf(p.Catalog(), q.From[dim.tblIdx].Table, dc)
+		runningEst = estimateJoinRows(runningEst, dim.estRows, ndvOuter, ndvDim)
+		plan.Notes = append(plan.Notes, fmt.Sprintf("est: join %s ~%s rows (%s)",
+			dimDesc, fmtEst(runningEst), estSource(ndvOuter > 0 || ndvDim > 0)))
 	}
+	plan.estInput = runningEst
 	return finishPlan(p, q, plan, cur, colMap, residual, opts)
 }
 
@@ -210,7 +247,8 @@ func buildTableScan(p Provider, q *LogicalQuery, tblIdx int, needed columnSet, c
 			preferSort = append(preferSort, cc)
 		}
 	}
-	proj, mgr, err := chooseProjection(p, t, cols, predCols, preferSort, opts)
+	est := estimateTable(p.Catalog(), t, conjuncts, offs[tblIdx])
+	proj, mgr, err := chooseProjection(p, t, cols, predCols, preferSort, est, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -227,10 +265,12 @@ func buildTableScan(p Provider, q *LogicalQuery, tblIdx int, needed columnSet, c
 	ts := &tableScan{
 		tblIdx: tblIdx, proj: proj, mgr: mgr, cols: cols,
 		colToOut: map[int]int{}, conjuncts: conjuncts,
-		selectivity: selectivityScore(conjuncts),
+		selectivity: est.sel,
 		rows:        mgr.RowCount() + int64(mgr.WOS().Len()),
+		est:         est,
 		scan:        scan,
 	}
+	ts.estRows = float64(ts.rows) * est.sel
 	for i, c := range cols {
 		ts.colToOut[c] = i
 	}
@@ -278,6 +318,7 @@ func buildVirtualScan(q *LogicalQuery, tblIdx int, t *catalog.Table, vt *catalog
 	return &tableScan{
 		tblIdx: tblIdx, cols: cols, colToOut: colToOut, conjuncts: conjuncts,
 		selectivity: selectivityScore(conjuncts),
+		est:         tableEstimate{sel: selectivityScore(conjuncts)},
 		op:          op,
 	}, nil
 }
@@ -349,7 +390,8 @@ func scanSortedByKeys(q *LogicalQuery, ts *tableScan, keys []int) bool {
 }
 
 // finishPlan adds residual filters, aggregation, post-projection, ordering
-// and limits on top of the joined input.
+// and limits on top of the joined input, then finalizes the plan's output
+// and memory estimates.
 func finishPlan(p Provider, q *LogicalQuery, plan *PhysicalPlan, cur exec.Operator, colMap map[int]int, residual []expr.Expr, opts PlanOpts) (*PhysicalPlan, error) {
 	if len(residual) > 0 {
 		pred, err := expr.Remap(expr.MustAnd(residual...), colMap)
@@ -401,6 +443,25 @@ func finishPlan(p Provider, q *LogicalQuery, plan *PhysicalPlan, cur exec.Operat
 		cur = exec.NewLimit(cur, q.Offset, limit)
 	}
 	plan.Root = cur
+
+	// Output estimate: residual filters shrink the joined stream, grouping
+	// collapses it to (at most) the product of the key NDVs, LIMIT caps it.
+	outEst := plan.estInput
+	for _, c := range residual {
+		outEst *= shapeSelectivity(c)
+	}
+	if q.IsAggregate() || q.Distinct {
+		outEst = groupCountEstimate(p.Catalog(), q, outEst)
+	}
+	if q.Limit >= 0 && float64(q.Limit) < outEst {
+		outEst = float64(q.Limit)
+	}
+	outBytes := outEst * float64(rowWidthOf(cur.Schema()))
+	plan.EstRows = int64(outEst + 0.5)
+	plan.EstBytes = int64(outBytes + 0.5)
+	plan.EstMemBytes = int64(plan.memAcc + outBytes + 0.5)
+	plan.Notes = append(plan.Notes, fmt.Sprintf("est: output ~%s rows, ~%d bytes (plan memory ~%d bytes, %s)",
+		fmtEst(outEst), plan.EstBytes, plan.EstMemBytes, estSource(plan.StatsBacked)))
 	return plan, nil
 }
 

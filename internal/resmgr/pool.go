@@ -18,9 +18,9 @@ import (
 // run in it unless their session selects another pool.
 const GeneralPool = "general"
 
-// minGrantBytes floors per-query grants so an operator can always buffer at
+// MinGrantBytes floors per-query grants so an operator can always buffer at
 // least one batch.
-const minGrantBytes = 64 << 10
+const MinGrantBytes = 64 << 10
 
 // PoolConfig describes one named pool. Zero fields inherit governor
 // defaults; see each field.
@@ -46,6 +46,15 @@ type PoolConfig struct {
 	// QueueTimeout bounds queue wait for this pool; zero inherits the
 	// governor's, negative disables.
 	QueueTimeout time.Duration
+	// Priority orders admission dispatch across pools: when a release frees
+	// resources, higher-priority pools' queues are served first (FIFO within
+	// a pool). Equal priorities keep creation order; general defaults to 0.
+	Priority int
+	// RuntimeCap bounds a statement's execution wall time: admitted
+	// statements run under a context deadline and a runaway statement is
+	// cancelled at the next batch boundary, releasing its slot and memory.
+	// Zero means uncapped.
+	RuntimeCap time.Duration
 }
 
 // PoolAlter carries ALTER RESOURCE POOL changes; nil fields keep the current
@@ -57,6 +66,8 @@ type PoolAlter struct {
 	PlannedConcurrency *int
 	MaxConcurrency     *int
 	QueueTimeout       *time.Duration
+	Priority           *int
+	RuntimeCap         *time.Duration
 }
 
 // PoolStatus is a snapshot of one pool's configuration and counters, the row
@@ -139,8 +150,8 @@ func (p *pool) grantSize(g *Governor) int64 {
 		}
 		b = base / int64(planned)
 	}
-	if b < minGrantBytes {
-		b = minGrantBytes
+	if b < MinGrantBytes {
+		b = MinGrantBytes
 	}
 	if c := p.capBytes(g); b > c {
 		b = c
@@ -156,7 +167,7 @@ func (p *pool) grantSize(g *Governor) int64 {
 			avail -= q.cfg.MemBytes
 		}
 	}
-	if b > avail && avail >= minGrantBytes {
+	if b > avail && avail >= MinGrantBytes {
 		b = avail
 	}
 	return b
@@ -245,6 +256,12 @@ func (g *Governor) AlterPool(name string, a PoolAlter) error {
 	if a.QueueTimeout != nil {
 		cfg.QueueTimeout = *a.QueueTimeout
 	}
+	if a.Priority != nil {
+		cfg.Priority = *a.Priority
+	}
+	if a.RuntimeCap != nil {
+		cfg.RuntimeCap = *a.RuntimeCap
+	}
 	if err := g.validatePoolLocked(cfg, name); err != nil {
 		return err
 	}
@@ -261,6 +278,9 @@ func (g *Governor) validatePoolLocked(cfg PoolConfig, self string) error {
 	}
 	if cfg.MaxConcurrency < 0 || cfg.PlannedConcurrency < 0 {
 		return fmt.Errorf("resmgr: pool %q: negative concurrency", cfg.Name)
+	}
+	if cfg.RuntimeCap < 0 {
+		return fmt.Errorf("resmgr: pool %q: negative runtime cap", cfg.Name)
 	}
 	if cfg.MemBytes > g.cfg.PoolBytes {
 		return fmt.Errorf("resmgr: pool %q reserves %d bytes, global pool is %d",

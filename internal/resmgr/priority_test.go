@@ -1,0 +1,118 @@
+package resmgr
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestPriorityOrdersAdmissionQueue: when a release frees the pool, the
+// higher-priority pool's waiter is served before an earlier-enqueued waiter
+// of a lower-priority pool.
+func TestPriorityOrdersAdmissionQueue(t *testing.T) {
+	g := NewGovernor(Config{PoolBytes: 64 << 10, MaxConcurrency: 4, QueueTimeout: -1})
+	if err := g.CreatePool(PoolConfig{Name: "batch", Priority: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CreatePool(PoolConfig{Name: "realtime", Priority: 5}); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the whole global pool so both waiters must queue.
+	hold, err := g.AdmitPoolBytes(context.Background(), GeneralPool, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type admitted struct {
+		gr  *Grant
+		err error
+	}
+	batchCh := make(chan admitted, 1)
+	go func() {
+		gr, err := g.AdmitPoolBytes(context.Background(), "batch", 64<<10)
+		batchCh <- admitted{gr, err}
+	}()
+	waitFor(t, "batch waiter to queue", func() bool {
+		st, _ := g.PoolStatus("batch")
+		return st.Waiting == 1
+	})
+	rtCh := make(chan admitted, 1)
+	go func() {
+		gr, err := g.AdmitPoolBytes(context.Background(), "realtime", 64<<10)
+		rtCh <- admitted{gr, err}
+	}()
+	waitFor(t, "realtime waiter to queue", func() bool {
+		st, _ := g.PoolStatus("realtime")
+		return st.Waiting == 1
+	})
+
+	// Release: realtime (priority 5) must win the freed memory even though
+	// batch queued first.
+	hold.Release()
+	rt := <-rtCh
+	if rt.err != nil {
+		t.Fatalf("realtime admission failed: %v", rt.err)
+	}
+	if st, _ := g.PoolStatus("batch"); st.Waiting != 1 {
+		t.Fatalf("batch waiter should still be queued, status %+v", st)
+	}
+	select {
+	case b := <-batchCh:
+		t.Fatalf("batch admitted before realtime released: %+v", b)
+	default:
+	}
+	rt.gr.Release()
+	b := <-batchCh
+	if b.err != nil {
+		t.Fatalf("batch admission failed after realtime released: %v", b.err)
+	}
+	b.gr.Release()
+}
+
+// TestGrantCarriesRuntimeCap: grants snapshot their pool's RUNTIMECAP at
+// admission; ALTER applies to subsequent admissions.
+func TestGrantCarriesRuntimeCap(t *testing.T) {
+	g := NewGovernor(Config{PoolBytes: 1 << 20})
+	if err := g.CreatePool(PoolConfig{Name: "capped", RuntimeCap: 250 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	gr, err := g.AdmitPoolBytes(context.Background(), "capped", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.RuntimeCap() != 250*time.Millisecond {
+		t.Fatalf("grant runtime cap = %s", gr.RuntimeCap())
+	}
+	gr.Release()
+	d := time.Second
+	if err := g.AlterPool("capped", PoolAlter{RuntimeCap: &d}); err != nil {
+		t.Fatal(err)
+	}
+	gr2, err := g.AdmitPoolBytes(context.Background(), "capped", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr2.RuntimeCap() != time.Second {
+		t.Fatalf("altered runtime cap = %s", gr2.RuntimeCap())
+	}
+	gr2.Release()
+	var nilGrant *Grant
+	if nilGrant.RuntimeCap() != 0 {
+		t.Fatal("nil grant should have no runtime cap")
+	}
+	if err := g.CreatePool(PoolConfig{Name: "bad", RuntimeCap: -time.Second}); err == nil {
+		t.Fatal("negative runtime cap should be rejected")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -141,8 +142,8 @@ func NewGovernor(cfg Config) *Governor {
 	}
 	if cfg.GrantBytes <= 0 {
 		cfg.GrantBytes = cfg.PoolBytes / int64(cfg.MaxConcurrency)
-		if cfg.GrantBytes < minGrantBytes {
-			cfg.GrantBytes = minGrantBytes
+		if cfg.GrantBytes < MinGrantBytes {
+			cfg.GrantBytes = MinGrantBytes
 		}
 	}
 	if cfg.GrantBytes > cfg.PoolBytes {
@@ -326,7 +327,8 @@ func (g *Governor) newGrantLocked(p *pool, bytes int64, wait time.Duration, labe
 	g.queueWait += wait
 	p.admitted++
 	p.queueWait += wait
-	return &Grant{gov: g, pool: p, bytes: bytes, label: label, queueWait: wait, started: time.Now()}
+	return &Grant{gov: g, pool: p, bytes: bytes, label: label, queueWait: wait,
+		runtimeCap: p.cfg.RuntimeCap, started: time.Now()}
 }
 
 // abandon removes w from its pool's queue if it has not been granted,
@@ -352,12 +354,24 @@ func (g *Governor) abandon(w *waiter, poolCounter, govCounter *int64) bool {
 	return true
 }
 
+// dispatchOrderLocked returns pool names sorted by descending PRIORITY,
+// stable on creation order, so a release serves high-priority workloads
+// first. Caller holds g.mu.
+func (g *Governor) dispatchOrderLocked() []string {
+	order := append([]string{}, g.order...)
+	sort.SliceStable(order, func(i, j int) bool {
+		return g.pools[order[i]].cfg.Priority > g.pools[order[j]].cfg.Priority
+	})
+	return order
+}
+
 // dispatchLocked wakes queued waiters while resources last: FIFO within each
-// pool, pools visited in creation order. A pool's queue head blocks only its
-// own pool — that keeps admission fair inside a workload class without
-// letting one saturated class stall the others.
+// pool, pools visited in descending priority (creation order on ties). A
+// pool's queue head blocks only its own pool — that keeps admission fair
+// inside a workload class without letting one saturated class stall the
+// others, while PRIORITY decides which class eats a freed slot first.
 func (g *Governor) dispatchLocked() {
-	for _, name := range g.order {
+	for _, name := range g.dispatchOrderLocked() {
 		p := g.pools[name]
 		for len(p.queue) > 0 {
 			w := p.queue[0]
@@ -406,6 +420,29 @@ func (g *Governor) release(gr *Grant) {
 	g.dispatchLocked()
 }
 
+// RecordFailure retains a query profile for a statement that failed before
+// admission (planning or placement errors), so v_monitor.query_profiles
+// keeps covering that failure class. No resources are reserved or
+// released; the named pool need not exist (the profile is just a record).
+func (g *Governor) RecordFailure(poolName, label string, err error) {
+	if err == nil {
+		return
+	}
+	if poolName == "" {
+		poolName = GeneralPool
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.profileSeq++
+	g.addProfileLocked(QueryProfile{
+		ID:      g.profileSeq,
+		Pool:    poolName,
+		Label:   label,
+		Started: time.Now(),
+		Error:   err.Error(),
+	})
+}
+
 // Stats snapshots the aggregate counters.
 func (g *Governor) Stats() Stats {
 	g.mu.Lock()
@@ -444,13 +481,14 @@ func (s Stats) String() string {
 // execution engine can run ungoverned (tests, embedded use) without
 // branching.
 type Grant struct {
-	gov       *Governor
-	pool      *pool
-	bytes     int64
-	label     string
-	queueWait time.Duration
-	started   time.Time
-	errMsg    string // set by SetError before Release
+	gov        *Governor
+	pool       *pool
+	bytes      int64
+	label      string
+	queueWait  time.Duration
+	runtimeCap time.Duration
+	started    time.Time
+	errMsg     string // set by SetError before Release
 
 	released     atomic.Bool
 	rows         atomic.Int64
@@ -485,10 +523,21 @@ func (gr *Grant) OperatorBudget(n int) int64 {
 		n = 1
 	}
 	b := gr.bytes / int64(n)
-	if b < minGrantBytes {
-		b = minGrantBytes // floor: an operator can always buffer one batch
+	if b < MinGrantBytes {
+		b = MinGrantBytes // floor: an operator can always buffer one batch
 	}
 	return b
+}
+
+// RuntimeCap is the pool's execution wall-time bound at admission time
+// (zero = uncapped). Callers wrap the statement's context in a deadline of
+// this duration so a runaway statement cancels at the next batch boundary
+// and releases its slot.
+func (gr *Grant) RuntimeCap() time.Duration {
+	if gr == nil {
+		return 0
+	}
+	return gr.runtimeCap
 }
 
 // QueueWait is how long the query sat in the admission queue.

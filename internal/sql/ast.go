@@ -182,6 +182,8 @@ type PoolOpts struct {
 	PlannedConcurrency *int64 // PLANNEDCONCURRENCY
 	MaxConcurrency     *int64 // MAXCONCURRENCY
 	QueueTimeoutMS     *int64 // QUEUETIMEOUT in ms; -1 = NONE (disabled)
+	Priority           *int64 // PRIORITY (higher dispatches first; may be negative)
+	RuntimeCapMS       *int64 // RUNTIMECAP in ms; 0 = NONE (uncapped)
 }
 
 // CreatePoolStmt is CREATE RESOURCE POOL name [options].
@@ -202,6 +204,14 @@ type SetStmt struct {
 	Pool string
 }
 
+// AnalyzeStmt is ANALYZE_STATISTICS('table') or
+// ANALYZE_STATISTICS('table.column') with an optional histogram bucket
+// count: ANALYZE_STATISTICS('table', 64).
+type AnalyzeStmt struct {
+	Target  string // 'table' or 'table.column'
+	Buckets int64  // 0 = engine default
+}
+
 func (*SelectStmt) stmt()           {}
 func (*CreateTableStmt) stmt()      {}
 func (*CreateProjectionStmt) stmt() {}
@@ -213,3 +223,4 @@ func (*TxnStmt) stmt()              {}
 func (*CreatePoolStmt) stmt()       {}
 func (*AlterPoolStmt) stmt()        {}
 func (*SetStmt) stmt()              {}
+func (*AnalyzeStmt) stmt()          {}

@@ -111,6 +111,8 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseDrop()
 	case p.at(tokIdent, "alter"):
 		return p.parseAlter()
+	case p.at(tokIdent, "analyze_statistics"):
+		return p.parseAnalyze()
 	case p.at(tokKeyword, "SET"):
 		return p.parseSet()
 	case p.at(tokKeyword, "BEGIN"), p.at(tokKeyword, "COMMIT"), p.at(tokKeyword, "ROLLBACK"):
@@ -767,6 +769,37 @@ func (p *parser) parseAlter() (Statement, error) {
 	return &AlterPoolStmt{Name: name.text, Opts: opts}, nil
 }
 
+// parseAnalyze parses ANALYZE_STATISTICS('table'[, buckets]) and
+// ANALYZE_STATISTICS('table.column'[, buckets]).
+func (p *parser) parseAnalyze() (Statement, error) {
+	p.next() // analyze_statistics
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	target, err := p.expect(tokString, "")
+	if err != nil {
+		return nil, err
+	}
+	if strings.TrimSpace(target.text) == "" {
+		return nil, p.errHere("ANALYZE_STATISTICS needs a table or table.column name")
+	}
+	st := &AnalyzeStmt{Target: strings.TrimSpace(strings.ToLower(target.text))}
+	if p.accept(tokSymbol, ",") {
+		n, err := p.parseIntLiteral()
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return nil, p.errHere("histogram bucket count must be positive")
+		}
+		st.Buckets = n
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
 // parseSet parses SET RESOURCE POOL name.
 func (p *parser) parseSet() (Statement, error) {
 	p.next() // SET
@@ -833,6 +866,30 @@ func (p *parser) parsePoolOpts() (PoolOpts, error) {
 				return o, p.errHere("QUEUETIMEOUT must be positive milliseconds (or NONE to disable)")
 			}
 			o.QueueTimeoutMS = &v
+		case "priority":
+			neg := p.accept(tokSymbol, "-")
+			v, err := p.parseIntLiteral()
+			if err != nil {
+				return o, err
+			}
+			if neg {
+				v = -v
+			}
+			o.Priority = &v
+		case "runtimecap":
+			if p.accept(tokIdent, "none") {
+				v := int64(0)
+				o.RuntimeCapMS = &v
+				continue
+			}
+			v, err := p.parseIntLiteral()
+			if err != nil {
+				return o, err
+			}
+			if v <= 0 {
+				return o, p.errHere("RUNTIMECAP must be positive milliseconds (or NONE to uncap)")
+			}
+			o.RuntimeCapMS = &v
 		default:
 			return o, p.errHere("unknown resource pool option %q", opt)
 		}

@@ -501,3 +501,68 @@ func TestParseByteSize(t *testing.T) {
 		}
 	}
 }
+
+func TestParseAnalyzeStatistics(t *testing.T) {
+	st, err := Parse(`ANALYZE_STATISTICS('Sales')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := st.(*AnalyzeStmt)
+	if !ok || a.Target != "sales" || a.Buckets != 0 {
+		t.Fatalf("parsed %+v", st)
+	}
+	st, err = Parse(`analyze_statistics('sales.price', 64);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a = st.(*AnalyzeStmt)
+	if a.Target != "sales.price" || a.Buckets != 64 {
+		t.Fatalf("parsed %+v", a)
+	}
+	for _, bad := range []string{
+		`ANALYZE_STATISTICS()`,
+		`ANALYZE_STATISTICS('')`,
+		`ANALYZE_STATISTICS(sales)`,
+		`ANALYZE_STATISTICS('sales', 0)`,
+		`ANALYZE_STATISTICS('sales', -1)`,
+		`ANALYZE_STATISTICS('sales'`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("expected parse error for %q", bad)
+		}
+	}
+}
+
+func TestParsePoolPriorityAndRuntimeCap(t *testing.T) {
+	st, err := Parse(`CREATE RESOURCE POOL rt PRIORITY 10 RUNTIMECAP 5000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := st.(*CreatePoolStmt)
+	if c.Opts.Priority == nil || *c.Opts.Priority != 10 {
+		t.Fatalf("priority: %+v", c.Opts)
+	}
+	if c.Opts.RuntimeCapMS == nil || *c.Opts.RuntimeCapMS != 5000 {
+		t.Fatalf("runtimecap: %+v", c.Opts)
+	}
+	st, err = Parse(`ALTER RESOURCE POOL rt PRIORITY -3 RUNTIMECAP NONE`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := st.(*AlterPoolStmt)
+	if a.Opts.Priority == nil || *a.Opts.Priority != -3 {
+		t.Fatalf("negative priority: %+v", a.Opts)
+	}
+	if a.Opts.RuntimeCapMS == nil || *a.Opts.RuntimeCapMS != 0 {
+		t.Fatalf("RUNTIMECAP NONE should parse as 0: %+v", a.Opts)
+	}
+	for _, bad := range []string{
+		`CREATE RESOURCE POOL p RUNTIMECAP 0`,
+		`CREATE RESOURCE POOL p RUNTIMECAP -5`,
+		`CREATE RESOURCE POOL p PRIORITY`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("expected parse error for %q", bad)
+		}
+	}
+}

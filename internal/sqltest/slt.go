@@ -123,7 +123,14 @@ func parseFile(path string) ([]string, []*record, error) {
 }
 
 // renderRows renders a result set one line per row, columns joined by '|'.
+// EXPLAIN statements produce plan text instead of rows (they are the only
+// SELECT results without a schema); it renders one line per plan line so
+// goldens can pin projection choices and row estimates. An ordinary query
+// with zero matching rows still renders as zero lines.
 func renderRows(res *core.Result) []string {
+	if res.Schema == nil && res.Explain != "" {
+		return strings.Split(strings.TrimRight(res.Explain, "\n"), "\n")
+	}
 	out := make([]string, 0, len(res.Rows))
 	for _, row := range res.Rows {
 		cells := make([]string, len(row))

@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// FuzzHistogramEstimate checks the estimator invariant the optimizer relies
+// on: for any column contents and any predicate, the estimated matching row
+// count stays within [0, rowcount].
+func FuzzHistogramEstimate(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(0), int64(3), uint8(4))
+	f.Add([]byte{0xff, 0xff, 0, 0, 9}, uint8(4), int64(-1), uint8(1))
+	f.Add([]byte{}, uint8(2), int64(0), uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, opByte uint8, probe int64, buckets uint8) {
+		b := NewBuilder("c", types.Int64)
+		for len(data) >= 2 {
+			if data[0]%7 == 0 {
+				b.Add(types.NewNull(types.Int64))
+				data = data[1:]
+				continue
+			}
+			var v int64
+			if len(data) >= 9 {
+				v = int64(binary.LittleEndian.Uint64(data[1:9]))
+				data = data[9:]
+			} else {
+				v = int64(int8(data[1]))
+				data = data[2:]
+			}
+			b.Add(types.NewInt(v))
+		}
+		cs := b.Build(int(buckets))
+		ops := []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+		val := types.NewInt(probe)
+		check := func(name string, sel float64) {
+			if sel < 0 || sel > 1 {
+				t.Fatalf("%s selectivity %v outside [0,1] (stats %+v)", name, sel, cs)
+			}
+			est := sel * float64(cs.RowCount)
+			if est < 0 || est > float64(cs.RowCount) {
+				t.Fatalf("%s estimate %v outside [0, %d]", name, est, cs.RowCount)
+			}
+		}
+		for _, op := range ops {
+			check("cmp", cs.SelectivityCmp(op, val))
+		}
+		check("in", cs.SelectivityIn([]types.Value{val, types.NewInt(probe + 1)}, false))
+		check("not-in", cs.SelectivityIn([]types.Value{val}, true))
+		check("isnull", cs.SelectivityIsNull(false))
+		check("isnotnull", cs.SelectivityIsNull(true))
+		check("null-probe", cs.SelectivityCmp(OpEq, types.NewNull(types.Int64)))
+	})
+}

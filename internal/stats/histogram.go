@@ -1,0 +1,277 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Op is a comparison operator for selectivity estimation, mirroring the
+// expression layer's comparison set without importing it.
+type Op int
+
+// Comparison operators.
+const (
+	OpEq Op = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// Bucket is one equi-height histogram bucket covering the value range
+// (lower, Upper], where lower is the previous bucket's Upper (the first
+// bucket includes the histogram minimum).
+type Bucket struct {
+	Upper types.Value `json:"upper"`
+	Rows  int64       `json:"rows"`
+	NDV   int64       `json:"ndv"`
+}
+
+// Histogram is an equi-height value distribution over a column's non-null
+// rows: every bucket holds roughly the same number of rows, so frequent
+// values get narrow buckets and selectivity estimates stay accurate in the
+// dense parts of the domain (the paper's equi-height choice, §6.2).
+type Histogram struct {
+	Min     types.Value `json:"min"`
+	Rows    int64       `json:"rows"`
+	Buckets []Bucket    `json:"buckets"`
+}
+
+// buildHistogram folds a sorted non-empty value sample into at most maxB
+// equi-height buckets, scaling sample counts up to totalRows.
+func buildHistogram(sorted []types.Value, maxB int, totalRows int64) *Histogram {
+	n := len(sorted)
+	if n == 0 || totalRows <= 0 {
+		return nil
+	}
+	h := &Histogram{Min: sorted[0], Rows: totalRows}
+	height := (n + maxB - 1) / maxB
+	if height < 1 {
+		height = 1
+	}
+	count, ndv := 0, 0
+	for i := 0; i < n; {
+		// Advance over the full run of one value: equal values never split
+		// across buckets, so equality estimates stay sharp.
+		j := i + 1
+		for j < n && sorted[j].Compare(sorted[i]) == 0 {
+			j++
+		}
+		count += j - i
+		ndv++
+		if count >= height || j == n {
+			h.Buckets = append(h.Buckets, Bucket{Upper: sorted[j-1], Rows: int64(count), NDV: int64(ndv)})
+			count, ndv = 0, 0
+		}
+		i = j
+	}
+	// Scale sample counts to the full (non-sampled) row count, keeping the
+	// total exact via a running remainder.
+	if int64(n) != totalRows {
+		var acc, prev int64
+		for i := range h.Buckets {
+			acc += h.Buckets[i].Rows
+			scaled := acc * totalRows / int64(n)
+			h.Buckets[i].Rows = scaled - prev
+			prev = scaled
+		}
+	}
+	return h
+}
+
+// String renders the bucket boundaries compactly.
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "histogram(rows=%d, min=%s)", h.Rows, h.Min)
+	for _, b := range h.Buckets {
+		fmt.Fprintf(&sb, " [<=%s: %d rows, %d ndv]", b.Upper, b.Rows, b.NDV)
+	}
+	return sb.String()
+}
+
+// valueFloat projects a value onto the real line for in-bucket
+// interpolation; ok is false for types with no meaningful metric (VARCHAR).
+func valueFloat(v types.Value) (float64, bool) {
+	switch v.Typ {
+	case types.Int64, types.Timestamp, types.Bool:
+		return float64(v.I), true
+	case types.Float64:
+		return v.F, true
+	default:
+		return 0, false
+	}
+}
+
+// fracBelow estimates the fraction of rows with value < v (or <= v when
+// inclusive). The cross-type comparison rules are types.Value.Compare's.
+func (h *Histogram) fracBelow(v types.Value, inclusive bool) float64 {
+	if len(h.Buckets) == 0 || h.Rows <= 0 {
+		return 0
+	}
+	cmpMin := v.Compare(h.Min)
+	if cmpMin < 0 || (cmpMin == 0 && !inclusive) {
+		return 0
+	}
+	var below int64
+	lower := h.Min
+	for i, b := range h.Buckets {
+		c := v.Compare(b.Upper)
+		if c > 0 || (c == 0 && inclusive) {
+			below += b.Rows
+			lower = b.Upper
+			continue
+		}
+		// v falls inside bucket i: interpolate between the bucket bounds.
+		frac := 0.5
+		lo, okLo := valueFloat(lower)
+		hi, okHi := valueFloat(b.Upper)
+		val, okV := valueFloat(v)
+		if okLo && okHi && okV && hi > lo {
+			frac = (val - lo) / (hi - lo)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+		}
+		if c == 0 { // v == Upper, exclusive: everything but the top value
+			frac = 1
+			if b.NDV > 0 {
+				frac = 1 - 1/float64(b.NDV)
+			}
+		}
+		est := float64(below) + frac*float64(b.Rows)
+		// Exclusive bound at a bucket's lower edge contributes nothing of
+		// this bucket beyond the interpolation above.
+		_ = i
+		return clamp01(est / float64(h.Rows))
+	}
+	return 1
+}
+
+// FracEq estimates the fraction of non-null rows equal to v: the containing
+// bucket's rows spread uniformly over its distinct values.
+func (h *Histogram) FracEq(v types.Value) float64 {
+	if len(h.Buckets) == 0 || h.Rows <= 0 {
+		return 0
+	}
+	if v.Compare(h.Min) < 0 {
+		return 0
+	}
+	for _, b := range h.Buckets {
+		if v.Compare(b.Upper) <= 0 {
+			if b.Rows <= 0 {
+				return 0
+			}
+			ndv := b.NDV
+			if ndv < 1 {
+				ndv = 1
+			}
+			return clamp01(float64(b.Rows) / float64(ndv) / float64(h.Rows))
+		}
+	}
+	return 0
+}
+
+// FracCmp estimates the fraction of non-null rows satisfying <col> op v.
+func (h *Histogram) FracCmp(op Op, v types.Value) float64 {
+	switch op {
+	case OpEq:
+		return h.FracEq(v)
+	case OpNe:
+		return clamp01(1 - h.FracEq(v))
+	case OpLt:
+		return h.fracBelow(v, false)
+	case OpLe:
+		return h.fracBelow(v, true)
+	case OpGt:
+		return clamp01(1 - h.fracBelow(v, true))
+	case OpGe:
+		return clamp01(1 - h.fracBelow(v, false))
+	default:
+		return 1
+	}
+}
+
+func clamp01(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// --- ColumnStats estimation over all rows (NULL-aware) ----------------------
+
+// nonNullFrac converts a fraction of non-null rows into a fraction of all
+// rows (SQL comparisons are never true for NULL inputs).
+func (cs *ColumnStats) nonNullFrac(f float64) float64 {
+	if cs.RowCount <= 0 {
+		return 0
+	}
+	return clamp01(f * float64(cs.NonNull()) / float64(cs.RowCount))
+}
+
+// SelectivityCmp estimates the fraction of the table's rows satisfying
+// <col> op v.
+func (cs *ColumnStats) SelectivityCmp(op Op, v types.Value) float64 {
+	if cs.RowCount <= 0 {
+		return 0
+	}
+	if v.Null {
+		return 0 // <col> op NULL is never true
+	}
+	if cs.Hist != nil {
+		return cs.nonNullFrac(cs.Hist.FracCmp(op, v))
+	}
+	// No histogram (all-NULL column): nothing matches but NE of nothing.
+	if cs.NonNull() == 0 {
+		return 0
+	}
+	// Histogram-less fallback: NDV for equality, a third for ranges.
+	switch op {
+	case OpEq:
+		ndv := cs.NDV
+		if ndv < 1 {
+			ndv = 1
+		}
+		return cs.nonNullFrac(1 / float64(ndv))
+	case OpNe:
+		ndv := cs.NDV
+		if ndv < 1 {
+			ndv = 1
+		}
+		return cs.nonNullFrac(1 - 1/float64(ndv))
+	default:
+		return cs.nonNullFrac(1.0 / 3)
+	}
+}
+
+// SelectivityIn estimates the fraction of rows whose value is in vals.
+func (cs *ColumnStats) SelectivityIn(vals []types.Value, negate bool) float64 {
+	sum := 0.0
+	for _, v := range vals {
+		sum += cs.SelectivityCmp(OpEq, v)
+	}
+	sum = clamp01(sum)
+	if negate {
+		// NOT IN is false for NULL rows too.
+		return clamp01(cs.nonNullFrac(1) - sum)
+	}
+	return sum
+}
+
+// SelectivityIsNull estimates IS [NOT] NULL selectivity.
+func (cs *ColumnStats) SelectivityIsNull(negate bool) float64 {
+	f := cs.NullFraction()
+	if negate {
+		return clamp01(1 - f)
+	}
+	return clamp01(f)
+}

@@ -1,0 +1,353 @@
+package stats
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func buildInts(t *testing.T, buckets int, vals ...int64) *ColumnStats {
+	t.Helper()
+	b := NewBuilder("c", types.Int64)
+	for _, v := range vals {
+		b.Add(types.NewInt(v))
+	}
+	return b.Build(buckets)
+}
+
+func TestBuilderCountsAndExtremes(t *testing.T) {
+	b := NewBuilder("c", types.Int64)
+	for i := int64(1); i <= 100; i++ {
+		b.Add(types.NewInt(i))
+	}
+	b.Add(types.NewNull(types.Int64))
+	b.Add(types.NewNull(types.Int64))
+	cs := b.Build(8)
+	if cs.RowCount != 102 || cs.NullCount != 2 || cs.NonNull() != 100 {
+		t.Fatalf("counts: %+v", cs)
+	}
+	if cs.Min.I != 1 || cs.Max.I != 100 {
+		t.Fatalf("min/max: %s %s", cs.Min, cs.Max)
+	}
+	if cs.NDV < 90 || cs.NDV > 110 {
+		t.Fatalf("NDV estimate %d far from 100", cs.NDV)
+	}
+	if cs.Hist == nil || len(cs.Hist.Buckets) == 0 || len(cs.Hist.Buckets) > 8 {
+		t.Fatalf("histogram: %+v", cs.Hist)
+	}
+	var total int64
+	for _, bk := range cs.Hist.Buckets {
+		total += bk.Rows
+	}
+	if total != 100 {
+		t.Fatalf("bucket rows sum %d, want 100", total)
+	}
+}
+
+func TestAllNullColumn(t *testing.T) {
+	b := NewBuilder("c", types.Int64)
+	for i := 0; i < 10; i++ {
+		b.Add(types.NewNull(types.Int64))
+	}
+	cs := b.Build(4)
+	if cs.RowCount != 10 || cs.NullCount != 10 {
+		t.Fatalf("counts: %+v", cs)
+	}
+	if !cs.Min.Null || !cs.Max.Null {
+		t.Fatalf("min/max should be NULL: %s %s", cs.Min, cs.Max)
+	}
+	if cs.NDV != 0 {
+		t.Fatalf("NDV of all-null column: %d", cs.NDV)
+	}
+	if cs.Hist != nil {
+		t.Fatalf("all-null column should have no histogram")
+	}
+	if got := cs.SelectivityCmp(OpEq, types.NewInt(5)); got != 0 {
+		t.Fatalf("eq selectivity on all-null column: %v", got)
+	}
+	if got := cs.SelectivityIsNull(false); got != 1 {
+		t.Fatalf("IS NULL selectivity: %v", got)
+	}
+	if got := cs.SelectivityIsNull(true); got != 0 {
+		t.Fatalf("IS NOT NULL selectivity: %v", got)
+	}
+}
+
+func TestSingleValueColumn(t *testing.T) {
+	cs := buildInts(t, 8, 7, 7, 7, 7, 7)
+	if cs.NDV != 1 {
+		t.Fatalf("NDV: %d", cs.NDV)
+	}
+	if len(cs.Hist.Buckets) != 1 {
+		t.Fatalf("buckets: %+v", cs.Hist.Buckets)
+	}
+	if got := cs.SelectivityCmp(OpEq, types.NewInt(7)); got < 0.99 {
+		t.Fatalf("eq on the single value: %v", got)
+	}
+	if got := cs.SelectivityCmp(OpEq, types.NewInt(8)); got != 0 {
+		t.Fatalf("eq off the single value: %v", got)
+	}
+	if got := cs.SelectivityCmp(OpLt, types.NewInt(7)); got != 0 {
+		t.Fatalf("lt the single value: %v", got)
+	}
+	if got := cs.SelectivityCmp(OpGe, types.NewInt(7)); got < 0.99 {
+		t.Fatalf("ge the single value: %v", got)
+	}
+}
+
+func TestNDVAboveBucketCount(t *testing.T) {
+	var vals []int64
+	for i := int64(0); i < 1000; i++ {
+		vals = append(vals, i)
+	}
+	cs := buildInts(t, 4, vals...)
+	if len(cs.Hist.Buckets) > 4 {
+		t.Fatalf("bucket count %d exceeds 4", len(cs.Hist.Buckets))
+	}
+	if cs.NDV < 900 || cs.NDV > 1100 {
+		t.Fatalf("NDV %d far from 1000", cs.NDV)
+	}
+	// Range estimates interpolate inside wide buckets.
+	got := cs.SelectivityCmp(OpLt, types.NewInt(500))
+	if got < 0.4 || got > 0.6 {
+		t.Fatalf("lt 500 over uniform 0..999: %v", got)
+	}
+	// Equality spreads a bucket over its distinct values.
+	eq := cs.SelectivityCmp(OpEq, types.NewInt(123))
+	if eq <= 0 || eq > 0.01 {
+		t.Fatalf("eq on 1000-distinct column: %v", eq)
+	}
+}
+
+func TestSkewedEquiHeight(t *testing.T) {
+	// 900 copies of 1, then 1..100 once each: equi-height isolates the
+	// heavy value so its equality estimate is far above 1/NDV.
+	b := NewBuilder("c", types.Int64)
+	for i := 0; i < 900; i++ {
+		b.Add(types.NewInt(1))
+	}
+	for i := int64(1); i <= 100; i++ {
+		b.Add(types.NewInt(i))
+	}
+	cs := b.Build(10)
+	hot := cs.SelectivityCmp(OpEq, types.NewInt(1))
+	cold := cs.SelectivityCmp(OpEq, types.NewInt(90))
+	if hot < 0.5 {
+		t.Fatalf("hot value estimate %v, want > 0.5", hot)
+	}
+	if cold > 0.1 {
+		t.Fatalf("cold value estimate %v, want < 0.1", cold)
+	}
+}
+
+func TestSelectivityInAndRanges(t *testing.T) {
+	var vals []int64
+	for i := int64(1); i <= 100; i++ {
+		vals = append(vals, i)
+	}
+	cs := buildInts(t, 10, vals...)
+	in := cs.SelectivityIn([]types.Value{types.NewInt(3), types.NewInt(50), types.NewInt(999)}, false)
+	if in <= 0 || in > 0.1 {
+		t.Fatalf("IN estimate: %v", in)
+	}
+	notIn := cs.SelectivityIn([]types.Value{types.NewInt(3)}, true)
+	if notIn < 0.9 || notIn > 1 {
+		t.Fatalf("NOT IN estimate: %v", notIn)
+	}
+	if got := cs.SelectivityCmp(OpLe, types.NewInt(0)); got != 0 {
+		t.Fatalf("le below min: %v", got)
+	}
+	if got := cs.SelectivityCmp(OpGt, types.NewInt(100)); got != 0 {
+		t.Fatalf("gt above max: %v", got)
+	}
+	if got := cs.SelectivityCmp(OpGe, types.NewInt(1)); got < 0.99 {
+		t.Fatalf("ge min: %v", got)
+	}
+	between := cs.SelectivityCmp(OpGe, types.NewInt(20)) +
+		cs.SelectivityCmp(OpLe, types.NewInt(40)) - 1
+	if between < 0.1 || between > 0.35 {
+		t.Fatalf("20..40 over 1..100: %v", between)
+	}
+}
+
+func TestVarcharHistogram(t *testing.T) {
+	b := NewBuilder("c", types.Varchar)
+	for _, s := range []string{"ant", "bee", "cat", "dog", "eel", "fox", "gnu", "hen"} {
+		b.Add(types.NewString(s))
+	}
+	cs := b.Build(4)
+	if cs.Min.S != "ant" || cs.Max.S != "hen" {
+		t.Fatalf("min/max: %s %s", cs.Min, cs.Max)
+	}
+	// No metric on strings: in-bucket interpolation falls back to 1/2.
+	got := cs.SelectivityCmp(OpLt, types.NewString("cow"))
+	if got <= 0 || got >= 1 {
+		t.Fatalf("string range estimate out of (0,1): %v", got)
+	}
+	if eq := cs.SelectivityCmp(OpEq, types.NewString("dog")); eq <= 0 || eq > 0.5 {
+		t.Fatalf("string eq estimate: %v", eq)
+	}
+}
+
+func TestReservoirSamplingBeyondCap(t *testing.T) {
+	b := NewBuilder("c", types.Int64)
+	n := int64(sampleCap + 20000)
+	for i := int64(0); i < n; i++ {
+		b.Add(types.NewInt(i % 1000))
+	}
+	cs := b.Build(16)
+	if cs.RowCount != n {
+		t.Fatalf("rows: %d", cs.RowCount)
+	}
+	var total int64
+	for _, bk := range cs.Hist.Buckets {
+		total += bk.Rows
+	}
+	if total != n {
+		t.Fatalf("scaled bucket rows sum %d, want %d", total, n)
+	}
+	// Determinism: the same stream yields the same stats.
+	b2 := NewBuilder("c", types.Int64)
+	for i := int64(0); i < n; i++ {
+		b2.Add(types.NewInt(i % 1000))
+	}
+	cs2 := b2.Build(16)
+	j1, _ := json.Marshal(cs)
+	j2, _ := json.Marshal(cs2)
+	if string(j1) != string(j2) {
+		t.Fatalf("ANALYZE is not deterministic:\n%s\n%s", j1, j2)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	cs := buildInts(t, 4, 1, 2, 2, 3, 4, 5, 5, 5)
+	blob, err := json.Marshal(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ColumnStats
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.RowCount != cs.RowCount || back.NDV != cs.NDV {
+		t.Fatalf("round trip lost counters: %+v", back)
+	}
+	if back.Hist == nil || len(back.Hist.Buckets) != len(cs.Hist.Buckets) {
+		t.Fatalf("round trip lost histogram: %+v", back.Hist)
+	}
+	if got := back.SelectivityCmp(OpEq, types.NewInt(5)); got <= 0 {
+		t.Fatalf("deserialized stats unusable: %v", got)
+	}
+}
+
+func TestSketchAccuracy(t *testing.T) {
+	for _, n := range []int64{1, 10, 100, 5000, 100000} {
+		var s sketch
+		for i := int64(0); i < n; i++ {
+			s.add(types.HashValue(types.NewInt(i)))
+		}
+		est := s.estimate()
+		lo, hi := n*8/10, n*12/10
+		if n <= 10 {
+			lo, hi = n-1, n+1 // linear counting is near-exact when sparse
+		}
+		if est < lo || est > hi {
+			t.Fatalf("n=%d: estimate %d outside [%d, %d]", n, est, lo, hi)
+		}
+	}
+}
+
+func TestBuildHistogramDegenerate(t *testing.T) {
+	if h := buildHistogram(nil, 4, 0); h != nil {
+		t.Fatalf("empty input built %+v", h)
+	}
+	cs := buildInts(t, 0) // no values at all
+	if cs.Hist != nil || cs.RowCount != 0 {
+		t.Fatalf("no-input stats: %+v", cs)
+	}
+	if got := cs.SelectivityCmp(OpEq, types.NewInt(1)); got != 0 {
+		t.Fatalf("selectivity over empty table: %v", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cs := buildInts(t, 2, 1, 2, 3, 4)
+	if s := cs.String(); !strings.Contains(s, "rows=4") {
+		t.Fatalf("ColumnStats.String: %q", s)
+	}
+	if s := cs.Hist.String(); !strings.Contains(s, "histogram(rows=4") {
+		t.Fatalf("Histogram.String: %q", s)
+	}
+	all := NewBuilder("c", types.Int64)
+	all.Add(types.NewNull(types.Int64))
+	if s := all.Build(2).String(); !strings.Contains(s, "buckets=0") {
+		t.Fatalf("histogram-less String: %q", s)
+	}
+}
+
+func TestHistogramlessFallbacks(t *testing.T) {
+	// A ColumnStats without a histogram (e.g. a hand-written or pruned
+	// record) falls back to NDV-based equality and 1/3 ranges.
+	cs := &ColumnStats{Column: "c", RowCount: 100, NullCount: 10, NDV: 30,
+		Min: types.NewInt(1), Max: types.NewInt(90)}
+	eq := cs.SelectivityCmp(OpEq, types.NewInt(5))
+	if eq <= 0.02 || eq >= 0.04 {
+		t.Fatalf("NDV fallback eq: %v", eq)
+	}
+	ne := cs.SelectivityCmp(OpNe, types.NewInt(5))
+	if ne <= 0.8 || ne > 0.9 {
+		t.Fatalf("NDV fallback ne: %v", ne)
+	}
+	rng := cs.SelectivityCmp(OpLt, types.NewInt(50))
+	if rng <= 0.25 || rng >= 0.35 {
+		t.Fatalf("range fallback: %v", rng)
+	}
+	zero := &ColumnStats{Column: "c", NDV: 0}
+	if got := zero.SelectivityCmp(OpEq, types.NewInt(1)); got != 0 {
+		t.Fatalf("empty-table cmp: %v", got)
+	}
+}
+
+func TestFracCmpOperators(t *testing.T) {
+	var vals []int64
+	for i := int64(1); i <= 50; i++ {
+		vals = append(vals, i)
+	}
+	cs := buildInts(t, 5, vals...)
+	h := cs.Hist
+	v := types.NewInt(25)
+	if lt, le := h.FracCmp(OpLt, v), h.FracCmp(OpLe, v); le < lt {
+		t.Fatalf("le %v < lt %v", le, lt)
+	}
+	if gt, ge := h.FracCmp(OpGt, v), h.FracCmp(OpGe, v); ge < gt {
+		t.Fatalf("ge %v < gt %v", ge, gt)
+	}
+	sum := h.FracCmp(OpLt, v) + h.FracCmp(OpEq, v) + h.FracCmp(OpGt, v)
+	if sum < 0.9 || sum > 1.1 {
+		t.Fatalf("lt+eq+gt should be ~1, got %v", sum)
+	}
+	if ne := h.FracCmp(OpNe, v); ne < 0.9 {
+		t.Fatalf("ne: %v", ne)
+	}
+	if got := h.FracCmp(Op(99), v); got != 1 {
+		t.Fatalf("unknown op must be conservative: %v", got)
+	}
+	if got := h.FracEq(types.NewInt(-5)); got != 0 {
+		t.Fatalf("eq below min: %v", got)
+	}
+	if got := h.FracEq(types.NewInt(500)); got != 0 {
+		t.Fatalf("eq above max: %v", got)
+	}
+	if got := h.FracCmp(OpLt, types.NewInt(500)); got != 1 {
+		t.Fatalf("lt above max: %v", got)
+	}
+	// Boolean projection of values for interpolation.
+	if f, ok := valueFloat(types.NewBool(true)); !ok || f != 1 {
+		t.Fatalf("valueFloat(bool): %v %v", f, ok)
+	}
+	if f, ok := valueFloat(types.NewFloat(2.5)); !ok || f != 2.5 {
+		t.Fatalf("valueFloat(float): %v %v", f, ok)
+	}
+}
