@@ -7,9 +7,9 @@ SERVE_ADDR ?= :5433
 MEM_POOL   ?= 256MB
 MAX_CONC   ?= 4
 
-.PHONY: all build test race lint bench serve fmt fuzz cover sqltest-update
+.PHONY: all build test race lint bench serve fmt fuzz cover sqltest-update docs-check
 
-all: build test
+all: build test docs-check
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,10 @@ cover:
 # Regenerate the SQL logic-test golden files from actual engine output.
 sqltest-update:
 	$(GO) test ./internal/sqltest -run TestSLTFiles -update
+
+# Fail if the parser accepts a statement keyword docs/SQL.md never mentions.
+docs-check:
+	sh scripts/check_sql_docs.sh
 
 serve:
 	$(GO) run ./cmd/vsql -dir $(DB_DIR) -serve $(SERVE_ADDR) -mem-pool $(MEM_POOL) -max-concurrency $(MAX_CONC)

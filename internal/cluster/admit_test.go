@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/resmgr"
+)
+
+// TestAdmitSizedFallsBackToDefault: a plan-sized request above the pool
+// default is computed from headroom seen at probe time; when a concurrent
+// admission takes that headroom, the oversized request times out in the
+// queue — admitSized must then admit at the pool default (which still
+// fits) instead of failing the query, since renegotiation and spilling
+// cover the estimate gap mid-flight.
+func TestAdmitSizedFallsBackToDefault(t *testing.T) {
+	const kib = int64(1 << 10)
+	gov := resmgr.NewGovernor(resmgr.Config{
+		PoolBytes:      512 * kib,
+		MaxConcurrency: 4,
+		GrantBytes:     128 * kib,
+		QueueTimeout:   30 * time.Millisecond,
+	})
+	ctx := context.Background()
+
+	// At probe time the pool was empty, so SizeGrant returned 400K. Before
+	// this query admits, another one takes 384K.
+	other, err := gov.AdmitBytes(ctx, 384*kib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Release()
+
+	grant, err := admitSized(ctx, gov, "", 400*kib)
+	if err != nil {
+		t.Fatalf("above-default request did not fall back to the default grant: %v", err)
+	}
+	if grant.Bytes() != 128*kib {
+		t.Fatalf("fallback grant = %d, want pool default %d", grant.Bytes(), 128*kib)
+	}
+	grant.Release()
+
+	// A below-default request gets no fallback: retrying at the (larger)
+	// default could never help, so the timeout surfaces.
+	extra, err := gov.AdmitBytes(ctx, 64*kib) // pool now holds 448K
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer extra.Release()
+	if _, err := admitSized(ctx, gov, "", 100*kib); !errors.Is(err, resmgr.ErrQueueTimeout) {
+		t.Fatalf("below-default request: err = %v, want ErrQueueTimeout", err)
+	}
+}
+
+// TestAdmitSizedFallsBackOnInfeasible: reservations created between grant
+// sizing and admission can make an above-default request structurally
+// impossible; the fail-fast infeasibility error must also fall back to the
+// still-feasible pool default instead of failing the query.
+func TestAdmitSizedFallsBackOnInfeasible(t *testing.T) {
+	const kib = int64(1 << 10)
+	gov := resmgr.NewGovernor(resmgr.Config{
+		PoolBytes:      512 * kib,
+		MaxConcurrency: 4,
+		GrantBytes:     64 * kib,
+		QueueTimeout:   30 * time.Millisecond,
+	})
+	ctx := context.Background()
+	// Sized at 400K while the pool was unreserved; then an admin reserves
+	// 384K for another pool: 400K can never be admitted, 64K still can.
+	if err := gov.CreatePool(resmgr.PoolConfig{Name: "etl", MemBytes: 384 * kib}); err != nil {
+		t.Fatal(err)
+	}
+	grant, err := admitSized(ctx, gov, "", 400*kib)
+	if err != nil {
+		t.Fatalf("infeasible above-default request did not fall back: %v", err)
+	}
+	if grant.Bytes() != 64*kib {
+		t.Fatalf("fallback grant = %d, want pool default %d", grant.Bytes(), 64*kib)
+	}
+	grant.Release()
+}

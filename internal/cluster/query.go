@@ -120,7 +120,7 @@ func (c *Cluster) RunAtCtx(ctx context.Context, q *optimizer.LogicalQuery, opts 
 	var grant *resmgr.Grant
 	if gov := c.cfg.Governor; gov != nil && !allVirtual {
 		poolName := resmgr.PoolFromContext(ctx)
-		grant, err = gov.AdmitPoolBytes(ctx, poolName, c.grantRequest(poolName, probe))
+		grant, err = admitSized(ctx, gov, poolName, c.grantRequest(poolName, probe))
 		if err != nil {
 			return nil, err
 		}
@@ -201,7 +201,11 @@ func (c *Cluster) RunAtCtx(ctx context.Context, q *optimizer.LogicalQuery, opts 
 
 	// Execute node plans in parallel (the MPP step). Each node pipeline
 	// shares the query's admission grant; the per-operator budget splits the
-	// grant across the concurrent pipelines.
+	// grant across the concurrent pipelines. The split is computed once,
+	// before any pipeline starts: a pipeline's mid-flight grant extension
+	// belongs to the operator that requested it, and must not inflate the
+	// initial budget of a sibling whose goroutine happens to start later.
+	pipelineBudget := grant.OperatorBudget(len(runs))
 	var mu sync.Mutex
 	var firstErr error
 	var partials []types.Row
@@ -210,7 +214,7 @@ func (c *Cluster) RunAtCtx(ctx context.Context, q *optimizer.LogicalQuery, opts 
 		wg.Add(1)
 		go func(r nodeRun) {
 			defer wg.Done()
-			ectx := c.execCtx(ctx, epoch, opts, grant, len(runs))
+			ectx := c.execCtx(ctx, epoch, opts, grant, pipelineBudget)
 			rows, err := exec.Drain(ectx, r.plan.Root)
 			mu.Lock()
 			defer mu.Unlock()
@@ -226,9 +230,10 @@ func (c *Cluster) RunAtCtx(ctx context.Context, q *optimizer.LogicalQuery, opts 
 		return nil, firstErr
 	}
 
-	// Initiator merge (single pipeline: full grant budget).
+	// Initiator merge (single pipeline: the full grant as it stands now,
+	// node-pipeline extensions included — those operators have finished).
 	nodeSchema := runs[0].plan.Root.Schema()
-	final, schema, err := merge(partials, nodeSchema, c.execCtx(ctx, epoch, opts, grant, 1))
+	final, schema, err := merge(partials, nodeSchema, c.execCtx(ctx, epoch, opts, grant, grant.OperatorBudget(1)))
 	if err != nil {
 		return nil, err
 	}
@@ -243,36 +248,74 @@ func (c *Cluster) RunAtCtx(ctx context.Context, q *optimizer.LogicalQuery, opts 
 // roadmap's "dynamic grant sizing"): a statistics-backed plan requests its
 // estimated working memory instead of the static pool/concurrency split, so
 // well-estimated small queries stop reserving the full slice and more of
-// them run concurrently under memory pressure. The request is clamped to
-// [MinGrantBytes, the pool's default grant]: growing beyond the static
-// slice would need mid-flight renegotiation, which stays an open item.
+// them run concurrently under memory pressure. Plans estimating above the
+// pool's default grant are no longer clamped down: resmgr.SizeGrant raises
+// the request into whatever pool headroom exists right now (bounded by
+// MAXMEMORYSIZE), and any residual estimate error is covered by mid-flight
+// renegotiation (Grant.Request) at the operators' spill thresholds.
 // Returning 0 keeps the pool's default (heuristic-only plans, unknown
 // pools).
 func (c *Cluster) grantRequest(poolName string, probe *optimizer.PhysicalPlan) int64 {
 	if probe == nil || !probe.StatsBacked {
 		return 0
 	}
-	if poolName == "" {
-		poolName = resmgr.GeneralPool
+	return c.cfg.Governor.SizeGrant(poolName, probe.EstMemBytes)
+}
+
+// admitSized admits with the plan-sized grant request (0 = pool default).
+// SizeGrant sizes above-default requests from the headroom visible at probe
+// time; if that headroom is taken — by a concurrent admission, or by a
+// CREATE/ALTER RESOURCE POOL reshaping reservations — before this query
+// reaches the front of the queue, the oversized request can time out or
+// become infeasible where the pre-renegotiation behavior (clamp to default)
+// would have admitted. So an above-default request that fails falls back to
+// one admission at the pool default — mid-flight renegotiation covers the
+// estimate gap once memory frees up, and spilling covers it when it does
+// not. An infeasible request failed fast, so its fallback queues normally;
+// a timed-out request already consumed the pool's queue budget, so its
+// fallback is a single non-queueing attempt (TryAdmitSince — no second
+// wait, no double-counted queue statistics) and the original timeout error
+// surfaces if the default does not fit right now. Both fallbacks keep the
+// original enqueue time so the grant's queue-wait accounting covers the
+// whole stall, not just the final attempt.
+//
+// Deliberate trade-off: if the pool stays saturated for the whole timeout
+// (or other statements queued up behind the oversized request), the
+// fallback declines and the statement pays a queue-timeout failure the old
+// always-clamp behavior avoided. Overtaking those waiters would break the
+// pool's FIFO fairness — the same head-blocking policy Admit itself
+// enforces — and a pool that busy is exactly what admission control exists
+// to push back on.
+func admitSized(ctx context.Context, gov *resmgr.Governor, poolName string, req int64) (*resmgr.Grant, error) {
+	enqueued := time.Now()
+	grant, err := gov.AdmitPoolBytes(ctx, poolName, req)
+	var inf *resmgr.InfeasibleError
+	timedOut := errors.Is(err, resmgr.ErrQueueTimeout)
+	if err == nil || req <= 0 || (!timedOut && !errors.As(err, &inf)) {
+		return grant, err
 	}
-	st, ok := c.cfg.Governor.PoolStatus(poolName)
-	if !ok {
-		return 0
+	name := poolName
+	if name == "" {
+		name = resmgr.GeneralPool
 	}
-	req := probe.EstMemBytes
-	if req < resmgr.MinGrantBytes {
-		req = resmgr.MinGrantBytes
+	st, ok := gov.PoolStatus(name)
+	if !ok || req <= st.EffGrantBytes {
+		return grant, err
 	}
-	if st.EffGrantBytes > 0 && req > st.EffGrantBytes {
-		req = st.EffGrantBytes
+	if !timedOut {
+		return gov.AdmitPoolBytesSince(ctx, poolName, 0, enqueued)
 	}
-	return req
+	if g2, ok := gov.TryAdmitSince(ctx, poolName, 0, enqueued); ok {
+		return g2, nil
+	}
+	return nil, err
 }
 
 // execCtx builds one pipeline's execution context: snapshot epoch, the
-// query's cancellation context and grant, and a per-operator budget carved
-// from the grant when governed.
-func (c *Cluster) execCtx(cctx context.Context, epoch types.Epoch, opts optimizer.PlanOpts, grant *resmgr.Grant, pipelines int) *exec.Ctx {
+// query's cancellation context and grant, and the caller-computed
+// per-operator budget (callers snapshot OperatorBudget before launching
+// pipelines so concurrent extensions don't skew the split).
+func (c *Cluster) execCtx(cctx context.Context, epoch types.Epoch, opts optimizer.PlanOpts, grant *resmgr.Grant, budget int64) *exec.Ctx {
 	ectx := exec.NewCtx(epoch)
 	if opts.Parallelism > 0 {
 		ectx.Parallelism = opts.Parallelism
@@ -283,7 +326,7 @@ func (c *Cluster) execCtx(cctx context.Context, epoch types.Epoch, opts optimize
 		ectx.TempDir = c.cfg.TempDir
 	}
 	if grant != nil {
-		ectx.MemBudget = grant.OperatorBudget(pipelines)
+		ectx.MemBudget = budget
 	}
 	return ectx
 }

@@ -41,6 +41,9 @@ func (db *Database) registerMonitorTables() {
 		col("queue_wait_us", types.Int64),
 		col("priority", types.Int64),
 		col("runtimecap_ms", types.Int64),
+		col("grant_extensions", types.Int64),
+		col("extension_bytes", types.Int64),
+		col("denied_extensions", types.Int64),
 	)
 	db.cat.RegisterVirtual(&catalog.Table{Name: "v_monitor.resource_pools", Schema: poolSchema},
 		func() ([]types.Row, error) {
@@ -71,6 +74,9 @@ func (db *Database) registerMonitorTables() {
 					types.NewInt(p.TotalQueueWait.Microseconds()),
 					types.NewInt(int64(p.Priority)),
 					types.NewInt(p.RuntimeCap.Milliseconds()),
+					types.NewInt(p.GrantExtensions),
+					types.NewInt(p.ExtensionBytes),
+					types.NewInt(p.DeniedExtensions),
 				})
 			}
 			return rows, nil
@@ -84,6 +90,9 @@ func (db *Database) registerMonitorTables() {
 		col("rows_produced", types.Int64),
 		col("spills", types.Int64),
 		col("spilled_bytes", types.Int64),
+		col("grant_extensions", types.Int64),
+		col("extension_bytes", types.Int64),
+		col("denied_extensions", types.Int64),
 		col("alloc_peak_bytes", types.Int64),
 		col("queue_wait_us", types.Int64),
 		col("wall_us", types.Int64),
@@ -108,6 +117,9 @@ func (db *Database) registerMonitorTables() {
 					types.NewInt(p.Rows),
 					types.NewInt(p.Spills),
 					types.NewInt(p.SpilledBytes),
+					types.NewInt(p.GrantExtensions),
+					types.NewInt(p.ExtensionBytes),
+					types.NewInt(p.DeniedExtensions),
 					types.NewInt(p.AllocPeak),
 					types.NewInt(p.QueueWait.Microseconds()),
 					types.NewInt(p.Wall.Microseconds()),

@@ -129,11 +129,16 @@ func TestGroupByAndJoinCancel(t *testing.T) {
 	})
 }
 
-// TestSpillReportsToGrant runs a governed, spilling sort and checks the
-// grant's counters reflect the externalizations.
+// TestSpillReportsToGrant runs a governed, spilling sort on a pool whose
+// MAXMEMORYSIZE equals its grant — every renegotiation is denied, so the
+// sort externalizes and the grant's counters reflect both the spills and
+// the denied extensions.
 func TestSpillReportsToGrant(t *testing.T) {
 	gov := resmgr.NewGovernor(resmgr.Config{PoolBytes: 1 << 20, MaxConcurrency: 2})
-	grant, err := gov.Admit(context.Background())
+	if err := gov.CreatePool(resmgr.PoolConfig{Name: "tight", GrantBytes: 4 << 10, MaxMemBytes: 4 << 10}); err != nil {
+		t.Fatal(err)
+	}
+	grant, err := gov.Admit(resmgr.WithPool(context.Background(), "tight"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,10 +164,46 @@ func TestSpillReportsToGrant(t *testing.T) {
 	if qs.Spills == 0 || qs.SpilledBytes == 0 {
 		t.Fatalf("grant did not record spills: %+v", qs)
 	}
+	if qs.DeniedExtensions == 0 {
+		t.Fatalf("spilling sort did not try to renegotiate first: %+v", qs)
+	}
+	if qs.GrantExtensions != 0 {
+		t.Fatalf("capped pool granted an extension: %+v", qs)
+	}
 	if qs.AllocPeak == 0 {
 		t.Fatalf("grant did not record alloc high-water: %+v", qs)
 	}
 	if ctx.SpilledBytes.Load() != qs.SpilledBytes {
 		t.Fatalf("ctx spilled %d bytes, grant %d", ctx.SpilledBytes.Load(), qs.SpilledBytes)
+	}
+}
+
+// TestExtendBudgetShortfallFallback: when doubling the budget is denied but
+// the actual shortfall still fits the pool, extendBudget grants the smaller
+// right-sized extension instead of forcing a spill.
+func TestExtendBudgetShortfallFallback(t *testing.T) {
+	const kib = int64(1 << 10)
+	gov := resmgr.NewGovernor(resmgr.Config{PoolBytes: 384 * kib, MaxConcurrency: 1, GrantBytes: 256 * kib})
+	grant, err := gov.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer grant.Release()
+	ctx := NewCtx(1)
+	ctx.Grant = grant
+
+	// Doubling 256K would need 512K total (> 384K pool); the 4K shortfall
+	// plus one minimum grant of slack fits.
+	got := ctx.extendBudget(256*kib, 260*kib)
+	want := (260-256)*kib + resmgr.MinGrantBytes
+	if got != want {
+		t.Fatalf("shortfall extension = %d, want %d", got, want)
+	}
+	if grant.Bytes() != 256*kib+want {
+		t.Fatalf("grant bytes = %d, want %d", grant.Bytes(), 256*kib+want)
+	}
+	qs := grant.Stats()
+	if qs.DeniedExtensions != 1 || qs.GrantExtensions != 1 {
+		t.Fatalf("counters = %+v, want 1 denied (doubling) + 1 granted (shortfall)", qs)
 	}
 }

@@ -40,6 +40,8 @@ type GroupBy struct {
 	// hash state
 	groups   map[uint64][]*groupEntry
 	memUsed  int64
+	budget   int64 // starts at Ctx.MemBudget, grows by grant renegotiation
+	extDone  bool  // denied with no spill fallback: stop renegotiating
 	spills   []*spillReader
 	rowArity int
 
@@ -106,6 +108,8 @@ func (g *GroupBy) Describe() string {
 func (g *GroupBy) Open(ctx *Ctx) error {
 	g.groups = map[uint64][]*groupEntry{}
 	g.memUsed = 0
+	g.budget = ctx.MemBudget
+	g.extDone = false
 	g.spills = nil
 	g.out = nil
 	g.outPos = 0
@@ -203,10 +207,25 @@ func (g *GroupBy) consumeHash(ctx *Ctx, in *vector.Batch) error {
 		g.updateEntry(e, argVecs, in, i)
 	}
 	ctx.noteAlloc(g.memUsed)
-	if g.memUsed > ctx.MemBudget && g.canSpill() {
+	for g.memUsed > g.budget && !g.extDone {
+		// Renegotiate the grant at the spill threshold; externalize only on
+		// denial. Holistic aggregates (no partial form) cannot spill at all,
+		// so for them a granted extension also keeps the accounting honest.
+		if ext := ctx.extendBudget(g.budget, g.memUsed); ext > 0 {
+			g.budget += ext
+			continue
+		}
+		if !g.canSpill() {
+			// No spill fallback and the pool said no: memUsed stays above
+			// budget for the rest of the query, so remember the denial
+			// instead of re-asking (and re-counting) on every batch.
+			g.extDone = true
+			break
+		}
 		if err := g.spillGroups(ctx); err != nil {
 			return err
 		}
+		break
 	}
 	return nil
 }

@@ -145,11 +145,13 @@ func (j *HashJoin) Close(ctx *Ctx) error {
 	return j.inner.Close(ctx)
 }
 
-// build drains the inner input into the hash table, switching to sort-merge
-// when the memory budget is exceeded.
+// build drains the inner input into the hash table, renegotiating the grant
+// at the budget threshold and switching to sort-merge when the governor
+// denies the extension.
 func (j *HashJoin) build(ctx *Ctx) error {
 	j.table = map[uint64][]buildRow{}
 	var mem int64
+	budget := ctx.MemBudget
 	for {
 		if err := ctx.Canceled(); err != nil {
 			return err
@@ -174,10 +176,19 @@ func (j *HashJoin) build(ctx *Ctx) error {
 			mem += rowMemBytes(r) + 32
 		}
 		ctx.noteAlloc(mem)
-		if mem > ctx.MemBudget {
+		for mem > budget {
+			// Ask for more memory before abandoning the hash table: the
+			// sort-merge switch rereads the whole inner side, so growing in
+			// place is strictly cheaper while the pool has headroom.
+			if ext := ctx.extendBudget(budget, mem); ext > 0 {
+				budget += ext
+				continue
+			}
 			// Runtime algorithm switch: abandon the hash table and join by
-			// sorting both sides.
-			return j.switchToSortMerge(ctx)
+			// sorting both sides. The budget extended so far stays granted,
+			// so the inner sorter inherits it rather than re-requesting
+			// memory the query already holds.
+			return j.switchToSortMerge(ctx, budget)
 		}
 	}
 	j.built = true
@@ -351,7 +362,7 @@ func (m *mergeJoinState) close() {
 	}
 }
 
-func (j *HashJoin) switchToSortMerge(ctx *Ctx) error {
+func (j *HashJoin) switchToSortMerge(ctx *Ctx, budget int64) error {
 	j.spilled = true
 	ctx.Spills.Add(1)
 	specsOf := func(keys []int) []SortSpec {
@@ -362,7 +373,14 @@ func (j *HashJoin) switchToSortMerge(ctx *Ctx) error {
 		return out
 	}
 	m := &mergeJoinState{}
+	// The inner sorter takes over the hash table's rows and its (possibly
+	// extended) budget — those bytes are granted to this query and free now
+	// that the table is abandoned. The outer sorter starts fresh at the
+	// operator budget and renegotiates on its own.
 	m.innerSorter = newExternalSorter(ctx, specsOf(j.InnerKeys), j.inner.Schema().Len())
+	if budget > m.innerSorter.budget {
+		m.innerSorter.budget = budget
+	}
 	// Rows already in the abandoned hash table move to the sorter.
 	for _, chain := range j.table {
 		for _, br := range chain {

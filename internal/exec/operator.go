@@ -2,8 +2,25 @@
 // multi-threaded, pipelined, vectorized pull-model engine. A query plan is a
 // tree of operators; each operator's Next returns a batch of rows pulled
 // from its upstream. Operators are optimized for sorted data and can work
-// directly on run-length-encoded columns; all stateful operators accept a
-// memory budget and externalize to disk when it is exceeded.
+// directly on run-length-encoded columns.
+//
+// # Invariants
+//
+// The operator contract is strict pull-model: Open, then Next until it
+// returns (nil, nil), then Close — in that order, from a single goroutine
+// per pipeline (parallelism comes from running whole pipelines
+// concurrently, each with its own Ctx). Operators poll Ctx.Canceled at
+// batch boundaries, so a cancelled query stops within one batch and never
+// leaks spill files (Close removes them).
+//
+// Every stateful operator (sort, hash join, hash group-by) is bounded by a
+// memory budget and can handle arbitrary sized inputs regardless of the
+// memory allocated, by externalizing its buffers to disk. The budget is not
+// fixed: at the spill threshold an operator first renegotiates the query's
+// memory grant with the resource governor (Ctx.extendBudget →
+// resmgr.Grant.Request) and grows in place when the pool has headroom; it
+// spills only when the extension is denied. Ungoverned queries (nil Grant)
+// keep the static budget and spill exactly at it.
 package exec
 
 import (
@@ -73,6 +90,34 @@ func (c *Ctx) noteSpill(n int64) {
 
 // noteAlloc reports an operator's memory high-water to the grant.
 func (c *Ctx) noteAlloc(n int64) { c.Grant.ReportAlloc(n) }
+
+// extendBudget renegotiates the query's memory grant at an operator's spill
+// threshold: it asks the governor for the operator's current budget again
+// (doubling it, so repeated growth stays amortized) and returns the extra
+// bytes granted, 0 when the query runs ungoverned or the pool says no — the
+// caller spills then. When the doubling is denied but the actual shortfall
+// (used − budget, plus one minimum grant of slack) is smaller, a right-sized
+// request is tried before giving up: near pool saturation that lets an
+// operator finish in memory instead of externalizing its whole buffer over
+// a few missing kilobytes. The granted bytes belong wholly to the
+// requesting operator: the governor accounted them on this query's grant,
+// and no other operator's budget changes.
+func (c *Ctx) extendBudget(budget, used int64) int64 {
+	if c.Grant == nil || budget <= 0 {
+		return 0
+	}
+	if c.Grant.Request(budget) == nil {
+		return budget
+	}
+	short := used - budget + resmgr.MinGrantBytes
+	if short <= 0 || short >= budget {
+		return 0 // the shortfall is no smaller than the denied request
+	}
+	if c.Grant.Request(short) == nil {
+		return short
+	}
+	return 0
+}
 
 // Operator is one node of an executing plan. The contract is strict
 // pull-model: Open, then Next until it returns (nil, nil), then Close.

@@ -40,6 +40,7 @@ type Sort struct {
 
 	rows    []types.Row
 	memUsed int64
+	budget  int64 // starts at Ctx.MemBudget, grows by grant renegotiation
 	runs    []*spillReader
 	merge   *sortMerge
 	arity   int
@@ -72,6 +73,7 @@ func (s *Sort) Describe() string {
 func (s *Sort) Open(ctx *Ctx) error {
 	s.rows = nil
 	s.memUsed = 0
+	s.budget = ctx.MemBudget
 	s.runs = nil
 	s.merge = nil
 	s.sorted = false
@@ -128,10 +130,17 @@ func (s *Sort) consume(ctx *Ctx) error {
 			s.memUsed += rowMemBytes(r)
 		}
 		ctx.noteAlloc(s.memUsed)
-		if s.memUsed > ctx.MemBudget {
+		for s.memUsed > s.budget {
+			// At the spill threshold, renegotiate the grant first: grow in
+			// place while the pool has headroom, externalize only on denial.
+			if ext := ctx.extendBudget(s.budget, s.memUsed); ext > 0 {
+				s.budget += ext
+				continue
+			}
 			if err := s.spillRun(ctx); err != nil {
 				return err
 			}
+			break
 		}
 	}
 	sort.SliceStable(s.rows, func(i, j int) bool {
@@ -335,18 +344,24 @@ type externalSorter struct {
 	arity   int
 	rows    []types.Row
 	memUsed int64
+	budget  int64 // starts at Ctx.MemBudget, grows by grant renegotiation
 	runs    []*spillReader
 }
 
 func newExternalSorter(ctx *Ctx, specs []SortSpec, arity int) *externalSorter {
-	return &externalSorter{ctx: ctx, specs: specs, arity: arity}
+	return &externalSorter{ctx: ctx, specs: specs, arity: arity, budget: ctx.MemBudget}
 }
 
 func (e *externalSorter) add(r types.Row) error {
 	e.rows = append(e.rows, r)
 	e.memUsed += rowMemBytes(r)
 	e.ctx.noteAlloc(e.memUsed)
-	if e.memUsed > e.ctx.MemBudget {
+	for e.memUsed > e.budget {
+		// Renegotiate the grant before externalizing; spill on denial.
+		if ext := e.ctx.extendBudget(e.budget, e.memUsed); ext > 0 {
+			e.budget += ext
+			continue
+		}
 		return e.spill()
 	}
 	return nil

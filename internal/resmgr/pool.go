@@ -92,6 +92,11 @@ type PoolStatus struct {
 	TotalQueueWait time.Duration
 	RowsReturned   int64
 	SpilledBytes   int64
+	// Mid-flight grant renegotiation counters, aggregated over released
+	// grants (outstanding extensions already show in InUseBytes).
+	GrantExtensions  int64
+	ExtensionBytes   int64
+	DeniedExtensions int64
 }
 
 // pool is the runtime state of one named pool. All fields are guarded by the
@@ -111,6 +116,9 @@ type pool struct {
 	queueWait   time.Duration
 	rows        int64
 	spilled     int64
+	extensions  int64
+	extBytes    int64
+	deniedExt   int64
 }
 
 // maxConc is the pool's effective concurrency bound.
@@ -204,6 +212,9 @@ func (p *pool) statusLocked(g *Governor) PoolStatus {
 		TotalQueueWait:    p.queueWait,
 		RowsReturned:      p.rows,
 		SpilledBytes:      p.spilled,
+		GrantExtensions:   p.extensions,
+		ExtensionBytes:    p.extBytes,
+		DeniedExtensions:  p.deniedExt,
 	}
 }
 
@@ -369,15 +380,21 @@ type QueryProfile struct {
 	ID           int64
 	Pool         string
 	Label        string // statement text (or caller-supplied tag)
-	GrantBytes   int64
+	GrantBytes   int64  // final grant: admission bytes plus extensions
 	Rows         int64
 	Spills       int64
 	SpilledBytes int64
-	AllocPeak    int64
-	QueueWait    time.Duration
-	Wall         time.Duration
-	Started      time.Time
-	Error        string // "" on success
+	// GrantExtensions / ExtensionBytes record successful mid-flight grant
+	// renegotiations; DeniedExtensions counts refused requests (the operator
+	// spilled instead of growing).
+	GrantExtensions  int64
+	ExtensionBytes   int64
+	DeniedExtensions int64
+	AllocPeak        int64
+	QueueWait        time.Duration
+	Wall             time.Duration
+	Started          time.Time
+	Error            string // "" on success
 }
 
 // addProfileLocked appends to the bounded ring.

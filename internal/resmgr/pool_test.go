@@ -382,7 +382,7 @@ func TestPoolAPIEdgeCases(t *testing.T) {
 		t.Fatal(err)
 	}
 	if gr.Pool() != "p" || gr.Bytes() != grant || gr.QueueWait() != 0 {
-		t.Fatalf("grant metadata: pool=%q bytes=%d", gr.Pool(), gr.Bytes())
+		t.Fatalf("grant metadata: pool=%q bytes=%d wait=%s", gr.Pool(), gr.Bytes(), gr.QueueWait())
 	}
 	gr.SetError(errors.New("boom"))
 	gr.SetError(nil) // no-op

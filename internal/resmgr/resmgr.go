@@ -12,6 +12,25 @@
 // bytes come from when many statements run at once, which statement runs
 // next, and how a statement in flight is cancelled and its memory returned.
 //
+// # Invariants
+//
+// The governor maintains one global accounting invariant, checked on every
+// admission and every mid-flight grant extension:
+//
+//	granted bytes (g.inUse) + every pool's unfilled reservation ≤ PoolBytes
+//
+// so that one pool's borrowing can never consume another pool's MEMORYSIZE
+// guarantee. Per pool, in-use bytes never exceed the pool's effective
+// MAXMEMORYSIZE, and running queries never exceed the pool's concurrency
+// bound. A grant is not a fixed ceiling: Grant.Request extends an admitted
+// query's grant from the pool's current headroom (own reservation first,
+// then borrowed general memory) without re-queueing; outstanding extensions
+// count as in-use, so concurrent admissions see them. Requests that no
+// future release could ever satisfy — the extended grant would exceed the
+// pool's MAXMEMORYSIZE, or the reservations of other pools structurally
+// exclude it — fail fast with an error naming the binding limit instead of
+// a retriable denial.
+//
 // Usage:
 //
 //	gov := resmgr.NewGovernor(resmgr.Config{PoolBytes: 32 << 20, MaxConcurrency: 2})
@@ -21,6 +40,7 @@
 //	if err != nil { ... }                 // ErrQueueTimeout or ctx.Err()
 //	defer grant.Release()                 // returns memory + slot, wakes queue
 //	budget := grant.OperatorBudget(nPipelines)
+//	if grant.Request(64 << 10) == nil { budget += 64 << 10 } // renegotiate, else spill
 package resmgr
 
 import (
@@ -44,6 +64,26 @@ const (
 // ErrQueueTimeout is returned by Admit when a query waits in the admission
 // queue longer than its pool's queue timeout.
 var ErrQueueTimeout = errors.New("resmgr: admission queue timeout")
+
+// ErrExtensionDenied is returned by Grant.Request when the pool has no
+// headroom for the extension right now. The request was feasible — a later
+// retry may succeed once other queries release — but renegotiation never
+// queues, so the caller should fall back to externalizing (spilling).
+var ErrExtensionDenied = errors.New("resmgr: grant extension denied: pool has no headroom")
+
+// InfeasibleError marks a grant request — admission or mid-flight extension
+// — that no release can ever satisfy under the current pool configuration
+// (it exceeds the pool's MAXMEMORYSIZE, or other pools' reservations
+// structurally exclude it from the global pool). Callers distinguish it
+// from retriable queue/headroom failures with errors.As; the message names
+// the binding limit.
+type InfeasibleError struct{ msg string }
+
+func (e *InfeasibleError) Error() string { return e.msg }
+
+func infeasiblef(format string, args ...interface{}) error {
+	return &InfeasibleError{msg: fmt.Sprintf(format, args...)}
+}
 
 // Config sets the governor's knobs.
 type Config struct {
@@ -91,6 +131,12 @@ type Stats struct {
 	// RowsReturned, SpilledBytes aggregate released grants' counters.
 	RowsReturned int64
 	SpilledBytes int64
+	// GrantExtensions / ExtensionBytes count mid-flight renegotiations that
+	// succeeded across released grants; DeniedExtensions counts requests
+	// refused (the operator spilled instead).
+	GrantExtensions  int64
+	ExtensionBytes   int64
+	DeniedExtensions int64
 }
 
 // waiter is one queued admission request.
@@ -120,6 +166,9 @@ type Governor struct {
 	queueWait   time.Duration
 	rows        int64
 	spilled     int64
+	extensions  int64
+	extBytes    int64
+	deniedExt   int64
 
 	// query profile ring (under mu)
 	profileSeq int64
@@ -186,6 +235,22 @@ func (g *Governor) AdmitBytes(ctx context.Context, bytes int64) (*Grant, error) 
 // AdmitPoolBytes admits against a named pool ("" = general) with an explicit
 // grant size (<= 0 takes the pool default).
 func (g *Governor) AdmitPoolBytes(ctx context.Context, poolName string, bytes int64) (*Grant, error) {
+	return g.admitSince(ctx, poolName, bytes, time.Now(), false)
+}
+
+// AdmitPoolBytesSince is AdmitPoolBytes with a caller-supplied enqueue time,
+// so an admission retried after a failed attempt (e.g. a plan-sized request
+// falling back to the pool default) charges the whole stall to the grant's
+// queue-wait accounting instead of just the final attempt.
+func (g *Governor) AdmitPoolBytesSince(ctx context.Context, poolName string, bytes int64, enqueued time.Time) (*Grant, error) {
+	return g.admitSince(ctx, poolName, bytes, enqueued, true)
+}
+
+// admitSince implements admission. credit selects whether an immediate
+// (fast-path) admission still charges time.Since(enqueued) as queue wait:
+// plain admissions record zero — queue_wait_us means time spent queued, not
+// lock/setup noise — while retried admissions carry their prior stall.
+func (g *Governor) admitSince(ctx context.Context, poolName string, bytes int64, enqueued time.Time, credit bool) (*Grant, error) {
 	if poolName == "" {
 		poolName = GeneralPool
 	}
@@ -193,7 +258,6 @@ func (g *Governor) AdmitPoolBytes(ctx context.Context, poolName string, bytes in
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	enqueued := time.Now()
 	g.mu.Lock()
 	p, ok := g.pools[poolName]
 	if !ok {
@@ -205,33 +269,27 @@ func (g *Governor) AdmitPoolBytes(ctx context.Context, poolName string, bytes in
 	}
 	if bytes > p.capBytes(g) {
 		g.mu.Unlock()
-		return nil, fmt.Errorf("resmgr: grant %d bytes exceeds pool %q limit of %d bytes",
+		return nil, infeasiblef("resmgr: grant %d bytes exceeds pool %q limit of %d bytes",
 			bytes, poolName, p.capBytes(g))
 	}
 	// Fail fast on requests no amount of draining can satisfy: even with
 	// every other pool idle (reservations fully unfilled), the grant plus
 	// all outstanding guarantees must fit the global pool — otherwise the
 	// waiter would sit in the queue until timeout (or forever).
-	floor := bytes
-	for _, name := range g.order {
-		q := g.pools[name]
-		if q == p {
-			if q.cfg.MemBytes > bytes {
-				floor += q.cfg.MemBytes - bytes
-			}
-			continue
-		}
-		floor += q.cfg.MemBytes
-	}
+	floor := g.feasibilityFloorLocked(p, bytes)
 	if floor > g.cfg.PoolBytes {
 		g.mu.Unlock()
-		return nil, fmt.Errorf("resmgr: grant %d bytes on pool %q can never be admitted: other pools reserve %d of the %d-byte global pool",
+		return nil, infeasiblef("resmgr: grant %d bytes on pool %q can never be admitted: other pools reserve %d of the %d-byte global pool",
 			bytes, poolName, floor-bytes, g.cfg.PoolBytes)
 	}
 	// Fast path: nothing queued ahead in this pool and resources free.
 	if len(p.queue) == 0 && g.canAdmitLocked(p, bytes) {
 		g.reserveLocked(p, bytes)
-		gr := g.newGrantLocked(p, bytes, 0, label)
+		var wait time.Duration
+		if credit {
+			wait = time.Since(enqueued)
+		}
+		gr := g.newGrantLocked(p, bytes, wait, label)
 		g.mu.Unlock()
 		return gr, nil
 	}
@@ -278,6 +336,133 @@ func (g *Governor) AdmitPoolBytes(ctx context.Context, poolName string, bytes in
 	}
 }
 
+// TryAdmitSince admits immediately if the pool can place the grant right
+// now — a free slot, memory available, nobody queued ahead — and reports
+// false otherwise without ever enqueueing. Fallback admissions (a
+// plan-sized request retrying at the pool default after a queue timeout)
+// use it so the retry cannot double-count queue statistics or record a
+// phantom cancellation; the enqueue time carries the stall of the failed
+// first attempt into the grant's queue-wait accounting.
+func (g *Governor) TryAdmitSince(ctx context.Context, poolName string, bytes int64, enqueued time.Time) (*Grant, bool) {
+	if poolName == "" {
+		poolName = GeneralPool
+	}
+	if ctx.Err() != nil {
+		return nil, false // canceled caller: don't admit a dead statement
+	}
+	label := LabelFromContext(ctx)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	p, ok := g.pools[poolName]
+	if !ok {
+		return nil, false
+	}
+	if bytes <= 0 {
+		bytes = p.grantSize(g)
+	}
+	if len(p.queue) > 0 || !g.canAdmitLocked(p, bytes) {
+		return nil, false
+	}
+	g.reserveLocked(p, bytes)
+	return g.newGrantLocked(p, bytes, time.Since(enqueued), label), true
+}
+
+// SizeGrant sizes an admission request for a plan that estimated its working
+// memory: a want at or below the pool's default grant is requested as-is
+// (small well-estimated queries leave room for more concurrency), while a
+// want above the default is raised into whatever headroom exists right now —
+// the pool's own unfilled reservation plus free borrowable general memory —
+// instead of being clamped down to the default, bounded by the pool's
+// MAXMEMORYSIZE. Large plans therefore admit with a grant they can actually
+// run in and renegotiate (Grant.Request) only for estimate error, not for
+// the whole overshoot. Returns 0 (meaning "use the pool default") for
+// unknown pools or non-positive wants; results are floored at MinGrantBytes
+// and at the pool default, so sizing never regresses below what the static
+// split would have granted.
+func (g *Governor) SizeGrant(poolName string, want int64) int64 {
+	if want <= 0 {
+		return 0
+	}
+	if poolName == "" {
+		poolName = GeneralPool
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	p, ok := g.pools[poolName]
+	if !ok {
+		return 0
+	}
+	if want < MinGrantBytes {
+		want = MinGrantBytes
+	}
+	def := p.grantSize(g)
+	if want <= def {
+		return want
+	}
+	// Headroom right now: free global memory after honoring every *other*
+	// pool's unfilled reservation. By the governor invariant (in-use plus
+	// all unfilled reservations ≤ PoolBytes) this is never less than the
+	// pool's own unfilled reservation, so the one quantity covers both the
+	// reservation-first and borrow-from-general sources.
+	free := g.cfg.PoolBytes - g.inUse - g.reservationShortfallLocked(p)
+	max := def
+	if free > max {
+		max = free
+	}
+	// The pool ceiling binds on live use, not the configured cap alone: a
+	// request sized past capBytes - inUse would just queue behind the
+	// pool's own running queries for the full timeout.
+	if c := p.capBytes(g) - p.inUse; max > c {
+		max = c
+	}
+	if want > max {
+		want = max
+	}
+	if want < def {
+		want = def // never below the static split the pool would grant anyway
+	}
+	return want
+}
+
+// reservationShortfallLocked sums every pool's unfilled reservation
+// (max(0, MEMORYSIZE − in-use)), skipping the given pool — the memory the
+// governor must keep claimable for other pools' guarantees. Caller holds
+// g.mu.
+func (g *Governor) reservationShortfallLocked(skip *pool) int64 {
+	var short int64
+	for _, name := range g.order {
+		q := g.pools[name]
+		if q == skip {
+			continue
+		}
+		if s := q.cfg.MemBytes - q.inUse; s > 0 {
+			short += s
+		}
+	}
+	return short
+}
+
+// feasibilityFloorLocked is the least global memory that must exist for a
+// query of the given grant on pool p to ever run: its bytes plus every
+// pool's reservation taken as fully unfilled (other queries are transient,
+// reservations are not). Admission and grant extension both compare this
+// floor against PoolBytes to fail structurally impossible requests fast.
+// Caller holds g.mu.
+func (g *Governor) feasibilityFloorLocked(p *pool, bytes int64) int64 {
+	floor := bytes
+	for _, name := range g.order {
+		q := g.pools[name]
+		if q == p {
+			if q.cfg.MemBytes > bytes {
+				floor += q.cfg.MemBytes - bytes
+			}
+			continue
+		}
+		floor += q.cfg.MemBytes
+	}
+	return floor
+}
+
 // canAdmitLocked decides whether pool p can start a query of the given grant
 // right now: a free slot, under the pool's own ceiling, and — the
 // borrow-from-general rule — enough global memory left after honoring every
@@ -286,22 +471,22 @@ func (g *Governor) canAdmitLocked(p *pool, bytes int64) bool {
 	if p.running >= p.maxConc(g) {
 		return false
 	}
+	return g.memoryFitsLocked(p, bytes)
+}
+
+// memoryFitsLocked is the memory half of admission, shared with mid-flight
+// grant extension (which holds its slot already): the added bytes must keep
+// the pool under its own ceiling, and — the borrow-from-general rule —
+// enough global memory must remain after honoring every pool's outstanding
+// reservation (computed as if the bytes were placed), so one pool's
+// borrowing can never consume another pool's guarantee. Caller holds g.mu.
+func (g *Governor) memoryFitsLocked(p *pool, bytes int64) bool {
 	if p.inUse+bytes > p.capBytes(g) {
 		return false
 	}
-	// Global fit: granted bytes plus every pool's unfilled reservation
-	// (computed as if this grant were placed) must fit the global pool, so
-	// one pool's borrowing can never consume another pool's guarantee.
-	need := g.inUse + bytes
-	for _, name := range g.order {
-		q := g.pools[name]
-		iu := q.inUse
-		if q == p {
-			iu += bytes
-		}
-		if q.cfg.MemBytes > iu {
-			need += q.cfg.MemBytes - iu
-		}
+	need := g.inUse + bytes + g.reservationShortfallLocked(p)
+	if own := p.cfg.MemBytes - (p.inUse + bytes); own > 0 {
+		need += own
 	}
 	return need <= g.cfg.PoolBytes
 }
@@ -327,8 +512,10 @@ func (g *Governor) newGrantLocked(p *pool, bytes int64, wait time.Duration, labe
 	g.queueWait += wait
 	p.admitted++
 	p.queueWait += wait
-	return &Grant{gov: g, pool: p, bytes: bytes, label: label, queueWait: wait,
+	gr := &Grant{gov: g, pool: p, label: label, queueWait: wait,
 		runtimeCap: p.cfg.RuntimeCap, started: time.Now()}
+	gr.bytes.Store(bytes)
+	return gr
 }
 
 // abandon removes w from its pool's queue if it has not been granted,
@@ -388,34 +575,46 @@ func (g *Governor) dispatchLocked() {
 	}
 }
 
-// release returns a grant's resources, records its profile and wakes queues.
+// release returns a grant's resources — the admitted bytes plus every
+// mid-flight extension — records its profile and wakes queues.
 func (g *Governor) release(gr *Grant) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	p := gr.pool
+	bytes := gr.bytes.Load()
 	g.running--
-	g.inUse -= gr.bytes
+	g.inUse -= bytes
 	p.running--
-	p.inUse -= gr.bytes
+	p.inUse -= bytes
 	rows, spilled := gr.rows.Load(), gr.spilledBytes.Load()
+	exts, extBytes, denied := gr.extensions.Load(), gr.extensionBytes.Load(), gr.deniedExtensions.Load()
 	g.rows += rows
 	g.spilled += spilled
+	g.extensions += exts
+	g.extBytes += extBytes
+	g.deniedExt += denied
 	p.rows += rows
 	p.spilled += spilled
+	p.extensions += exts
+	p.extBytes += extBytes
+	p.deniedExt += denied
 	g.profileSeq++
 	g.addProfileLocked(QueryProfile{
-		ID:           g.profileSeq,
-		Pool:         p.cfg.Name,
-		Label:        gr.label,
-		GrantBytes:   gr.bytes,
-		Rows:         rows,
-		Spills:       gr.spills.Load(),
-		SpilledBytes: spilled,
-		AllocPeak:    gr.allocPeak.Load(),
-		QueueWait:    gr.queueWait,
-		Wall:         time.Since(gr.started),
-		Started:      gr.started,
-		Error:        gr.errMsg,
+		ID:               g.profileSeq,
+		Pool:             p.cfg.Name,
+		Label:            gr.label,
+		GrantBytes:       bytes,
+		Rows:             rows,
+		Spills:           gr.spills.Load(),
+		SpilledBytes:     spilled,
+		GrantExtensions:  exts,
+		ExtensionBytes:   extBytes,
+		DeniedExtensions: denied,
+		AllocPeak:        gr.allocPeak.Load(),
+		QueueWait:        gr.queueWait,
+		Wall:             time.Since(gr.started),
+		Started:          gr.started,
+		Error:            gr.errMsg,
 	})
 	g.dispatchLocked()
 }
@@ -452,57 +651,124 @@ func (g *Governor) Stats() Stats {
 		waiting += len(p.queue)
 	}
 	return Stats{
-		Admitted:       g.admitted,
-		Queued:         g.queuedTotal,
-		TimedOut:       g.timedOut,
-		Canceled:       g.canceled,
-		Running:        g.running,
-		Waiting:        waiting,
-		InUseBytes:     g.inUse,
-		PoolBytes:      g.cfg.PoolBytes,
-		PeakRunning:    g.peakRunning,
-		TotalQueueWait: g.queueWait,
-		RowsReturned:   g.rows,
-		SpilledBytes:   g.spilled,
+		Admitted:         g.admitted,
+		Queued:           g.queuedTotal,
+		TimedOut:         g.timedOut,
+		Canceled:         g.canceled,
+		Running:          g.running,
+		Waiting:          waiting,
+		InUseBytes:       g.inUse,
+		PoolBytes:        g.cfg.PoolBytes,
+		PeakRunning:      g.peakRunning,
+		TotalQueueWait:   g.queueWait,
+		RowsReturned:     g.rows,
+		SpilledBytes:     g.spilled,
+		GrantExtensions:  g.extensions,
+		ExtensionBytes:   g.extBytes,
+		DeniedExtensions: g.deniedExt,
 	}
 }
 
 // String renders the snapshot for \stats-style display.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"pool %d/%d bytes, running %d (peak %d), waiting %d, admitted %d (queued %d, timeout %d, canceled %d), queue-wait %s, rows %d, spilled %d bytes",
+		"pool %d/%d bytes, running %d (peak %d), waiting %d, admitted %d (queued %d, timeout %d, canceled %d), queue-wait %s, rows %d, spilled %d bytes, extensions %d (+%d bytes, denied %d)",
 		s.InUseBytes, s.PoolBytes, s.Running, s.PeakRunning, s.Waiting,
 		s.Admitted, s.Queued, s.TimedOut, s.Canceled, s.TotalQueueWait,
-		s.RowsReturned, s.SpilledBytes)
+		s.RowsReturned, s.SpilledBytes, s.GrantExtensions, s.ExtensionBytes, s.DeniedExtensions)
 }
 
 // Grant is one query's admission: a slice of the pool plus runtime counters
 // the executor reports into. All methods are safe on a nil receiver so the
 // execution engine can run ungoverned (tests, embedded use) without
-// branching.
+// branching. A grant is a negotiated budget, not a fixed ceiling: Request
+// extends it mid-flight from the pool's headroom.
 type Grant struct {
 	gov        *Governor
 	pool       *pool
-	bytes      int64
 	label      string
 	queueWait  time.Duration
 	runtimeCap time.Duration
 	started    time.Time
 	errMsg     string // set by SetError before Release
 
-	released     atomic.Bool
-	rows         atomic.Int64
-	spilledBytes atomic.Int64
-	spills       atomic.Int64
-	allocPeak    atomic.Int64
+	// bytes is the current grant size: the admitted bytes plus every
+	// successful extension. Written under gov.mu (admission, Request); read
+	// lock-free by concurrent pipelines (OperatorBudget, Bytes).
+	bytes atomic.Int64
+
+	released         atomic.Bool
+	rows             atomic.Int64
+	spilledBytes     atomic.Int64
+	spills           atomic.Int64
+	allocPeak        atomic.Int64
+	extensions       atomic.Int64
+	extensionBytes   atomic.Int64
+	deniedExtensions atomic.Int64
 }
 
-// Bytes is the total memory granted to the query.
+// Bytes is the memory currently granted to the query (admission grant plus
+// extensions).
 func (gr *Grant) Bytes() int64 {
 	if gr == nil {
 		return 0
 	}
-	return gr.bytes
+	return gr.bytes.Load()
+}
+
+// Request renegotiates the grant mid-flight, asking the governor for extra
+// more bytes from the pool's headroom — the pool's own unfilled reservation
+// first, then borrowed general memory — without re-queueing. On success the
+// grant grows by exactly extra and nil is returned; the extended bytes count
+// as in-use immediately, so concurrent admissions and other pools' borrowing
+// see them.
+//
+// A denial is never queued: ErrExtensionDenied means the pool has no
+// headroom right now (the caller should externalize instead), while a
+// structurally infeasible request — the extended grant would exceed the
+// pool's MAXMEMORYSIZE, or other pools' reservations exclude it from the
+// global pool for good — fails fast with an error naming the binding limit,
+// mirroring the admission-time feasibility check. Both denials are counted
+// in the grant's denied_extensions.
+func (gr *Grant) Request(extra int64) error {
+	if gr == nil {
+		return ErrExtensionDenied // ungoverned query: no pool to extend from
+	}
+	if extra <= 0 {
+		return fmt.Errorf("resmgr: grant extension must be positive, got %d", extra)
+	}
+	g, p := gr.gov, gr.pool
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	// Checked under g.mu: release() also runs under g.mu after flipping the
+	// flag, so a Request racing with Release either sees released here or
+	// lands its bytes before release() reads them — never a leak.
+	if gr.released.Load() {
+		return fmt.Errorf("resmgr: grant extension after release")
+	}
+	cur := gr.bytes.Load()
+	// Fail fast on requests no release can ever satisfy, naming the limit.
+	if c := p.capBytes(g); cur+extra > c {
+		gr.deniedExtensions.Add(1)
+		return infeasiblef("resmgr: extension of %d bytes on pool %q is infeasible: grant %d + extension exceeds the pool's maxmemorysize of %d bytes",
+			extra, p.cfg.Name, cur, c)
+	}
+	floor := g.feasibilityFloorLocked(p, cur+extra)
+	if floor > g.cfg.PoolBytes {
+		gr.deniedExtensions.Add(1)
+		return infeasiblef("resmgr: extension of %d bytes on pool %q is infeasible: other pools reserve %d of the %d-byte global pool",
+			extra, p.cfg.Name, floor-(cur+extra), g.cfg.PoolBytes)
+	}
+	if !g.memoryFitsLocked(p, extra) {
+		gr.deniedExtensions.Add(1)
+		return ErrExtensionDenied
+	}
+	g.inUse += extra
+	p.inUse += extra
+	gr.bytes.Add(extra)
+	gr.extensions.Add(1)
+	gr.extensionBytes.Add(extra)
+	return nil
 }
 
 // Pool is the name of the pool the grant was admitted on.
@@ -513,8 +779,8 @@ func (gr *Grant) Pool() string {
 	return gr.pool.cfg.Name
 }
 
-// OperatorBudget divides the grant across n concurrent pipelines, matching
-// the paper's per-operator budget model. n < 1 is treated as 1.
+// OperatorBudget divides the current grant across n concurrent pipelines,
+// matching the paper's per-operator budget model. n < 1 is treated as 1.
 func (gr *Grant) OperatorBudget(n int) int64 {
 	if gr == nil {
 		return 0
@@ -522,7 +788,7 @@ func (gr *Grant) OperatorBudget(n int) int64 {
 	if n < 1 {
 		n = 1
 	}
-	b := gr.bytes / int64(n)
+	b := gr.bytes.Load() / int64(n)
 	if b < MinGrantBytes {
 		b = MinGrantBytes // floor: an operator can always buffer one batch
 	}
@@ -593,8 +859,14 @@ type QueryStats struct {
 	Spills       int64
 	SpilledBytes int64
 	AllocPeak    int64
-	QueueWait    time.Duration
-	WallTime     time.Duration
+	// GrantExtensions / ExtensionBytes record successful mid-flight grant
+	// renegotiations; DeniedExtensions counts refused requests (each one
+	// typically followed by an operator spill).
+	GrantExtensions  int64
+	ExtensionBytes   int64
+	DeniedExtensions int64
+	QueueWait        time.Duration
+	WallTime         time.Duration
 }
 
 // Stats snapshots the grant's counters; WallTime runs until Release.
@@ -603,12 +875,15 @@ func (gr *Grant) Stats() QueryStats {
 		return QueryStats{}
 	}
 	return QueryStats{
-		Rows:         gr.rows.Load(),
-		Spills:       gr.spills.Load(),
-		SpilledBytes: gr.spilledBytes.Load(),
-		AllocPeak:    gr.allocPeak.Load(),
-		QueueWait:    gr.queueWait,
-		WallTime:     time.Since(gr.started),
+		Rows:             gr.rows.Load(),
+		Spills:           gr.spills.Load(),
+		SpilledBytes:     gr.spilledBytes.Load(),
+		AllocPeak:        gr.allocPeak.Load(),
+		GrantExtensions:  gr.extensions.Load(),
+		ExtensionBytes:   gr.extensionBytes.Load(),
+		DeniedExtensions: gr.deniedExtensions.Load(),
+		QueueWait:        gr.queueWait,
+		WallTime:         time.Since(gr.started),
 	}
 }
 

@@ -8,10 +8,23 @@
 // path), persisted in the catalog next to their table, and consumed by the
 // optimizer's estimation layer.
 //
+// # Invariants
+//
 // Everything in this package is deterministic for a given input sequence:
 // the value sample uses a seeded xorshift reservoir, so repeated ANALYZE
 // runs over identical data produce identical statistics (and identical
-// plans, and identical EXPLAIN goldens).
+// plans, identical EXPLAIN goldens, and identical plan-derived memory
+// grants). Statistics are a consistent snapshot of one scan — RowCount ≥
+// NullCount, Min ≤ Max over non-null values, and histogram bucket
+// populations sum to the sampled (non-null) rows — but they are not kept
+// fresh: DML after ANALYZE_STATISTICS does not invalidate them, so
+// estimates derived from stale statistics may be arbitrarily wrong while
+// remaining well-formed. Estimation functions clamp to [0, RowCount] and
+// fall back to shape heuristics rather than extrapolate beyond the
+// observed min/max. Histograms are built over a bounded reservoir sample
+// and scaled to the full row count, so bucket boundaries are approximate
+// on very large columns while NDV and min/max come from sketches over
+// every value.
 package stats
 
 import (
