@@ -7,7 +7,7 @@ SERVE_ADDR ?= :5433
 MEM_POOL   ?= 256MB
 MAX_CONC   ?= 4
 
-.PHONY: all build test race lint bench serve fmt fuzz cover sqltest-update docs-check
+.PHONY: all build test race lint bench bench-json serve fmt fuzz cover sqltest-update docs-check
 
 all: build test docs-check
 
@@ -27,6 +27,12 @@ lint:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+# Parallel-scaling benchmark as machine-readable JSON (ns/op + rows/s for
+# serial vs 4-way parallel agg/join/sort, with derived speedups). Override
+# BENCH_ITERS (e.g. 1x for a CI smoke) and BENCH_OUT as needed.
+bench-json:
+	sh scripts/bench_json.sh
 
 # Short fuzz smoke, mirroring CI (10s per target).
 fuzz:

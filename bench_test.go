@@ -7,6 +7,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -537,4 +538,129 @@ func BenchmarkConcurrentWorkload(b *testing.B) {
 	}
 	b.Run("admission-2-slots", func(b *testing.B) { run(b, 2) })
 	b.Run("unbounded", func(b *testing.B) { run(b, clients) })
+}
+
+// --- PR 5: intra-node parallel scaling ------------------------------------
+
+var (
+	psOnce  sync.Once
+	psDBs   map[int]*core.Database
+	psDirs  []string
+	psSetup sync.Mutex
+)
+
+// cleanupParallelScaling removes the fixture databases (registered as the
+// top-level benchmark's cleanup, after every sub-benchmark has run).
+func cleanupParallelScaling() {
+	psSetup.Lock()
+	defer psSetup.Unlock()
+	for _, d := range psDirs {
+		os.RemoveAll(d)
+	}
+	psDirs = nil
+	psDBs = map[int]*core.Database{}
+}
+
+// parallelScalingDB returns a database loaded with the parallel-scaling
+// fixture, opened at the given intra-node parallelism. The fixture is a
+// 400k-row fact (k unique, grp with 100k groups, dk foreign key, v float)
+// loaded in 8 direct chunks (so worker scans have ROS containers to
+// split) plus a 200k-row dimension — both sized so the serial hash tables
+// fall well out of cache and the partitioned parallel shapes have
+// something to win.
+func parallelScalingDB(b *testing.B, parallelism int) *core.Database {
+	b.Helper()
+	psSetup.Lock()
+	defer psSetup.Unlock()
+	psOnce.Do(func() { psDBs = map[int]*core.Database{} })
+	if db, ok := psDBs[parallelism]; ok {
+		return db
+	}
+	// Not b.TempDir(): the database outlives the sub-benchmark that first
+	// opened it, so its storage must survive that benchmark's cleanup.
+	dir, err := os.MkdirTemp("", "bench-parallel-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	psDirs = append(psDirs, dir)
+	db, err := core.Open(core.Options{
+		Dir:         dir,
+		TempDir:     dir,
+		Parallelism: parallelism,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	db.MustExecute(`CREATE TABLE psales (k INT, grp INT, dk INT, v FLOAT)`)
+	db.MustExecute(`CREATE PROJECTION psales_super ON psales (k, grp, dk, v)
+		ORDER BY k SEGMENTED BY HASH(k)`)
+	db.MustExecute(`CREATE TABLE pdim (id INT, w FLOAT)`)
+	db.MustExecute(`CREATE PROJECTION pdim_super ON pdim (id, w) ORDER BY id SEGMENTED BY HASH(id)`)
+	const n, chunks = 400_000, 8
+	for c := 0; c < chunks; c++ {
+		rows := make([]types.Row, n/chunks)
+		for i := range rows {
+			g := c*(n/chunks) + i
+			rows[i] = types.Row{
+				types.NewInt(int64(g)),
+				types.NewInt(int64(g % 100_000)),
+				types.NewInt(int64(g * 7 % 200_000)),
+				types.NewFloat(float64(g%9973) + 0.5),
+			}
+		}
+		if err := db.Load("psales", rows, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+	dim := make([]types.Row, 200_000)
+	for i := range dim {
+		dim[i] = types.Row{types.NewInt(int64(i)), types.NewFloat(float64(i) * 0.25)}
+	}
+	if err := db.Load("pdim", dim, true); err != nil {
+		b.Fatal(err)
+	}
+	psDBs[parallelism] = db
+	return db
+}
+
+// BenchmarkParallelScaling measures the intra-node parallel shapes against
+// their serial equivalents on the same data: parallel aggregation
+// (Figure 3 worker scans + batch-native resegment), partitioned parallel
+// hash join (both sides resegmented on the join key), and parallel sort
+// (round-robin split + order-preserving merge). rows/s is the fact-table
+// throughput; scale the speedup by the host's core count — on a single-CPU
+// host the parallel numbers mostly measure exchange overhead.
+func BenchmarkParallelScaling(b *testing.B) {
+	b.Cleanup(cleanupParallelScaling)
+	workloads := []struct {
+		name string
+		sql  string
+		rows int
+	}{
+		{"agg", `SELECT grp, COUNT(*) AS n, SUM(v) AS s FROM psales GROUP BY grp`, 100_000},
+		{"join", `SELECT COUNT(*) AS n, SUM(w) AS s FROM psales JOIN pdim ON dk = id`, 1},
+		{"sort", `SELECT k, v FROM psales ORDER BY v`, 400_000},
+	}
+	for _, w := range workloads {
+		for _, cfg := range []struct {
+			name string
+			par  int
+		}{{"serial", 1}, {"parallel4", 4}} {
+			b.Run(w.name+"/"+cfg.name, func(b *testing.B) {
+				db := parallelScalingDB(b, cfg.par)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := db.Execute(w.sql)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(res.Rows) != w.rows {
+						b.Fatalf("rows = %d, want %d", len(res.Rows), w.rows)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(400_000)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+			})
+		}
+	}
 }

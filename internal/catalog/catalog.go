@@ -124,6 +124,8 @@ type PoolDef struct {
 	Priority       int   `json:"priority,omitempty"`
 	// RuntimeCapMS bounds statement execution time (0 = uncapped).
 	RuntimeCapMS int64 `json:"runtime_cap_ms,omitempty"`
+	// Parallelism is the pool's intra-node parallel degree (0 = default).
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // Catalog is the cluster-wide metadata store.

@@ -154,11 +154,17 @@ func (c *Cluster) RunAtCtx(ctx context.Context, q *optimizer.LogicalQuery, opts 
 			return nil, err
 		}
 	}
+	// Per-pool PARALLELISM: the admitted pool's degree overrides the engine
+	// default for this statement. The probe ran with the engine default,
+	// but per-node plans are rebuilt below with the effective degree.
+	if pp := grant.Parallelism(); pp > 0 {
+		opts.Parallelism = pp
+	}
 	allReplicated := c.allReplicated(probe)
 	localFinal := allReplicated || allVirtual || c.N() == 1 || c.groupsColocated(q, probe)
 
 	// Build the per-node logical query and initiator merge pipeline.
-	nodeQ, merge, err := buildDistributedAgg(q, localFinal)
+	nodeQ, merge, err := buildDistributedAgg(q, localFinal, c.N() == 1)
 	if err != nil {
 		return nil, err
 	}
@@ -201,11 +207,20 @@ func (c *Cluster) RunAtCtx(ctx context.Context, q *optimizer.LogicalQuery, opts 
 
 	// Execute node plans in parallel (the MPP step). Each node pipeline
 	// shares the query's admission grant; the per-operator budget splits the
-	// grant across the concurrent pipelines. The split is computed once,
-	// before any pipeline starts: a pipeline's mid-flight grant extension
-	// belongs to the operator that requested it, and must not inflate the
-	// initial budget of a sibling whose goroutine happens to start later.
-	pipelineBudget := grant.OperatorBudget(len(runs))
+	// grant across the concurrent pipelines — and, when a plan fans out
+	// intra-node parallel workers, across those workers too, so a parallel
+	// plan shares one grant instead of multiplying it. The split is computed
+	// once, before any pipeline starts: a pipeline's mid-flight grant
+	// extension belongs to the operator that requested it, and must not
+	// inflate the initial budget of a sibling whose goroutine happens to
+	// start later.
+	workers := 1
+	for _, r := range runs {
+		if r.plan.Workers > workers {
+			workers = r.plan.Workers
+		}
+	}
+	pipelineBudget := grant.OperatorBudget(len(runs) * workers)
 	var mu sync.Mutex
 	var firstErr error
 	var partials []types.Row
@@ -521,7 +536,18 @@ func (c *Cluster) planBuddySegment(q *optimizer.LogicalQuery, opts optimizer.Pla
 type mergeFunc func(partials []types.Row, nodeSchema *types.Schema, ectx *exec.Ctx) ([]types.Row, *types.Schema, error)
 
 // buildDistributedAgg derives the per-node query and the initiator merge.
-func buildDistributedAgg(q *optimizer.LogicalQuery, localFinal bool) (*optimizer.LogicalQuery, mergeFunc, error) {
+// On a single-node cluster the node plan computes the complete result —
+// HAVING, DISTINCT, ORDER BY and LIMIT included — and the initiator is a
+// passthrough: that routes the whole query through the optimizer, so its
+// intra-node parallel sort/DISTINCT shapes apply, and removes the redundant
+// initiator re-sort the distributed split would otherwise do.
+func buildDistributedAgg(q *optimizer.LogicalQuery, localFinal, singleNode bool) (*optimizer.LogicalQuery, mergeFunc, error) {
+	if singleNode {
+		merge := func(partials []types.Row, schema *types.Schema, _ *exec.Ctx) ([]types.Row, *types.Schema, error) {
+			return partials, schema, nil
+		}
+		return q, merge, nil
+	}
 	finishLocal := func(partials []types.Row, schema *types.Schema, ectx *exec.Ctx, ops func(exec.Operator) exec.Operator) ([]types.Row, *types.Schema, error) {
 		src := exec.NewValues(schema, partials)
 		root := ops(src)

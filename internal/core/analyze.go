@@ -69,7 +69,7 @@ func (db *Database) execAnalyze(ctx context.Context, st *sql.AnalyzeStmt) (*Resu
 		q.SelectExprs = append(q.SelectExprs, expr.NewColRef(c, col.Typ, col.Name))
 		q.SelectNames = append(q.SelectNames, col.Name)
 	}
-	res, err := db.cluster.RunCtx(ctx, q, optimizer.PlanOpts{Parallelism: db.opts.Parallelism})
+	res, err := db.cluster.RunCtx(ctx, q, optimizer.PlanOpts{Parallelism: db.opts.Parallelism, ForceParallel: db.opts.ForceParallel})
 	if err != nil {
 		return nil, err
 	}

@@ -45,6 +45,10 @@ type Options struct {
 	K int
 	// Parallelism enables intra-node parallel plans (Figure 3) when > 1.
 	Parallelism int
+	// ForceParallel drops the planner's cardinality gate so parallel shapes
+	// plan even for tiny inputs — a testing knob for the parallel-vs-serial
+	// differential oracle, not a production setting.
+	ForceParallel bool
 	// DirectLoadRowThreshold: Load calls with at least this many rows go
 	// straight to the ROS (paper §7, "Direct Loading to the ROS").
 	DirectLoadRowThreshold int
@@ -463,6 +467,9 @@ func poolConfigOf(name string, o sql.PoolOpts) resmgr.PoolConfig {
 	if o.RuntimeCapMS != nil {
 		cfg.RuntimeCap = time.Duration(*o.RuntimeCapMS) * time.Millisecond
 	}
+	if o.Parallelism != nil {
+		cfg.Parallelism = int(*o.Parallelism)
+	}
 	return cfg
 }
 
@@ -476,6 +483,7 @@ func poolDefOf(cfg resmgr.PoolConfig) catalog.PoolDef {
 		PlannedConcurrency: cfg.PlannedConcurrency,
 		MaxConcurrency:     cfg.MaxConcurrency,
 		Priority:           cfg.Priority,
+		Parallelism:        cfg.Parallelism,
 	}
 	switch {
 	case cfg.QueueTimeout < 0:
@@ -499,6 +507,7 @@ func poolConfigFromDef(d catalog.PoolDef) resmgr.PoolConfig {
 		PlannedConcurrency: d.PlannedConcurrency,
 		MaxConcurrency:     d.MaxConcurrency,
 		Priority:           d.Priority,
+		Parallelism:        d.Parallelism,
 	}
 	if d.QueueTimeoutMS != 0 {
 		cfg.QueueTimeout = queueTimeoutOf(d.QueueTimeoutMS)
@@ -536,6 +545,9 @@ func poolAlterFromDef(d catalog.PoolDef) resmgr.PoolAlter {
 	}
 	if cfg.RuntimeCap != 0 {
 		a.RuntimeCap = &cfg.RuntimeCap
+	}
+	if cfg.Parallelism != 0 {
+		a.Parallelism = &cfg.Parallelism
 	}
 	return a
 }
@@ -585,6 +597,9 @@ func mergePoolOpts(d *catalog.PoolDef, o sql.PoolOpts) {
 	if o.RuntimeCapMS != nil {
 		d.RuntimeCapMS = *o.RuntimeCapMS
 	}
+	if o.Parallelism != nil {
+		d.Parallelism = int(*o.Parallelism)
+	}
 }
 
 // queueTimeoutOf maps the parsed QUEUETIMEOUT milliseconds (-1 = NONE) onto
@@ -630,6 +645,10 @@ func (db *Database) execAlterPool(st *sql.AlterPoolStmt) (*Result, error) {
 		d := time.Duration(*st.Opts.RuntimeCapMS) * time.Millisecond
 		a.RuntimeCap = &d
 	}
+	if st.Opts.Parallelism != nil {
+		v := int(*st.Opts.Parallelism)
+		a.Parallelism = &v
+	}
 	if err := db.Governor().AlterPool(st.Name, a); err != nil {
 		return nil, err
 	}
@@ -663,7 +682,7 @@ func (db *Database) execSelect(ctx context.Context, st *sql.SelectStmt) (*Result
 	if err != nil {
 		return nil, err
 	}
-	opts := optimizer.PlanOpts{Parallelism: db.opts.Parallelism}
+	opts := optimizer.PlanOpts{Parallelism: db.opts.Parallelism, ForceParallel: db.opts.ForceParallel}
 	res, err := db.cluster.RunCtx(ctx, q, opts)
 	if err != nil {
 		return nil, err
@@ -695,7 +714,7 @@ func (db *Database) QueryAtContext(ctx context.Context, sqlText string, epoch ty
 	if err != nil {
 		return nil, err
 	}
-	res, err := db.cluster.RunAtCtx(ctx, q, optimizer.PlanOpts{Parallelism: db.opts.Parallelism}, epoch)
+	res, err := db.cluster.RunAtCtx(ctx, q, optimizer.PlanOpts{Parallelism: db.opts.Parallelism, ForceParallel: db.opts.ForceParallel}, epoch)
 	if err != nil {
 		return nil, err
 	}

@@ -41,6 +41,7 @@ func (db *Database) registerMonitorTables() {
 		col("queue_wait_us", types.Int64),
 		col("priority", types.Int64),
 		col("runtimecap_ms", types.Int64),
+		col("parallelism", types.Int64),
 		col("grant_extensions", types.Int64),
 		col("extension_bytes", types.Int64),
 		col("denied_extensions", types.Int64),
@@ -74,6 +75,7 @@ func (db *Database) registerMonitorTables() {
 					types.NewInt(p.TotalQueueWait.Microseconds()),
 					types.NewInt(int64(p.Priority)),
 					types.NewInt(p.RuntimeCap.Milliseconds()),
+					types.NewInt(int64(p.Parallelism)),
 					types.NewInt(p.GrantExtensions),
 					types.NewInt(p.ExtensionBytes),
 					types.NewInt(p.DeniedExtensions),
@@ -252,6 +254,50 @@ func (db *Database) registerMonitorTables() {
 						types.NewInt(dvCount),
 					})
 				}
+			}
+			return rows, nil
+		})
+
+	// v_catalog.tables: one row per user table — the logical schema
+	// inventory next to v_catalog.projections' physical one.
+	tblSchema := types.NewSchema(
+		col("table_name", types.Varchar),
+		col("column_count", types.Int64),
+		col("partition_expr", types.Varchar),
+		col("projection_count", types.Int64),
+	)
+	db.cat.RegisterVirtual(&catalog.Table{Name: "v_catalog.tables", Schema: tblSchema},
+		func() ([]types.Row, error) {
+			tables := db.cat.Tables()
+			rows := make([]types.Row, 0, len(tables))
+			for _, t := range tables {
+				rows = append(rows, types.Row{
+					types.NewString(t.Name),
+					types.NewInt(int64(t.Schema.Len())),
+					types.NewString(t.PartitionExprText),
+					types.NewInt(int64(len(db.cat.ProjectionsFor(t.Name)))),
+				})
+			}
+			return rows, nil
+		})
+
+	// v_monitor.locks: the lock manager's held table locks, one row per
+	// (transaction, table) pair.
+	lockSchema := types.NewSchema(
+		col("table_name", types.Varchar),
+		col("txn_id", types.Int64),
+		col("mode", types.Varchar),
+	)
+	db.cat.RegisterVirtual(&catalog.Table{Name: "v_monitor.locks", Schema: lockSchema},
+		func() ([]types.Row, error) {
+			locks := db.txns.Locks.Snapshot()
+			rows := make([]types.Row, 0, len(locks))
+			for _, l := range locks {
+				rows = append(rows, types.Row{
+					types.NewString(l.Table),
+					types.NewInt(int64(l.Txn)),
+					types.NewString(l.Mode.String()),
+				})
 			}
 			return rows, nil
 		})

@@ -10,36 +10,89 @@ import (
 )
 
 // Exchange implements the Send/Recv operator pair (paper §6.1 operator 7):
-// it moves rows from a set of input pipelines to a set of output ports,
-// either by segmentation-expression routing (all alike values reach the same
-// port, so each port can compute complete results independently) or by
-// broadcast. The same machinery serves intra-node resegmentation (the
-// StorageUnion "locally resegments the data for the above GroupBys",
-// Figure 3) and inter-node shipping in the simulated cluster.
+// it moves data from a set of input pipelines to a set of output ports. The
+// data path is batch-native end to end — ports carry *vector.Batch over
+// channels, and routing uses the vector layer's hash-partition kernel
+// (Batch.Partition) with per-port batch accumulators, so a parallel plan
+// never degrades to row-at-a-time traffic.
 //
-// Each Send/Recv pair can retain the sortedness of its input stream: with
-// SortKey set, every port heap-merges the per-input sorted substreams.
+// Routing modes:
+//
+//   - segment (Keys set): rows hash-partition on the key columns, so all
+//     alike values reach the same port and each port can compute complete
+//     results independently (the Figure 3 "locally resegments" step, and
+//     both sides of a partitioned parallel join);
+//   - broadcast (Broadcast set): every port sees every batch (shallow
+//     copies — column vectors are shared read-only);
+//   - round-robin (neither): whole batches deal out to ports in turn, the
+//     cheapest way to split one stream across parallel workers (parallel
+//     sort's split step).
+//
+// With SortKey set the exchange retains the sortedness of its input
+// streams: every port heap-merges its per-input substreams on batch
+// cursors, pulling lazily — nothing is materialized beyond one batch per
+// input lane (parallel sort's order-preserving merge step).
+//
+// Error and cancel propagation: a worker (input pump) error records the
+// first error and closes the exchange-wide quit channel, which unblocks
+// every other pump and surfaces the error at every port — a dying worker
+// can never deadlock a port reader. A consumer abandoning a port (its
+// pipeline failed) marks the port via abandon(), so pumps drop batches for
+// it instead of blocking.
 type Exchange struct {
 	inputs []Operator
 	ways   int
-	// Route maps a row to a port; nil means broadcast to every port.
-	Route func(types.Row) int
+	// Keys are the routing columns: rows hash-partition on them so alike
+	// values reach the same port. Nil means broadcast or round-robin.
+	Keys []int
+	// Broadcast sends every batch to every port.
+	Broadcast bool
 	// SortKey, when non-nil, asserts inputs are sorted by these columns and
 	// makes every port merge-preserve that order.
 	SortKey []SortSpec
 
-	mu      sync.Mutex
-	started bool
-	closed  bool
-	// buffered rows per port per input (for sorted merge), or flat per port.
-	ports []chan types.Row
-	errCh chan error
-	wg    sync.WaitGroup
+	mu          sync.Mutex
+	started     bool
+	inputsOpen  bool
+	closedPorts int
+	abandoned   int                    // ports whose readers are gone; == ways stops the pumps
+	ports       []chan *vector.Batch   // flat path: one channel per port
+	lanes       [][]chan *vector.Batch // sorted path: [port][input]
+	portQuit    []chan struct{}
+	portOnce    []sync.Once
+	quit        chan struct{}
+	quitOnce    sync.Once
+	errMu       sync.Mutex
+	firstError  error
+	wg          sync.WaitGroup
 }
 
-// NewExchange creates an exchange from the inputs to `ways` ports.
-func NewExchange(inputs []Operator, ways int, route func(types.Row) int) *Exchange {
-	return &Exchange{inputs: inputs, ways: ways, Route: route}
+// exchangePortDepth is the channel buffer per port (per lane in sorted
+// mode): enough to decouple pump and reader without hoarding batches.
+const exchangePortDepth = 4
+
+// NewExchange creates a segment-routing exchange: rows hash-partition on
+// the key columns across `ways` ports.
+func NewExchange(inputs []Operator, ways int, keys []int) *Exchange {
+	return &Exchange{inputs: inputs, ways: ways, Keys: keys}
+}
+
+// NewBroadcastExchange creates an exchange delivering every batch to every
+// port.
+func NewBroadcastExchange(inputs []Operator, ways int) *Exchange {
+	return &Exchange{inputs: inputs, ways: ways, Broadcast: true}
+}
+
+// NewSplitExchange deals one input stream out to `ways` ports batch by
+// batch (round-robin) — the split step of a parallel sort.
+func NewSplitExchange(input Operator, ways int) *Exchange {
+	return &Exchange{inputs: []Operator{input}, ways: ways}
+}
+
+// NewMergeExchange merges sorted input streams into one port, preserving
+// the order given by sortKey — the merge step of a parallel sort.
+func NewMergeExchange(inputs []Operator, sortKey []SortSpec) *Exchange {
+	return &Exchange{inputs: inputs, ways: 1, SortKey: sortKey}
 }
 
 // Ports returns the `ways` receive operators. Each must be consumed by
@@ -52,8 +105,42 @@ func (e *Exchange) Ports() []Operator {
 	return out
 }
 
-// start launches the pump on first Open: one goroutine per input drains it
-// and routes rows to ports.
+// mode renders the routing mode for plan display.
+func (e *Exchange) mode() string {
+	var m string
+	switch {
+	case e.Broadcast:
+		m = "broadcast"
+	case e.Keys != nil:
+		m = fmt.Sprintf("segment keys=%v", e.Keys)
+	default:
+		m = "round-robin"
+	}
+	if e.SortKey != nil {
+		m += "+merge"
+	}
+	return m
+}
+
+// fail records the first pump error and releases everything blocked on the
+// exchange (other pumps, port readers).
+func (e *Exchange) fail(err error) {
+	e.errMu.Lock()
+	if e.firstError == nil {
+		e.firstError = err
+	}
+	e.errMu.Unlock()
+	e.quitOnce.Do(func() { close(e.quit) })
+}
+
+func (e *Exchange) firstErr() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.firstError
+}
+
+// start launches the pumps on first Open: one goroutine per input drains it
+// and routes batches to ports.
 func (e *Exchange) start(ctx *Ctx) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -61,122 +148,188 @@ func (e *Exchange) start(ctx *Ctx) error {
 		return nil
 	}
 	e.started = true
-	e.ports = make([]chan types.Row, e.ways)
-	for i := range e.ports {
-		e.ports[i] = make(chan types.Row, vector.DefaultBatchSize)
+	e.quit = make(chan struct{})
+	e.portQuit = make([]chan struct{}, e.ways)
+	e.portOnce = make([]sync.Once, e.ways)
+	for i := range e.portQuit {
+		e.portQuit[i] = make(chan struct{})
 	}
-	e.errCh = make(chan error, len(e.inputs))
 	if e.SortKey != nil {
-		return e.startSorted(ctx)
+		e.lanes = make([][]chan *vector.Batch, e.ways)
+		for p := range e.lanes {
+			e.lanes[p] = make([]chan *vector.Batch, len(e.inputs))
+			for i := range e.lanes[p] {
+				e.lanes[p][i] = make(chan *vector.Batch, exchangePortDepth)
+			}
+		}
+	} else {
+		e.ports = make([]chan *vector.Batch, e.ways)
+		for i := range e.ports {
+			e.ports[i] = make(chan *vector.Batch, exchangePortDepth)
+		}
 	}
-	for _, in := range e.inputs {
+	for i, in := range e.inputs {
 		if err := in.Open(ctx); err != nil {
+			// Close the inputs already opened: the failed start means no
+			// port Close will ever reach them (inputsOpen stays false).
+			for j := 0; j < i; j++ {
+				e.inputs[j].Close(ctx)
+			}
 			return err
 		}
 	}
-	for _, in := range e.inputs {
+	e.inputsOpen = true
+	for i, in := range e.inputs {
 		e.wg.Add(1)
-		go func(in Operator) {
-			defer e.wg.Done()
-			for {
-				b, err := in.Next(ctx)
-				if err != nil {
-					e.errCh <- err
-					return
-				}
-				if b == nil {
-					return
-				}
-				for _, r := range b.Rows() {
-					if e.Route == nil {
-						for _, p := range e.ports {
-							p <- r.Clone()
-						}
-					} else {
-						e.ports[e.Route(r)%e.ways] <- r
-					}
-				}
-			}
-		}(in)
+		go e.pump(ctx, i, in)
 	}
 	go func() {
 		e.wg.Wait()
-		for _, p := range e.ports {
-			close(p)
+		if e.SortKey != nil {
+			for _, row := range e.lanes {
+				for _, ch := range row {
+					close(ch)
+				}
+			}
+			return
 		}
-		close(e.errCh)
+		for _, ch := range e.ports {
+			close(ch)
+		}
 	}()
 	return nil
 }
 
-// startSorted drains inputs sequentially, routes rows into per-port per-input
-// buckets, then merge-sorts each port's buckets to preserve order.
-func (e *Exchange) startSorted(ctx *Ctx) error {
-	buckets := make([][][]types.Row, e.ways)
-	for i := range buckets {
-		buckets[i] = make([][]types.Row, len(e.inputs))
+// send delivers a batch to port p's channel, giving up when the port was
+// abandoned by its reader (batch dropped) or the exchange failed (pump
+// should exit). Reports whether pumping should continue.
+func (e *Exchange) send(ch chan *vector.Batch, p int, b *vector.Batch) bool {
+	select {
+	case ch <- b:
+		return true
+	default:
 	}
-	for ii, in := range e.inputs {
-		if err := in.Open(ctx); err != nil {
-			return err
+	select {
+	case ch <- b:
+		return true
+	case <-e.portQuit[p]:
+		return true // reader gone: drop, keep serving other ports
+	case <-e.quit:
+		return false
+	}
+}
+
+// pump drains one input and routes its batches.
+func (e *Exchange) pump(ctx *Ctx, idx int, in Operator) {
+	defer e.wg.Done()
+	chanFor := func(p int) chan *vector.Batch {
+		if e.SortKey != nil {
+			return e.lanes[p][idx]
 		}
-		for {
-			b, err := in.Next(ctx)
-			if err != nil {
-				return err
+		return e.ports[p]
+	}
+	// Per-port accumulators (segment mode): partition slivers coalesce into
+	// full batches before crossing the channel.
+	var acc []*vector.Batch
+	if e.Keys != nil && e.ways > 1 {
+		acc = make([]*vector.Batch, e.ways)
+	}
+	rr := idx // stagger round-robin start across inputs
+	for {
+		select {
+		case <-e.quit:
+			return // failed, or every port reader is gone
+		default:
+		}
+		if err := ctx.Canceled(); err != nil {
+			e.fail(err)
+			return
+		}
+		b, err := in.Next(ctx)
+		if err != nil {
+			e.fail(err)
+			return
+		}
+		if b == nil {
+			break
+		}
+		if b.Len() == 0 {
+			continue
+		}
+		switch {
+		case e.Broadcast:
+			for p := 0; p < e.ways; p++ {
+				if !e.send(chanFor(p), p, b.ShallowCopy()) {
+					return
+				}
 			}
-			if b == nil {
-				break
+		case e.Keys == nil || e.ways == 1:
+			p := rr % e.ways
+			rr++
+			if !e.send(chanFor(p), p, b) {
+				return
 			}
-			for _, r := range b.Rows() {
-				if e.Route == nil {
-					for p := range buckets {
-						buckets[p][ii] = append(buckets[p][ii], r.Clone())
+		default:
+			parts := b.Partition(e.Keys, e.ways)
+			for p, part := range parts {
+				if part == nil {
+					continue
+				}
+				if acc[p] == nil {
+					acc[p] = vector.NewBatchForSchema(in.Schema(), vector.DefaultBatchSize)
+				}
+				acc[p].Append(part)
+				if acc[p].Len() >= vector.DefaultBatchSize {
+					if !e.send(chanFor(p), p, acc[p]) {
+						return
 					}
-				} else {
-					p := e.Route(r) % e.ways
-					buckets[p][ii] = append(buckets[p][ii], r)
+					acc[p] = nil
 				}
 			}
 		}
-		if err := in.Close(ctx); err != nil {
-			return err
-		}
 	}
-	for p := range buckets {
-		port := e.ports[p]
-		var runs []*sortedRun
-		for _, rows := range buckets[p] {
-			if len(rows) > 0 {
-				sr := &sortedRun{mem: rows}
-				sr.advance()
-				runs = append(runs, sr)
+	for p, a := range acc {
+		if a != nil && a.Len() > 0 {
+			if !e.send(chanFor(p), p, a) {
+				return
 			}
 		}
-		go func(runs []*sortedRun, port chan types.Row) {
-			h := &sortRunHeap{runs: runs, specs: e.SortKey}
-			heap.Init(h)
-			for h.Len() > 0 {
-				run := h.runs[0]
-				port <- run.cur
-				run.advance()
-				if run.cur == nil {
-					heap.Pop(h)
-				} else {
-					heap.Fix(h, 0)
-				}
-			}
-			close(port)
-		}(runs, port)
 	}
-	close(e.errCh)
-	return nil
+}
+
+// abandonPort marks one port's reader as gone so pumps stop blocking on
+// it. When every port is abandoned the whole exchange shuts down: there is
+// nobody left to deliver to, so pumps must not drain the rest of the input
+// (an early-terminated LIMIT query would otherwise pay a full residual
+// scan in Close).
+func (e *Exchange) abandonPort(p int) {
+	e.mu.Lock()
+	started := e.started
+	e.mu.Unlock()
+	if !started {
+		return
+	}
+	e.portOnce[p].Do(func() {
+		close(e.portQuit[p])
+		e.mu.Lock()
+		e.abandoned++
+		all := e.abandoned >= e.ways
+		e.mu.Unlock()
+		if all {
+			e.quitOnce.Do(func() { close(e.quit) })
+		}
+	})
 }
 
 // recvPort is the Recv operator for one exchange port.
 type recvPort struct {
 	ex   *Exchange
 	port int
+
+	// sorted-merge state (SortKey exchanges only)
+	mergeInit bool
+	heap      *cursorHeap
+	selOne    [1]int // scratch selection for single-row output copies
 }
 
 // Schema implements Operator.
@@ -184,14 +337,7 @@ func (r *recvPort) Schema() *types.Schema { return r.ex.inputs[0].Schema() }
 
 // Describe implements Operator.
 func (r *recvPort) Describe() string {
-	mode := "segment"
-	if r.ex.Route == nil {
-		mode = "broadcast"
-	}
-	if r.ex.SortKey != nil {
-		mode += "+sorted"
-	}
-	return fmt.Sprintf("Recv port=%d/%d (%s)", r.port, r.ex.ways, mode)
+	return fmt.Sprintf("Recv port=%d/%d (%s)", r.port, r.ex.ways, r.ex.mode())
 }
 
 // Children implements the plan walker: show inputs under port 0 only.
@@ -205,38 +351,49 @@ func (r *recvPort) Children() []Operator {
 // Open implements Operator.
 func (r *recvPort) Open(ctx *Ctx) error { return r.ex.start(ctx) }
 
+// abandon implements the consumer-failure protocol: a parent whose pipeline
+// died calls it so the exchange pumps stop blocking on this port.
+func (r *recvPort) abandon() { r.ex.abandonPort(r.port) }
+
 // Next implements Operator.
-func (r *recvPort) Next(*Ctx) (*vector.Batch, error) {
-	ch := r.ex.ports[r.port]
-	batch := vector.NewBatchForSchema(r.Schema(), vector.DefaultBatchSize)
-	for row := range ch {
-		batch.AppendRow(row)
-		if batch.Len() >= vector.DefaultBatchSize {
-			return batch, nil
-		}
+func (r *recvPort) Next(ctx *Ctx) (*vector.Batch, error) {
+	if r.ex.SortKey != nil {
+		return r.nextMerged(ctx)
 	}
-	// Channel closed: surface any pump error once.
+	var done <-chan struct{}
+	if ctx.Context != nil {
+		done = ctx.Context.Done()
+	}
 	select {
-	case err, ok := <-r.ex.errCh:
-		if ok && err != nil {
-			return nil, err
+	case b, ok := <-r.ex.ports[r.port]:
+		if !ok {
+			return nil, r.ex.firstErr()
 		}
-	default:
+		return b, nil
+	case <-r.ex.quit:
+		return nil, r.ex.firstErr()
+	case <-done:
+		return nil, ctx.Canceled()
 	}
-	if batch.Len() == 0 {
-		return nil, nil
-	}
-	return batch, nil
 }
 
-// Close implements Operator.
+// Close implements Operator. Every port gets closed by its consumer; the
+// last one waits for the pumps and closes the inputs (closing them earlier
+// would race pumps still calling Next).
 func (r *recvPort) Close(ctx *Ctx) error {
+	r.abandon()
 	r.ex.mu.Lock()
-	defer r.ex.mu.Unlock()
-	if r.ex.closed || r.ex.SortKey != nil {
+	r.ex.closedPorts++
+	last := r.ex.closedPorts >= r.ex.ways
+	open := r.ex.inputsOpen
+	if last {
+		r.ex.inputsOpen = false
+	}
+	r.ex.mu.Unlock()
+	if !last || !open {
 		return nil
 	}
-	r.ex.closed = true
+	r.ex.wg.Wait()
 	var firstErr error
 	for _, in := range r.ex.inputs {
 		if err := in.Close(ctx); err != nil && firstErr == nil {
@@ -244,4 +401,134 @@ func (r *recvPort) Close(ctx *Ctx) error {
 		}
 	}
 	return firstErr
+}
+
+// --- sorted merge on batch cursors ---------------------------------------
+
+// mergeCursor walks one input lane's batch stream without materializing
+// rows: comparisons and output copies read vectors in place.
+type mergeCursor struct {
+	ch    <-chan *vector.Batch
+	batch *vector.Batch
+	pos   int
+}
+
+// ready ensures the cursor points at a live row, pulling the next lane
+// batch as needed. Returns false at end of lane (err reports a pump
+// failure).
+func (r *recvPort) ready(c *mergeCursor) (bool, error) {
+	for c.batch == nil || c.pos >= c.batch.Len() {
+		select {
+		case b, ok := <-c.ch:
+			if !ok {
+				return false, r.ex.firstErr()
+			}
+			if b.Len() == 0 {
+				continue
+			}
+			c.batch = normalizeBatch(b)
+			c.pos = 0
+		case <-r.ex.quit:
+			return false, r.ex.firstErr()
+		}
+	}
+	return true, nil
+}
+
+// normalizeBatch flattens selection vectors and RLE columns so cursor
+// positions index vectors directly.
+func normalizeBatch(b *vector.Batch) *vector.Batch {
+	if b.Sel != nil {
+		return b.Flatten()
+	}
+	for _, c := range b.Cols {
+		if c.IsRLE() {
+			return b.Flatten()
+		}
+	}
+	return b
+}
+
+type cursorHeap struct {
+	cursors []*mergeCursor
+	specs   []SortSpec
+}
+
+func (h *cursorHeap) Len() int { return len(h.cursors) }
+func (h *cursorHeap) Less(i, j int) bool {
+	a, b := h.cursors[i], h.cursors[j]
+	for _, s := range h.specs {
+		c := a.batch.Cols[s.Col].ValueAt(a.pos).Compare(b.batch.Cols[s.Col].ValueAt(b.pos))
+		if c != 0 {
+			if s.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+	}
+	return false
+}
+func (h *cursorHeap) Swap(i, j int) { h.cursors[i], h.cursors[j] = h.cursors[j], h.cursors[i] }
+func (h *cursorHeap) Push(x interface{}) {
+	h.cursors = append(h.cursors, x.(*mergeCursor))
+}
+func (h *cursorHeap) Pop() interface{} {
+	old := h.cursors
+	n := len(old)
+	x := old[n-1]
+	h.cursors = old[:n-1]
+	return x
+}
+
+// nextMerged produces the port's next batch by heap-merging its input
+// lanes' sorted substreams.
+func (r *recvPort) nextMerged(ctx *Ctx) (*vector.Batch, error) {
+	if err := ctx.Canceled(); err != nil {
+		return nil, err
+	}
+	if !r.mergeInit {
+		r.mergeInit = true
+		r.heap = &cursorHeap{specs: r.ex.SortKey}
+		for _, ch := range r.ex.lanes[r.port] {
+			c := &mergeCursor{ch: ch}
+			ok, err := r.ready(c)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				r.heap.cursors = append(r.heap.cursors, c)
+			}
+		}
+		heap.Init(r.heap)
+	}
+	if r.heap.Len() == 0 {
+		if err := r.ex.firstErr(); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	out := vector.NewBatchForSchema(r.Schema(), vector.DefaultBatchSize)
+	for out.Len() < vector.DefaultBatchSize && r.heap.Len() > 0 {
+		c := r.heap.cursors[0]
+		r.selOne[0] = c.pos
+		for i, col := range out.Cols {
+			col.AppendFrom(c.batch.Cols[i], r.selOne[:])
+		}
+		c.pos++
+		if c.pos >= c.batch.Len() {
+			ok, err := r.ready(c)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				heap.Pop(r.heap)
+				continue
+			}
+		}
+		heap.Fix(r.heap, 0)
+	}
+	if out.Len() == 0 {
+		return nil, nil
+	}
+	return out, nil
 }

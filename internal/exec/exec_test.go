@@ -854,9 +854,7 @@ func TestAnalyticWholePartitionAndLag(t *testing.T) {
 
 func TestExchangeSegmentRouting(t *testing.T) {
 	f := newExecFixture(t, 300, 3, 1)
-	ex := NewExchange([]Operator{f.scan(0, 1)}, 3, func(r types.Row) int {
-		return int(uint64(types.HashValue(r[1])) % 3)
-	})
+	ex := NewExchange([]Operator{f.scan(0, 1)}, 3, []int{1})
 	ports := ex.Ports()
 	// Each port aggregates its own share; alike grp values land together.
 	var unions []Operator
@@ -884,7 +882,7 @@ func TestExchangeSegmentRouting(t *testing.T) {
 
 func TestExchangeBroadcast(t *testing.T) {
 	f := newExecFixture(t, 50, 2, 1)
-	ex := NewExchange([]Operator{f.scan(0)}, 2, nil)
+	ex := NewBroadcastExchange([]Operator{f.scan(0)}, 2)
 	ports := ex.Ports()
 	var unions []Operator
 	for _, p := range ports {
@@ -909,8 +907,7 @@ func TestExchangePreservesSortedness(t *testing.T) {
 	s := f.scan(0)
 	s.MergeSorted = true
 	s.SortKey = []int{0}
-	ex := NewExchange([]Operator{s}, 1, func(types.Row) int { return 0 })
-	ex.SortKey = []SortSpec{{Col: 0}}
+	ex := NewMergeExchange([]Operator{s}, []SortSpec{{Col: 0}})
 	rows, err := Drain(f.ctx(), ex.Ports()[0])
 	if err != nil {
 		t.Fatal(err)
@@ -1011,5 +1008,54 @@ func TestDrainEmptyScan(t *testing.T) {
 	}
 	if len(rows) != 0 {
 		t.Errorf("rows = %d", len(rows))
+	}
+}
+
+// TestSemiAntiResidualDuplicateKeys pins the chunked early-exit residual
+// path: a semi/anti join over a build side with thousands of duplicates of
+// one key must emit exactly one decision per outer row, for residuals that
+// pass and residuals that never pass.
+func TestSemiAntiResidualDuplicateKeys(t *testing.T) {
+	schema := types.NewSchema(
+		types.Column{Name: "k", Typ: types.Int64},
+		types.Column{Name: "v", Typ: types.Int64},
+	)
+	dup := make([]types.Row, 3000)
+	for i := range dup {
+		dup[i] = types.Row{types.NewInt(7), types.NewInt(int64(i))}
+	}
+	outerRows := []types.Row{
+		{types.NewInt(7), types.NewInt(100)},
+		{types.NewInt(8), types.NewInt(200)},
+	}
+	run := func(jt JoinType, passing bool) []types.Row {
+		j, err := NewHashJoin(jt, NewValues(schema, outerRows), NewValues(schema, dup), []int{0}, []int{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Residual over the combined schema [outer k v, inner k v]: inner v
+		// >= 0 always passes; inner v < 0 never does.
+		op := expr.Ge
+		if !passing {
+			op = expr.Lt
+		}
+		j.Residual = expr.MustCmp(op, expr.NewColRef(3, types.Int64, "iv"), expr.NewConst(types.NewInt(0)))
+		rows, err := Drain(NewCtx(1), j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	if got := run(SemiJoin, true); len(got) != 1 || got[0][0].I != 7 {
+		t.Errorf("semi passing: %v", got)
+	}
+	if got := run(SemiJoin, false); len(got) != 0 {
+		t.Errorf("semi failing: %v", got)
+	}
+	if got := run(AntiJoin, true); len(got) != 1 || got[0][0].I != 8 {
+		t.Errorf("anti passing: %v", got)
+	}
+	if got := run(AntiJoin, false); len(got) != 2 {
+		t.Errorf("anti failing: %v", got)
 	}
 }

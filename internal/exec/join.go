@@ -59,7 +59,8 @@ type HashJoin struct {
 	// SIP, when set, receives the build-side key set (see sip.go).
 	SIP *SIPFilter
 
-	schema *types.Schema
+	schema    *types.Schema
+	resSchema *types.Schema // outer+inner, for vectorized residual eval
 
 	table        map[uint64][]buildRow
 	matchedInner bool // inner match tracking needed (right/full outer)
@@ -84,7 +85,36 @@ func NewHashJoin(t JoinType, outer, inner Operator, outerKeys, innerKeys []int) 
 	}
 	j := &HashJoin{Type: t, outer: outer, inner: inner, OuterKeys: outerKeys, InnerKeys: innerKeys}
 	j.schema = joinSchema(t, outer.Schema(), inner.Schema())
+	j.resSchema = combinedSchema(outer.Schema(), inner.Schema())
 	return j, nil
+}
+
+// combinedSchema is the residual predicate's evaluation schema: outer
+// columns then inner columns, regardless of join type (semi/anti joins drop
+// the inner columns from their output but residuals still see them).
+func combinedSchema(outer, inner *types.Schema) *types.Schema {
+	cols := append(append([]types.Column{}, outer.Cols...), inner.Cols...)
+	return types.NewSchema(cols...)
+}
+
+// residualMask evaluates a residual predicate once, vectorized, over a
+// batch assembled from candidate combined rows, returning the keep mask —
+// the batch-native replacement for per-row EvalRow on the join hot path.
+func residualMask(res expr.Expr, schema *types.Schema, rows []types.Row) ([]bool, error) {
+	b := vector.NewBatchForSchema(schema, len(rows))
+	for _, r := range rows {
+		b.AppendRow(r)
+	}
+	v, err := res.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	v = v.Expand()
+	mask := make([]bool, len(rows))
+	for i := range mask {
+		mask[i] = !v.NullAt(i) && v.ValueAt(i).Bool()
+	}
+	return mask, nil
 }
 
 func joinSchema(t JoinType, outer, inner *types.Schema) *types.Schema {
@@ -234,65 +264,167 @@ func (j *HashJoin) Next(ctx *Ctx) (*vector.Batch, error) {
 			}
 			return nil, nil
 		}
-		for _, or := range out.Rows() {
-			if err := j.probeRow(or); err != nil {
-				return nil, err
-			}
+		if err := j.probeBatch(out.Rows()); err != nil {
+			return nil, err
 		}
 	}
 }
 
-func (j *HashJoin) probeRow(or types.Row) error {
-	// SQL semantics: NULL keys never match.
-	for _, k := range j.OuterKeys {
-		if or[k].Null {
-			return j.emitUnmatchedOuter(or)
-		}
-	}
-	h := HashKeyOfRow(or, j.OuterKeys)
-	matched := false
-	for _, br := range j.table[h] {
-		if !keysEqual(or, br.row, j.OuterKeys, j.InnerKeys) {
-			continue
-		}
-		combined := append(append(types.Row{}, or...), br.row...)
-		if j.Residual != nil {
-			ok, err := j.Residual.EvalRow(combined)
-			if err != nil {
+// probeBatch probes one outer batch against the hash table: candidate pairs
+// are gathered first, the residual (if any) is evaluated once, vectorized,
+// over the whole candidate batch, and match bookkeeping applies to the
+// survivors. Semi/anti joins need only one decision per outer row, so with
+// a residual they take the chunked early-exit path instead of gathering
+// every duplicate build row.
+func (j *HashJoin) probeBatch(rows []types.Row) error {
+	if j.Residual != nil && (j.Type == SemiJoin || j.Type == AntiJoin) {
+		for _, or := range rows {
+			if err := j.probeSemiAntiResidual(or); err != nil {
 				return err
 			}
-			if !ok.Bool() {
-				continue
+		}
+		return nil
+	}
+	var cands []types.Row // combined candidate rows, batch-evaluated below
+	var brs []buildRow
+	spans := make([][2]int, len(rows)) // per outer row: [start, end) in cands
+	for i, or := range rows {
+		start := len(cands)
+		// SQL semantics: NULL keys never match, so they gather no candidates.
+		nullKey := false
+		for _, k := range j.OuterKeys {
+			if or[k].Null {
+				nullKey = true
+				break
 			}
 		}
-		matched = true
-		if br.matched != nil {
-			*br.matched = true
+		if !nullKey {
+			// Residual-free semi/anti joins are decided by the first key
+			// match: stop gathering there instead of materializing every
+			// duplicate build row.
+			oneEnough := j.Residual == nil && (j.Type == SemiJoin || j.Type == AntiJoin)
+			h := HashKeyOfRow(or, j.OuterKeys)
+			for _, br := range j.table[h] {
+				if keysEqual(or, br.row, j.OuterKeys, j.InnerKeys) {
+					cands = append(cands, append(append(types.Row{}, or...), br.row...))
+					brs = append(brs, br)
+					if oneEnough {
+						break
+					}
+				}
+			}
 		}
-		switch j.Type {
-		case SemiJoin:
-			j.pending = append(j.pending, or.Clone())
-			return nil // one output per outer row
-		case AntiJoin:
-			return nil
-		default:
-			j.pending = append(j.pending, combined)
+		spans[i] = [2]int{start, len(cands)}
+	}
+	var mask []bool
+	if j.Residual != nil && len(cands) > 0 {
+		var err error
+		if mask, err = residualMask(j.Residual, j.resSchema, cands); err != nil {
+			return err
 		}
 	}
-	if !matched {
-		return j.emitUnmatchedOuter(or)
+	for i, or := range rows {
+		matched := false
+		for c := spans[i][0]; c < spans[i][1]; c++ {
+			if mask != nil && !mask[c] {
+				continue
+			}
+			matched = true
+			if brs[c].matched != nil {
+				*brs[c].matched = true
+			}
+			switch j.Type {
+			case SemiJoin:
+				j.pending = append(j.pending, or.Clone())
+			case AntiJoin:
+			default:
+				j.pending = append(j.pending, cands[c])
+			}
+			if j.Type == SemiJoin || j.Type == AntiJoin {
+				break // one decision per outer row
+			}
+		}
+		if !matched {
+			j.emitUnmatchedOuter(or)
+		}
 	}
 	return nil
 }
 
-func (j *HashJoin) emitUnmatchedOuter(or types.Row) error {
+// semiResidualChunk bounds how many duplicate-key candidates a semi/anti
+// probe materializes per residual evaluation: enough to amortize the
+// vectorized Eval, small enough that a skewed 1M-duplicate chain whose
+// first candidate passes never blows up memory.
+const semiResidualChunk = 256
+
+// probeSemiAntiResidual decides one outer row for a semi/anti join with a
+// residual: key-matching candidates are gathered and residual-evaluated in
+// chunks (vectorized), stopping at the first survivor — one decision per
+// outer row, like the serial per-row path, without per-row EvalRow.
+func (j *HashJoin) probeSemiAntiResidual(or types.Row) error {
+	for _, k := range j.OuterKeys {
+		if or[k].Null {
+			j.emitUnmatchedOuter(or)
+			return nil
+		}
+	}
+	var cands []types.Row
+	flush := func() (bool, error) {
+		if len(cands) == 0 {
+			return false, nil
+		}
+		mask, err := residualMask(j.Residual, j.resSchema, cands)
+		cands = cands[:0]
+		if err != nil {
+			return false, err
+		}
+		for _, ok := range mask {
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	matched := false
+	h := HashKeyOfRow(or, j.OuterKeys)
+	for _, br := range j.table[h] {
+		if !keysEqual(or, br.row, j.OuterKeys, j.InnerKeys) {
+			continue
+		}
+		cands = append(cands, append(append(types.Row{}, or...), br.row...))
+		if len(cands) >= semiResidualChunk {
+			var err error
+			if matched, err = flush(); err != nil {
+				return err
+			}
+			if matched {
+				break
+			}
+		}
+	}
+	if !matched {
+		var err error
+		if matched, err = flush(); err != nil {
+			return err
+		}
+	}
+	if matched {
+		if j.Type == SemiJoin {
+			j.pending = append(j.pending, or.Clone())
+		}
+		return nil
+	}
+	j.emitUnmatchedOuter(or)
+	return nil
+}
+
+func (j *HashJoin) emitUnmatchedOuter(or types.Row) {
 	switch j.Type {
 	case LeftOuterJoin, FullOuterJoin:
 		j.pending = append(j.pending, padRight(or, j.inner.Schema()))
 	case AntiJoin:
 		j.pending = append(j.pending, or.Clone())
 	}
-	return nil
 }
 
 func keysEqual(a, b types.Row, ak, bk []int) bool {
@@ -485,31 +617,42 @@ func (m *mergeJoinState) next(ctx *Ctx, j *HashJoin) (*vector.Batch, error) {
 			m.innerBuf = m.innerBuf[:0]
 		}
 		matched := false
-		for _, ir := range m.innerBuf {
-			if nullKey {
-				break
+		if !nullKey && len(m.innerBuf) > 0 &&
+			j.Residual == nil && (j.Type == SemiJoin || j.Type == AntiJoin) {
+			// Residual-free semi/anti: any row in the key-equal group
+			// decides the outer row — no combined rows to materialize.
+			matched = true
+			if j.Type == SemiJoin {
+				m.pendingRows = append(m.pendingRows, or.Clone())
 			}
-			combined := append(append(types.Row{}, or...), ir...)
+		} else if !nullKey && len(m.innerBuf) > 0 {
+			// Vectorized residual: one Eval over the group's combined batch.
+			cands := make([]types.Row, len(m.innerBuf))
+			for c, ir := range m.innerBuf {
+				cands[c] = append(append(types.Row{}, or...), ir...)
+			}
+			var mask []bool
 			if j.Residual != nil {
-				ok, err := j.Residual.EvalRow(combined)
-				if err != nil {
+				if mask, err = residualMask(j.Residual, j.resSchema, cands); err != nil {
 					return nil, err
 				}
-				if !ok.Bool() {
+			}
+			for c := range cands {
+				if mask != nil && !mask[c] {
 					continue
 				}
-			}
-			matched = true
-			switch j.Type {
-			case SemiJoin:
-				m.pendingRows = append(m.pendingRows, or.Clone())
-			case AntiJoin:
-				// matched anti rows produce nothing
-			default:
-				m.pendingRows = append(m.pendingRows, combined)
-			}
-			if j.Type == SemiJoin {
-				break
+				matched = true
+				switch j.Type {
+				case SemiJoin:
+					m.pendingRows = append(m.pendingRows, or.Clone())
+				case AntiJoin:
+					// matched anti rows produce nothing
+				default:
+					m.pendingRows = append(m.pendingRows, cands[c])
+				}
+				if j.Type == SemiJoin {
+					break
+				}
 			}
 		}
 		if !matched {

@@ -21,7 +21,8 @@ type MergeJoin struct {
 	InnerKeys []int
 	Residual  expr.Expr
 
-	schema *types.Schema
+	schema    *types.Schema
+	resSchema *types.Schema // outer+inner, for vectorized residual eval
 
 	outerRows []types.Row
 	outerPos  int
@@ -46,7 +47,8 @@ func NewMergeJoin(t JoinType, outer, inner Operator, outerKeys, innerKeys []int)
 	return &MergeJoin{
 		Type: t, outer: outer, inner: inner,
 		OuterKeys: outerKeys, InnerKeys: innerKeys,
-		schema: joinSchema(t, outer.Schema(), inner.Schema()),
+		schema:    joinSchema(t, outer.Schema(), inner.Schema()),
+		resSchema: combinedSchema(outer.Schema(), inner.Schema()),
 	}, nil
 }
 
@@ -185,17 +187,30 @@ func (j *MergeJoin) joinOne(ctx *Ctx, or types.Row) error {
 		}
 	}
 	matched := false
-	if !nullKey {
-		for _, ir := range j.innerBuf {
-			combined := append(append(types.Row{}, or...), ir...)
-			if j.Residual != nil {
-				ok, err := j.Residual.EvalRow(combined)
-				if err != nil {
-					return err
-				}
-				if !ok.Bool() {
-					continue
-				}
+	if !nullKey && len(j.innerBuf) > 0 &&
+		j.Residual == nil && (j.Type == SemiJoin || j.Type == AntiJoin) {
+		// Residual-free semi/anti: any row in the key-equal group decides
+		// the outer row — no combined rows to materialize.
+		matched = true
+		if j.Type == SemiJoin {
+			j.pending = append(j.pending, or.Clone())
+		}
+	} else if !nullKey && len(j.innerBuf) > 0 {
+		// Vectorized residual: one Eval over the group's combined batch.
+		cands := make([]types.Row, len(j.innerBuf))
+		for c, ir := range j.innerBuf {
+			cands[c] = append(append(types.Row{}, or...), ir...)
+		}
+		var mask []bool
+		if j.Residual != nil {
+			var err error
+			if mask, err = residualMask(j.Residual, j.resSchema, cands); err != nil {
+				return err
+			}
+		}
+		for c := range cands {
+			if mask != nil && !mask[c] {
+				continue
 			}
 			matched = true
 			switch j.Type {
@@ -203,7 +218,7 @@ func (j *MergeJoin) joinOne(ctx *Ctx, or types.Row) error {
 				j.pending = append(j.pending, or.Clone())
 			case AntiJoin:
 			default:
-				j.pending = append(j.pending, combined)
+				j.pending = append(j.pending, cands[c])
 			}
 			if j.Type == SemiJoin {
 				break

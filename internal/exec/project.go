@@ -176,22 +176,13 @@ func (l *Limit) Next(ctx *Ctx) (*vector.Batch, error) {
 				continue
 			}
 			l.skipped = l.Offset
-			sel := make([]int, 0, n-drop)
-			for i := drop; i < n; i++ {
-				sel = append(sel, int(i))
-			}
-			in.Sel = sel
-			in = in.Flatten()
+			// The batch is flat here: truncation is a zero-copy slice view.
+			in = in.SliceRows(int(drop), int(n))
 			n = int64(in.Len())
 		}
 		if l.Count >= 0 && l.emitted+n > l.Count {
 			keep := l.Count - l.emitted
-			sel := make([]int, keep)
-			for i := range sel {
-				sel[i] = i
-			}
-			in.Sel = sel
-			in = in.Flatten()
+			in = in.SliceRows(0, int(keep))
 			n = keep
 		}
 		l.emitted += n

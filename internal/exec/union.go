@@ -14,11 +14,13 @@ import (
 type ParallelUnion struct {
 	children []Operator
 
-	mu      sync.Mutex
-	started bool
-	out     chan *vector.Batch
-	errCh   chan error
-	wg      sync.WaitGroup
+	mu       sync.Mutex
+	started  bool
+	out      chan *vector.Batch
+	errCh    chan error
+	quit     chan struct{} // closed by Close: unblocks senders on early stop
+	quitOnce sync.Once
+	wg       sync.WaitGroup
 }
 
 // NewParallelUnion builds a union over parallel pipelines; all children must
@@ -48,8 +50,17 @@ func (u *ParallelUnion) Open(ctx *Ctx) error {
 	u.started = true
 	u.out = make(chan *vector.Batch, len(u.children))
 	u.errCh = make(chan error, len(u.children))
+	u.quit = make(chan struct{})
 	for _, c := range u.children {
 		if err := c.Open(ctx); err != nil {
+			// A child's Open may have started exchange pumps (its sibling
+			// ports belong to children that will now never open): close
+			// every child so each port is abandoned and the pumps wind
+			// down instead of leaking. Close is nil-safe before Open
+			// throughout the operator set.
+			for _, cc := range u.children {
+				cc.Close(ctx)
+			}
 			return err
 		}
 	}
@@ -61,12 +72,23 @@ func (u *ParallelUnion) Open(ctx *Ctx) error {
 				b, err := c.Next(ctx)
 				if err != nil {
 					u.errCh <- err
+					// Release any exchange pump blocked on this dead
+					// pipeline's ports so siblings cannot deadlock.
+					abandonSubtree(c)
 					return
 				}
 				if b == nil {
 					return
 				}
-				u.out <- b
+				select {
+				case u.out <- b:
+				case <-u.quit:
+					// Consumer stopped early (LIMIT satisfied, error
+					// above): abandon this pipeline's ports so upstream
+					// pumps stop too, and exit instead of leaking.
+					abandonSubtree(c)
+					return
+				}
 			}
 		}(c)
 	}
@@ -94,8 +116,18 @@ func (u *ParallelUnion) Next(*Ctx) (*vector.Batch, error) {
 	return nil, nil
 }
 
-// Close implements Operator.
+// Close implements Operator. An early Close (consumer satisfied before the
+// stream drained) releases blocked workers via quit, waits for them to
+// exit, and only then closes the children — closing a child while its
+// worker goroutine still calls Next on it would race.
 func (u *ParallelUnion) Close(ctx *Ctx) error {
+	u.mu.Lock()
+	started := u.started
+	u.mu.Unlock()
+	if started {
+		u.quitOnce.Do(func() { close(u.quit) })
+		u.wg.Wait()
+	}
 	var firstErr error
 	for _, c := range u.children {
 		if err := c.Close(ctx); err != nil && firstErr == nil {
@@ -103,6 +135,26 @@ func (u *ParallelUnion) Close(ctx *Ctx) error {
 		}
 	}
 	return firstErr
+}
+
+// abandoner is implemented by operators (exchange receive ports) that can
+// be told their consumer died, so upstream pumps stop blocking on them.
+type abandoner interface{ abandon() }
+
+// abandonSubtree walks a dead pipeline and abandons every exchange port in
+// it. The walk stops at an abandoned port: the exchange's inputs are shared
+// with its sibling ports, which may still be healthy.
+func abandonSubtree(op Operator) {
+	if a, ok := op.(abandoner); ok {
+		a.abandon()
+		return
+	}
+	type hasChildren interface{ Children() []Operator }
+	if hc, ok := op.(hasChildren); ok {
+		for _, c := range hc.Children() {
+			abandonSubtree(c)
+		}
+	}
 }
 
 // SerialUnion concatenates children sequentially (used where determinism

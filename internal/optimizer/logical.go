@@ -102,8 +102,14 @@ func (q *LogicalQuery) tableOfFlat(flat int) (int, int) {
 
 // PlanOpts tunes planning.
 type PlanOpts struct {
-	// Parallelism enables the Figure 3 parallel aggregation shape when > 1.
+	// Parallelism enables intra-node parallel plans when > 1: the Figure 3
+	// aggregation shape, partitioned parallel hash joins, parallel sorts
+	// and parallel DISTINCT.
 	Parallelism int
+	// ForceParallel drops the MinParallelRows cardinality gate so parallel
+	// shapes plan even for tiny inputs (tests and the parallel-vs-serial
+	// differential oracle, which needs parallel plans on small fixtures).
+	ForceParallel bool
 	// NoSIP disables sideways information passing (ablation benches).
 	NoSIP bool
 	// NoPrepass disables prepass partial aggregation (ablation benches).
@@ -137,6 +143,12 @@ type PhysicalPlan struct {
 	EstBytes    int64
 	EstMemBytes int64
 	StatsBacked bool
+
+	// Workers is the largest number of worker pipelines any parallel shape
+	// in the plan runs concurrently (1 = fully serial). Admission uses it
+	// to split the query's memory grant per worker, so a parallel plan's
+	// workers share one grant instead of multiplying it.
+	Workers int
 
 	estInput float64 // running row estimate through the join tree
 	memAcc   float64 // accumulated operator working-set bytes

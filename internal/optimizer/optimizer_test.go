@@ -340,3 +340,126 @@ func TestPlanNoFromFails(t *testing.T) {
 		t.Error("empty FROM should fail")
 	}
 }
+
+// parallelJoinQuery is the 2-table join used by the parallel-shape tests.
+func parallelJoinQuery(t *testing.T, f *fixture) *LogicalQuery {
+	sales := f.table(t, "sales")
+	customers := f.table(t, "customers")
+	return &LogicalQuery{
+		From:      []TableRef{{Table: sales}, {Table: customers}},
+		JoinConds: []JoinCond{{LeftTbl: 0, LeftCol: 1, RightTbl: 1, RightCol: 0, Type: exec.InnerJoin}},
+		SelectExprs: []expr.Expr{
+			expr.NewColRef(4, types.Varchar, "region"),
+			expr.NewColRef(2, types.Float64, "price"),
+		},
+		SelectNames: []string{"region", "price"},
+		// Touch sale_id so the wide sale_id-sorted projection is required:
+		// its sort order cannot serve the cust join key, forcing the hash
+		// join path the parallel shape applies to.
+		Where: expr.MustCmp(expr.Ge, expr.NewColRef(0, types.Int64, "sale_id"), expr.NewConst(types.NewInt(0))),
+		Limit: -1,
+	}
+}
+
+func TestPlanParallelHashJoin(t *testing.T) {
+	f := newFixture(t, 2000)
+	q := parallelJoinQuery(t, f)
+	rows, plan := f.run(t, q, PlanOpts{Parallelism: 4, ForceParallel: true, NoSIP: true})
+	if len(rows) != 2000 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	ex := plan.Explain()
+	for _, want := range []string{"parallel hash join", "segment keys=", "ParallelUnion", "HashJoin"} {
+		if !strings.Contains(ex, want) {
+			t.Errorf("parallel join plan missing %q:\n%s", want, ex)
+		}
+	}
+	if plan.Workers != 4 {
+		t.Errorf("Workers = %d, want 4", plan.Workers)
+	}
+	// Differential: the parallel plan must produce exactly the serial rows.
+	serial, _ := f.run(t, q, PlanOpts{NoSIP: true})
+	var sumP, sumS float64
+	for _, r := range rows {
+		sumP += r[1].F
+	}
+	for _, r := range serial {
+		sumS += r[1].F
+	}
+	if len(serial) != len(rows) || sumP != sumS {
+		t.Errorf("parallel join diverged: %d rows sum %v vs serial %d rows sum %v",
+			len(rows), sumP, len(serial), sumS)
+	}
+	// The cardinality gate keeps tiny inputs serial without ForceParallel.
+	_, gated := f.run(t, q, PlanOpts{Parallelism: 4, NoSIP: true})
+	if strings.Contains(gated.Explain(), "parallel hash join") {
+		t.Errorf("2000-row join should stay serial under the %d-row gate", int(MinParallelRows))
+	}
+}
+
+func TestPlanParallelSort(t *testing.T) {
+	f := newFixture(t, 3000)
+	sales := f.table(t, "sales")
+	q := &LogicalQuery{
+		From: []TableRef{{Table: sales}},
+		SelectExprs: []expr.Expr{
+			expr.NewColRef(0, types.Int64, "sale_id"),
+			expr.NewColRef(2, types.Float64, "price"),
+		},
+		SelectNames: []string{"sale_id", "price"},
+		OrderBy:     []exec.SortSpec{{Col: 1, Desc: true}},
+		Limit:       -1,
+	}
+	rows, plan := f.run(t, q, PlanOpts{Parallelism: 4, ForceParallel: true})
+	if len(rows) != 3000 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1][1].F < rows[i][1].F {
+			t.Fatalf("parallel sort lost global order at row %d", i)
+		}
+	}
+	ex := plan.Explain()
+	for _, want := range []string{"parallel sort: 4 worker sorts", "round-robin", "merge"} {
+		if !strings.Contains(ex, want) {
+			t.Errorf("parallel sort plan missing %q:\n%s", want, ex)
+		}
+	}
+	_, gated := f.run(t, q, PlanOpts{Parallelism: 4})
+	if strings.Contains(gated.Explain(), "parallel sort") {
+		t.Error("3000-row sort should stay serial under the cardinality gate")
+	}
+}
+
+func TestPlanParallelDistinct(t *testing.T) {
+	f := newFixture(t, 2000)
+	sales := f.table(t, "sales")
+	q := &LogicalQuery{
+		From:        []TableRef{{Table: sales}},
+		SelectExprs: []expr.Expr{expr.NewColRef(1, types.Int64, "cust")},
+		SelectNames: []string{"cust"},
+		Distinct:    true,
+		Limit:       -1,
+	}
+	rows, plan := f.run(t, q, PlanOpts{Parallelism: 4, ForceParallel: true})
+	if len(rows) != 20 {
+		t.Fatalf("distinct rows = %d, want 20", len(rows))
+	}
+	seen := map[int64]bool{}
+	for _, r := range rows {
+		if seen[r[0].I] {
+			t.Fatalf("duplicate %d survived parallel distinct", r[0].I)
+		}
+		seen[r[0].I] = true
+	}
+	ex := plan.Explain()
+	for _, want := range []string{"parallel distinct", "segment keys=", "ParallelUnion"} {
+		if !strings.Contains(ex, want) {
+			t.Errorf("parallel distinct plan missing %q:\n%s", want, ex)
+		}
+	}
+	_, gated := f.run(t, q, PlanOpts{Parallelism: 4})
+	if strings.Contains(gated.Explain(), "parallel distinct") {
+		t.Error("2000-row distinct should stay serial under the cardinality gate")
+	}
+}

@@ -155,6 +155,18 @@ func Plan(p Provider, q *LogicalQuery, opts PlanOpts) (*PhysicalPlan, error) {
 		if mj, ok := tryMergeJoin(q, jt, fact, dim, cur, outerKeys, innerKeys); ok {
 			cur = mj
 			plan.Notes = append(plan.Notes, fmt.Sprintf("merge join with %s (sort orders aligned)", dimDesc))
+		} else if w := parallelWays(opts, runningEst); w > 1 {
+			// Partitioned parallel hash join: both sides resegment on the
+			// join keys across w ways, so each way joins a complete,
+			// disjoint key partition (SIP is skipped — the probe scan sits
+			// behind an exchange and each way holds only a partial key set).
+			pj, err := planParallelHashJoin(plan, jt, cur, dim.op, outerKeys, innerKeys, w)
+			if err != nil {
+				return nil, err
+			}
+			cur = pj
+			plan.Notes = append(plan.Notes, fmt.Sprintf(
+				"parallel hash join with %s: %d ways, both sides resegmented on the join keys", dimDesc, w))
 		} else {
 			hj, err := exec.NewHashJoin(jt, cur, dim.op, outerKeys, innerKeys)
 			if err != nil {
@@ -400,6 +412,18 @@ func finishPlan(p Provider, q *LogicalQuery, plan *PhysicalPlan, cur exec.Operat
 		}
 		cur = exec.NewFilter(cur, pred)
 	}
+	// Cardinality through the tail of the plan, computed up front so the
+	// parallel sort/DISTINCT gates can consult it: residual filters shrink
+	// the joined stream, grouping collapses it to (at most) the product of
+	// the key NDVs, LIMIT caps it.
+	inEst := plan.estInput
+	for _, c := range residual {
+		inEst *= shapeSelectivity(c)
+	}
+	outEst := inEst
+	if q.IsAggregate() || q.Distinct {
+		outEst = groupCountEstimate(p.Catalog(), q, inEst)
+	}
 	var err error
 	if q.IsAggregate() {
 		cur, err = planAggregate(p, q, plan, cur, colMap, opts)
@@ -423,17 +447,27 @@ func finishPlan(p Provider, q *LogicalQuery, plan *PhysicalPlan, cur exec.Operat
 		}
 		cur = exec.NewProject(cur, exprs, q.SelectNames)
 		if q.Distinct {
-			keys := make([]expr.Expr, cur.Schema().Len())
-			names := make([]string, cur.Schema().Len())
-			for i := range keys {
-				keys[i] = expr.NewColRef(i, cur.Schema().Col(i).Typ, cur.Schema().Col(i).Name)
-				names[i] = cur.Schema().Col(i).Name
+			// DISTINCT gates on the rows flowing INTO the dedup, not the
+			// distinct count coming out.
+			if w := parallelWays(opts, inEst); w > 1 {
+				cur = planParallelDistinct(plan, cur, w)
+			} else {
+				keys := make([]expr.Expr, cur.Schema().Len())
+				names := make([]string, cur.Schema().Len())
+				for i := range keys {
+					keys[i] = expr.NewColRef(i, cur.Schema().Col(i).Typ, cur.Schema().Col(i).Name)
+					names[i] = cur.Schema().Col(i).Name
+				}
+				cur = exec.NewGroupBy(cur, keys, names, nil)
 			}
-			cur = exec.NewGroupBy(cur, keys, names, nil)
 		}
 	}
 	if len(q.OrderBy) > 0 {
-		cur = exec.NewSort(cur, q.OrderBy)
+		if w := parallelWays(opts, outEst); w > 1 {
+			cur = planParallelSort(plan, cur, q.OrderBy, w)
+		} else {
+			cur = exec.NewSort(cur, q.OrderBy)
+		}
 	}
 	if q.Limit >= 0 || q.Offset > 0 {
 		limit := q.Limit
@@ -444,15 +478,6 @@ func finishPlan(p Provider, q *LogicalQuery, plan *PhysicalPlan, cur exec.Operat
 	}
 	plan.Root = cur
 
-	// Output estimate: residual filters shrink the joined stream, grouping
-	// collapses it to (at most) the product of the key NDVs, LIMIT caps it.
-	outEst := plan.estInput
-	for _, c := range residual {
-		outEst *= shapeSelectivity(c)
-	}
-	if q.IsAggregate() || q.Distinct {
-		outEst = groupCountEstimate(p.Catalog(), q, outEst)
-	}
 	if q.Limit >= 0 && float64(q.Limit) < outEst {
 		outEst = float64(q.Limit)
 	}
@@ -463,6 +488,93 @@ func finishPlan(p Provider, q *LogicalQuery, plan *PhysicalPlan, cur exec.Operat
 	plan.Notes = append(plan.Notes, fmt.Sprintf("est: output ~%s rows, ~%d bytes (plan memory ~%d bytes, %s)",
 		fmtEst(outEst), plan.EstBytes, plan.EstMemBytes, estSource(plan.StatsBacked)))
 	return plan, nil
+}
+
+// MinParallelRows gates the intra-node parallel join/sort/DISTINCT shapes:
+// below this estimated input cardinality the exchange setup costs more than
+// the parallelism pays, so tiny inputs stay serial. The estimate is
+// histogram-backed when the tables were ANALYZEd and shape-heuristic
+// otherwise; PlanOpts.ForceParallel overrides the gate.
+const MinParallelRows = 16384
+
+// parallelWays resolves the degree a parallel shape should plan with:
+// opts.Parallelism when parallelism is on and the input is big enough (or
+// forced), 1 otherwise.
+func parallelWays(opts PlanOpts, estRows float64) int {
+	if opts.Parallelism <= 1 {
+		return 1
+	}
+	if opts.ForceParallel || estRows >= MinParallelRows {
+		return opts.Parallelism
+	}
+	return 1
+}
+
+// noteWorkers records a shape's concurrent worker pipelines on the plan so
+// admission can split the memory grant per worker.
+func (p *PhysicalPlan) noteWorkers(w int) {
+	if w > p.Workers {
+		p.Workers = w
+	}
+}
+
+// planParallelHashJoin builds the partitioned parallel join: both sides
+// resegment on the join keys across w ways (batch-native hash-partition
+// exchanges), each way hash-joins a complete key partition, and a
+// ParallelUnion merges the ways. Correct for every join flavor because a
+// key value — NULLs included — lives in exactly one partition on each side.
+func planParallelHashJoin(plan *PhysicalPlan, jt exec.JoinType, outer, inner exec.Operator, outerKeys, innerKeys []int, w int) (exec.Operator, error) {
+	exOuter := exec.NewExchange([]exec.Operator{outer}, w, outerKeys)
+	exInner := exec.NewExchange([]exec.Operator{inner}, w, innerKeys)
+	outerPorts, innerPorts := exOuter.Ports(), exInner.Ports()
+	joins := make([]exec.Operator, w)
+	for i := 0; i < w; i++ {
+		hj, err := exec.NewHashJoin(jt, outerPorts[i], innerPorts[i], outerKeys, innerKeys)
+		if err != nil {
+			return nil, err
+		}
+		joins[i] = hj
+	}
+	plan.noteWorkers(w)
+	return exec.NewParallelUnion(joins...), nil
+}
+
+// planParallelSort splits the input round-robin across w worker sorts and
+// recombines them through an order-preserving merge Recv, parallelizing the
+// O(n log n) sort CPU while keeping the output globally ordered.
+func planParallelSort(plan *PhysicalPlan, cur exec.Operator, specs []exec.SortSpec, w int) exec.Operator {
+	split := exec.NewSplitExchange(cur, w)
+	sorters := make([]exec.Operator, w)
+	for i, port := range split.Ports() {
+		sorters[i] = exec.NewSort(port, specs)
+	}
+	merge := exec.NewMergeExchange(sorters, specs)
+	plan.noteWorkers(w)
+	plan.Notes = append(plan.Notes, fmt.Sprintf(
+		"parallel sort: %d worker sorts (round-robin split), order-preserving merge Recv", w))
+	return merge.Ports()[0]
+}
+
+// planParallelDistinct resegments the projected stream on all output
+// columns so each of the w GroupBys deduplicates a complete, disjoint
+// partition of the value space.
+func planParallelDistinct(plan *PhysicalPlan, cur exec.Operator, w int) exec.Operator {
+	n := cur.Schema().Len()
+	ex := exec.NewExchange([]exec.Operator{cur}, w, seq(n))
+	finals := make([]exec.Operator, 0, w)
+	for _, port := range ex.Ports() {
+		keys := make([]expr.Expr, n)
+		names := make([]string, n)
+		for i := range keys {
+			keys[i] = expr.NewColRef(i, cur.Schema().Col(i).Typ, cur.Schema().Col(i).Name)
+			names[i] = cur.Schema().Col(i).Name
+		}
+		finals = append(finals, exec.NewGroupBy(port, keys, names, nil))
+	}
+	plan.noteWorkers(w)
+	plan.Notes = append(plan.Notes, fmt.Sprintf(
+		"parallel distinct: resegment on all %d columns into %d GroupBys", n, w))
+	return exec.NewParallelUnion(finals...)
 }
 
 // planAggregate builds the grouping pipeline: one-pass over sorted scans,
@@ -610,14 +722,12 @@ func planParallelAggregate(q *LogicalQuery, plan *PhysicalPlan, scan *exec.Scan,
 		}
 		workers = append(workers, pre)
 	}
-	nKeys := len(keys)
-	ex := exec.NewExchange(workers, opts.Parallelism, func(r types.Row) int {
-		return int(types.HashRow(r, seq(nKeys)) % uint64(opts.Parallelism))
-	})
+	ex := exec.NewExchange(workers, opts.Parallelism, seq(len(keys)))
 	var finals []exec.Operator
 	for _, port := range ex.Ports() {
 		finals = append(finals, mergeGroupBy(port, keys, names, aggs))
 	}
+	plan.noteWorkers(opts.Parallelism)
 	plan.Notes = append(plan.Notes,
 		fmt.Sprintf("parallel aggregation: %d worker scans, prepass, resegment into %d final GroupBys", w, opts.Parallelism))
 	return exec.NewParallelUnion(finals...), nil

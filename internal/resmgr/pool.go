@@ -55,6 +55,12 @@ type PoolConfig struct {
 	// cancelled at the next batch boundary, releasing its slot and memory.
 	// Zero means uncapped.
 	RuntimeCap time.Duration
+	// Parallelism is the intra-node parallel degree this pool's statements
+	// plan with (Vertica's EXECUTIONPARALLELISM): parallel join/sort/
+	// aggregation/DISTINCT shapes fan out this many worker pipelines, all
+	// sharing the query's single memory grant (budget split per worker).
+	// Zero inherits the engine default.
+	Parallelism int
 }
 
 // PoolAlter carries ALTER RESOURCE POOL changes; nil fields keep the current
@@ -68,6 +74,7 @@ type PoolAlter struct {
 	QueueTimeout       *time.Duration
 	Priority           *int
 	RuntimeCap         *time.Duration
+	Parallelism        *int
 }
 
 // PoolStatus is a snapshot of one pool's configuration and counters, the row
@@ -273,6 +280,9 @@ func (g *Governor) AlterPool(name string, a PoolAlter) error {
 	if a.RuntimeCap != nil {
 		cfg.RuntimeCap = *a.RuntimeCap
 	}
+	if a.Parallelism != nil {
+		cfg.Parallelism = *a.Parallelism
+	}
 	if err := g.validatePoolLocked(cfg, name); err != nil {
 		return err
 	}
@@ -292,6 +302,9 @@ func (g *Governor) validatePoolLocked(cfg PoolConfig, self string) error {
 	}
 	if cfg.RuntimeCap < 0 {
 		return fmt.Errorf("resmgr: pool %q: negative runtime cap", cfg.Name)
+	}
+	if cfg.Parallelism < 0 {
+		return fmt.Errorf("resmgr: pool %q: negative parallelism", cfg.Name)
 	}
 	if cfg.MemBytes > g.cfg.PoolBytes {
 		return fmt.Errorf("resmgr: pool %q reserves %d bytes, global pool is %d",

@@ -513,7 +513,8 @@ func (g *Governor) newGrantLocked(p *pool, bytes int64, wait time.Duration, labe
 	p.admitted++
 	p.queueWait += wait
 	gr := &Grant{gov: g, pool: p, label: label, queueWait: wait,
-		runtimeCap: p.cfg.RuntimeCap, started: time.Now()}
+		runtimeCap: p.cfg.RuntimeCap, parallelism: p.cfg.Parallelism,
+		started: time.Now()}
 	gr.bytes.Store(bytes)
 	return gr
 }
@@ -684,13 +685,14 @@ func (s Stats) String() string {
 // branching. A grant is a negotiated budget, not a fixed ceiling: Request
 // extends it mid-flight from the pool's headroom.
 type Grant struct {
-	gov        *Governor
-	pool       *pool
-	label      string
-	queueWait  time.Duration
-	runtimeCap time.Duration
-	started    time.Time
-	errMsg     string // set by SetError before Release
+	gov         *Governor
+	pool        *pool
+	label       string
+	queueWait   time.Duration
+	runtimeCap  time.Duration
+	parallelism int
+	started     time.Time
+	errMsg      string // set by SetError before Release
 
 	// bytes is the current grant size: the admitted bytes plus every
 	// successful extension. Written under gov.mu (admission, Request); read
@@ -804,6 +806,16 @@ func (gr *Grant) RuntimeCap() time.Duration {
 		return 0
 	}
 	return gr.runtimeCap
+}
+
+// Parallelism is the pool's intra-node parallel degree at admission time
+// (zero = engine default). The planner fans parallel shapes out this wide;
+// the workers share this one grant, each budgeted a split of it.
+func (gr *Grant) Parallelism() int {
+	if gr == nil {
+		return 0
+	}
+	return gr.parallelism
 }
 
 // QueueWait is how long the query sat in the admission queue.

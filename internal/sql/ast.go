@@ -184,6 +184,7 @@ type PoolOpts struct {
 	QueueTimeoutMS     *int64 // QUEUETIMEOUT in ms; -1 = NONE (disabled)
 	Priority           *int64 // PRIORITY (higher dispatches first; may be negative)
 	RuntimeCapMS       *int64 // RUNTIMECAP in ms; 0 = NONE (uncapped)
+	Parallelism        *int64 // PARALLELISM (intra-node degree; 0 = engine default)
 }
 
 // CreatePoolStmt is CREATE RESOURCE POOL name [options].

@@ -876,6 +876,20 @@ func (p *parser) parsePoolOpts() (PoolOpts, error) {
 				v = -v
 			}
 			o.Priority = &v
+		case "parallelism":
+			if p.accept(tokIdent, "none") {
+				v := int64(0)
+				o.Parallelism = &v
+				continue
+			}
+			v, err := p.parseIntLiteral()
+			if err != nil {
+				return o, err
+			}
+			if v <= 0 {
+				return o, p.errHere("PARALLELISM must be a positive worker count (or NONE for the engine default)")
+			}
+			o.Parallelism = &v
 		case "runtimecap":
 			if p.accept(tokIdent, "none") {
 				v := int64(0)

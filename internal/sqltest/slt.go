@@ -31,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"testing"
 
@@ -240,6 +241,101 @@ func RunFile(t *testing.T, path string, opts core.Options) {
 			t.Fatal(err)
 		}
 		t.Logf("updated %s", path)
+	}
+}
+
+// RunFileDifferential executes one .slt file against two engine
+// configurations in lockstep and asserts every query returns identical
+// results — the self-checking parallel-vs-serial oracle the VDBMS testing
+// roadmap recommends: the serial plan is the reference semantics, the
+// parallel plan must be observationally equivalent. Statements must agree
+// on success vs failure (error text may differ); queries the skip predicate
+// accepts (EXPLAIN output, system tables whose counters depend on the
+// configuration) are executed on both engines but not compared. Queries
+// without an ORDER BY compare as sorted multisets, since parallel plans may
+// legitimately reorder unordered results.
+//
+// Golden-authoring constraint: float aggregates must use exactly
+// representable data (x.5-style values) — parallel aggregation
+// re-associates SUM/AVG, and results here compare as full-precision
+// rendered strings, so a non-representable sum can differ in the last ulp
+// between configurations.
+func RunFileDifferential(t *testing.T, path string, optsA, optsB core.Options, skip func(sql string) bool) {
+	t.Helper()
+	_, recs, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := func(opts core.Options) (*core.Database, map[string]*core.Session) {
+		db, err := core.Open(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db, map[string]*core.Session{}
+	}
+	dbA, sessA := open(optsA)
+	dbB, sessB := open(optsB)
+	t.Cleanup(func() {
+		for _, s := range sessA {
+			s.Close()
+		}
+		for _, s := range sessB {
+			s.Close()
+		}
+	})
+	sess := func(db *core.Database, m map[string]*core.Session, name string) *core.Session {
+		if s, ok := m[name]; ok {
+			return s
+		}
+		s := db.NewSession()
+		m[name] = s
+		return s
+	}
+	cur := "main"
+	for _, r := range recs {
+		switch r.kind {
+		case "session":
+			cur = r.arg
+			sess(dbA, sessA, cur)
+			sess(dbB, sessB, cur)
+		case "statement":
+			_, errA := sess(dbA, sessA, cur).Execute(r.sql)
+			_, errB := sess(dbB, sessB, cur).Execute(r.sql)
+			if (errA == nil) != (errB == nil) {
+				t.Errorf("%s:%d: statement diverged: A err=%v, B err=%v\n  %s",
+					path, r.line, errA, errB, r.sql)
+			}
+		case "query":
+			resA, errA := sess(dbA, sessA, cur).Execute(r.sql)
+			resB, errB := sess(dbB, sessB, cur).Execute(r.sql)
+			if (errA == nil) != (errB == nil) {
+				t.Errorf("%s:%d: query diverged: A err=%v, B err=%v\n  %s",
+					path, r.line, errA, errB, r.sql)
+				continue
+			}
+			if errA != nil || (skip != nil && skip(r.sql)) {
+				continue
+			}
+			gotA, gotB := renderRows(resA), renderRows(resB)
+			ordered := strings.Contains(strings.ToUpper(r.sql), "ORDER BY")
+			if ordered && strings.Join(gotA, "\n") == strings.Join(gotB, "\n") {
+				continue
+			}
+			// Unordered queries compare as multisets; so do ORDER BY
+			// queries whose exact order differs — SQL leaves tie order
+			// unspecified and serial vs parallel plans may break ties
+			// differently. (That an ordered result IS globally ordered is
+			// pinned separately: the .slt goldens run exact-match per
+			// config, and the optimizer's parallel-sort tests check
+			// order.)
+			sort.Strings(gotA)
+			sort.Strings(gotB)
+			if strings.Join(gotA, "\n") != strings.Join(gotB, "\n") {
+				t.Errorf("%s:%d: result diverged\n  %s\nA:\n  %s\nB:\n  %s",
+					path, r.line, r.sql,
+					strings.Join(gotA, "\n  "), strings.Join(gotB, "\n  "))
+			}
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package sqltest
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -20,7 +21,15 @@ func TestSLTFiles(t *testing.T) {
 	}
 	for _, f := range files {
 		t.Run(filepath.Base(f), func(t *testing.T) {
-			RunFile(t, f, DefaultOptions(t))
+			opts := DefaultOptions(t)
+			// parallel.slt pins the intra-node parallel plan shapes: it
+			// runs 4-way with the cardinality gate dropped so the tiny
+			// fixture still plans them.
+			if filepath.Base(f) == "parallel.slt" {
+				opts.Parallelism = 4
+				opts.ForceParallel = true
+			}
+			RunFile(t, f, opts)
 		})
 	}
 }
@@ -42,5 +51,36 @@ func TestHarnessRejectsMalformed(t *testing.T) {
 		if _, _, err := parseFile(path); err == nil {
 			t.Errorf("expected parse error for %q", bad)
 		}
+	}
+}
+
+// TestSLTParallelDifferential runs every golden file twice — serial and
+// 4-way parallel with the planner's cardinality gate dropped — and asserts
+// identical results: the parallel-vs-serial equivalence oracle pinned in
+// CI. EXPLAIN output and system-table queries are executed on both engines
+// but not compared (plans and resource counters legitimately differ
+// between the configurations).
+func TestSLTParallelDifferential(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.slt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no .slt files found")
+	}
+	skip := func(sql string) bool {
+		u := strings.ToUpper(strings.TrimSpace(sql))
+		return strings.HasPrefix(u, "EXPLAIN") ||
+			strings.Contains(u, "V_MONITOR.") ||
+			strings.Contains(u, "V_CATALOG.")
+	}
+	for _, f := range files {
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			serial := DefaultOptions(t)
+			parallel := DefaultOptions(t)
+			parallel.Parallelism = 4
+			parallel.ForceParallel = true
+			RunFileDifferential(t, f, serial, parallel, skip)
+		})
 	}
 }

@@ -132,6 +132,33 @@ func (lm *LockManager) Held(txn TxnID, table string) LockMode {
 	return lm.tables[table][txn]
 }
 
+// LockInfo is one held table lock, for monitoring (v_monitor.locks).
+type LockInfo struct {
+	Table string
+	Txn   TxnID
+	Mode  LockMode
+}
+
+// Snapshot lists every held lock, sorted by table then transaction id, for
+// the v_monitor.locks system table.
+func (lm *LockManager) Snapshot() []LockInfo {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	var out []LockInfo
+	for table, holders := range lm.tables {
+		for txn, mode := range holders {
+			out = append(out, LockInfo{Table: table, Txn: txn, Mode: mode})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].Txn < out[j].Txn
+	})
+	return out
+}
+
 // HoldersOf lists transactions holding locks on a table, for monitoring.
 func (lm *LockManager) HoldersOf(table string) []TxnID {
 	lm.mu.Lock()

@@ -13,6 +13,11 @@ const (
 	fnvPrime64  = 1099511628211
 )
 
+// HashSeed is the initial accumulator for multi-column hashing: combining
+// per-column HashValue results into it with HashCombine reproduces HashRow,
+// letting vectorized kernels hash column-at-a-time.
+const HashSeed uint64 = fnvOffset64
+
 // HashValue returns a stable 64-bit hash of the value. NULL hashes to a
 // fixed constant per type so that NULLs co-locate.
 func HashValue(v Value) uint64 {

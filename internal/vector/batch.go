@@ -108,6 +108,124 @@ func (b *Batch) AppendRow(r types.Row) {
 	}
 }
 
+// ShallowCopy returns a batch sharing the receiver's column vectors and
+// selection vector but owning its own headers, so independent consumers
+// (broadcast fan-out) can ExpandRLE/replace columns without racing.
+func (b *Batch) ShallowCopy() *Batch {
+	return &Batch{Cols: append([]*Vector(nil), b.Cols...), Sel: b.Sel}
+}
+
+// Append adds every live row of other to the receiver, column at a time.
+// The receiver must be flat and unselected; other's RLE columns expand.
+func (b *Batch) Append(other *Batch) {
+	if b.Sel != nil {
+		panic("vector: Append to batch with selection vector")
+	}
+	if len(other.Cols) != len(b.Cols) {
+		panic(fmt.Sprintf("vector: Append arity mismatch %d != %d", len(other.Cols), len(b.Cols)))
+	}
+	for i, c := range other.Cols {
+		b.Cols[i].AppendFrom(c.Expand(), other.Sel)
+	}
+}
+
+// SliceRows returns a view of rows [lo, hi) of a flat, unselected batch
+// (shares column storage with the receiver).
+func (b *Batch) SliceRows(lo, hi int) *Batch {
+	if b.Sel != nil {
+		panic("vector: SliceRows on batch with selection vector")
+	}
+	out := &Batch{Cols: make([]*Vector, len(b.Cols))}
+	for i, c := range b.Cols {
+		out.Cols[i] = c.Slice(lo, hi)
+	}
+	return out
+}
+
+// Hashes returns one HashRow-compatible hash per live row over the key
+// columns, computed column at a time. RLE key columns hash once per run
+// (the paper's "operate directly on encoded data").
+func (b *Batch) Hashes(keys []int) []uint64 {
+	out := make([]uint64, b.Len())
+	for i := range out {
+		out[i] = types.HashSeed
+	}
+	for _, k := range keys {
+		hashColInto(b.Cols[k], b.Sel, out)
+	}
+	return out
+}
+
+func hashColInto(v *Vector, sel []int, acc []uint64) {
+	if v.IsRLE() {
+		// Sel implies flat columns, so sel == nil here: one hash per run.
+		pos := 0
+		for r, run := range v.RunLens {
+			h := types.HashValue(v.ValueAt(r))
+			for j := 0; j < run && pos < len(acc); j++ {
+				acc[pos] = types.HashCombine(acc[pos], h)
+				pos++
+			}
+		}
+		return
+	}
+	phys := func(i int) int {
+		if sel != nil {
+			return sel[i]
+		}
+		return i
+	}
+	// Typed fast paths keep the hot flat path free of Value boxing.
+	switch {
+	case v.Typ == types.Int64 && v.Nulls == nil:
+		for i := range acc {
+			acc[i] = types.HashCombine(acc[i], types.HashInt64(v.Ints[phys(i)]))
+		}
+	case v.Typ == types.Varchar && v.Nulls == nil:
+		for i := range acc {
+			acc[i] = types.HashCombine(acc[i], types.HashString(v.Strs[phys(i)]))
+		}
+	default:
+		for i := range acc {
+			acc[i] = types.HashCombine(acc[i], types.HashValue(v.ValueAt(phys(i))))
+		}
+	}
+}
+
+// Partition splits the batch into ways sub-batches by hashing the key
+// columns — the routing kernel behind the batch-native Exchange: alike key
+// values always land in the same output. Each non-empty output shares the
+// receiver's column vectors and marks its rows with a selection vector;
+// empty outputs are nil. RLE key columns hash once per run before the
+// receiver's columns are expanded in place (Sel outputs require flat
+// columns).
+func (b *Batch) Partition(keys []int, ways int) []*Batch {
+	out := make([]*Batch, ways)
+	if ways == 1 {
+		if b.Len() > 0 {
+			out[0] = b
+		}
+		return out
+	}
+	hashes := b.Hashes(keys)
+	b.ExpandRLE()
+	sels := make([][]int, ways)
+	for i, h := range hashes {
+		p := int(h % uint64(ways))
+		phys := i
+		if b.Sel != nil {
+			phys = b.Sel[i]
+		}
+		sels[p] = append(sels[p], phys)
+	}
+	for p, sel := range sels {
+		if len(sel) > 0 {
+			out[p] = &Batch{Cols: b.Cols, Sel: sel}
+		}
+	}
+	return out
+}
+
 // NewBatchForSchema returns an empty flat batch shaped like the schema.
 func NewBatchForSchema(s *types.Schema, capacity int) *Batch {
 	cols := make([]*Vector, s.Len())

@@ -184,6 +184,66 @@ func (v *Vector) Expand() *Vector {
 	return out
 }
 
+// AppendFrom appends entries of a flat source vector of the same type:
+// every physical entry when sel is nil, otherwise the entries at the given
+// physical indexes, in order. Column-at-a-time appends are the batch
+// movement fast path (no per-row Value boxing); both vectors must be flat.
+func (v *Vector) AppendFrom(src *Vector, sel []int) {
+	if src.RunLens != nil || v.RunLens != nil {
+		panic("vector: AppendFrom requires flat vectors")
+	}
+	n := src.PhysLen()
+	if sel != nil {
+		n = len(sel)
+	}
+	if n == 0 {
+		return
+	}
+	if src.HasNulls() && v.Nulls == nil {
+		v.Nulls = make([]bool, v.PhysLen(), v.PhysLen()+n)
+	}
+	if v.Nulls != nil {
+		switch {
+		case src.Nulls == nil:
+			for i := 0; i < n; i++ {
+				v.Nulls = append(v.Nulls, false)
+			}
+		case sel == nil:
+			v.Nulls = append(v.Nulls, src.Nulls...)
+		default:
+			for _, i := range sel {
+				v.Nulls = append(v.Nulls, src.Nulls[i])
+			}
+		}
+	}
+	switch v.Typ {
+	case types.Float64:
+		if sel == nil {
+			v.Floats = append(v.Floats, src.Floats...)
+		} else {
+			for _, i := range sel {
+				v.Floats = append(v.Floats, src.Floats[i])
+			}
+		}
+	case types.Varchar:
+		if sel == nil {
+			v.Strs = append(v.Strs, src.Strs...)
+		} else {
+			for _, i := range sel {
+				v.Strs = append(v.Strs, src.Strs[i])
+			}
+		}
+	default:
+		if sel == nil {
+			v.Ints = append(v.Ints, src.Ints...)
+		} else {
+			for _, i := range sel {
+				v.Ints = append(v.Ints, src.Ints[i])
+			}
+		}
+	}
+}
+
 // Gather returns a new flat vector with the entries at the given physical
 // indexes, in order. The receiver must be flat.
 func (v *Vector) Gather(idx []int) *Vector {

@@ -172,3 +172,134 @@ func TestGatherPanicsOnRLE(t *testing.T) {
 	v := NewConst(types.NewInt(1), 5)
 	v.Gather([]int{0})
 }
+
+func TestAppendFrom(t *testing.T) {
+	src := NewFromInts(types.Int64, []int64{10, 20, 30, 40})
+	dst := New(types.Int64, 8)
+	dst.AppendValue(types.NewInt(1))
+	dst.AppendFrom(src, nil)
+	if dst.Len() != 5 || dst.Ints[4] != 40 {
+		t.Fatalf("AppendFrom all: %v", dst.Ints)
+	}
+	dst.AppendFrom(src, []int{3, 1})
+	if dst.Len() != 7 || dst.Ints[5] != 40 || dst.Ints[6] != 20 {
+		t.Fatalf("AppendFrom sel: %v", dst.Ints)
+	}
+	// Null propagation: source nulls materialize the destination bitmap.
+	ns := New(types.Int64, 2)
+	ns.AppendValue(types.NewInt(7))
+	ns.AppendNull()
+	dst.AppendFrom(ns, nil)
+	if dst.Len() != 9 || !dst.NullAt(8) || dst.NullAt(7) {
+		t.Fatalf("AppendFrom nulls: nulls=%v", dst.Nulls)
+	}
+	// Appending a null-free source to a null-bearing destination backfills.
+	dst.AppendFrom(src, []int{0})
+	if dst.NullAt(9) {
+		t.Error("null-free append marked null")
+	}
+}
+
+func TestBatchHashesMatchHashRow(t *testing.T) {
+	b := NewBatch(
+		NewFromInts(types.Int64, []int64{1, 2, 1}),
+		NewFromStrings([]string{"x", "y", "x"}),
+	)
+	hs := b.Hashes([]int{0, 1})
+	for i, r := range b.Rows() {
+		if want := types.HashRow(r, []int{0, 1}); hs[i] != want {
+			t.Errorf("row %d: hash %x want %x", i, hs[i], want)
+		}
+	}
+	if hs[0] != hs[2] || hs[0] == hs[1] {
+		t.Error("equal keys must hash equal, different keys should differ")
+	}
+	// RLE key column: per-run hashing must agree with expanded hashing.
+	rle := NewConst(types.NewString("cpu"), 3)
+	rb := NewBatch(NewFromInts(types.Int64, []int64{5, 5, 6}), rle)
+	rhs := rb.Hashes([]int{0, 1})
+	for i, r := range rb.Rows() {
+		if want := types.HashRow(r, []int{0, 1}); rhs[i] != want {
+			t.Errorf("rle row %d: hash %x want %x", i, rhs[i], want)
+		}
+	}
+}
+
+func TestBatchPartition(t *testing.T) {
+	n := 1000
+	keys := make([]int64, n)
+	vals := make([]float64, n)
+	for i := range keys {
+		keys[i] = int64(i % 37)
+		vals[i] = float64(i)
+	}
+	b := NewBatch(NewFromInts(types.Int64, keys), NewFromFloats(vals))
+	parts := b.Partition([]int{0}, 4)
+	if len(parts) != 4 {
+		t.Fatalf("ways = %d", len(parts))
+	}
+	seen := map[int64]int{} // key -> port
+	total := 0
+	for p, part := range parts {
+		if part == nil {
+			continue
+		}
+		total += part.Len()
+		for _, r := range part.Rows() {
+			if prev, ok := seen[r[0].I]; ok && prev != p {
+				t.Fatalf("key %d split across ports %d and %d", r[0].I, prev, p)
+			}
+			seen[r[0].I] = p
+		}
+	}
+	if total != n {
+		t.Fatalf("partition lost rows: %d != %d", total, n)
+	}
+	// Row integrity: every (k, v) pair must satisfy v % 37 == k.
+	for _, part := range parts {
+		if part == nil {
+			continue
+		}
+		for _, r := range part.Rows() {
+			if int64(r[1].F)%37 != r[0].I {
+				t.Fatalf("row integrity lost: %v", r)
+			}
+		}
+	}
+	// ways=1 short-circuits to the batch itself.
+	one := b.Partition([]int{0}, 1)
+	if one[0].Len() != n {
+		t.Error("ways=1 should pass the batch through")
+	}
+}
+
+func TestBatchAppendAndSliceRows(t *testing.T) {
+	s := types.NewSchema(
+		types.Column{Name: "a", Typ: types.Int64},
+		types.Column{Name: "b", Typ: types.Varchar},
+	)
+	acc := NewBatchForSchema(s, 8)
+	src := NewBatch(
+		NewFromInts(types.Int64, []int64{1, 2, 3, 4}),
+		NewFromStrings([]string{"w", "x", "y", "z"}),
+	)
+	src.Sel = []int{1, 3} // only x and z are live
+	acc.Append(src)
+	if acc.Len() != 2 || acc.Cols[1].Strs[1] != "z" {
+		t.Fatalf("Append with selection: %v", acc.Cols[1].Strs)
+	}
+	rle := NewBatch(NewConst(types.NewInt(9), 3), NewConst(types.NewString("r"), 3))
+	acc.Append(rle)
+	if acc.Len() != 5 || acc.Cols[0].Ints[4] != 9 {
+		t.Fatalf("Append with RLE: %v", acc.Cols[0].Ints)
+	}
+	sl := acc.SliceRows(1, 4)
+	if sl.Len() != 3 || sl.Cols[1].Strs[0] != "z" {
+		t.Fatalf("SliceRows: %v", sl.Cols[1].Strs)
+	}
+	cp := acc.ShallowCopy()
+	cp.Cols[0] = NewFromInts(types.Int64, []int64{0})
+	if acc.Cols[0].Ints[0] == 0 {
+		t.Error("ShallowCopy must not alias the column slice header")
+	}
+}

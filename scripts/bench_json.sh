@@ -1,0 +1,65 @@
+#!/bin/sh
+# bench-json: run the parallel-scaling benchmark suite and write
+# BENCH_PR5.json — ns/op and rows/s for serial vs 4-way parallel
+# aggregation / join / sort, plus the derived 4-way speedups. CI smokes it
+# at 1 iteration (BENCH_ITERS=1x); for recorded numbers use a time-based
+# benchtime (default 2x) on an idle machine.
+#
+# The speedups scale with the host's cores: the parallel shapes fan worker
+# pipelines out across GOMAXPROCS, so a single-CPU container records mostly
+# the cache-locality win of partitioned operators (~1.3x) while multi-core
+# hosts show the full scaling. The "cpus" field records what this run had.
+set -eu
+
+ITERS="${BENCH_ITERS:-2x}"
+OUT="${BENCH_OUT:-BENCH_PR5.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -bench '^BenchmarkParallelScaling$' -benchtime "$ITERS" -run '^$' . | tee "$RAW"
+
+awk -v iters="$ITERS" '
+/^BenchmarkParallelScaling\// {
+  # BenchmarkParallelScaling/agg/serial-8  2  1335412204 ns/op  299533 rows/s
+  name = $1
+  sub(/^BenchmarkParallelScaling\//, "", name)
+  sub(/-[0-9]+$/, "", name)
+  ns[name] = $3
+  rows[name] = $5
+  order[n++] = name
+}
+/^cpu:/ { cpumodel = $0; sub(/^cpu: /, "", cpumodel) }
+END {
+  if (n == 0) { print "bench-json: no benchmark output parsed" > "/dev/stderr"; exit 1 }
+  "getconf _NPROCESSORS_ONLN" | getline cpus
+  printf "{\n"
+  printf "  \"benchmark\": \"BenchmarkParallelScaling\",\n"
+  printf "  \"benchtime\": \"%s\",\n", iters
+  printf "  \"cpus\": %d,\n", cpus
+  printf "  \"cpu_model\": \"%s\",\n", cpumodel
+  printf "  \"results\": [\n"
+  for (i = 0; i < n; i++) {
+    name = order[i]
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %d, \"rows_per_s\": %d}%s\n",
+      name, ns[name], rows[name], (i < n-1 ? "," : "")
+  }
+  printf "  ],\n"
+  printf "  \"speedup_4way\": {\n"
+  first = 1
+  for (i = 0; i < n; i++) {
+    name = order[i]
+    if (name !~ /\/serial$/) continue
+    w = name; sub(/\/serial$/, "", w)
+    p = w "/parallel4"
+    if (!(p in ns)) continue
+    if (!first) printf ",\n"
+    printf "    \"%s\": %.2f", w, ns[name] / ns[p]
+    first = 0
+  }
+  printf "\n  },\n"
+  printf "  \"note\": \"speedups are wall-clock and bounded by this host%s core count; on a single-CPU container they reflect the cache-locality win of partitioned hash tables and smaller per-worker sorts, not thread-level parallelism\"\n", "\\u0027s"
+  printf "}\n"
+}' "$RAW" > "$OUT"
+
+echo "bench-json: wrote $OUT"
+cat "$OUT"
