@@ -7,7 +7,7 @@ SERVE_ADDR ?= :5433
 MEM_POOL   ?= 256MB
 MAX_CONC   ?= 4
 
-.PHONY: all build test race lint bench bench-json serve fmt fuzz cover sqltest-update docs-check
+.PHONY: all build test race lint bench bench-json check-profiling-overhead serve fmt fuzz cover sqltest-update docs-check
 
 all: build test docs-check
 
@@ -28,11 +28,17 @@ lint:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
 
-# Parallel-scaling benchmark as machine-readable JSON (ns/op + rows/s for
-# serial vs 4-way parallel agg/join/sort, with derived speedups). Override
+# Parallel-scaling + profiling-overhead benchmarks as machine-readable
+# JSON (ns/op + rows/s for serial vs 4-way parallel agg/join/sort with
+# derived speedups, plus the profiled-vs-unprofiled delta). Override
 # BENCH_ITERS (e.g. 1x for a CI smoke) and BENCH_OUT as needed.
 bench-json:
 	sh scripts/bench_json.sh
+
+# Fail if operator wall-clock profiling costs >= 5% over the always-on
+# counters on the 400k-row aggregation.
+check-profiling-overhead:
+	sh scripts/check_profiling_overhead.sh
 
 # Short fuzz smoke, mirroring CI (10s per target).
 fuzz:

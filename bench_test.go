@@ -542,9 +542,16 @@ func BenchmarkConcurrentWorkload(b *testing.B) {
 
 // --- PR 5: intra-node parallel scaling ------------------------------------
 
+// psKey identifies one fixture configuration: the intra-node parallel
+// degree and whether operator wall-clock profiling is on engine-wide.
+type psKey struct {
+	par     int
+	profile bool
+}
+
 var (
 	psOnce  sync.Once
-	psDBs   map[int]*core.Database
+	psDBs   map[psKey]*core.Database
 	psDirs  []string
 	psSetup sync.Mutex
 )
@@ -558,7 +565,7 @@ func cleanupParallelScaling() {
 		os.RemoveAll(d)
 	}
 	psDirs = nil
-	psDBs = map[int]*core.Database{}
+	psDBs = map[psKey]*core.Database{}
 }
 
 // parallelScalingDB returns a database loaded with the parallel-scaling
@@ -568,12 +575,13 @@ func cleanupParallelScaling() {
 // split) plus a 200k-row dimension — both sized so the serial hash tables
 // fall well out of cache and the partitioned parallel shapes have
 // something to win.
-func parallelScalingDB(b *testing.B, parallelism int) *core.Database {
+func parallelScalingDB(b *testing.B, parallelism int, profile bool) *core.Database {
 	b.Helper()
 	psSetup.Lock()
 	defer psSetup.Unlock()
-	psOnce.Do(func() { psDBs = map[int]*core.Database{} })
-	if db, ok := psDBs[parallelism]; ok {
+	psOnce.Do(func() { psDBs = map[psKey]*core.Database{} })
+	key := psKey{par: parallelism, profile: profile}
+	if db, ok := psDBs[key]; ok {
 		return db
 	}
 	// Not b.TempDir(): the database outlives the sub-benchmark that first
@@ -587,6 +595,7 @@ func parallelScalingDB(b *testing.B, parallelism int) *core.Database {
 		Dir:         dir,
 		TempDir:     dir,
 		Parallelism: parallelism,
+		Profile:     profile,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -619,7 +628,7 @@ func parallelScalingDB(b *testing.B, parallelism int) *core.Database {
 	if err := db.Load("pdim", dim, true); err != nil {
 		b.Fatal(err)
 	}
-	psDBs[parallelism] = db
+	psDBs[key] = db
 	return db
 }
 
@@ -647,7 +656,7 @@ func BenchmarkParallelScaling(b *testing.B) {
 			par  int
 		}{{"serial", 1}, {"parallel4", 4}} {
 			b.Run(w.name+"/"+cfg.name, func(b *testing.B) {
-				db := parallelScalingDB(b, cfg.par)
+				db := parallelScalingDB(b, cfg.par, false)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					res, err := db.Execute(w.sql)
@@ -662,5 +671,39 @@ func BenchmarkParallelScaling(b *testing.B) {
 				b.ReportMetric(float64(400_000)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
 			})
 		}
+	}
+}
+
+// --- PR 6: profiling overhead ----------------------------------------------
+
+// BenchmarkProfilingOverhead measures what per-operator profiling costs on
+// the 400k-row aggregation: "off" is the always-on counters (two atomic
+// adds per batch — the price every query pays), "on" adds wall-clock
+// timing, blocked-time tracking and full record retention (engine-wide
+// Profile, what PROFILE enables per statement). CI gates the on-vs-off
+// delta under 5% (scripts/check_profiling_overhead.sh), so timing can
+// never silently become a tax on unprofiled queries.
+func BenchmarkProfilingOverhead(b *testing.B) {
+	b.Cleanup(cleanupParallelScaling)
+	const sql = `SELECT grp, COUNT(*) AS n, SUM(v) AS s FROM psales GROUP BY grp`
+	for _, cfg := range []struct {
+		name    string
+		profile bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			db := parallelScalingDB(b, 1, cfg.profile)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := db.Execute(sql)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) != 100_000 {
+					b.Fatalf("rows = %d, want 100000", len(res.Rows))
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(400_000)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
 	}
 }

@@ -9,6 +9,12 @@
 //
 //	vsql -dir /path/to/db -serve :5433 -mem-pool 256MB -max-concurrency 4
 //
+// -debug-addr starts an HTTP listener serving the engine metrics registry
+// (/metrics as JSON, /debug/vars as expvar) and the standard Go profiling
+// endpoints (/debug/pprof/*). -slow-query sets the threshold past which a
+// statement's full per-operator profile is auto-retained in
+// v_monitor.execution_engine_profiles.
+//
 // Meta commands: \q quits, \d lists tables and projections, \mover runs a
 // tuple mover cycle, \epoch shows the epoch state, \stats shows governor
 // workload stats.
@@ -20,6 +26,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -27,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/server"
 	"repro/internal/sql"
 )
@@ -42,6 +50,8 @@ func main() {
 	queueTimeout := flag.Duration("queue-timeout", 0, "admission queue timeout (default 30s)")
 	tempDir := flag.String("tmp", "", "spill directory (default system temp)")
 	defaultPool := flag.String("pool", "", "resource pool new sessions admit against (default: general; see CREATE RESOURCE POOL)")
+	debugAddr := flag.String("debug-addr", "", "serve engine metrics and pprof on this HTTP address (e.g. localhost:6060)")
+	slowQuery := flag.Duration("slow-query", 0, "auto-retain full operator profiles of statements slower than this (default 1s; negative disables)")
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "vsql: -dir is required")
@@ -59,10 +69,20 @@ func main() {
 		QueueTimeout:   *queueTimeout,
 		TempDir:        *tempDir,
 		DefaultPool:    *defaultPool,
+
+		SlowQueryThreshold: *slowQuery,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vsql:", err)
 		os.Exit(1)
+	}
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, metrics.Handler(metrics.Default)); err != nil {
+				fmt.Fprintln(os.Stderr, "vsql: debug listener:", err)
+			}
+		}()
+		fmt.Printf("vsql: debug HTTP on %s (/metrics, /debug/vars, /debug/pprof/)\n", *debugAddr)
 	}
 	if *serveAddr != "" {
 		if err := serve(db, *serveAddr); err != nil {

@@ -56,6 +56,11 @@ type QueryResult struct {
 	Rows    []types.Row
 	Explain string
 	Stats   resmgr.QueryStats
+	// OpProfiles are the executed plans' per-operator records, node plans
+	// concatenated in execution order (each pre-order within its plan). The
+	// initiator merge pipeline is not profiled — it runs after the node
+	// plans finish and its operators are built per-merge, not per-plan.
+	OpProfiles []resmgr.OpProfile
 }
 
 // Run executes a logical query across the cluster at the current READ
@@ -241,6 +246,14 @@ func (c *Cluster) RunAtCtx(ctx context.Context, q *optimizer.LogicalQuery, opts 
 		}(r)
 	}
 	wg.Wait()
+	// Collect per-operator profiles (one cheap walk per plan) and attach
+	// them to the grant, so the governor retains them for PROFILE runs and
+	// queries crossing the slow-query threshold — including failed ones.
+	var opRecs []resmgr.OpProfile
+	for _, r := range runs {
+		opRecs = append(opRecs, exec.CollectProfiles(r.plan.Root, r.node.Name)...)
+	}
+	grant.SetOpProfile(opRecs, opts.Profile)
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -256,7 +269,8 @@ func (c *Cluster) RunAtCtx(ctx context.Context, q *optimizer.LogicalQuery, opts 
 	var explain strings.Builder
 	fmt.Fprintf(&explain, "-- distributed over %d node plan(s); local-final=%v\n", len(runs), localFinal)
 	explain.WriteString(runs[0].plan.Explain())
-	return &QueryResult{Schema: schema, Rows: final, Explain: explain.String(), Stats: grant.Stats()}, nil
+	return &QueryResult{Schema: schema, Rows: final, Explain: explain.String(),
+		Stats: grant.Stats(), OpProfiles: opRecs}, nil
 }
 
 // grantRequest sizes the admission request from the probe plan (the
@@ -337,6 +351,7 @@ func (c *Cluster) execCtx(cctx context.Context, epoch types.Epoch, opts optimize
 	}
 	ectx.Context = cctx
 	ectx.Grant = grant
+	ectx.ProfTimes = opts.Profile
 	if c.cfg.TempDir != "" {
 		ectx.TempDir = c.cfg.TempDir
 	}

@@ -24,7 +24,9 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/cluster"
+	"repro/internal/exec"
 	"repro/internal/expr"
+	"repro/internal/metrics"
 	"repro/internal/optimizer"
 	"repro/internal/resmgr"
 	"repro/internal/sql"
@@ -75,6 +77,18 @@ type Options struct {
 	// ProfileCapacity bounds the retained query-profile ring backing
 	// v_monitor.query_profiles (0 = resmgr default, negative disables).
 	ProfileCapacity int
+	// OpProfileCapacity bounds the retained per-operator profile ring
+	// backing v_monitor.execution_engine_profiles (0 = resmgr default,
+	// negative disables).
+	OpProfileCapacity int
+	// SlowQueryThreshold is the wall time past which a finished statement's
+	// per-operator profile is retained even without PROFILE (0 = resmgr
+	// default of 1s, negative disables slow-query capture).
+	SlowQueryThreshold time.Duration
+	// Profile runs every SELECT with wall-clock operator timing, as if each
+	// were prefixed with PROFILE — a benchmarking/testing knob; interactive
+	// use profiles per statement with the PROFILE verb.
+	Profile bool
 	// StatsBuckets is the histogram bucket count ANALYZE_STATISTICS builds
 	// when the statement does not name one (0 = stats.DefaultBuckets).
 	StatsBuckets int
@@ -105,6 +119,9 @@ type Result struct {
 	Message      string
 	// Stats carries the statement's resource accounting (SELECTs only).
 	Stats resmgr.QueryStats
+	// OpProfiles are the per-operator execution records of a PROFILE
+	// statement (nil otherwise; Explain holds the rendered tree).
+	OpProfiles []resmgr.OpProfile
 }
 
 // Open creates or reopens a database.
@@ -127,10 +144,12 @@ func Open(opts Options) (*Database, error) {
 	}
 	tm := txn.NewManager()
 	gov := resmgr.NewGovernor(resmgr.Config{
-		PoolBytes:       opts.MemPoolBytes,
-		MaxConcurrency:  opts.MaxConcurrency,
-		QueueTimeout:    opts.QueueTimeout,
-		ProfileCapacity: opts.ProfileCapacity,
+		PoolBytes:          opts.MemPoolBytes,
+		MaxConcurrency:     opts.MaxConcurrency,
+		QueueTimeout:       opts.QueueTimeout,
+		ProfileCapacity:    opts.ProfileCapacity,
+		OpProfileCapacity:  opts.OpProfileCapacity,
+		SlowQueryThreshold: opts.SlowQueryThreshold,
 	})
 	cl, err := cluster.New(cluster.Config{
 		Nodes:         opts.Nodes,
@@ -201,6 +220,21 @@ func Open(opts Options) (*Database, error) {
 		}
 	}
 	tm.Epochs.Restore(maxEpoch)
+	// Publish live WOS size into the metrics registry. Registration
+	// replaces any previous database's function (the registry is
+	// process-wide; the newest open database wins, which is what tests
+	// opening several databases in one process want).
+	metrics.RegisterFunc("storage.wos_rows", func() int64 {
+		var rows int64
+		for _, p := range cat.Projections() {
+			for _, n := range cl.UpNodes() {
+				if mgr, err := n.Mgr(p, cl.ManagerOpts()); err == nil {
+					rows += int64(mgr.WOS().Len())
+				}
+			}
+		}
+		return rows
+	})
 	return db, nil
 }
 
@@ -260,6 +294,7 @@ func (db *Database) NewSession() *Session {
 	db.sessSeq++
 	s := &Session{db: db, id: db.sessSeq, created: time.Now(), pool: db.opts.DefaultPool}
 	db.sessions[s.id] = s
+	metrics.ActiveSessions.Add(1)
 	return s
 }
 
@@ -280,7 +315,10 @@ func (s *Session) Close() {
 		s.setTx(nil)
 	}
 	s.db.sessMu.Lock()
-	delete(s.db.sessions, s.id)
+	if _, live := s.db.sessions[s.id]; live {
+		delete(s.db.sessions, s.id)
+		metrics.ActiveSessions.Add(-1) // guarded: Close must be idempotent
+	}
 	s.db.sessMu.Unlock()
 }
 
@@ -682,7 +720,7 @@ func (db *Database) execSelect(ctx context.Context, st *sql.SelectStmt) (*Result
 	if err != nil {
 		return nil, err
 	}
-	opts := optimizer.PlanOpts{Parallelism: db.opts.Parallelism, ForceParallel: db.opts.ForceParallel}
+	opts := db.planOpts(st)
 	res, err := db.cluster.RunCtx(ctx, q, opts)
 	if err != nil {
 		return nil, err
@@ -690,7 +728,24 @@ func (db *Database) execSelect(ctx context.Context, st *sql.SelectStmt) (*Result
 	if st.Explain {
 		return &Result{Explain: res.Explain, Message: res.Explain}, nil
 	}
+	if st.Profile {
+		// PROFILE executes normally, then reports the annotated plan
+		// instead of the rows (the records also land in
+		// v_monitor.execution_engine_profiles via the grant).
+		tree := exec.FormatProfiles(res.OpProfiles)
+		return &Result{Explain: tree, Message: tree, OpProfiles: res.OpProfiles, Stats: res.Stats}, nil
+	}
 	return &Result{Schema: res.Schema, Rows: res.Rows, Explain: res.Explain, Stats: res.Stats}, nil
+}
+
+// planOpts assembles the per-statement planner/runner options from the
+// database configuration and the statement's modifiers.
+func (db *Database) planOpts(st *sql.SelectStmt) optimizer.PlanOpts {
+	return optimizer.PlanOpts{
+		Parallelism:   db.opts.Parallelism,
+		ForceParallel: db.opts.ForceParallel,
+		Profile:       db.opts.Profile || (st != nil && st.Profile),
+	}
 }
 
 // QueryAt runs a SELECT at a historical epoch (time travel).
@@ -714,9 +769,13 @@ func (db *Database) QueryAtContext(ctx context.Context, sqlText string, epoch ty
 	if err != nil {
 		return nil, err
 	}
-	res, err := db.cluster.RunAtCtx(ctx, q, optimizer.PlanOpts{Parallelism: db.opts.Parallelism, ForceParallel: db.opts.ForceParallel}, epoch)
+	res, err := db.cluster.RunAtCtx(ctx, q, db.planOpts(st), epoch)
 	if err != nil {
 		return nil, err
+	}
+	if st.Profile {
+		tree := exec.FormatProfiles(res.OpProfiles)
+		return &Result{Explain: tree, Message: tree, OpProfiles: res.OpProfiles, Stats: res.Stats}, nil
 	}
 	return &Result{Schema: res.Schema, Rows: res.Rows, Explain: res.Explain, Stats: res.Stats}, nil
 }
@@ -1074,6 +1133,10 @@ func (db *Database) RunTupleMover() (int, int, error) {
 			if err != nil {
 				return totalMoved, totalMerged, err
 			}
+			if moved > 0 {
+				metrics.TupleMoverMoveouts.Inc()
+			}
+			metrics.TupleMoverMergeouts.Add(int64(merged))
 			totalMoved += moved
 			totalMerged += merged
 		}

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"repro/internal/catalog"
+	"repro/internal/metrics"
 	"repro/internal/storage"
 	"repro/internal/types"
 )
@@ -128,6 +129,70 @@ func (db *Database) registerMonitorTables() {
 					types.NewTimestamp(p.Started.UTC()),
 					types.NewString(status),
 					types.NewString(p.Error),
+				})
+			}
+			return rows, nil
+		})
+
+	// v_monitor.execution_engine_profiles: retained per-operator execution
+	// records, one row per plan node of a PROFILEd or slow query. Joins to
+	// v_monitor.query_profiles on profile_id = query_id.
+	opProfSchema := types.NewSchema(
+		col("query_id", types.Int64),
+		col("node_name", types.Varchar),
+		col("plan_node_id", types.Int64),
+		col("depth", types.Int64),
+		col("operator", types.Varchar),
+		col("est_rows", types.Int64),
+		col("batches", types.Int64),
+		col("rows_produced", types.Int64),
+		col("wall_us", types.Int64),
+		col("blocked_us", types.Int64),
+		col("spills", types.Int64),
+		col("spilled_bytes", types.Int64),
+		col("alloc_peak_bytes", types.Int64),
+	)
+	db.cat.RegisterVirtual(&catalog.Table{Name: "v_monitor.execution_engine_profiles", Schema: opProfSchema},
+		func() ([]types.Row, error) {
+			recs := db.Governor().OpProfiles()
+			rows := make([]types.Row, 0, len(recs))
+			for _, r := range recs {
+				rows = append(rows, types.Row{
+					types.NewInt(r.QueryID),
+					types.NewString(r.Node),
+					types.NewInt(int64(r.NodeID)),
+					types.NewInt(int64(r.Depth)),
+					types.NewString(r.Op),
+					types.NewInt(r.EstRows),
+					types.NewInt(r.Batches),
+					types.NewInt(r.Rows),
+					types.NewInt(r.WallUs),
+					types.NewInt(r.BlockedUs),
+					types.NewInt(r.Spills),
+					types.NewInt(r.SpilledBytes),
+					types.NewInt(r.AllocPeak),
+				})
+			}
+			return rows, nil
+		})
+
+	// v_monitor.metrics: the process-wide metrics registry, one row per
+	// counter/gauge. Values are cumulative since process start (counters)
+	// or instantaneous (gauges).
+	metricsSchema := types.NewSchema(
+		col("name", types.Varchar),
+		col("kind", types.Varchar),
+		col("value", types.Int64),
+	)
+	db.cat.RegisterVirtual(&catalog.Table{Name: "v_monitor.metrics", Schema: metricsSchema},
+		func() ([]types.Row, error) {
+			samples := metrics.Default.Snapshot()
+			rows := make([]types.Row, 0, len(samples))
+			for _, s := range samples {
+				rows = append(rows, types.Row{
+					types.NewString(s.Name),
+					types.NewString(string(s.Kind)),
+					types.NewInt(s.Value),
 				})
 			}
 			return rows, nil

@@ -88,6 +88,7 @@ type Analytic struct {
 	out    []types.Row
 	pos    int
 	done   bool
+	prof   OpProf
 }
 
 // NewAnalytic builds an analytic node. All specs must share PartitionCols
@@ -129,8 +130,8 @@ func (a *Analytic) Open(ctx *Ctx) error {
 // Close implements Operator.
 func (a *Analytic) Close(ctx *Ctx) error { return a.closeChild(ctx) }
 
-// Next implements Operator.
-func (a *Analytic) Next(ctx *Ctx) (*vector.Batch, error) {
+// next is the operator body behind the profiled Next (profile.go).
+func (a *Analytic) next(ctx *Ctx) (*vector.Batch, error) {
 	if !a.done {
 		if err := a.compute(ctx); err != nil {
 			return nil, err

@@ -4,7 +4,9 @@ import (
 	"container/heap"
 	"fmt"
 	"sync"
+	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/types"
 	"repro/internal/vector"
 )
@@ -256,6 +258,12 @@ func (e *Exchange) pump(ctx *Ctx, idx int, in Operator) {
 		if b.Len() == 0 {
 			continue
 		}
+		metrics.ExchangeBatches.Inc()
+		metrics.ExchangeRows.Add(int64(b.Len()))
+		// Approximate wire volume: fixed-width value slots. Vectors are
+		// shared in-process, so this sizes what a networked exchange would
+		// serialize rather than actual allocation.
+		metrics.ExchangeBytes.Add(int64(b.Len()) * int64(len(b.Cols)) * 16)
 		switch {
 		case e.Broadcast:
 			for p := 0; p < e.ways; p++ {
@@ -330,6 +338,7 @@ type recvPort struct {
 	mergeInit bool
 	heap      *cursorHeap
 	selOne    [1]int // scratch selection for single-row output copies
+	prof      OpProf
 }
 
 // Schema implements Operator.
@@ -355,14 +364,20 @@ func (r *recvPort) Open(ctx *Ctx) error { return r.ex.start(ctx) }
 // died calls it so the exchange pumps stop blocking on this port.
 func (r *recvPort) abandon() { r.ex.abandonPort(r.port) }
 
-// Next implements Operator.
-func (r *recvPort) Next(ctx *Ctx) (*vector.Batch, error) {
+// next is the operator body behind the profiled Next (profile.go).
+func (r *recvPort) next(ctx *Ctx) (*vector.Batch, error) {
 	if r.ex.SortKey != nil {
 		return r.nextMerged(ctx)
 	}
 	var done <-chan struct{}
 	if ctx.Context != nil {
 		done = ctx.Context.Done()
+	}
+	if ctx.ProfTimes {
+		// The select below is where a port waits on its producers; its
+		// duration is the operator's blocked time.
+		start := time.Now()
+		defer func() { r.prof.BlockedNs.Add(int64(time.Since(start))) }()
 	}
 	select {
 	case b, ok := <-r.ex.ports[r.port]:
@@ -416,7 +431,12 @@ type mergeCursor struct {
 // ready ensures the cursor points at a live row, pulling the next lane
 // batch as needed. Returns false at end of lane (err reports a pump
 // failure).
-func (r *recvPort) ready(c *mergeCursor) (bool, error) {
+func (r *recvPort) ready(ctx *Ctx, c *mergeCursor) (bool, error) {
+	if ctx.ProfTimes {
+		// Lane pulls are where a merging port waits on its producers.
+		start := time.Now()
+		defer func() { r.prof.BlockedNs.Add(int64(time.Since(start))) }()
+	}
 	for c.batch == nil || c.pos >= c.batch.Len() {
 		select {
 		case b, ok := <-c.ch:
@@ -491,7 +511,7 @@ func (r *recvPort) nextMerged(ctx *Ctx) (*vector.Batch, error) {
 		r.heap = &cursorHeap{specs: r.ex.SortKey}
 		for _, ch := range r.ex.lanes[r.port] {
 			c := &mergeCursor{ch: ch}
-			ok, err := r.ready(c)
+			ok, err := r.ready(ctx, c)
 			if err != nil {
 				return nil, err
 			}
@@ -516,7 +536,7 @@ func (r *recvPort) nextMerged(ctx *Ctx) (*vector.Batch, error) {
 		}
 		c.pos++
 		if c.pos >= c.batch.Len() {
-			ok, err := r.ready(c)
+			ok, err := r.ready(ctx, c)
 			if err != nil {
 				return nil, err
 			}

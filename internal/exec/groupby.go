@@ -53,6 +53,7 @@ type GroupBy struct {
 	out    []types.Row
 	outPos int
 	opened bool
+	prof   OpProf
 }
 
 type groupEntry struct {
@@ -133,8 +134,8 @@ func (g *GroupBy) Close(ctx *Ctx) error {
 	return g.closeChild(ctx)
 }
 
-// Next implements Operator.
-func (g *GroupBy) Next(ctx *Ctx) (*vector.Batch, error) {
+// next is the operator body behind the profiled Next (profile.go).
+func (g *GroupBy) next(ctx *Ctx) (*vector.Batch, error) {
 	if !g.opened {
 		if err := g.consumeAll(ctx); err != nil {
 			return nil, err
@@ -206,7 +207,7 @@ func (g *GroupBy) consumeHash(ctx *Ctx, in *vector.Batch) error {
 		e := g.findOrCreate(key)
 		g.updateEntry(e, argVecs, in, i)
 	}
-	ctx.noteAlloc(g.memUsed)
+	ctx.noteAlloc(&g.prof, g.memUsed)
 	for g.memUsed > g.budget && !g.extDone {
 		// Renegotiate the grant at the spill threshold; externalize only on
 		// denial. Holistic aggregates (no partial form) cannot spill at all,
@@ -342,7 +343,7 @@ func (g *GroupBy) spillGroups(ctx *Ctx) error {
 	g.spills = append(g.spills, r)
 	g.groups = map[uint64][]*groupEntry{}
 	g.memUsed = 0
-	ctx.noteSpill(r.bytes)
+	ctx.noteSpill(&g.prof, r.bytes)
 	return nil
 }
 

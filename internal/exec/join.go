@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/expr"
+	"repro/internal/metrics"
 	"repro/internal/types"
 	"repro/internal/vector"
 )
@@ -70,6 +71,7 @@ type HashJoin struct {
 	pending      []types.Row
 	innerDone    bool
 	innerRowsAll []buildRow // for right/full outer emission
+	prof         OpProf
 }
 
 type buildRow struct {
@@ -205,7 +207,7 @@ func (j *HashJoin) build(ctx *Ctx) error {
 			}
 			mem += rowMemBytes(r) + 32
 		}
-		ctx.noteAlloc(mem)
+		ctx.noteAlloc(&j.prof, mem)
 		for mem > budget {
 			// Ask for more memory before abandoning the hash table: the
 			// sort-merge switch rereads the whole inner side, so growing in
@@ -232,8 +234,8 @@ func (j *HashJoin) build(ctx *Ctx) error {
 	return nil
 }
 
-// Next implements Operator.
-func (j *HashJoin) Next(ctx *Ctx) (*vector.Batch, error) {
+// next is the operator body behind the profiled Next (profile.go).
+func (j *HashJoin) next(ctx *Ctx) (*vector.Batch, error) {
 	if !j.built && j.merge == nil {
 		if err := j.build(ctx); err != nil {
 			return nil, err
@@ -497,6 +499,8 @@ func (m *mergeJoinState) close() {
 func (j *HashJoin) switchToSortMerge(ctx *Ctx, budget int64) error {
 	j.spilled = true
 	ctx.Spills.Add(1)
+	j.prof.Spills.Add(1)
+	metrics.Spills.Inc()
 	specsOf := func(keys []int) []SortSpec {
 		out := make([]SortSpec, len(keys))
 		for i, k := range keys {
@@ -510,6 +514,7 @@ func (j *HashJoin) switchToSortMerge(ctx *Ctx, budget int64) error {
 	// that the table is abandoned. The outer sorter starts fresh at the
 	// operator budget and renegotiates on its own.
 	m.innerSorter = newExternalSorter(ctx, specsOf(j.InnerKeys), j.inner.Schema().Len())
+	m.innerSorter.prof = &j.prof
 	if budget > m.innerSorter.budget {
 		m.innerSorter.budget = budget
 	}
@@ -538,6 +543,7 @@ func (j *HashJoin) switchToSortMerge(ctx *Ctx, budget int64) error {
 		}
 	}
 	m.outerSorter = newExternalSorter(ctx, specsOf(j.OuterKeys), j.outer.Schema().Len())
+	m.outerSorter.prof = &j.prof
 	for {
 		in, err := j.outer.Next(ctx)
 		if err != nil {

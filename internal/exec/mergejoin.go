@@ -32,6 +32,7 @@ type MergeJoin struct {
 	innerDone bool
 	pending   []types.Row
 	innerBuf  []types.Row
+	prof      OpProf
 }
 
 // NewMergeJoin builds a merge join over key-sorted inputs.
@@ -124,8 +125,8 @@ func (j *MergeJoin) peekInnerRow(ctx *Ctx) (types.Row, error) {
 	return nil, nil
 }
 
-// Next implements Operator.
-func (j *MergeJoin) Next(ctx *Ctx) (*vector.Batch, error) {
+// next is the operator body behind the profiled Next (profile.go).
+func (j *MergeJoin) next(ctx *Ctx) (*vector.Batch, error) {
 	for len(j.pending) == 0 {
 		or, err := j.nextOuterRow(ctx)
 		if err != nil {

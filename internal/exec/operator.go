@@ -29,6 +29,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"repro/internal/metrics"
 	"repro/internal/resmgr"
 	"repro/internal/types"
 	"repro/internal/vector"
@@ -55,6 +56,11 @@ type Ctx struct {
 	// operators report spills and memory high-water into it. Nil-safe: an
 	// ungoverned query simply reports into the void.
 	Grant *resmgr.Grant
+	// ProfTimes enables wall-clock profiling in the per-operator collectors
+	// (see profile.go). Batch/row counters are always on; only time.Now
+	// calls are gated here, keeping the disabled-mode overhead to two
+	// atomic adds per batch.
+	ProfTimes bool
 
 	// Stats counters (atomic; shared across worker pipelines).
 	RowsScanned     atomic.Int64
@@ -80,16 +86,29 @@ func (c *Ctx) Canceled() error {
 	return c.Context.Err()
 }
 
-// noteSpill records one externalization of n bytes in the query counters
-// and the resource grant.
-func (c *Ctx) noteSpill(n int64) {
+// noteSpill records one externalization of n bytes in the query counters,
+// the operator's collector (nil-safe), the process metrics, and the
+// resource grant.
+func (c *Ctx) noteSpill(p *OpProf, n int64) {
 	c.Spills.Add(1)
 	c.SpilledBytes.Add(n)
+	if p != nil {
+		p.Spills.Add(1)
+		p.SpilledBytes.Add(n)
+	}
+	metrics.Spills.Inc()
+	metrics.SpilledBytes.Add(n)
 	c.Grant.ReportSpill(n)
 }
 
-// noteAlloc reports an operator's memory high-water to the grant.
-func (c *Ctx) noteAlloc(n int64) { c.Grant.ReportAlloc(n) }
+// noteAlloc reports an operator's memory high-water to its collector
+// (nil-safe) and the grant.
+func (c *Ctx) noteAlloc(p *OpProf, n int64) {
+	if p != nil {
+		p.notePeak(n)
+	}
+	c.Grant.ReportAlloc(n)
+}
 
 // extendBudget renegotiates the query's memory grant at an operator's spill
 // threshold: it asks the governor for the operator's current budget again
@@ -171,7 +190,6 @@ func Describe(op Operator) string {
 
 func describeInto(sb *strings.Builder, op Operator, depth int) {
 	fmt.Fprintf(sb, "%s%s\n", strings.Repeat("  ", depth), op.Describe())
-	type hasChildren interface{ Children() []Operator }
 	if hc, ok := op.(hasChildren); ok {
 		for _, c := range hc.Children() {
 			describeInto(sb, c, depth+1)

@@ -35,6 +35,7 @@ type Prepass struct {
 	bypassed bool
 	pending  []types.Row
 	done     bool
+	prof     OpProf
 }
 
 // DefaultPrepassGroups approximates a cache-sized table. The paper says
@@ -91,8 +92,8 @@ func (p *Prepass) Open(ctx *Ctx) error {
 // Close implements Operator.
 func (p *Prepass) Close(ctx *Ctx) error { return p.closeChild(ctx) }
 
-// Next implements Operator.
-func (p *Prepass) Next(ctx *Ctx) (*vector.Batch, error) {
+// next is the operator body behind the profiled Next (profile.go).
+func (p *Prepass) next(ctx *Ctx) (*vector.Batch, error) {
 	for {
 		if len(p.pending) > 0 {
 			return p.drainPending(), nil

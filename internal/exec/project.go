@@ -17,6 +17,7 @@ type Project struct {
 	Names []string
 
 	schema *types.Schema
+	prof   OpProf
 }
 
 // NewProject builds an ExprEval node. names may be nil (auto-named).
@@ -58,8 +59,8 @@ func (p *Project) Open(ctx *Ctx) error { return p.openChild(ctx) }
 // Close implements Operator.
 func (p *Project) Close(ctx *Ctx) error { return p.closeChild(ctx) }
 
-// Next implements Operator.
-func (p *Project) Next(ctx *Ctx) (*vector.Batch, error) {
+// next is the operator body behind the profiled Next (profile.go).
+func (p *Project) next(ctx *Ctx) (*vector.Batch, error) {
 	in, err := p.child.Next(ctx)
 	if err != nil || in == nil {
 		return nil, err
@@ -83,6 +84,7 @@ func (p *Project) Next(ctx *Ctx) (*vector.Batch, error) {
 type Filter struct {
 	single
 	Pred expr.Expr
+	prof OpProf
 }
 
 // NewFilter builds a filter node.
@@ -102,8 +104,8 @@ func (f *Filter) Open(ctx *Ctx) error { return f.openChild(ctx) }
 // Close implements Operator.
 func (f *Filter) Close(ctx *Ctx) error { return f.closeChild(ctx) }
 
-// Next implements Operator.
-func (f *Filter) Next(ctx *Ctx) (*vector.Batch, error) {
+// next is the operator body behind the profiled Next (profile.go).
+func (f *Filter) next(ctx *Ctx) (*vector.Batch, error) {
 	for {
 		in, err := f.child.Next(ctx)
 		if err != nil || in == nil {
@@ -129,6 +131,7 @@ type Limit struct {
 
 	skipped int64
 	emitted int64
+	prof    OpProf
 }
 
 // NewLimit builds a LIMIT/OFFSET node; count < 0 means no limit.
@@ -153,8 +156,8 @@ func (l *Limit) Open(ctx *Ctx) error {
 // Close implements Operator.
 func (l *Limit) Close(ctx *Ctx) error { return l.closeChild(ctx) }
 
-// Next implements Operator.
-func (l *Limit) Next(ctx *Ctx) (*vector.Batch, error) {
+// next is the operator body behind the profiled Next (profile.go).
+func (l *Limit) next(ctx *Ctx) (*vector.Batch, error) {
 	for {
 		if l.Count >= 0 && l.emitted >= l.Count {
 			return nil, nil

@@ -52,6 +52,7 @@ type Scan struct {
 	// singleSorted short-circuits MergeSorted when one container holds all
 	// visible rows: its storage order is already the requested order.
 	singleSorted bool
+	prof         OpProf
 }
 
 // NewScan builds a scan over the given projection columns.
@@ -142,8 +143,8 @@ func (s *Scan) Close(*Ctx) error {
 	return nil
 }
 
-// Next implements Operator.
-func (s *Scan) Next(ctx *Ctx) (*vector.Batch, error) {
+// next is the operator body behind the profiled Next (profile.go).
+func (s *Scan) next(ctx *Ctx) (*vector.Batch, error) {
 	if err := ctx.Canceled(); err != nil {
 		return nil, err
 	}

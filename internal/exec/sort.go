@@ -46,6 +46,7 @@ type Sort struct {
 	arity   int
 	sorted  bool
 	pos     int
+	prof    OpProf
 }
 
 // NewSort builds a sort node.
@@ -91,8 +92,8 @@ func (s *Sort) Close(ctx *Ctx) error {
 	return s.closeChild(ctx)
 }
 
-// Next implements Operator.
-func (s *Sort) Next(ctx *Ctx) (*vector.Batch, error) {
+// next is the operator body behind the profiled Next (profile.go).
+func (s *Sort) next(ctx *Ctx) (*vector.Batch, error) {
 	if !s.sorted {
 		if err := s.consume(ctx); err != nil {
 			return nil, err
@@ -129,7 +130,7 @@ func (s *Sort) consume(ctx *Ctx) error {
 			s.rows = append(s.rows, r)
 			s.memUsed += rowMemBytes(r)
 		}
-		ctx.noteAlloc(s.memUsed)
+		ctx.noteAlloc(&s.prof, s.memUsed)
 		for s.memUsed > s.budget {
 			// At the spill threshold, renegotiate the grant first: grow in
 			// place while the pool has headroom, externalize only on denial.
@@ -204,7 +205,7 @@ func (s *Sort) spillRun(ctx *Ctx) error {
 	s.runs = append(s.runs, rd)
 	s.rows = nil
 	s.memUsed = 0
-	ctx.noteSpill(rd.bytes)
+	ctx.noteSpill(&s.prof, rd.bytes)
 	return nil
 }
 
@@ -346,6 +347,9 @@ type externalSorter struct {
 	memUsed int64
 	budget  int64 // starts at Ctx.MemBudget, grows by grant renegotiation
 	runs    []*spillReader
+	// prof is the owning operator's collector (the sorter is internal to a
+	// join's sort-merge switch); nil attributes nothing.
+	prof *OpProf
 }
 
 func newExternalSorter(ctx *Ctx, specs []SortSpec, arity int) *externalSorter {
@@ -355,7 +359,7 @@ func newExternalSorter(ctx *Ctx, specs []SortSpec, arity int) *externalSorter {
 func (e *externalSorter) add(r types.Row) error {
 	e.rows = append(e.rows, r)
 	e.memUsed += rowMemBytes(r)
-	e.ctx.noteAlloc(e.memUsed)
+	e.ctx.noteAlloc(e.prof, e.memUsed)
 	for e.memUsed > e.budget {
 		// Renegotiate the grant before externalizing; spill on denial.
 		if ext := e.ctx.extendBudget(e.budget, e.memUsed); ext > 0 {
@@ -392,7 +396,7 @@ func (e *externalSorter) spill() error {
 	e.runs = append(e.runs, rd)
 	e.rows = nil
 	e.memUsed = 0
-	e.ctx.noteSpill(rd.bytes)
+	e.ctx.noteSpill(e.prof, rd.bytes)
 	return nil
 }
 

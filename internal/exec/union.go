@@ -21,6 +21,7 @@ type ParallelUnion struct {
 	quit     chan struct{} // closed by Close: unblocks senders on early stop
 	quitOnce sync.Once
 	wg       sync.WaitGroup
+	prof     OpProf
 }
 
 // NewParallelUnion builds a union over parallel pipelines; all children must
@@ -100,8 +101,8 @@ func (u *ParallelUnion) Open(ctx *Ctx) error {
 	return nil
 }
 
-// Next implements Operator.
-func (u *ParallelUnion) Next(*Ctx) (*vector.Batch, error) {
+// next is the operator body behind the profiled Next (profile.go).
+func (u *ParallelUnion) next(*Ctx) (*vector.Batch, error) {
 	b, ok := <-u.out
 	if ok {
 		return b, nil
@@ -149,7 +150,6 @@ func abandonSubtree(op Operator) {
 		a.abandon()
 		return
 	}
-	type hasChildren interface{ Children() []Operator }
 	if hc, ok := op.(hasChildren); ok {
 		for _, c := range hc.Children() {
 			abandonSubtree(c)
@@ -162,6 +162,7 @@ func abandonSubtree(op Operator) {
 type SerialUnion struct {
 	children []Operator
 	cur      int
+	prof     OpProf
 }
 
 // NewSerialUnion builds a sequential union.
@@ -191,8 +192,8 @@ func (u *SerialUnion) Open(ctx *Ctx) error {
 	return nil
 }
 
-// Next implements Operator.
-func (u *SerialUnion) Next(ctx *Ctx) (*vector.Batch, error) {
+// next is the operator body behind the profiled Next (profile.go).
+func (u *SerialUnion) next(ctx *Ctx) (*vector.Batch, error) {
 	for u.cur < len(u.children) {
 		b, err := u.children[u.cur].Next(ctx)
 		if err != nil {
@@ -223,6 +224,7 @@ type Values struct {
 	Rows   []types.Row
 	schema *types.Schema
 	pos    int
+	prof   OpProf
 }
 
 // NewValues builds a values source.
@@ -248,8 +250,8 @@ func (v *Values) Open(*Ctx) error {
 // Close implements Operator.
 func (v *Values) Close(*Ctx) error { return nil }
 
-// Next implements Operator.
-func (v *Values) Next(*Ctx) (*vector.Batch, error) {
+// next is the operator body behind the profiled Next (profile.go).
+func (v *Values) next(*Ctx) (*vector.Batch, error) {
 	if v.pos >= len(v.Rows) {
 		return nil, nil
 	}

@@ -20,6 +20,7 @@ type VirtualScan struct {
 
 	rows []types.Row
 	pos  int
+	prof OpProf
 }
 
 // NewVirtualScan builds a scan over a virtual table.
@@ -48,8 +49,8 @@ func (v *VirtualScan) Open(ctx *Ctx) error {
 	return nil
 }
 
-// Next implements Operator.
-func (v *VirtualScan) Next(ctx *Ctx) (*vector.Batch, error) {
+// next is the operator body behind the profiled Next (profile.go).
+func (v *VirtualScan) next(ctx *Ctx) (*vector.Batch, error) {
 	if v.pos >= len(v.rows) {
 		return nil, nil
 	}

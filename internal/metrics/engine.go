@@ -1,0 +1,29 @@
+package metrics
+
+// Predeclared engine metrics. Declaring them here (rather than at each call
+// site) gives every subsystem a zero-lookup handle and gives readers one
+// place to see what the engine exports. Names are dotted by owning layer.
+var (
+	// Resource governor.
+	Admissions      = Default.NewCounter("resmgr.admissions")
+	Rejections      = Default.NewCounter("resmgr.rejections")
+	QueueWaitUs     = Default.NewCounter("resmgr.queue_wait_us")
+	GrantExtensions = Default.NewCounter("resmgr.grant_extensions")
+	GrantDenials    = Default.NewCounter("resmgr.grant_denials")
+	SlowQueries     = Default.NewCounter("resmgr.slow_queries")
+
+	// Execution engine.
+	Spills          = Default.NewCounter("exec.spills")
+	SpilledBytes    = Default.NewCounter("exec.spilled_bytes")
+	ExchangeBatches = Default.NewCounter("exec.exchange_batches")
+	ExchangeRows    = Default.NewCounter("exec.exchange_rows")
+	ExchangeBytes   = Default.NewCounter("exec.exchange_bytes")
+
+	// Storage / tuple mover.
+	TupleMoverMoveouts  = Default.NewCounter("storage.tuple_mover_moveouts")
+	TupleMoverMergeouts = Default.NewCounter("storage.tuple_mover_mergeouts")
+
+	// Sessions. WOS rows is a pull-style func registered by the database
+	// instance (core.Open) since it reads live storage state.
+	ActiveSessions = Default.NewGauge("core.active_sessions")
+)

@@ -1,0 +1,172 @@
+// Package metrics is a process-wide registry of engine counters and gauges
+// (paper §8: Vertica ships a monitoring schema precisely because an MPP
+// engine is unoperable as a black box). It is deliberately tiny: named
+// atomic int64s plus pull-style funcs, cheap enough to increment on hot
+// paths, snapshotted by v_monitor.metrics and the optional debug HTTP
+// listener. Subsystems own predeclared metrics (see engine.go) so call
+// sites never pay a map lookup.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind classifies a metric for display.
+type Kind string
+
+// Metric kinds.
+const (
+	KindCounter Kind = "counter"
+	KindGauge   Kind = "gauge"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Name returns the registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is a metric that can move both ways (e.g. active sessions).
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add moves the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set stores an absolute value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Name returns the registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// Sample is one metric's snapshot row.
+type Sample struct {
+	Name  string
+	Kind  Kind
+	Value int64
+}
+
+// funcEntry is a pull-style gauge owned by whoever registered it; seq lets
+// the owner unregister exactly its own registration even if the name was
+// since re-registered (databases open and close freely within a process).
+type funcEntry struct {
+	f   func() int64
+	seq int64
+}
+
+// Registry holds named metrics. The zero value is not usable; use
+// NewRegistry or the package Default.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	funcs    map[string]funcEntry
+	funcSeq  int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		funcs:    map[string]funcEntry{},
+	}
+}
+
+// Default is the process-wide registry all engine metrics live in.
+var Default = NewRegistry()
+
+// NewCounter registers (or returns the existing) counter under name.
+func (r *Registry) NewCounter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	r.counters[name] = c
+	return c
+}
+
+// NewGauge registers (or returns the existing) gauge under name.
+func (r *Registry) NewGauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name}
+	r.gauges[name] = g
+	return g
+}
+
+// RegisterFunc registers a pull-style gauge evaluated at snapshot time. A
+// later registration under the same name replaces an earlier one (the
+// newest database instance wins); the returned func unregisters this
+// registration and is a no-op once replaced.
+func (r *Registry) RegisterFunc(name string, f func() int64) (unregister func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcSeq++
+	seq := r.funcSeq
+	r.funcs[name] = funcEntry{f: f, seq: seq}
+	return func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if e, ok := r.funcs[name]; ok && e.seq == seq {
+			delete(r.funcs, name)
+		}
+	}
+}
+
+// RegisterFunc registers a pull-style gauge on the Default registry.
+func RegisterFunc(name string, f func() int64) (unregister func()) {
+	return Default.RegisterFunc(name, f)
+}
+
+// Snapshot returns every metric's current value, sorted by name. Func
+// metrics are evaluated after unlock (a func that re-enters the registry
+// would deadlock under the lock).
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	out := make([]Sample, 0, len(r.counters)+len(r.gauges)+len(r.funcs))
+	for _, c := range r.counters {
+		out = append(out, Sample{Name: c.name, Kind: KindCounter, Value: c.Value()})
+	}
+	for _, g := range r.gauges {
+		out = append(out, Sample{Name: g.name, Kind: KindGauge, Value: g.Value()})
+	}
+	type pending struct {
+		name string
+		f    func() int64
+	}
+	var fns []pending
+	for name, e := range r.funcs {
+		fns = append(fns, pending{name: name, f: e.f})
+	}
+	r.mu.Unlock()
+	for _, p := range fns {
+		out = append(out, Sample{Name: p.name, Kind: KindGauge, Value: p.f()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

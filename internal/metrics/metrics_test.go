@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test.counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 || c.Name() != "test.counter" {
+		t.Fatalf("counter = %d %q", c.Value(), c.Name())
+	}
+	if again := r.NewCounter("test.counter"); again != c {
+		t.Fatal("NewCounter with an existing name must return the same counter")
+	}
+	g := r.NewGauge("test.gauge")
+	g.Add(3)
+	g.Add(-1)
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %d, want 2", g.Value())
+	}
+	g.Set(7)
+	if g.Value() != 7 || g.Name() != "test.gauge" {
+		t.Fatalf("gauge = %d %q", g.Value(), g.Name())
+	}
+	if again := r.NewGauge("test.gauge"); again != g {
+		t.Fatal("NewGauge with an existing name must return the same gauge")
+	}
+}
+
+func TestSnapshotSortedAndKinds(t *testing.T) {
+	r := NewRegistry()
+	r.NewGauge("b.gauge").Set(2)
+	r.NewCounter("a.counter").Add(1)
+	r.RegisterFunc("c.func", func() int64 { return 9 })
+	s := r.Snapshot()
+	if len(s) != 3 {
+		t.Fatalf("snapshot has %d samples, want 3", len(s))
+	}
+	want := []Sample{
+		{Name: "a.counter", Kind: KindCounter, Value: 1},
+		{Name: "b.gauge", Kind: KindGauge, Value: 2},
+		{Name: "c.func", Kind: KindGauge, Value: 9},
+	}
+	for i, w := range want {
+		if s[i] != w {
+			t.Errorf("sample %d = %+v, want %+v", i, s[i], w)
+		}
+	}
+}
+
+// TestRegisterFuncReplaceAndUnregister: the newest registration under a
+// name wins, and a stale unregister (after replacement) is a no-op.
+func TestRegisterFuncReplaceAndUnregister(t *testing.T) {
+	r := NewRegistry()
+	unregOld := r.RegisterFunc("x", func() int64 { return 1 })
+	unregNew := r.RegisterFunc("x", func() int64 { return 2 })
+	if v := funcValue(t, r, "x"); v != 2 {
+		t.Fatalf("x = %d, want the replacement's 2", v)
+	}
+	unregOld() // stale: must not remove the replacement
+	if v := funcValue(t, r, "x"); v != 2 {
+		t.Fatalf("x = %d after stale unregister, want 2", v)
+	}
+	unregNew()
+	for _, s := range r.Snapshot() {
+		if s.Name == "x" {
+			t.Fatal("x still present after its own unregister")
+		}
+	}
+}
+
+// TestSnapshotFuncMayReenter: funcs are evaluated after unlock, so a func
+// that reads the registry must not deadlock.
+func TestSnapshotFuncMayReenter(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("inner")
+	c.Add(3)
+	r.RegisterFunc("outer", func() int64 { return r.NewCounter("inner").Value() })
+	if v := funcValue(t, r, "outer"); v != 3 {
+		t.Fatalf("outer = %d, want 3", v)
+	}
+}
+
+func funcValue(t *testing.T, r *Registry, name string) int64 {
+	t.Helper()
+	for _, s := range r.Snapshot() {
+		if s.Name == name {
+			return s.Value
+		}
+	}
+	t.Fatalf("metric %q not in snapshot", name)
+	return 0
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("exec.things").Add(11)
+	h := Handler(r)
+
+	get := func(path string) (int, string) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		body, _ := io.ReadAll(rec.Result().Body)
+		return rec.Code, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 || !strings.Contains(body, `exec.things{kind="counter"} 11`) {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "engine_metrics") {
+		t.Fatalf("/debug/vars = %d %q", code, body)
+	}
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}
+
+// TestPredeclaredEngineMetrics pins the names hot paths increment: a
+// rename here silently orphans dashboards keyed on the old name.
+func TestPredeclaredEngineMetrics(t *testing.T) {
+	for _, m := range []interface{ Name() string }{
+		Admissions, Rejections, QueueWaitUs, GrantExtensions, GrantDenials,
+		SlowQueries, Spills, SpilledBytes, ExchangeBatches, ExchangeRows,
+		ExchangeBytes, TupleMoverMoveouts, TupleMoverMergeouts, ActiveSessions,
+	} {
+		if !strings.Contains(m.Name(), ".") {
+			t.Errorf("metric %q is not namespaced subsystem.metric", m.Name())
+		}
+	}
+	found := false
+	for _, s := range Default.Snapshot() {
+		if s.Name == "resmgr.admissions" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("resmgr.admissions missing from the Default registry snapshot")
+	}
+}

@@ -122,6 +122,11 @@ type PlanOpts struct {
 	// "the optimizer replans the query by replacing ... the projections on
 	// unavailable nodes with their corresponding buddy projections").
 	AllowBuddies bool
+	// Profile runs the plan with wall-clock operator timing (PROFILE
+	// <statement>, or the engine's Profile option) and always retains the
+	// per-operator records. Planning is unaffected; the flag rides here
+	// because PlanOpts is the per-statement options record the runner sees.
+	Profile bool
 }
 
 // PhysicalPlan is a planned, executable query.

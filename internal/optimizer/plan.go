@@ -51,6 +51,7 @@ func Plan(p Provider, q *LogicalQuery, opts PlanOpts) (*PhysicalPlan, error) {
 			}
 			plan.estInput = float64(rows) * sel
 			plan.memAcc = plan.estInput * float64(rowWidthOf(op.Schema()))
+			exec.SetEstRows(op, int64(plan.estInput+0.5))
 		}
 		return finishPlan(p, q, plan, op, colMap, residual, opts)
 	}
@@ -201,6 +202,7 @@ func Plan(p Provider, q *LogicalQuery, opts PlanOpts) (*PhysicalPlan, error) {
 		ndvOuter := ndvOf(p.Catalog(), q.From[ot].Table, oc)
 		ndvDim := ndvOf(p.Catalog(), q.From[dim.tblIdx].Table, dc)
 		runningEst = estimateJoinRows(runningEst, dim.estRows, ndvOuter, ndvDim)
+		exec.SetEstRows(cur, int64(runningEst+0.5))
 		plan.Notes = append(plan.Notes, fmt.Sprintf("est: join %s ~%s rows (%s)",
 			dimDesc, fmtEst(runningEst), estSource(ndvOuter > 0 || ndvDim > 0)))
 	}
@@ -283,6 +285,7 @@ func buildTableScan(p Provider, q *LogicalQuery, tblIdx int, needed columnSet, c
 		scan:        scan,
 	}
 	ts.estRows = float64(ts.rows) * est.sel
+	exec.SetEstRows(scan, int64(ts.estRows+0.5))
 	for i, c := range cols {
 		ts.colToOut[c] = i
 	}
@@ -405,13 +408,6 @@ func scanSortedByKeys(q *LogicalQuery, ts *tableScan, keys []int) bool {
 // and limits on top of the joined input, then finalizes the plan's output
 // and memory estimates.
 func finishPlan(p Provider, q *LogicalQuery, plan *PhysicalPlan, cur exec.Operator, colMap map[int]int, residual []expr.Expr, opts PlanOpts) (*PhysicalPlan, error) {
-	if len(residual) > 0 {
-		pred, err := expr.Remap(expr.MustAnd(residual...), colMap)
-		if err != nil {
-			return nil, err
-		}
-		cur = exec.NewFilter(cur, pred)
-	}
 	// Cardinality through the tail of the plan, computed up front so the
 	// parallel sort/DISTINCT gates can consult it: residual filters shrink
 	// the joined stream, grouping collapses it to (at most) the product of
@@ -419,6 +415,14 @@ func finishPlan(p Provider, q *LogicalQuery, plan *PhysicalPlan, cur exec.Operat
 	inEst := plan.estInput
 	for _, c := range residual {
 		inEst *= shapeSelectivity(c)
+	}
+	if len(residual) > 0 {
+		pred, err := expr.Remap(expr.MustAnd(residual...), colMap)
+		if err != nil {
+			return nil, err
+		}
+		cur = exec.NewFilter(cur, pred)
+		exec.SetEstRows(cur, int64(inEst+0.5))
 	}
 	outEst := inEst
 	if q.IsAggregate() || q.Distinct {
@@ -430,6 +434,7 @@ func finishPlan(p Provider, q *LogicalQuery, plan *PhysicalPlan, cur exec.Operat
 		if err != nil {
 			return nil, err
 		}
+		exec.SetEstRows(cur, int64(outEst+0.5))
 		if q.Having != nil {
 			cur = exec.NewFilter(cur, q.Having)
 		}
@@ -460,6 +465,7 @@ func finishPlan(p Provider, q *LogicalQuery, plan *PhysicalPlan, cur exec.Operat
 				}
 				cur = exec.NewGroupBy(cur, keys, names, nil)
 			}
+			exec.SetEstRows(cur, int64(outEst+0.5))
 		}
 	}
 	if len(q.OrderBy) > 0 {
@@ -468,6 +474,7 @@ func finishPlan(p Provider, q *LogicalQuery, plan *PhysicalPlan, cur exec.Operat
 		} else {
 			cur = exec.NewSort(cur, q.OrderBy)
 		}
+		exec.SetEstRows(cur, int64(outEst+0.5))
 	}
 	if q.Limit >= 0 || q.Offset > 0 {
 		limit := q.Limit
@@ -487,6 +494,12 @@ func finishPlan(p Provider, q *LogicalQuery, plan *PhysicalPlan, cur exec.Operat
 	plan.EstMemBytes = int64(plan.memAcc + outBytes + 0.5)
 	plan.Notes = append(plan.Notes, fmt.Sprintf("est: output ~%s rows, ~%d bytes (plan memory ~%d bytes, %s)",
 		fmtEst(outEst), plan.EstBytes, plan.EstMemBytes, estSource(plan.StatsBacked)))
+	// Profiling metadata: the root carries the plan's output estimate, every
+	// node gets its pre-order id (matching EXPLAIN lines), and nodes between
+	// the anchors tagged above inherit estimates from their children.
+	exec.SetEstRows(cur, plan.EstRows)
+	exec.AssignNodeIDs(cur)
+	exec.FinalizeEstimates(cur)
 	return plan, nil
 }
 

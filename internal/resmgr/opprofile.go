@@ -1,0 +1,83 @@
+package resmgr
+
+// OpProfile is one operator's execution profile record, produced by the
+// execution engine after a query finishes (exec collects it from the plan's
+// collectors; this package only defines the record so the dependency stays
+// exec → resmgr). QueryID is stamped by the governor at release time with
+// the query's profile id, making the record joinable to
+// v_monitor.query_profiles.
+// Retention: the engine attaches records to the grant via SetOpProfile; the
+// governor keeps them in a bounded ring when the run was explicitly profiled
+// (PROFILE <statement>) or when its wall time crossed the slow-query
+// threshold, so v_monitor.execution_engine_profiles covers both deliberate
+// investigation and after-the-fact "what was that slow query doing".
+type OpProfile struct {
+	// QueryID is the owning query's profile id (v_monitor.query_profiles).
+	QueryID int64
+	// Node is the cluster node the operator ran on.
+	Node string
+	// NodeID is the operator's plan-node id (pre-order position in the
+	// EXPLAIN tree); -1 for operators outside the numbered plan.
+	NodeID int
+	// Depth is the operator's depth in the plan tree (root = 0).
+	Depth int
+	// Op is the operator's Describe() line.
+	Op string
+	// EstRows is the optimizer's cardinality estimate for this node.
+	EstRows int64
+	// Batches and Rows count the operator's output.
+	Batches int64
+	Rows    int64
+	// WallUs is time spent inside Next, children included (timed mode only).
+	WallUs int64
+	// BlockedUs is exchange-port time spent waiting on upstream pumps
+	// (timed mode only).
+	BlockedUs int64
+	// Spills / SpilledBytes count this operator's externalizations.
+	Spills       int64
+	SpilledBytes int64
+	// AllocPeak is the operator's reported memory high-water in bytes.
+	AllocPeak int64
+}
+
+// SetOpProfile attaches the executed plan's per-operator records to the
+// grant before Release. timed marks an explicitly profiled run (PROFILE
+// <statement>): those records always retain; untimed records retain only
+// when the query runs past the governor's slow-query threshold. Must be
+// called by the query's own goroutine before Release.
+func (gr *Grant) SetOpProfile(recs []OpProfile, timed bool) {
+	if gr == nil {
+		return
+	}
+	gr.opRecs = recs
+	gr.opProfiled = timed
+}
+
+// addOpProfilesLocked appends one query's operator records to the bounded
+// ring, evicting the oldest records when full. Caller holds g.mu.
+func (g *Governor) addOpProfilesLocked(recs []OpProfile) {
+	if cap(g.opProfiles) == 0 {
+		return
+	}
+	for _, r := range recs {
+		if g.opLen < cap(g.opProfiles) {
+			g.opProfiles = append(g.opProfiles, r)
+			g.opLen++
+			continue
+		}
+		g.opProfiles[g.opHead] = r
+		g.opHead = (g.opHead + 1) % cap(g.opProfiles)
+	}
+}
+
+// OpProfiles returns retained operator profiles, oldest first — the row
+// source for v_monitor.execution_engine_profiles.
+func (g *Governor) OpProfiles() []OpProfile {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]OpProfile, 0, g.opLen)
+	for i := 0; i < g.opLen; i++ {
+		out = append(out, g.opProfiles[(g.opHead+i)%cap(g.opProfiles)])
+	}
+	return out
+}

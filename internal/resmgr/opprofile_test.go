@@ -1,0 +1,143 @@
+package resmgr
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func opRecs(n int, op string) []OpProfile {
+	out := make([]OpProfile, n)
+	for i := range out {
+		out[i] = OpProfile{NodeID: i, Depth: i, Op: fmt.Sprintf("%s-%d", op, i), Rows: int64(i)}
+	}
+	return out
+}
+
+// TestOpProfileRetainedWhenProfiled: a profiled run's records land in the
+// ring, stamped with the query's profile id.
+func TestOpProfileRetainedWhenProfiled(t *testing.T) {
+	g := NewGovernor(Config{PoolBytes: 1 << 20})
+	gr, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr.SetOpProfile(opRecs(3, "scan"), true)
+	gr.Release()
+
+	got := g.OpProfiles()
+	if len(got) != 3 {
+		t.Fatalf("retained %d records, want 3", len(got))
+	}
+	profs := g.Profiles()
+	wantID := profs[len(profs)-1].ID
+	for i, r := range got {
+		if r.QueryID != wantID {
+			t.Errorf("record %d QueryID = %d, want %d (the query_profiles id)", i, r.QueryID, wantID)
+		}
+		if r.Op != fmt.Sprintf("scan-%d", i) {
+			t.Errorf("record %d = %+v, out of order", i, r)
+		}
+	}
+}
+
+// TestOpProfileDroppedWhenFastAndUnprofiled: an unprofiled run under the
+// slow-query threshold leaves nothing behind.
+func TestOpProfileDroppedWhenFastAndUnprofiled(t *testing.T) {
+	g := NewGovernor(Config{PoolBytes: 1 << 20}) // default threshold: 1s
+	gr, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr.SetOpProfile(opRecs(2, "scan"), false)
+	gr.Release()
+	if got := g.OpProfiles(); len(got) != 0 {
+		t.Fatalf("retained %d records from a fast unprofiled run, want 0", len(got))
+	}
+}
+
+// TestOpProfileRetainedWhenSlow: crossing the slow-query threshold
+// auto-retains an unprofiled run's records and counts a slow query.
+func TestOpProfileRetainedWhenSlow(t *testing.T) {
+	g := NewGovernor(Config{PoolBytes: 1 << 20, SlowQueryThreshold: time.Nanosecond})
+	before := metrics.SlowQueries.Value()
+	gr, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr.SetOpProfile(opRecs(2, "join"), false)
+	time.Sleep(time.Microsecond)
+	gr.Release()
+	if got := g.OpProfiles(); len(got) != 2 {
+		t.Fatalf("retained %d records from a slow run, want 2", len(got))
+	}
+	if d := metrics.SlowQueries.Value() - before; d != 1 {
+		t.Errorf("slow_queries moved by %d, want 1", d)
+	}
+}
+
+// TestOpProfileSlowDisabled: a negative threshold turns slow-query
+// retention off entirely.
+func TestOpProfileSlowDisabled(t *testing.T) {
+	g := NewGovernor(Config{PoolBytes: 1 << 20, SlowQueryThreshold: -1})
+	gr, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr.SetOpProfile(opRecs(1, "sort"), false)
+	time.Sleep(time.Microsecond)
+	gr.Release()
+	if got := g.OpProfiles(); len(got) != 0 {
+		t.Fatalf("retained %d records with retention disabled, want 0", len(got))
+	}
+}
+
+// TestOpProfileRingEvictsOldest: the ring is bounded in records (not
+// queries); overflow evicts oldest-first and OpProfiles returns the
+// survivors in arrival order.
+func TestOpProfileRingEvictsOldest(t *testing.T) {
+	g := NewGovernor(Config{PoolBytes: 1 << 20, OpProfileCapacity: 4})
+	for q := 0; q < 3; q++ {
+		gr, err := g.Admit(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr.SetOpProfile(opRecs(2, fmt.Sprintf("q%d", q)), true)
+		gr.Release()
+	}
+	got := g.OpProfiles()
+	if len(got) != 4 {
+		t.Fatalf("ring length = %d, want 4", len(got))
+	}
+	want := []string{"q1-0", "q1-1", "q2-0", "q2-1"}
+	for i, r := range got {
+		if r.Op != want[i] {
+			t.Errorf("record %d op = %q, want %q", i, r.Op, want[i])
+		}
+	}
+}
+
+// TestOpProfileCapacityDisabled: a negative capacity disables the ring
+// even for explicitly profiled runs.
+func TestOpProfileCapacityDisabled(t *testing.T) {
+	g := NewGovernor(Config{PoolBytes: 1 << 20, OpProfileCapacity: -1})
+	gr, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr.SetOpProfile(opRecs(2, "scan"), true)
+	gr.Release()
+	if got := g.OpProfiles(); len(got) != 0 {
+		t.Fatalf("retained %d records with the ring disabled, want 0", len(got))
+	}
+}
+
+// TestSetOpProfileNilGrant: ungoverned runs (virtual-table-only queries)
+// carry a nil grant; attaching must be a safe no-op.
+func TestSetOpProfileNilGrant(t *testing.T) {
+	var gr *Grant
+	gr.SetOpProfile(opRecs(1, "scan"), true)
+}

@@ -51,14 +51,18 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Defaults applied by NewGovernor when Config fields are zero.
 const (
-	DefaultPoolBytes       = 1 << 30 // 1 GiB global pool
-	DefaultMaxConcurrency  = 8
-	DefaultQueueTimeout    = 30 * time.Second
-	DefaultProfileCapacity = 512
+	DefaultPoolBytes          = 1 << 30 // 1 GiB global pool
+	DefaultMaxConcurrency     = 8
+	DefaultQueueTimeout       = 30 * time.Second
+	DefaultProfileCapacity    = 512
+	DefaultOpProfileCapacity  = 4096
+	DefaultSlowQueryThreshold = time.Second
 )
 
 // ErrQueueTimeout is returned by Admit when a query waits in the admission
@@ -102,6 +106,15 @@ type Config struct {
 	// ProfileCapacity bounds the retained query-profile ring. Zero means
 	// DefaultProfileCapacity; negative disables profiling.
 	ProfileCapacity int
+	// OpProfileCapacity bounds the retained per-operator profile ring
+	// (records, not queries; one query contributes one record per plan
+	// node). Zero means DefaultOpProfileCapacity; negative disables
+	// operator-profile retention.
+	OpProfileCapacity int
+	// SlowQueryThreshold is the wall time past which a finished query's
+	// operator profile is retained even without an explicit PROFILE. Zero
+	// means DefaultSlowQueryThreshold; negative disables slow-query capture.
+	SlowQueryThreshold time.Duration
 }
 
 // Stats is a snapshot of governor counters aggregated over all pools.
@@ -175,6 +188,11 @@ type Governor struct {
 	profiles   []QueryProfile
 	profHead   int
 	profLen    int
+
+	// per-operator profile ring (under mu)
+	opProfiles []OpProfile
+	opHead     int
+	opLen      int
 }
 
 // NewGovernor builds a governor, applying defaults for zero Config fields.
@@ -201,9 +219,18 @@ func NewGovernor(cfg Config) *Governor {
 	if cfg.ProfileCapacity == 0 {
 		cfg.ProfileCapacity = DefaultProfileCapacity
 	}
+	if cfg.OpProfileCapacity == 0 {
+		cfg.OpProfileCapacity = DefaultOpProfileCapacity
+	}
+	if cfg.SlowQueryThreshold == 0 {
+		cfg.SlowQueryThreshold = DefaultSlowQueryThreshold
+	}
 	g := &Governor{cfg: cfg, pools: map[string]*pool{}}
 	if cfg.ProfileCapacity > 0 {
 		g.profiles = make([]QueryProfile, 0, cfg.ProfileCapacity)
+	}
+	if cfg.OpProfileCapacity > 0 {
+		g.opProfiles = make([]OpProfile, 0, cfg.OpProfileCapacity)
 	}
 	g.pools[GeneralPool] = &pool{cfg: PoolConfig{
 		Name:           GeneralPool,
@@ -512,6 +539,8 @@ func (g *Governor) newGrantLocked(p *pool, bytes int64, wait time.Duration, labe
 	g.queueWait += wait
 	p.admitted++
 	p.queueWait += wait
+	metrics.Admissions.Inc()
+	metrics.QueueWaitUs.Add(wait.Microseconds())
 	gr := &Grant{gov: g, pool: p, label: label, queueWait: wait,
 		runtimeCap: p.cfg.RuntimeCap, parallelism: p.cfg.Parallelism,
 		started: time.Now()}
@@ -537,6 +566,7 @@ func (g *Governor) abandon(w *waiter, poolCounter, govCounter *int64) bool {
 	}
 	*poolCounter++
 	*govCounter++
+	metrics.Rejections.Inc()
 	// The departed waiter may have been the head blocking smaller requests.
 	g.dispatchLocked()
 	return true
@@ -599,6 +629,7 @@ func (g *Governor) release(gr *Grant) {
 	p.extensions += exts
 	p.extBytes += extBytes
 	p.deniedExt += denied
+	wall := time.Since(gr.started)
 	g.profileSeq++
 	g.addProfileLocked(QueryProfile{
 		ID:               g.profileSeq,
@@ -613,10 +644,22 @@ func (g *Governor) release(gr *Grant) {
 		DeniedExtensions: denied,
 		AllocPeak:        gr.allocPeak.Load(),
 		QueueWait:        gr.queueWait,
-		Wall:             time.Since(gr.started),
+		Wall:             wall,
 		Started:          gr.started,
 		Error:            gr.errMsg,
 	})
+	slow := g.cfg.SlowQueryThreshold > 0 && wall >= g.cfg.SlowQueryThreshold
+	if slow {
+		metrics.SlowQueries.Inc()
+	}
+	if len(gr.opRecs) > 0 && (gr.opProfiled || slow) {
+		// Stamp the records with the query profile id just assigned so the
+		// two v_monitor tables join, then retain them.
+		for i := range gr.opRecs {
+			gr.opRecs[i].QueryID = g.profileSeq
+		}
+		g.addOpProfilesLocked(gr.opRecs)
+	}
 	g.dispatchLocked()
 }
 
@@ -699,6 +742,11 @@ type Grant struct {
 	// lock-free by concurrent pipelines (OperatorBudget, Bytes).
 	bytes atomic.Int64
 
+	// opRecs / opProfiled are the executed plan's per-operator records,
+	// attached by SetOpProfile from the query's goroutine before Release.
+	opRecs     []OpProfile
+	opProfiled bool
+
 	released         atomic.Bool
 	rows             atomic.Int64
 	spilledBytes     atomic.Int64
@@ -752,17 +800,20 @@ func (gr *Grant) Request(extra int64) error {
 	// Fail fast on requests no release can ever satisfy, naming the limit.
 	if c := p.capBytes(g); cur+extra > c {
 		gr.deniedExtensions.Add(1)
+		metrics.GrantDenials.Inc()
 		return infeasiblef("resmgr: extension of %d bytes on pool %q is infeasible: grant %d + extension exceeds the pool's maxmemorysize of %d bytes",
 			extra, p.cfg.Name, cur, c)
 	}
 	floor := g.feasibilityFloorLocked(p, cur+extra)
 	if floor > g.cfg.PoolBytes {
 		gr.deniedExtensions.Add(1)
+		metrics.GrantDenials.Inc()
 		return infeasiblef("resmgr: extension of %d bytes on pool %q is infeasible: other pools reserve %d of the %d-byte global pool",
 			extra, p.cfg.Name, floor-(cur+extra), g.cfg.PoolBytes)
 	}
 	if !g.memoryFitsLocked(p, extra) {
 		gr.deniedExtensions.Add(1)
+		metrics.GrantDenials.Inc()
 		return ErrExtensionDenied
 	}
 	g.inUse += extra
@@ -770,6 +821,7 @@ func (gr *Grant) Request(extra int64) error {
 	gr.bytes.Add(extra)
 	gr.extensions.Add(1)
 	gr.extensionBytes.Add(extra)
+	metrics.GrantExtensions.Inc()
 	return nil
 }
 

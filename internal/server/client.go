@@ -32,6 +32,8 @@ type Result struct {
 	QueueWait time.Duration
 	// SpilledBytes counts operator externalizations during the statement.
 	SpilledBytes int64
+	// WallTime is the statement's server-side execution wall clock.
+	WallTime time.Duration
 }
 
 // Dial connects to a server.
@@ -114,7 +116,7 @@ func (c *Client) readReply() (*Result, error) {
 		return res, nil
 	case strings.HasPrefix(head, "ROWS "):
 		parts := strings.Fields(head)
-		if len(parts) != 4 {
+		if len(parts) != 5 {
 			return nil, fmt.Errorf("server: malformed header %q", head)
 		}
 		n, err := strconv.Atoi(parts[1])
@@ -123,7 +125,12 @@ func (c *Client) readReply() (*Result, error) {
 		}
 		waitUS, _ := strconv.ParseInt(parts[2], 10, 64)
 		spilled, _ := strconv.ParseInt(parts[3], 10, 64)
-		res := &Result{QueueWait: time.Duration(waitUS) * time.Microsecond, SpilledBytes: spilled}
+		wallUS, _ := strconv.ParseInt(parts[4], 10, 64)
+		res := &Result{
+			QueueWait:    time.Duration(waitUS) * time.Microsecond,
+			SpilledBytes: spilled,
+			WallTime:     time.Duration(wallUS) * time.Microsecond,
+		}
 		hdr, err := c.readLine()
 		if err != nil {
 			return nil, err
@@ -150,20 +157,22 @@ func (c *Client) readReply() (*Result, error) {
 	}
 }
 
-// parseOKStats extracts the DML stats suffix "[wait_us=N spilled=M]" from an
-// OK message into QueueWait/SpilledBytes, trimming it from Message.
+// parseOKStats extracts the DML stats suffix
+// "[wait_us=N spilled=M wall_us=W]" from an OK message into
+// QueueWait/SpilledBytes/WallTime, trimming it from Message.
 func (r *Result) parseOKStats() {
 	msg := r.Message
 	i := strings.LastIndex(msg, " [wait_us=")
 	if i < 0 || !strings.HasSuffix(msg, "]") {
 		return
 	}
-	var waitUS, spilled int64
-	if _, err := fmt.Sscanf(msg[i+1:], "[wait_us=%d spilled=%d]", &waitUS, &spilled); err != nil {
+	var waitUS, spilled, wallUS int64
+	if _, err := fmt.Sscanf(msg[i+1:], "[wait_us=%d spilled=%d wall_us=%d]", &waitUS, &spilled, &wallUS); err != nil {
 		return
 	}
 	r.QueueWait = time.Duration(waitUS) * time.Microsecond
 	r.SpilledBytes = spilled
+	r.WallTime = time.Duration(wallUS) * time.Microsecond
 	r.Message = msg[:i]
 }
 

@@ -20,9 +20,10 @@
 //
 //	ERR <message>                      statement failed
 //	OK <message>                       statement succeeded, no row set
-//	OK <message> [wait_us=N spilled=M] DML reply: admission queue wait and
-//	                                   spill bytes ride on the OK line
-//	ROWS <n> <queue-wait-us> <spilled-bytes>
+//	OK <message> [wait_us=N spilled=M wall_us=W]
+//	                                   DML reply: admission queue wait, spill
+//	                                   bytes and wall-clock ride on the OK line
+//	ROWS <n> <queue-wait-us> <spilled-bytes> <wall-us>
 //	<tab-separated column names>
 //	<n tab-separated data lines>       values escape \t, \n, \r, \\
 //	DONE
@@ -348,14 +349,16 @@ func (st *session) writeResult(res *core.Result) {
 		// Row-less statements that ran under the governor (DML) surface
 		// their resource stats on the OK line, as SELECTs do on ROWS.
 		if res.Stats.WallTime > 0 {
-			msg += fmt.Sprintf(" [wait_us=%d spilled=%d]",
-				res.Stats.QueueWait.Microseconds(), res.Stats.SpilledBytes)
+			msg += fmt.Sprintf(" [wait_us=%d spilled=%d wall_us=%d]",
+				res.Stats.QueueWait.Microseconds(), res.Stats.SpilledBytes,
+				res.Stats.WallTime.Microseconds())
 		}
 		st.line("OK " + strings.ReplaceAll(msg, "\n", " "))
 		return
 	}
-	st.line(fmt.Sprintf("ROWS %d %d %d", len(res.Rows),
-		res.Stats.QueueWait.Microseconds(), res.Stats.SpilledBytes))
+	st.line(fmt.Sprintf("ROWS %d %d %d %d", len(res.Rows),
+		res.Stats.QueueWait.Microseconds(), res.Stats.SpilledBytes,
+		res.Stats.WallTime.Microseconds()))
 	names := res.Schema.Names()
 	esc := make([]string, len(names))
 	for i, n := range names {

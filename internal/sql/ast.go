@@ -110,6 +110,9 @@ type SelectStmt struct {
 	Limit    int64 // -1 none
 	Offset   int64
 	Explain  bool
+	// Profile executes the statement normally, then returns the EXPLAIN tree
+	// annotated with each operator's measured counters (PROFILE SELECT ...).
+	Profile bool
 }
 
 // ColumnDef is one CREATE TABLE column.

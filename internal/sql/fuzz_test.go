@@ -25,6 +25,7 @@ func FuzzParse(f *testing.F) {
 		"DELETE FROM t WHERE ts BETWEEN TIMESTAMP '2020-01-01' AND TIMESTAMP '2021-01-01'",
 		"DROP PARTITION sales '2020'",
 		"EXPLAIN SELECT 1 FROM t; ",
+		"PROFILE SELECT a, COUNT(*) FROM t GROUP BY a",
 		"BEGIN", "COMMIT", "ROLLBACK",
 		"SELECT -1.5e10, 'it''s', \"Quoted\" FROM t",
 		"SELECT /* block */ a -- line\nFROM t",

@@ -43,7 +43,7 @@ var keywords = map[string]bool{
 	"AVG": true, "MIN": true, "MAX": true, "ASC": true, "DESC": true,
 	"TIMESTAMP": true, "DATE": true, "ALL": true, "BUDDY": true, "OF": true,
 	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "EXPLAIN": true,
-	"CROSS": true, "USING": true,
+	"CROSS": true, "USING": true, "PROFILE": true,
 }
 
 type lexer struct {

@@ -97,6 +97,14 @@ func (p *parser) parseStatement() (Statement, error) {
 		}
 		s.Explain = true
 		return s, nil
+	case p.at(tokKeyword, "PROFILE"):
+		p.next()
+		s, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		s.Profile = true
+		return s, nil
 	case p.at(tokKeyword, "SELECT"):
 		return p.parseSelect()
 	case p.at(tokKeyword, "CREATE"):

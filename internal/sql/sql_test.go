@@ -39,6 +39,22 @@ func TestParseSimpleSelect(t *testing.T) {
 	}
 }
 
+func TestParseExplainAndProfile(t *testing.T) {
+	s := parseSelect(t, `EXPLAIN SELECT a FROM t`)
+	if !s.Explain || s.Profile {
+		t.Errorf("EXPLAIN: explain=%v profile=%v", s.Explain, s.Profile)
+	}
+	s = parseSelect(t, `PROFILE SELECT a FROM t WHERE a > 5`)
+	if !s.Profile || s.Explain {
+		t.Errorf("PROFILE: explain=%v profile=%v", s.Explain, s.Profile)
+	}
+	for _, bad := range []string{`PROFILE`, `PROFILE INSERT INTO t VALUES (1)`} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
 func TestParseJoins(t *testing.T) {
 	s := parseSelect(t, `SELECT * FROM a JOIN b ON a.x = b.y LEFT JOIN c ON a.x = c.z`)
 	if len(s.From) != 3 {

@@ -31,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 	"strings"
 	"testing"
@@ -123,14 +124,21 @@ func parseFile(path string) ([]string, []*record, error) {
 	return lines, recs, nil
 }
 
+// durTokens matches PROFILE's wall-clock annotations. Goldens strip them:
+// the tokens are timing-dependent in value AND presence (a sub-microsecond
+// operator renders no time= at all), so neither can be pinned.
+var durTokens = regexp.MustCompile(` (?:time|blocked)=[0-9.]+ms`)
+
 // renderRows renders a result set one line per row, columns joined by '|'.
-// EXPLAIN statements produce plan text instead of rows (they are the only
-// SELECT results without a schema); it renders one line per plan line so
-// goldens can pin projection choices and row estimates. An ordinary query
-// with zero matching rows still renders as zero lines.
+// EXPLAIN and PROFILE statements produce plan text instead of rows (they
+// are the only SELECT results without a schema); it renders one line per
+// plan line so goldens can pin projection choices, row estimates, and —
+// for PROFILE — actual-row/batch counters, with duration tokens stripped.
+// An ordinary query with zero matching rows still renders as zero lines.
 func renderRows(res *core.Result) []string {
 	if res.Schema == nil && res.Explain != "" {
-		return strings.Split(strings.TrimRight(res.Explain, "\n"), "\n")
+		text := durTokens.ReplaceAllString(strings.TrimRight(res.Explain, "\n"), "")
+		return strings.Split(text, "\n")
 	}
 	out := make([]string, 0, len(res.Rows))
 	for _, row := range res.Rows {

@@ -24,8 +24,11 @@ func TestSLTFiles(t *testing.T) {
 			opts := DefaultOptions(t)
 			// parallel.slt pins the intra-node parallel plan shapes: it
 			// runs 4-way with the cardinality gate dropped so the tiny
-			// fixture still plans them.
-			if filepath.Base(f) == "parallel.slt" {
+			// fixture still plans them. profile.slt does the same so its
+			// PROFILE goldens cover a parallel shape next to serial ones
+			// (scans without parallel-eligible operators still plan serial).
+			switch filepath.Base(f) {
+			case "parallel.slt", "profile.slt":
 				opts.Parallelism = 4
 				opts.ForceParallel = true
 			}
@@ -71,6 +74,7 @@ func TestSLTParallelDifferential(t *testing.T) {
 	skip := func(sql string) bool {
 		u := strings.ToUpper(strings.TrimSpace(sql))
 		return strings.HasPrefix(u, "EXPLAIN") ||
+			strings.HasPrefix(u, "PROFILE") ||
 			strings.Contains(u, "V_MONITOR.") ||
 			strings.Contains(u, "V_CATALOG.")
 	}
@@ -80,6 +84,10 @@ func TestSLTParallelDifferential(t *testing.T) {
 			parallel := DefaultOptions(t)
 			parallel.Parallelism = 4
 			parallel.ForceParallel = true
+			// Profiling on both sides: the equivalence oracle doubles as the
+			// proof that operator timing never perturbs results.
+			serial.Profile = true
+			parallel.Profile = true
 			RunFileDifferential(t, f, serial, parallel, skip)
 		})
 	}

@@ -1,9 +1,10 @@
 #!/bin/sh
-# bench-json: run the parallel-scaling benchmark suite and write
-# BENCH_PR5.json — ns/op and rows/s for serial vs 4-way parallel
-# aggregation / join / sort, plus the derived 4-way speedups. CI smokes it
-# at 1 iteration (BENCH_ITERS=1x); for recorded numbers use a time-based
-# benchtime (default 2x) on an idle machine.
+# bench-json: run the parallel-scaling and profiling-overhead benchmark
+# suites and write BENCH_PR6.json — ns/op and rows/s for serial vs 4-way
+# parallel aggregation / join / sort, the derived 4-way speedups, and the
+# cost of operator wall-clock profiling over the always-on counters. CI
+# smokes it at 1 iteration (BENCH_ITERS=1x); for recorded numbers use a
+# time-based benchtime (default 2x) on an idle machine.
 #
 # The speedups scale with the host's cores: the parallel shapes fan worker
 # pipelines out across GOMAXPROCS, so a single-CPU container records mostly
@@ -12,17 +13,18 @@
 set -eu
 
 ITERS="${BENCH_ITERS:-2x}"
-OUT="${BENCH_OUT:-BENCH_PR5.json}"
+OUT="${BENCH_OUT:-BENCH_PR6.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test -bench '^BenchmarkParallelScaling$' -benchtime "$ITERS" -run '^$' . | tee "$RAW"
+go test -bench '^(BenchmarkParallelScaling|BenchmarkProfilingOverhead)$' \
+  -benchtime "$ITERS" -run '^$' . | tee "$RAW"
 
 awk -v iters="$ITERS" '
-/^BenchmarkParallelScaling\// {
+/^Benchmark(ParallelScaling|ProfilingOverhead)\// {
   # BenchmarkParallelScaling/agg/serial-8  2  1335412204 ns/op  299533 rows/s
   name = $1
-  sub(/^BenchmarkParallelScaling\//, "", name)
+  sub(/^Benchmark/, "", name)
   sub(/-[0-9]+$/, "", name)
   ns[name] = $3
   rows[name] = $5
@@ -33,7 +35,6 @@ END {
   if (n == 0) { print "bench-json: no benchmark output parsed" > "/dev/stderr"; exit 1 }
   "getconf _NPROCESSORS_ONLN" | getline cpus
   printf "{\n"
-  printf "  \"benchmark\": \"BenchmarkParallelScaling\",\n"
   printf "  \"benchtime\": \"%s\",\n", iters
   printf "  \"cpus\": %d,\n", cpus
   printf "  \"cpu_model\": \"%s\",\n", cpumodel
@@ -48,16 +49,19 @@ END {
   first = 1
   for (i = 0; i < n; i++) {
     name = order[i]
-    if (name !~ /\/serial$/) continue
-    w = name; sub(/\/serial$/, "", w)
-    p = w "/parallel4"
+    if (name !~ /^ParallelScaling\/.*\/serial$/) continue
+    w = name; sub(/\/serial$/, "", w); sub(/^ParallelScaling\//, "", w)
+    p = "ParallelScaling/" w "/parallel4"
     if (!(p in ns)) continue
     if (!first) printf ",\n"
     printf "    \"%s\": %.2f", w, ns[name] / ns[p]
     first = 0
   }
   printf "\n  },\n"
-  printf "  \"note\": \"speedups are wall-clock and bounded by this host%s core count; on a single-CPU container they reflect the cache-locality win of partitioned hash tables and smaller per-worker sorts, not thread-level parallelism\"\n", "\\u0027s"
+  if (("ProfilingOverhead/off" in ns) && ("ProfilingOverhead/on" in ns))
+    printf "  \"profiling_overhead_pct\": %.2f,\n", \
+      (ns["ProfilingOverhead/on"] - ns["ProfilingOverhead/off"]) * 100.0 / ns["ProfilingOverhead/off"]
+  printf "  \"note\": \"speedups are wall-clock and bounded by this host%s core count; on a single-CPU container they reflect the cache-locality win of partitioned hash tables and smaller per-worker sorts, not thread-level parallelism. profiling_overhead_pct is full wall-clock profiling over the always-on batch/row counters\"\n", "\\u0027s"
   printf "}\n"
 }' "$RAW" > "$OUT"
 

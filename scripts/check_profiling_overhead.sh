@@ -1,0 +1,31 @@
+#!/bin/sh
+# check-profiling-overhead: the always-on profiling counters must stay
+# effectively free, and full wall-clock profiling must stay cheap. Runs
+# BenchmarkProfilingOverhead (400k-row aggregation, profiled vs
+# unprofiled) and fails if the on-vs-off wall-clock delta reaches the
+# threshold (default 5%). One retry absorbs scheduler noise on shared CI
+# runners: a genuine regression fails both runs.
+set -eu
+
+ITERS="${BENCH_ITERS:-3x}"
+LIMIT="${OVERHEAD_LIMIT_PCT:-5}"
+
+measure() {
+  raw=$(go test -bench '^BenchmarkProfilingOverhead$' -benchtime "$ITERS" -run '^$' .)
+  echo "$raw" >&2
+  echo "$raw" | awk -v limit="$LIMIT" '
+    /^BenchmarkProfilingOverhead\/off-?/ { off = $3 }
+    /^BenchmarkProfilingOverhead\/on-?/  { on = $3 }
+    END {
+      if (off == 0 || on == 0) { print "no benchmark output parsed" > "/dev/stderr"; exit 2 }
+      pct = (on - off) * 100.0 / off
+      printf "profiling overhead: %.2f%% (limit %s%%)\n", pct, limit
+      exit (pct < limit ? 0 : 1)
+    }'
+}
+
+if measure; then
+  exit 0
+fi
+echo "check-profiling-overhead: over limit, retrying once for noise" >&2
+measure
