@@ -7,7 +7,7 @@ SERVE_ADDR ?= :5433
 MEM_POOL   ?= 256MB
 MAX_CONC   ?= 4
 
-.PHONY: all build test race lint bench bench-json check-profiling-overhead serve fmt fuzz cover sqltest-update docs-check
+.PHONY: all build test race lint bench bench-json check-profiling-overhead serve fmt fuzz cover sqltest-update test-metamorphic docs-check
 
 all: build test docs-check
 
@@ -53,6 +53,14 @@ cover:
 # Regenerate the SQL logic-test golden files from actual engine output.
 sqltest-update:
 	$(GO) test ./internal/sqltest -run TestSLTFiles -update
+
+# Metamorphic + scenario oracles under the race detector: the TLP oracle
+# (deterministic seed; override with TLP_SEED, reproduce failures with the
+# seed a failure prints) and the continuous-ingest burst. Mirrored in CI.
+TLP_SEED ?= 20120827
+test-metamorphic:
+	$(GO) test -race ./internal/sqltest -run 'TestTLP' -count=1 -tlp.seed $(TLP_SEED)
+	$(GO) test -race ./internal/bench -run TestContinuousIngestShort -count=1
 
 # Fail if the parser accepts a statement keyword docs/SQL.md never mentions.
 docs-check:

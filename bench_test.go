@@ -707,3 +707,30 @@ func BenchmarkProfilingOverhead(b *testing.B) {
 		})
 	}
 }
+
+// --- PR 7: continuous ingest -------------------------------------------------
+
+// BenchmarkContinuousIngest runs the closed-loop continuous-ingest scenario
+// (internal/bench/ingest.go): concurrent INSERT writers streaming into the
+// WOS, the tuple mover cycling moveout/mergeout, and live + epoch-pinned
+// analytical readers issuing TLP-checked queries throughout. It reports
+// sustained ingest throughput and reader query latency percentiles — the
+// trade the paper's hybrid WOS/ROS design is about. Any correctness
+// violation (TLP identity, pinned-epoch drift) fails the benchmark.
+func BenchmarkContinuousIngest(b *testing.B) {
+	var last *bench.IngestReport
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.RunContinuousIngest(bench.IngestConfig{
+			Dir:      b.TempDir(),
+			Duration: 2 * time.Second,
+			Seed:     int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rep
+	}
+	b.ReportMetric(last.IngestRowsPerSec, "ingest-rows/s")
+	b.ReportMetric(float64(last.P50.Microseconds()), "p50-us")
+	b.ReportMetric(float64(last.P99.Microseconds()), "p99-us")
+}

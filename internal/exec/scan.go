@@ -29,6 +29,12 @@ type Scan struct {
 	// ContainerIDs restricts the scan to a subset (StorageUnion workers);
 	// nil scans everything.
 	ContainerIDs []string
+	// StorageGen, when non-zero, is the storage generation the ContainerIDs
+	// split was planned against. If a moveout commits in between (moving
+	// rows from the WOS — owned by one worker — into containers owned by
+	// none), Open fails with storage.ErrStorageChanged and the query layer
+	// replans.
+	StorageGen int64
 	// IncludeWOS scans the write-optimized store too (default true via
 	// NewScan; exactly one worker of a parallel scan includes it).
 	IncludeWOS bool
@@ -45,6 +51,7 @@ type Scan struct {
 	compactPred expr.Expr // predicate remapped onto predCols
 	predCols    []int     // output column indexes the predicate reads
 	containers  []*storage.ContainerReader
+	wosRows     []storage.WOSRow // visible WOS rows captured at Open
 	cur         int
 	curState    *containerScan
 	wosDone     bool
@@ -106,15 +113,34 @@ func (s *Scan) Open(ctx *Ctx) error {
 		}
 		s.compactPred = cp
 	}
+	// One atomic view of containers + WOS: a moveout committing between two
+	// separate reads would show its rows in both stores or in neither.
+	view := s.Mgr.ScanView(ctx.Epoch, s.IncludeWOS)
+	s.wosRows = view.WOSRows
 	s.containers = nil
 	if s.ContainerIDs != nil {
+		// A worker scan owns a plan-time subset. The plan's container split
+		// is only exhaustive at the generation it was computed from: a
+		// moveout in between moved WOS rows (owned by worker 0) into new
+		// containers owned by nobody. Retired (merged-away) containers
+		// still resolve via Container; a vanished one forces a replan too.
+		if s.StorageGen != 0 && view.Gen != s.StorageGen {
+			return fmt.Errorf("exec: scan of %s planned at storage generation %d, now %d: %w",
+				s.Projection, s.StorageGen, view.Gen, storage.ErrStorageChanged)
+		}
 		for _, id := range s.ContainerIDs {
-			if r, ok := s.Mgr.Container(id); ok {
-				s.containers = append(s.containers, r)
+			r, ok := view.Container(id)
+			if !ok {
+				r, ok = s.Mgr.Container(id) // recently retired readers
 			}
+			if !ok {
+				return fmt.Errorf("exec: container %s of %s is gone: %w",
+					id, s.Projection, storage.ErrStorageChanged)
+			}
+			s.containers = append(s.containers, r)
 		}
 	} else {
-		s.containers = s.Mgr.Containers()
+		s.containers = view.Containers
 	}
 	// Snapshot visibility: containers born after the snapshot are invisible.
 	visible := s.containers[:0]
@@ -127,7 +153,7 @@ func (s *Scan) Open(ctx *Ctx) error {
 	s.cur, s.curState, s.wosDone = 0, nil, false
 	s.singleSorted = false
 	if s.MergeSorted {
-		if len(s.containers) <= 1 && len(s.visibleWOSRows(ctx)) == 0 {
+		if len(s.containers) <= 1 && len(s.wosRows) == 0 {
 			// A single container is already in projection sort order.
 			s.singleSorted = true
 			return nil
@@ -296,7 +322,20 @@ func (s *Scan) openContainer(ctx *Ctx, r *storage.ContainerReader) (*containerSc
 			st.numBlocks = len(p)
 		}
 	}
+	// Deleted positions: read the DV store first, then prefer the reader's
+	// retirement snapshot. In this order a racing swap is harmless — if the
+	// reader is not retired at the second check, the store read happened
+	// before the swap dropped its entries.
 	st.deleted = s.Mgr.DVs().DeletedAt(r.Meta.ID, ctx.Epoch)
+	if dvs, retired := r.RetiredDVs(); retired {
+		st.deleted = st.deleted[:0]
+		for _, e := range dvs {
+			if e.Epoch <= ctx.Epoch {
+				st.deleted = append(st.deleted, e.Pos)
+			}
+		}
+		sort.Slice(st.deleted, func(i, j int) bool { return st.deleted[i] < st.deleted[j] })
+	}
 	return st, nil
 }
 

@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"repro/internal/expr"
-	"repro/internal/storage"
 	"repro/internal/types"
 	"repro/internal/vector"
 )
@@ -27,7 +26,7 @@ func (s *Scan) nextWOS(ctx *Ctx) (*vector.Batch, error) {
 		return nil, nil
 	}
 	s.wosDone = true
-	rows := s.visibleWOSRows(ctx)
+	rows := s.wosRows
 	if len(rows) == 0 {
 		return nil, nil
 	}
@@ -54,28 +53,8 @@ func (s *Scan) nextWOS(ctx *Ctx) (*vector.Batch, error) {
 	return batch.Flatten(), nil
 }
 
-// visibleWOSRows snapshots the WOS at the query epoch, minus deleted rows.
-func (s *Scan) visibleWOSRows(ctx *Ctx) []storage.WOSRow {
-	rows := s.Mgr.WOS().Snapshot(ctx.Epoch)
-	if len(rows) == 0 {
-		return nil
-	}
-	deleted := s.Mgr.DVs().DeletedAt(storage.WOSTarget, ctx.Epoch)
-	if len(deleted) == 0 {
-		return rows
-	}
-	delSet := make(map[int64]bool, len(deleted))
-	for _, p := range deleted {
-		delSet[p] = true
-	}
-	out := rows[:0]
-	for _, r := range rows {
-		if !delSet[r.Pos] {
-			out = append(out, r)
-		}
-	}
-	return out
-}
+// Visible WOS rows (already epoch- and DV-filtered) are captured once at
+// Open as part of the atomic storage ScanView; see Scan.Open.
 
 // --- merge-sorted scan -------------------------------------------------
 
@@ -141,7 +120,7 @@ func (s *Scan) openMerged(ctx *Ctx) error {
 		}
 	}
 	if s.IncludeWOS {
-		wosRows := s.visibleWOSRows(ctx)
+		wosRows := s.wosRows
 		if len(wosRows) > 0 {
 			batch := vector.NewBatchForSchema(s.schema, len(wosRows))
 			for _, r := range wosRows {

@@ -707,6 +707,10 @@ func keysArePrefixOfSort(p Provider, q *LogicalQuery, scan *exec.Scan, keys []ex
 // the exchange locally resegments partials by group key; parallel final
 // GroupBys compute complete groups; a ParallelUnion merges them.
 func planParallelAggregate(q *LogicalQuery, plan *PhysicalPlan, scan *exec.Scan, keys []expr.Expr, names []string, aggs []exec.AggSpec, opts PlanOpts) (exec.Operator, error) {
+	// Generation before container list: if a moveout commits in between,
+	// the stale generation forces ErrStorageChanged + replan rather than
+	// silently scanning a split that no longer covers the data.
+	gen := scan.Mgr.Gen()
 	containers := scan.Mgr.Containers()
 	w := opts.Parallelism
 	if w > len(containers) && len(containers) > 0 {
@@ -728,6 +732,7 @@ func planParallelAggregate(q *LogicalQuery, plan *PhysicalPlan, scan *exec.Scan,
 		if ids == nil {
 			ws.ContainerIDs = []string{}
 		}
+		ws.StorageGen = gen
 		ws.IncludeWOS = i == 0
 		pre, err := exec.NewPrepass(ws, keys, names, aggs)
 		if err != nil {

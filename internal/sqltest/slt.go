@@ -20,6 +20,10 @@
 //	1|x                           one line per row, columns joined by '|'
 //	2|y
 //
+//	query error <substring>       the SELECT must fail; the error must
+//	SELECT nope FROM t            contain the (case-insensitive) substring.
+//	                              No ---- block — there are no rows.
+//
 //	session <name>                switch the current session (created on
 //	                              first use; "main" is the default)
 //
@@ -87,6 +91,26 @@ func parseFile(path string) ([]string, []*record, error) {
 			}
 			r.sql = strings.Join(sqlLines, "\n")
 			recs = append(recs, r)
+		case strings.HasPrefix(line, "query error"):
+			r := &record{kind: "query", line: i + 1}
+			r.arg = strings.TrimSpace(strings.TrimPrefix(line, "query error"))
+			if r.arg == "" {
+				return nil, nil, fmt.Errorf("%s:%d: query error needs a substring", path, i+1)
+			}
+			i++
+			var sqlLines []string
+			for i < len(lines) && strings.TrimSpace(lines[i]) != "" {
+				if strings.TrimSpace(lines[i]) == "----" {
+					return nil, nil, fmt.Errorf("%s:%d: query error takes no ---- block", path, r.line)
+				}
+				sqlLines = append(sqlLines, lines[i])
+				i++
+			}
+			if len(sqlLines) == 0 {
+				return nil, nil, fmt.Errorf("%s:%d: query error without SQL", path, r.line)
+			}
+			r.sql = strings.Join(sqlLines, "\n")
+			recs = append(recs, r)
 		case line == "query":
 			r := &record{kind: "query", line: i + 1}
 			i++
@@ -150,6 +174,11 @@ func renderRows(res *core.Result) []string {
 	}
 	return out
 }
+
+// RenderRows renders a result for comparison — one line per row, columns
+// joined by '|'. Exported for harnesses outside the package (the
+// continuous-ingest scenario driver) that reuse the TLP multiset checks.
+func RenderRows(res *core.Result) []string { return renderRows(res) }
 
 // DefaultOptions is the engine configuration .slt files run under: small
 // in-memory-style database, governed, single node.
@@ -220,6 +249,16 @@ func RunFile(t *testing.T, path string, opts core.Options) {
 			}
 		case "query":
 			res, err := sess(cur).Execute(r.sql)
+			if r.arg != "" {
+				if err == nil {
+					t.Errorf("%s:%d: query succeeded, want error containing %q\n  %s", path, r.line, r.arg, r.sql)
+					failed = true
+				} else if !strings.Contains(strings.ToLower(err.Error()), strings.ToLower(r.arg)) {
+					t.Errorf("%s:%d: error %q does not contain %q", path, r.line, err, r.arg)
+					failed = true
+				}
+				continue
+			}
 			if err != nil {
 				t.Errorf("%s:%d: query failed: %v\n  %s", path, r.line, err, r.sql)
 				failed = true
@@ -319,6 +358,18 @@ func RunFileDifferential(t *testing.T, path string, optsA, optsB core.Options, s
 			if (errA == nil) != (errB == nil) {
 				t.Errorf("%s:%d: query diverged: A err=%v, B err=%v\n  %s",
 					path, r.line, errA, errB, r.sql)
+				continue
+			}
+			if r.arg != "" {
+				// query error: both engines must fail with the substring.
+				for side, err := range map[string]error{"A": errA, "B": errB} {
+					if err == nil {
+						t.Errorf("%s:%d: %s: query succeeded, want error containing %q\n  %s",
+							path, r.line, side, r.arg, r.sql)
+					} else if !strings.Contains(strings.ToLower(err.Error()), strings.ToLower(r.arg)) {
+						t.Errorf("%s:%d: %s: error %q does not contain %q", path, r.line, side, err, r.arg)
+					}
+				}
 				continue
 			}
 			if errA != nil || (skip != nil && skip(r.sql)) {

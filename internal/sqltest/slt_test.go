@@ -43,6 +43,9 @@ func TestHarnessRejectsMalformed(t *testing.T) {
 		"statement ok\n",
 		"statement error\nSELECT 1 FROM t\n",
 		"query\nSELECT 1 FROM t\n",
+		"query error\nSELECT 1 FROM t\n",
+		"query error boom\n",
+		"query error boom\nSELECT 1 FROM t\n----\n1\n",
 		"bogus directive\n",
 		"session\n",
 	} {

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -11,6 +12,17 @@ import (
 	"repro/internal/encoding"
 	"repro/internal/types"
 )
+
+// ErrStorageChanged reports that the container set changed since a plan was
+// built (a moveout drained the WOS into new containers, or a retired
+// container aged out of the keep-alive window). Parallel plans that pinned
+// a container split at plan time replan and retry on it.
+var ErrStorageChanged = errors.New("storage: container set changed since plan")
+
+// retiredKeep bounds how many retired container readers are kept resolvable
+// for in-flight scans planned before a mergeout swap. Older entries fall
+// off; a scan that still asks for one gets ErrStorageChanged and replans.
+const retiredKeep = 64
 
 // Manager owns the physical storage of one projection on one node: its ROS
 // containers, WOS and delete vectors. Container layouts are private to each
@@ -27,6 +39,14 @@ type Manager struct {
 	dvs           *DVStore
 	localSegments int
 	maxROSBytes   int64
+
+	// gen counts committed moveouts: any event that changes which store
+	// (WOS vs ROS) holds a row. Plans that split containers across parallel
+	// workers record it and fail with ErrStorageChanged when it moved.
+	gen int64
+	// retired keeps recently swapped-out readers resolvable (bounded FIFO).
+	retired      map[string]*ContainerReader
+	retiredOrder []string
 }
 
 // ManagerOpts configures a projection storage manager.
@@ -61,6 +81,8 @@ func NewManager(dir string, schema *types.Schema, opts ManagerOpts) (*Manager, e
 		dvs:           dvs,
 		localSegments: opts.LocalSegments,
 		maxROSBytes:   opts.MaxROSBytes,
+		gen:           1,
+		retired:       map[string]*ContainerReader{},
 	}
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -145,13 +167,40 @@ func (m *Manager) Publish(meta *ContainerMeta) error {
 	return nil
 }
 
+// retireLocked detaches a container reader: its caches are preloaded into
+// memory and its delete vectors snapshotted, so queries that resolved the
+// reader before the swap keep a consistent view after the files are
+// deleted. Preload failure is tolerated — a scan needing the missing data
+// fails exactly as it would have without retirement. Callers hold m.mu.
+func (m *Manager) retireLocked(id string) {
+	r := m.containers[id]
+	if r == nil {
+		return
+	}
+	_ = r.Preload()
+	r.Retire(m.dvs.Get(id))
+	delete(m.containers, id)
+	m.retired[id] = r
+	m.retiredOrder = append(m.retiredOrder, id)
+	for len(m.retiredOrder) > retiredKeep {
+		old := m.retiredOrder[0]
+		m.retiredOrder = m.retiredOrder[1:]
+		delete(m.retired, old)
+	}
+}
+
 // Remove deletes containers (and their delete vectors) from disk; used by
-// mergeout, rollback and partition drop.
+// mergeout, rollback and partition drop. Readers are retired before their
+// files are deleted: queries take no locks ("a query executing in the
+// recent past needs no locks", §5), so an in-flight scan may still hold a
+// removed container and must keep reading a consistent image of it.
 func (m *Manager) Remove(ids ...string) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	for _, id := range ids {
-		delete(m.containers, id)
+		m.retireLocked(id)
+	}
+	m.mu.Unlock()
+	for _, id := range ids {
 		if err := os.RemoveAll(filepath.Join(m.dir, id)); err != nil {
 			return err
 		}
@@ -160,6 +209,134 @@ func (m *Manager) Remove(ids ...string) error {
 		}
 	}
 	return nil
+}
+
+// MoveoutCommit is the atomic publication step of a moveout: the containers
+// written from a WOS snapshot, the delete vectors translated to container
+// positions, the WOS prefix to drain, and the WOS delete vectors that
+// survive (they reference rows beyond the drained prefix).
+type MoveoutCommit struct {
+	Metas        []*ContainerMeta
+	DVs          map[string][]DVEntry
+	DrainThrough int64 // highest WOS position covered by Metas
+	WOSRemaining []DVEntry
+}
+
+// CommitMoveout atomically swaps a WOS prefix for its ROS containers:
+// registration of the new containers (and their translated delete vectors)
+// and the WOS drain happen under one lock, so no ScanView can observe the
+// moved rows in both stores or in neither.
+func (m *Manager) CommitMoveout(c MoveoutCommit) error {
+	readers := make([]*ContainerReader, len(c.Metas))
+	for i, meta := range c.Metas {
+		r, err := OpenContainer(filepath.Join(m.dir, meta.ID))
+		if err != nil {
+			return err
+		}
+		readers[i] = r
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id, entries := range c.DVs {
+		m.dvs.Add(id, entries)
+	}
+	for i, meta := range c.Metas {
+		m.containers[meta.ID] = readers[i]
+	}
+	m.wos.DrainThrough(c.DrainThrough)
+	m.dvs.Rewrite(WOSTarget, c.WOSRemaining)
+	m.gen++
+	return nil
+}
+
+// SwapContainers atomically replaces merge inputs with the merged output:
+// the output container and its delete vectors become visible in the same
+// critical section that retires the inputs, so no ScanView can double-count
+// (or miss) the merged rows. Input files are deleted only after retirement
+// preloaded them for in-flight scans.
+func (m *Manager) SwapContainers(meta *ContainerMeta, outDVs []DVEntry, removeIDs []string) error {
+	r, err := OpenContainer(filepath.Join(m.dir, meta.ID))
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.dvs.Add(meta.ID, outDVs)
+	m.containers[meta.ID] = r
+	for _, id := range removeIDs {
+		m.retireLocked(id)
+	}
+	m.mu.Unlock()
+	for _, id := range removeIDs {
+		if err := os.RemoveAll(filepath.Join(m.dir, id)); err != nil {
+			return err
+		}
+		if err := m.dvs.Drop(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Gen returns the storage generation (see ErrStorageChanged).
+func (m *Manager) Gen() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.gen
+}
+
+// ScanView is an atomic snapshot of the stores a scan reads: the registered
+// containers plus the WOS rows visible at the snapshot epoch with WOS
+// delete vectors already applied, and the storage generation they were
+// captured at.
+type ScanView struct {
+	Gen        int64
+	Containers []*ContainerReader
+	WOSRows    []WOSRow
+	byID       map[string]*ContainerReader
+}
+
+// Container resolves a container ID within the view.
+func (v *ScanView) Container(id string) (*ContainerReader, bool) {
+	r, ok := v.byID[id]
+	return r, ok
+}
+
+// ScanView captures containers, visible WOS rows and WOS delete vectors
+// under one lock, so a concurrent moveout commit can never be observed
+// half-applied (rows present in neither store — or in both).
+func (m *Manager) ScanView(epoch types.Epoch, includeWOS bool) *ScanView {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	v := &ScanView{
+		Gen:        m.gen,
+		Containers: make([]*ContainerReader, 0, len(m.containers)),
+		byID:       make(map[string]*ContainerReader, len(m.containers)),
+	}
+	for id, r := range m.containers {
+		v.Containers = append(v.Containers, r)
+		v.byID[id] = r
+	}
+	sort.Slice(v.Containers, func(i, j int) bool {
+		return v.Containers[i].Meta.ID < v.Containers[j].Meta.ID
+	})
+	if includeWOS {
+		rows := m.wos.Snapshot(epoch)
+		if deleted := m.dvs.DeletedAt(WOSTarget, epoch); len(deleted) > 0 {
+			delSet := make(map[int64]bool, len(deleted))
+			for _, p := range deleted {
+				delSet[p] = true
+			}
+			kept := rows[:0]
+			for _, r := range rows {
+				if !delSet[r.Pos] {
+					kept = append(kept, r)
+				}
+			}
+			rows = kept
+		}
+		v.WOSRows = rows
+	}
+	return v
 }
 
 // Containers returns a stable-ordered snapshot of current container readers.
@@ -174,11 +351,16 @@ func (m *Manager) Containers() []*ContainerReader {
 	return out
 }
 
-// Container returns the reader for one container ID.
+// Container returns the reader for one container ID. Recently retired
+// containers still resolve (to their preloaded, DV-snapshotted readers), so
+// scans planned before a mergeout swap keep their plan-time container set.
 func (m *Manager) Container(id string) (*ContainerReader, bool) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	r, ok := m.containers[id]
+	if r, ok := m.containers[id]; ok {
+		return r, ok
+	}
+	r, ok := m.retired[id]
 	return r, ok
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync"
 
 	"repro/internal/encoding"
 	"repro/internal/vector"
@@ -13,12 +14,22 @@ import (
 // sequential block iteration with min/max pruning, and random access by
 // implicit position ("complete tuples are reconstructed by fetching values
 // with the same position from each column file", paper §3.7).
+//
+// Readers are shared between concurrent scans; the lazy per-column caches
+// are guarded by a mutex. A reader whose container is replaced by mergeout
+// (or dropped) is Retired first: its caches are fully preloaded and its
+// delete vectors snapshotted, so scans that resolved the reader before the
+// swap keep working after the files are gone.
 type ContainerReader struct {
 	Dir  string
 	Meta *ContainerMeta
 
+	mu   sync.Mutex
 	pidx [][]PidxEntry // lazily loaded per column
 	data [][]byte      // lazily loaded per column (whole file)
+
+	retired    bool
+	retiredDVs []DVEntry // delete vectors snapshotted at retirement
 }
 
 // OpenContainer opens a container directory for reading.
@@ -37,6 +48,12 @@ func OpenContainer(dir string) (*ContainerReader, error) {
 
 // Pidx returns the position index of column c, loading it on first use.
 func (r *ContainerReader) Pidx(c int) ([]PidxEntry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pidxLocked(c)
+}
+
+func (r *ContainerReader) pidxLocked(c int) ([]PidxEntry, error) {
 	if r.pidx[c] == nil {
 		p, err := readPidx(r.Meta.pidxPath(r.Dir, c), r.Meta.Cols[c].Typ)
 		if err != nil {
@@ -51,6 +68,12 @@ func (r *ContainerReader) Pidx(c int) ([]PidxEntry, error) {
 }
 
 func (r *ContainerReader) colData(c int) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.colDataLocked(c)
+}
+
+func (r *ContainerReader) colDataLocked(c int) ([]byte, error) {
 	if r.data[c] == nil {
 		b, err := os.ReadFile(r.Meta.dataPath(r.Dir, c))
 		if err != nil {
@@ -62,6 +85,41 @@ func (r *ContainerReader) colData(c int) ([]byte, error) {
 		r.data[c] = b
 	}
 	return r.data[c], nil
+}
+
+// Preload reads every column's position index and data file into the cache,
+// so the reader stays usable after its files are deleted.
+func (r *ContainerReader) Preload() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for c := range r.Meta.Cols {
+		if _, err := r.pidxLocked(c); err != nil {
+			return err
+		}
+		if _, err := r.colDataLocked(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Retire marks the reader as detached from the storage manager, carrying a
+// snapshot of its delete vectors taken at the swap point. In-flight scans
+// that resolved this reader before the swap read the snapshot instead of
+// the (since dropped) DV store entries.
+func (r *ContainerReader) Retire(dvs []DVEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.retired = true
+	r.retiredDVs = dvs
+}
+
+// RetiredDVs returns the delete-vector snapshot taken at retirement and
+// whether the reader has been retired.
+func (r *ContainerReader) RetiredDVs() ([]DVEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.retiredDVs, r.retired
 }
 
 // ColumnRange returns the min/max across all blocks of a column, for

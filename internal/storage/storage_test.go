@@ -398,8 +398,23 @@ func TestManagerPublishListRemove(t *testing.T) {
 	if len(m.Containers()) != 1 {
 		t.Error("Remove did not drop container")
 	}
-	if _, ok := m.Container(first); ok {
-		t.Error("removed container still resolvable")
+	// Removed containers stay resolvable as retired readers: queries take
+	// no locks, so an in-flight scan that planned against the old container
+	// set must still be able to read a consistent, preloaded image.
+	r, ok := m.Container(first)
+	if !ok {
+		t.Fatal("removed container not resolvable as a retired reader")
+	}
+	if _, retired := r.RetiredDVs(); !retired {
+		t.Error("removed container's reader is not marked retired")
+	}
+	if _, err := r.ReadAll([]int{0}); err != nil {
+		t.Errorf("retired reader cannot read preloaded data: %v", err)
+	}
+	for _, live := range m.Containers() {
+		if live.Meta.ID == first {
+			t.Error("removed container still listed by Containers()")
+		}
 	}
 }
 

@@ -149,6 +149,35 @@ func (w *WOS) DrainUpTo(bound types.Epoch) []WOSRow {
 	return drained
 }
 
+// DrainThrough removes and returns every row at a WOS position <= pos.
+// Moveout snapshots the WOS, writes containers outside any lock, then
+// commits by draining exactly the snapshotted prefix — rows appended in
+// between (necessarily at higher positions) stay buffered, so the drain
+// and the published containers always cover the same rows.
+func (w *WOS) DrainThrough(pos int64) []WOSRow {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := pos - w.firstPos + 1
+	if n <= 0 {
+		return nil
+	}
+	if n > int64(len(w.rows)) {
+		n = int64(len(w.rows))
+	}
+	drained := make([]WOSRow, 0, n)
+	for i := int64(0); i < n; i++ {
+		drained = append(drained, WOSRow{Pos: w.firstPos + i, Epoch: w.epochs[i], Row: w.rows[i]})
+		w.bytes -= rowBytes(w.rows[i])
+	}
+	w.firstPos += n
+	w.rows = append([]types.Row(nil), w.rows[n:]...)
+	w.epochs = append([]types.Epoch(nil), w.epochs[n:]...)
+	if len(w.rows) == 0 {
+		w.rows, w.epochs = nil, nil
+	}
+	return drained
+}
+
 // Truncate discards every row with epoch > bound (recovery: "the node
 // truncates all tuples that were inserted after its LGE", §5.2).
 func (w *WOS) Truncate(bound types.Epoch) int {

@@ -18,7 +18,9 @@ package tuplemover
 import (
 	"container/heap"
 	"fmt"
+	"os"
 	"sort"
+	"sync"
 
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -52,7 +54,11 @@ type Config struct {
 }
 
 // TupleMover runs moveout and mergeout for one projection on one node.
+// A mutex serializes cycles: the tuple mover's T lock is compatible with
+// itself, so two concurrent RunTupleMover calls could otherwise merge the
+// same inputs twice.
 type TupleMover struct {
+	mu  sync.Mutex
 	cfg Config
 }
 
@@ -80,10 +86,22 @@ func New(cfg Config) (*TupleMover, error) {
 // new ROS containers (one per partition x local segment), translates WOS
 // delete vectors to container positions, persists them, and advances the
 // projection's Last Good Epoch. It returns the number of rows moved.
+//
+// Moveout runs concurrently with inserts (T and I locks are compatible) and
+// lock-free readers: it snapshots the WOS, writes containers outside any
+// lock, then publishes containers + translated delete vectors and drains
+// the snapshotted WOS prefix in one atomic Manager.CommitMoveout — a reader
+// always sees each row in exactly one store.
 func (tm *TupleMover) Moveout() (int, error) {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	return tm.moveout()
+}
+
+func (tm *TupleMover) moveout() (int, error) {
 	cfg := &tm.cfg
 	bound := cfg.Epochs.Current()
-	rows := cfg.Mgr.WOS().DrainUpTo(bound)
+	rows := cfg.Mgr.WOS().Snapshot(bound)
 	if len(rows) == 0 {
 		cfg.Epochs.SetLGE(cfg.Projection, bound)
 		return 0, nil
@@ -121,6 +139,18 @@ func (tm *TupleMover) Moveout() (int, error) {
 	}
 	moved := 0
 	translated := map[int64]bool{}
+	commit := storage.MoveoutCommit{DVs: map[string][]storage.DVEntry{}, DrainThrough: -1}
+	var writtenDirs []string
+	cleanup := func() {
+		for _, d := range writtenDirs {
+			os.RemoveAll(d)
+		}
+	}
+	for _, r := range rows {
+		if r.Pos > commit.DrainThrough {
+			commit.DrainThrough = r.Pos
+		}
+	}
 	for _, k := range keys {
 		g := groups[k]
 		// Sort by the projection sort order (stable to keep epoch runs long).
@@ -148,7 +178,8 @@ func (tm *TupleMover) Moveout() (int, error) {
 		}
 		w, err := storage.NewContainerWriter(dir, meta, storage.WriterOpts{BlockRows: cfg.BlockRows})
 		if err != nil {
-			return moved, err
+			cleanup()
+			return 0, err
 		}
 		batch := vector.NewBatchForSchema(storedSchema(cfg.Mgr.Schema()), len(g))
 		var dvEntries []storage.DVEntry
@@ -162,30 +193,37 @@ func (tm *TupleMover) Moveout() (int, error) {
 		}
 		if err := w.Append(batch); err != nil {
 			w.Abort()
-			return moved, err
+			cleanup()
+			return 0, err
 		}
 		if _, err := w.Close(); err != nil {
-			return moved, err
+			cleanup()
+			return 0, err
 		}
-		if err := cfg.Mgr.Publish(meta); err != nil {
-			return moved, err
-		}
+		writtenDirs = append(writtenDirs, dir)
+		commit.Metas = append(commit.Metas, meta)
 		if len(dvEntries) > 0 {
-			cfg.Mgr.DVs().Add(id, dvEntries)
-			if err := cfg.Mgr.DVs().Persist(id); err != nil {
-				return moved, err
-			}
+			commit.DVs[id] = dvEntries
 		}
 		moved += len(g)
 	}
-	// Retain only WOS delete vectors that referenced undrained rows.
-	var remaining []storage.DVEntry
+	// Retain only WOS delete vectors that referenced undrained rows. The
+	// X/T lock conflict guarantees no delete commits during a mover cycle,
+	// so the set computed here is still exact at commit time.
 	for _, e := range wosDVs {
 		if !translated[e.Pos] {
-			remaining = append(remaining, e)
+			commit.WOSRemaining = append(commit.WOSRemaining, e)
 		}
 	}
-	cfg.Mgr.DVs().Rewrite(storage.WOSTarget, remaining)
+	if err := cfg.Mgr.CommitMoveout(commit); err != nil {
+		cleanup()
+		return 0, err
+	}
+	for id := range commit.DVs {
+		if err := cfg.Mgr.DVs().Persist(id); err != nil {
+			return moved, err
+		}
+	}
 	cfg.Epochs.SetLGE(cfg.Projection, bound)
 	return moved, nil
 }
@@ -236,6 +274,12 @@ type mergeGroup struct {
 // containers and merges those containers into one, eliding rows deleted at
 // or before the AHM. Returns the number of merge operations performed.
 func (tm *TupleMover) Mergeout() (int, error) {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	return tm.mergeout()
+}
+
+func (tm *TupleMover) mergeout() (int, error) {
 	cfg := &tm.cfg
 	ahm := cfg.Epochs.AHM()
 	groups := map[mergeGroup][]*storage.ContainerReader{}
@@ -433,20 +477,23 @@ func (tm *TupleMover) mergeContainers(inputs []*storage.ContainerReader, part st
 	if _, err := w.Close(); err != nil {
 		return err
 	}
-	if err := cfg.Mgr.Publish(meta); err != nil {
-		return err
-	}
-	if len(outDVs) > 0 {
-		cfg.Mgr.DVs().Add(id, outDVs)
-		if err := cfg.Mgr.DVs().Persist(id); err != nil {
-			return err
-		}
-	}
 	ids := make([]string, len(inputs))
 	for i, in := range inputs {
 		ids[i] = in.Meta.ID
 	}
-	return cfg.Mgr.Remove(ids...)
+	// Publish the output (with its carried-over delete vectors) and retire
+	// the inputs in one atomic swap, so a concurrent scan view sees the
+	// merged rows exactly once.
+	if err := cfg.Mgr.SwapContainers(meta, outDVs, ids); err != nil {
+		os.RemoveAll(dir)
+		return err
+	}
+	if len(outDVs) > 0 {
+		if err := cfg.Mgr.DVs().Persist(id); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func storedSchemaFromCols(cols []storage.ColumnSpec) *types.Schema {
@@ -461,7 +508,9 @@ func storedSchemaFromCols(cols []storage.ColumnSpec) *types.Schema {
 // mergeout rounds until no more merges apply. It returns (rows moved out,
 // merge operations performed).
 func (tm *TupleMover) Run() (int, int, error) {
-	moved, err := tm.Moveout()
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	moved, err := tm.moveout()
 	if err != nil {
 		return moved, 0, err
 	}
@@ -470,7 +519,7 @@ func (tm *TupleMover) Run() (int, int, error) {
 	}
 	totalMerges := 0
 	for {
-		n, err := tm.Mergeout()
+		n, err := tm.mergeout()
 		if err != nil {
 			return moved, totalMerges, err
 		}

@@ -64,13 +64,38 @@ func (em *EpochManager) ReadEpoch() types.Epoch {
 }
 
 // CommitDML stamps a committing DML transaction: it returns the epoch the
-// transaction's effects belong to and advances the clock past it.
+// transaction's effects belong to and advances the clock past it. Callers
+// that apply effects after stamping (the transaction manager) should use
+// the BeginCommitDML / FinishCommitDML pair instead, so the clock only
+// advances once the effects are fully applied.
 func (em *EpochManager) CommitDML() types.Epoch {
 	em.mu.Lock()
 	defer em.mu.Unlock()
 	e := em.current
 	em.current++
 	return e
+}
+
+// BeginCommitDML returns the epoch a committing DML transaction's effects
+// will be stamped with, without advancing the clock. The commit applies its
+// effects at this epoch and then publishes it with FinishCommitDML; until
+// then READ COMMITTED queries (targeting current-1) cannot reach the epoch,
+// so no reader ever observes a half-applied commit. Commits are serialized
+// by the transaction manager, so the unadvanced epoch cannot be handed to
+// two transactions.
+func (em *EpochManager) BeginCommitDML() types.Epoch {
+	em.mu.RLock()
+	defer em.mu.RUnlock()
+	return em.current
+}
+
+// FinishCommitDML publishes the epoch returned by BeginCommitDML by
+// advancing the clock past it, making the commit's effects visible to new
+// READ COMMITTED queries atomically.
+func (em *EpochManager) FinishCommitDML() {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	em.current++
 }
 
 // AHM returns the Ancient History Mark.

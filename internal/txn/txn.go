@@ -111,7 +111,13 @@ func (m *Manager) Commit(t *Txn) (types.Epoch, error) {
 	defer m.commitMu.Unlock()
 	var epoch types.Epoch
 	if hasDML {
-		epoch = m.Epochs.CommitDML()
+		// Stamp now, publish after the applies: the clock advances past the
+		// commit epoch only once every staged effect has landed, so READ
+		// COMMITTED queries (targeting current-1) can never observe a
+		// half-applied commit — e.g. rows present in one projection of a
+		// table but not yet in another.
+		epoch = m.Epochs.BeginCommitDML()
+		defer m.Epochs.FinishCommitDML()
 	} else {
 		epoch = m.Epochs.Current()
 	}

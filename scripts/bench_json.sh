@@ -2,9 +2,13 @@
 # bench-json: run the parallel-scaling and profiling-overhead benchmark
 # suites and write BENCH_PR6.json — ns/op and rows/s for serial vs 4-way
 # parallel aggregation / join / sort, the derived 4-way speedups, and the
-# cost of operator wall-clock profiling over the always-on counters. CI
-# smokes it at 1 iteration (BENCH_ITERS=1x); for recorded numbers use a
-# time-based benchtime (default 2x) on an idle machine.
+# cost of operator wall-clock profiling over the always-on counters — then
+# run the continuous-ingest scenario and write BENCH_PR7.json — sustained
+# ingest throughput and reader latency percentiles under concurrent
+# writers, a continuously cycling tuple mover, and TLP-checked live +
+# epoch-pinned readers. CI smokes both at 1 iteration (BENCH_ITERS=1x); for
+# recorded numbers use the default on an idle machine. Set BENCH_SKIP_PR6=1
+# or BENCH_SKIP_PR7=1 to regenerate only one file.
 #
 # The speedups scale with the host's cores: the parallel shapes fan worker
 # pipelines out across GOMAXPROCS, so a single-CPU container records mostly
@@ -14,8 +18,11 @@ set -eu
 
 ITERS="${BENCH_ITERS:-2x}"
 OUT="${BENCH_OUT:-BENCH_PR6.json}"
+OUT7="${BENCH7_OUT:-BENCH_PR7.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
+
+if [ -z "${BENCH_SKIP_PR6:-}" ]; then
 
 go test -bench '^(BenchmarkParallelScaling|BenchmarkProfilingOverhead)$' \
   -benchtime "$ITERS" -run '^$' . | tee "$RAW"
@@ -67,3 +74,39 @@ END {
 
 echo "bench-json: wrote $OUT"
 cat "$OUT"
+
+fi # BENCH_SKIP_PR6
+
+if [ -z "${BENCH_SKIP_PR7:-}" ]; then
+
+go test -bench '^BenchmarkContinuousIngest$' -benchtime "$ITERS" -run '^$' . | tee "$RAW"
+
+awk -v iters="$ITERS" '
+/^BenchmarkContinuousIngest/ {
+  # BenchmarkContinuousIngest-8  1  2034635413 ns/op  22931 ingest-rows/s  153.0 p50-us  45478 p99-us
+  for (i = 4; i <= NF; i++) {
+    if ($i == "ingest-rows/s") rows = $(i-1)
+    if ($i == "p50-us") p50 = $(i-1)
+    if ($i == "p99-us") p99 = $(i-1)
+  }
+  found = 1
+}
+/^cpu:/ { cpumodel = $0; sub(/^cpu: /, "", cpumodel) }
+END {
+  if (!found) { print "bench-json: no continuous-ingest output parsed" > "/dev/stderr"; exit 1 }
+  "getconf _NPROCESSORS_ONLN" | getline cpus
+  printf "{\n"
+  printf "  \"benchtime\": \"%s\",\n", iters
+  printf "  \"cpus\": %d,\n", cpus
+  printf "  \"cpu_model\": \"%s\",\n", cpumodel
+  printf "  \"ingest_rows_per_sec\": %.0f,\n", rows
+  printf "  \"p50_us\": %.0f,\n", p50
+  printf "  \"p99_us\": %.0f,\n", p99
+  printf "  \"note\": \"continuous-ingest scenario: 2 writers batching INSERTs into the WOS, tuple mover cycling moveout/mergeout continuously, 1 live + 1 epoch-pinned reader issuing TLP-checked queries; p50/p99 are individual reader-query latencies over a 2s run. every reader query is a correctness probe, so the numbers carry oracle overhead by design\"\n"
+  printf "}\n"
+}' "$RAW" > "$OUT7"
+
+echo "bench-json: wrote $OUT7"
+cat "$OUT7"
+
+fi # BENCH_SKIP_PR7
