@@ -60,7 +60,7 @@ sqltest-update:
 TLP_SEED ?= 20120827
 test-metamorphic:
 	$(GO) test -race ./internal/sqltest -run 'TestTLP' -count=1 -tlp.seed $(TLP_SEED)
-	$(GO) test -race ./internal/bench -run TestContinuousIngestShort -count=1
+	$(GO) test -race ./internal/bench -run 'TestContinuousIngest(Short|DataCollector)' -count=1
 
 # Fail if the parser accepts a statement keyword docs/SQL.md never mentions.
 docs-check:

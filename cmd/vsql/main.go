@@ -13,7 +13,10 @@
 // (/metrics as JSON, /debug/vars as expvar) and the standard Go profiling
 // endpoints (/debug/pprof/*). -slow-query sets the threshold past which a
 // statement's full per-operator profile is auto-retained in
-// v_monitor.execution_engine_profiles.
+// v_monitor.execution_engine_profiles. -dc-capacity sizes the Data
+// Collector's per-stream ring buffers (v_monitor.query_phases,
+// query_events, dc_* tables); 0 uses the default, negative disables
+// collection.
 //
 // Meta commands: \q quits, \d lists tables and projections, \mover runs a
 // tuple mover cycle, \epoch shows the epoch state, \stats shows governor
@@ -52,6 +55,7 @@ func main() {
 	defaultPool := flag.String("pool", "", "resource pool new sessions admit against (default: general; see CREATE RESOURCE POOL)")
 	debugAddr := flag.String("debug-addr", "", "serve engine metrics and pprof on this HTTP address (e.g. localhost:6060)")
 	slowQuery := flag.Duration("slow-query", 0, "auto-retain full operator profiles of statements slower than this (default 1s; negative disables)")
+	dcCapacity := flag.Int("dc-capacity", 0, "Data Collector ring capacity per event stream (default 1024; negative disables collection)")
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "vsql: -dir is required")
@@ -71,6 +75,7 @@ func main() {
 		DefaultPool:    *defaultPool,
 
 		SlowQueryThreshold: *slowQuery,
+		DCCapacity:         *dcCapacity,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vsql:", err)

@@ -45,6 +45,13 @@ type IngestConfig struct {
 	WOSMaxBytes int64
 	// Seed drives all generated data and predicates (default 1).
 	Seed int64
+	// DCCapacity sizes the engine's Data Collector rings (0 = engine
+	// default, negative disables collection) — see core.Options.DCCapacity.
+	DCCapacity int
+	// Inspect, when non-nil, runs against the still-open database after all
+	// scenario goroutines have drained, so tests can assert on engine state
+	// (e.g. Data Collector ring contents) accumulated during the run.
+	Inspect func(db *core.Database) error
 }
 
 // IngestReport is the scenario outcome.
@@ -142,6 +149,7 @@ func RunContinuousIngest(cfg IngestConfig) (*IngestReport, error) {
 		// Writers, readers and the mover all run at once; don't let the
 		// admission queue serialize the scenario.
 		MaxConcurrency: cfg.Writers + cfg.LiveReaders + cfg.PinnedReaders + 4,
+		DCCapacity:     cfg.DCCapacity,
 	})
 	if err != nil {
 		return nil, err
@@ -277,6 +285,11 @@ func RunContinuousIngest(cfg IngestConfig) (*IngestReport, error) {
 	elapsed := time.Since(start)
 	if runErr != nil {
 		return nil, runErr
+	}
+	if cfg.Inspect != nil {
+		if err := cfg.Inspect(db); err != nil {
+			return nil, err
+		}
 	}
 	rep := &IngestReport{
 		Elapsed:       elapsed,

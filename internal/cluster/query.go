@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/dc"
 	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/optimizer"
@@ -90,6 +91,7 @@ func (c *Cluster) RunCtx(ctx context.Context, q *optimizer.LogicalQuery, opts op
 // the coordinator alone, so the cluster stays observable even when every
 // pool is saturated — Vertica's SYSQUERY escape hatch.
 func (c *Cluster) RunAtCtx(ctx context.Context, q *optimizer.LogicalQuery, opts optimizer.PlanOpts, epoch types.Epoch) (res *QueryResult, err error) {
+	tr := dc.TraceFrom(ctx)
 	allVirtual, anyVirtual := c.virtualTables(q)
 	if anyVirtual && !allVirtual && c.N() > 1 {
 		return nil, fmt.Errorf("cluster: system tables cannot join user tables on a multi-node cluster")
@@ -110,6 +112,7 @@ func (c *Cluster) RunAtCtx(ctx context.Context, q *optimizer.LogicalQuery, opts 
 	// from (dynamic grant sizing; planning itself consumes no governed
 	// memory). Per-node plans are rebuilt after admission, so a long queue
 	// wait cannot execute a stale probe.
+	tr.Begin("plan")
 	probe, err := optimizer.Plan(&nodeProvider{c, up[0]}, q, opts)
 	if err == nil {
 		err = c.checkPlacement(q, probe)
@@ -125,10 +128,15 @@ func (c *Cluster) RunAtCtx(ctx context.Context, q *optimizer.LogicalQuery, opts 
 	var grant *resmgr.Grant
 	if gov := c.cfg.Governor; gov != nil && !allVirtual {
 		poolName := resmgr.PoolFromContext(ctx)
+		tr.Begin("queue")
 		grant, err = admitSized(ctx, gov, poolName, c.grantRequest(poolName, probe))
 		if err != nil {
 			return nil, err
 		}
+		// The query id exists from here on: stamp the trace so events from
+		// worker goroutines and the phase records flushed at statement end
+		// all join v_monitor.query_profiles.
+		tr.SetQueryID(grant.QueryID())
 		// Record failures in the retained query profile before releasing.
 		defer func() {
 			if err != nil {
@@ -150,6 +158,7 @@ func (c *Cluster) RunAtCtx(ctx context.Context, q *optimizer.LogicalQuery, opts 
 			if capBinds {
 				defer func() {
 					if err != nil && errors.Is(err, context.DeadlineExceeded) {
+						tr.Event("RUNTIME_CAP_EXCEEDED", fmt.Sprintf("cap=%s", d))
 						err = fmt.Errorf("resmgr: statement exceeded the pool runtime cap of %s: %w", d, err)
 					}
 				}()
@@ -195,6 +204,7 @@ func (c *Cluster) RunAtCtx(ctx context.Context, q *optimizer.LogicalQuery, opts 
 	// ErrStorageChanged. The plan is cheap relative to the queue wait, so
 	// just replan against current storage and retry a few times.
 	const maxStorageRetries = 3
+	tr.Begin("execute")
 	for attempt := 0; ; attempt++ {
 		runs, firstErr, partials = nil, nil, nil
 		for _, n := range execNodes {
@@ -258,6 +268,8 @@ func (c *Cluster) RunAtCtx(ctx context.Context, q *optimizer.LogicalQuery, opts 
 		if firstErr == nil || attempt >= maxStorageRetries || !errors.Is(firstErr, storage.ErrStorageChanged) {
 			break
 		}
+		tr.Event("REPLAN_ON_STORAGE_GENERATION",
+			fmt.Sprintf("attempt=%d: %s", attempt+1, firstErr))
 	}
 	// Collect per-operator profiles (one cheap walk per plan) and attach
 	// them to the grant, so the governor retains them for PROFILE runs and
@@ -273,11 +285,13 @@ func (c *Cluster) RunAtCtx(ctx context.Context, q *optimizer.LogicalQuery, opts 
 
 	// Initiator merge (single pipeline: the full grant as it stands now,
 	// node-pipeline extensions included — those operators have finished).
+	tr.Begin("fetch")
 	nodeSchema := runs[0].plan.Root.Schema()
 	final, schema, err := merge(partials, nodeSchema, c.execCtx(ctx, epoch, opts, grant, grant.OperatorBudget(1)))
 	if err != nil {
 		return nil, err
 	}
+	tr.End()
 	grant.ReportRows(int64(len(final)))
 	var explain strings.Builder
 	fmt.Fprintf(&explain, "-- distributed over %d node plan(s); local-final=%v\n", len(runs), localFinal)
@@ -365,6 +379,7 @@ func (c *Cluster) execCtx(cctx context.Context, epoch types.Epoch, opts optimize
 	ectx.Context = cctx
 	ectx.Grant = grant
 	ectx.ProfTimes = opts.Profile
+	ectx.Trace = dc.TraceFrom(cctx)
 	if c.cfg.TempDir != "" {
 		ectx.TempDir = c.cfg.TempDir
 	}

@@ -17,6 +17,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"io"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -24,6 +26,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/cluster"
+	"repro/internal/dc"
 	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/metrics"
@@ -34,6 +37,7 @@ import (
 	"repro/internal/tuplemover"
 	"repro/internal/txn"
 	"repro/internal/types"
+	"repro/internal/vlog"
 )
 
 // Options configures a database instance.
@@ -92,6 +96,14 @@ type Options struct {
 	// StatsBuckets is the histogram bucket count ANALYZE_STATISTICS builds
 	// when the statement does not name one (0 = stats.DefaultBuckets).
 	StatsBuckets int
+	// DCCapacity bounds each Data Collector ring (phases, events, mover,
+	// locks, errors). 0 = dc.DefaultCapacity; negative disables the Data
+	// Collector entirely (the v_monitor dc tables stay registered but
+	// empty).
+	DCCapacity int
+	// LogWriter receives the engine's structured log lines (slow queries,
+	// server lifecycle). Nil means os.Stderr; io.Discard silences them.
+	LogWriter io.Writer
 }
 
 // Database is one engine instance.
@@ -100,6 +112,8 @@ type Database struct {
 	cat     *catalog.Catalog
 	cluster *cluster.Cluster
 	txns    *txn.Manager
+	dcol    *dc.Collector // Data Collector (nil when disabled)
+	logger  *vlog.Logger
 
 	moverMu sync.Mutex
 	movers  map[string]*tuplemover.TupleMover // "node/projection"
@@ -142,7 +156,22 @@ func Open(opts Options) (*Database, error) {
 	if err := cat.RebindExprs(sql.BindScalarExpr); err != nil {
 		return nil, err
 	}
+	logw := opts.LogWriter
+	if logw == nil {
+		logw = os.Stderr
+	}
+	// Warn-and-above keeps the log quiet in normal operation while slow
+	// queries and failures still surface.
+	logger := vlog.New(logw, vlog.Warn)
+	// The Data Collector is on by default: collection is bounded (ring
+	// buffers) and per-statement-granularity, so the always-on cost is a
+	// handful of appends per query. DCCapacity < 0 disables it outright.
+	var dcol *dc.Collector
+	if opts.DCCapacity >= 0 {
+		dcol = dc.New(opts.DCCapacity)
+	}
 	tm := txn.NewManager()
+	tm.Locks.SetCollector(dcol)
 	gov := resmgr.NewGovernor(resmgr.Config{
 		PoolBytes:          opts.MemPoolBytes,
 		MaxConcurrency:     opts.MaxConcurrency,
@@ -150,6 +179,7 @@ func Open(opts Options) (*Database, error) {
 		ProfileCapacity:    opts.ProfileCapacity,
 		OpProfileCapacity:  opts.OpProfileCapacity,
 		SlowQueryThreshold: opts.SlowQueryThreshold,
+		Logger:             logger,
 	})
 	cl, err := cluster.New(cluster.Config{
 		Nodes:         opts.Nodes,
@@ -168,6 +198,8 @@ func Open(opts Options) (*Database, error) {
 		cat:      cat,
 		cluster:  cl,
 		txns:     tm,
+		dcol:     dcol,
+		logger:   logger,
 		movers:   map[string]*tuplemover.TupleMover{},
 		sessions: map[int64]*Session{},
 	}
@@ -235,6 +267,16 @@ func Open(opts Options) (*Database, error) {
 		}
 		return rows
 	})
+	// Publish the Data Collector's total dropped-event count so overflow
+	// is visible on /metrics and v_monitor.metrics without querying every
+	// dc table.
+	metrics.RegisterFunc("dc.dropped_events", func() int64 {
+		var n int64
+		for _, st := range dcol.Stats() {
+			n += st.Dropped
+		}
+		return n
+	})
 	return db, nil
 }
 
@@ -250,6 +292,14 @@ func (db *Database) Txns() *txn.Manager { return db.txns }
 // Governor exposes the resource governor (admission control, memory pool,
 // workload stats).
 func (db *Database) Governor() *resmgr.Governor { return db.cluster.Governor() }
+
+// Collector exposes the Data Collector (nil when disabled via a negative
+// Options.DCCapacity).
+func (db *Database) Collector() *dc.Collector { return db.dcol }
+
+// Logger exposes the engine's structured logger (nil-safe to use directly;
+// see Options.LogWriter).
+func (db *Database) Logger() *vlog.Logger { return db.logger }
 
 // Execute parses and runs one SQL statement with autocommit.
 func (db *Database) Execute(sqlText string) (*Result, error) {
@@ -285,6 +335,7 @@ type Session struct {
 	pool    string // "" = general
 	curStmt string // statement currently executing ("" when idle)
 	stmts   int64  // statements executed
+	notrace bool   // SET SESSION TRACE OFF: skip phase/event tracing
 }
 
 // NewSession opens a session and registers it with v_monitor.sessions.
@@ -295,6 +346,7 @@ func (db *Database) NewSession() *Session {
 	s := &Session{db: db, id: db.sessSeq, created: time.Now(), pool: db.opts.DefaultPool}
 	db.sessions[s.id] = s
 	metrics.ActiveSessions.Add(1)
+	db.dcol.RecordEvent(dc.QueryEvent{Type: "SESSION_CONNECT", Detail: fmt.Sprintf("session=%d", s.id)})
 	return s
 }
 
@@ -318,8 +370,21 @@ func (s *Session) Close() {
 	if _, live := s.db.sessions[s.id]; live {
 		delete(s.db.sessions, s.id)
 		metrics.ActiveSessions.Add(-1) // guarded: Close must be idempotent
+		s.db.dcol.RecordEvent(dc.QueryEvent{Type: "SESSION_DISCONNECT", Detail: fmt.Sprintf("session=%d", s.id)})
 	}
 	s.db.sessMu.Unlock()
+}
+
+// newTrace returns a Data Collector trace for one statement, or nil when
+// the session has tracing off or the collector is disabled.
+func (s *Session) newTrace() *dc.Trace {
+	s.mu.Lock()
+	off := s.notrace
+	s.mu.Unlock()
+	if off {
+		return nil
+	}
+	return dc.NewTrace(s.db.dcol)
 }
 
 // setTx stores the open transaction under the session mutex: the session's
@@ -354,15 +419,30 @@ func (s *Session) Execute(sqlText string) (*Result, error) {
 // ExecuteContext runs one statement under a cancellable context. SELECTs and
 // DML are admission-controlled by the session's resource pool and abandon
 // execution at the next batch boundary when ctx ends.
-func (s *Session) ExecuteContext(ctx context.Context, sqlText string) (*Result, error) {
+func (s *Session) ExecuteContext(ctx context.Context, sqlText string) (res *Result, err error) {
+	// Trace the statement's lifecycle phases into the Data Collector. The
+	// trace buffers locally and publishes at statement end (the deferred
+	// Flush), so a v_monitor.query_phases query sees complete statements
+	// only. Failures also land in dc_errors, keyed by the same query id.
+	tr := s.newTrace()
+	defer func() {
+		tr.Flush()
+		if err != nil {
+			s.db.dcol.RecordError(dc.ErrorEvent{
+				QueryID: tr.QueryID(), SQL: statementLabel(sqlText), Error: err.Error()})
+		}
+	}()
+	tr.Begin("parse")
 	stmt, err := sql.Parse(sqlText)
 	if err != nil {
 		return nil, err
 	}
+	tr.End()
 	s.noteStatement(strings.TrimSpace(sqlText))
 	defer s.clearStatement()
 	ctx = resmgr.WithPool(ctx, s.Pool())
 	ctx = resmgr.WithLabel(ctx, statementLabel(sqlText))
+	ctx = dc.WithTrace(ctx, tr)
 	switch st := stmt.(type) {
 	case *sql.TxnStmt:
 		return s.execTxnStmt(st)
@@ -377,7 +457,7 @@ func (s *Session) ExecuteContext(ctx context.Context, sqlText string) (*Result, 
 	case *sql.AlterPoolStmt:
 		return s.db.execAlterPool(st)
 	case *sql.SetStmt:
-		return s.execSetPool(st)
+		return s.execSet(st)
 	case *sql.AnalyzeStmt:
 		return s.db.execAnalyze(ctx, st)
 	case *sql.DropStmt:
@@ -448,10 +528,14 @@ func (s *Session) execTxnStmt(st *sql.TxnStmt) (*Result, error) {
 // pool like SELECTs do (before any lock is taken), so pools constrain load
 // statements too and the grant's stats ride on the Result.
 func (s *Session) autocommitDML(ctx context.Context, stage func(tx *txn.Txn) (int64, error)) (res *Result, err error) {
+	tr := dc.TraceFrom(ctx)
+	tr.Begin("queue")
 	grant, err := s.db.Governor().Admit(ctx)
 	if err != nil {
 		return nil, err
 	}
+	tr.SetQueryID(grant.QueryID())
+	tr.Begin("execute")
 	defer func() {
 		if err != nil {
 			grant.SetError(err)
@@ -696,6 +780,18 @@ func (db *Database) execAlterPool(st *sql.AlterPoolStmt) (*Result, error) {
 	return &Result{Message: "ALTER RESOURCE POOL"}, nil
 }
 
+// execSet dispatches SET statements: SESSION TRACE toggles the session's
+// Data Collector tracing, RESOURCE POOL switches the admission pool.
+func (s *Session) execSet(st *sql.SetStmt) (*Result, error) {
+	if st.Trace != "" {
+		s.mu.Lock()
+		s.notrace = st.Trace == "off"
+		s.mu.Unlock()
+		return &Result{Message: "SET SESSION TRACE " + strings.ToUpper(st.Trace)}, nil
+	}
+	return s.execSetPool(st)
+}
+
 // execSetPool switches the session's admission pool after verifying the
 // pool exists (SET RESOURCE POOL general always works). It holds the
 // session registry lock across check and set so a concurrent DROP RESOURCE
@@ -716,6 +812,7 @@ func (s *Session) execSetPool(st *sql.SetStmt) (*Result, error) {
 // --- statement implementations ---------------------------------------------
 
 func (db *Database) execSelect(ctx context.Context, st *sql.SelectStmt) (*Result, error) {
+	dc.TraceFrom(ctx).Begin("analyze")
 	q, err := sql.AnalyzeSelect(st, db.cat)
 	if err != nil {
 		return nil, err
@@ -755,7 +852,16 @@ func (db *Database) QueryAt(sqlText string, epoch types.Epoch) (*Result, error) 
 
 // QueryAtContext is QueryAt under a cancellable, admission-controlled
 // context (the server's pinned-epoch sessions run through here).
-func (db *Database) QueryAtContext(ctx context.Context, sqlText string, epoch types.Epoch) (*Result, error) {
+func (db *Database) QueryAtContext(ctx context.Context, sqlText string, epoch types.Epoch) (res *Result, err error) {
+	tr := dc.NewTrace(db.dcol)
+	defer func() {
+		tr.Flush()
+		if err != nil {
+			db.dcol.RecordError(dc.ErrorEvent{
+				QueryID: tr.QueryID(), SQL: statementLabel(sqlText), Error: err.Error()})
+		}
+	}()
+	tr.Begin("parse")
 	stmt, err := sql.Parse(sqlText)
 	if err != nil {
 		return nil, err
@@ -765,19 +871,21 @@ func (db *Database) QueryAtContext(ctx context.Context, sqlText string, epoch ty
 		return nil, fmt.Errorf("core: QueryAt requires a SELECT")
 	}
 	ctx = resmgr.WithLabel(ctx, statementLabel(sqlText))
+	ctx = dc.WithTrace(ctx, tr)
+	tr.Begin("analyze")
 	q, err := sql.AnalyzeSelect(st, db.cat)
 	if err != nil {
 		return nil, err
 	}
-	res, err := db.cluster.RunAtCtx(ctx, q, db.planOpts(st), epoch)
+	qres, err := db.cluster.RunAtCtx(ctx, q, db.planOpts(st), epoch)
 	if err != nil {
 		return nil, err
 	}
 	if st.Profile {
-		tree := exec.FormatProfiles(res.OpProfiles)
-		return &Result{Explain: tree, Message: tree, OpProfiles: res.OpProfiles, Stats: res.Stats}, nil
+		tree := exec.FormatProfiles(qres.OpProfiles)
+		return &Result{Explain: tree, Message: tree, OpProfiles: qres.OpProfiles, Stats: qres.Stats}, nil
 	}
-	return &Result{Schema: res.Schema, Rows: res.Rows, Explain: res.Explain, Stats: res.Stats}, nil
+	return &Result{Schema: qres.Schema, Rows: qres.Rows, Explain: qres.Explain, Stats: qres.Stats}, nil
 }
 
 func (db *Database) execCreateTable(st *sql.CreateTableStmt) (*Result, error) {
@@ -1102,6 +1210,7 @@ func (db *Database) moverFor(n *cluster.Node, p *catalog.Projection) (*tuplemove
 		Encodings:      encs,
 		PartitionOf:    partOf,
 		LocalSegmentOf: db.cluster.LocalSegmentOf(p),
+		Collector:      db.dcol,
 	})
 	if err != nil {
 		return nil, err
@@ -1115,6 +1224,8 @@ func (db *Database) moverFor(n *cluster.Node, p *catalog.Projection) (*tuplemove
 // background, here it is explicit for determinism. Returns total rows moved
 // out and merges performed.
 func (db *Database) RunTupleMover() (int, int, error) {
+	start := time.Now()
+	defer func() { metrics.MoverCycleUs.Observe(time.Since(start).Microseconds()) }()
 	// Tuple mover operations take the T lock, compatible with queries and
 	// loads but not X (paper §5, Table 1).
 	ttx := db.txns.Begin(txn.ReadCommitted)
@@ -1142,6 +1253,8 @@ func (db *Database) RunTupleMover() (int, int, error) {
 		}
 	}
 	db.txns.Epochs.AdvanceAHM()
+	db.logger.Debugf("tuple_mover_cycle", "rows_moved", totalMoved,
+		"merges", totalMerged, "wall_us", time.Since(start).Microseconds())
 	return totalMoved, totalMerged, nil
 }
 

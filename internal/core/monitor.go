@@ -406,4 +406,129 @@ func (db *Database) registerMonitorTables() {
 			}
 			return rows, nil
 		})
+
+	db.registerDCTables()
+}
+
+// registerDCTables installs the Data Collector's event-stream tables: each
+// one is a snapshot of a bounded ring buffer (oldest events are overwritten
+// once a ring fills; v_monitor.metrics' dc.dropped_events counts the loss).
+// All are joinable to v_monitor.query_profiles on query_id.
+func (db *Database) registerDCTables() {
+	phaseSchema := types.NewSchema(
+		col("query_id", types.Int64),
+		col("phase_seq", types.Int64),
+		col("phase", types.Varchar),
+		col("start", types.Timestamp),
+		col("duration_us", types.Float64),
+	)
+	db.cat.RegisterVirtual(&catalog.Table{Name: "v_monitor.query_phases", Schema: phaseSchema},
+		func() ([]types.Row, error) {
+			evs := db.dcol.Phases()
+			rows := make([]types.Row, 0, len(evs))
+			for _, e := range evs {
+				rows = append(rows, types.Row{
+					types.NewInt(e.QueryID),
+					types.NewInt(int64(e.Seq)),
+					types.NewString(e.Phase),
+					types.NewTimestamp(e.Start.UTC()),
+					types.NewFloat(float64(e.Duration) / 1e3),
+				})
+			}
+			return rows, nil
+		})
+
+	eventSchema := types.NewSchema(
+		col("query_id", types.Int64),
+		col("event_type", types.Varchar),
+		col("detail", types.Varchar),
+		col("time", types.Timestamp),
+	)
+	db.cat.RegisterVirtual(&catalog.Table{Name: "v_monitor.query_events", Schema: eventSchema},
+		func() ([]types.Row, error) {
+			evs := db.dcol.Events()
+			rows := make([]types.Row, 0, len(evs))
+			for _, e := range evs {
+				rows = append(rows, types.Row{
+					types.NewInt(e.QueryID),
+					types.NewString(e.Type),
+					types.NewString(e.Detail),
+					types.NewTimestamp(e.Time.UTC()),
+				})
+			}
+			return rows, nil
+		})
+
+	moverSchema := types.NewSchema(
+		col("operation", types.Varchar),
+		col("projection", types.Varchar),
+		col("containers", types.Int64),
+		col("rows_moved", types.Int64),
+		col("bytes", types.Int64),
+		col("duration_us", types.Float64),
+		col("time", types.Timestamp),
+	)
+	db.cat.RegisterVirtual(&catalog.Table{Name: "v_monitor.dc_tuple_mover_events", Schema: moverSchema},
+		func() ([]types.Row, error) {
+			evs := db.dcol.MoverEvents()
+			rows := make([]types.Row, 0, len(evs))
+			for _, e := range evs {
+				rows = append(rows, types.Row{
+					types.NewString(e.Op),
+					types.NewString(e.Projection),
+					types.NewInt(int64(e.Containers)),
+					types.NewInt(e.Rows),
+					types.NewInt(e.Bytes),
+					types.NewFloat(float64(e.Duration) / 1e3),
+					types.NewTimestamp(e.Time.UTC()),
+				})
+			}
+			return rows, nil
+		})
+
+	lockSchema := types.NewSchema(
+		col("table_name", types.Varchar),
+		col("txn_id", types.Int64),
+		col("mode", types.Varchar),
+		col("wait_us", types.Float64),
+		col("granted", types.Bool),
+		col("time", types.Timestamp),
+	)
+	db.cat.RegisterVirtual(&catalog.Table{Name: "v_monitor.dc_lock_attempts", Schema: lockSchema},
+		func() ([]types.Row, error) {
+			evs := db.dcol.LockEvents()
+			rows := make([]types.Row, 0, len(evs))
+			for _, e := range evs {
+				rows = append(rows, types.Row{
+					types.NewString(e.Table),
+					types.NewInt(int64(e.Txn)),
+					types.NewString(e.Mode),
+					types.NewFloat(float64(e.Wait) / 1e3),
+					types.NewBool(e.Granted),
+					types.NewTimestamp(e.Time.UTC()),
+				})
+			}
+			return rows, nil
+		})
+
+	errSchema := types.NewSchema(
+		col("query_id", types.Int64),
+		col("statement", types.Varchar),
+		col("error", types.Varchar),
+		col("time", types.Timestamp),
+	)
+	db.cat.RegisterVirtual(&catalog.Table{Name: "v_monitor.dc_errors", Schema: errSchema},
+		func() ([]types.Row, error) {
+			evs := db.dcol.Errors()
+			rows := make([]types.Row, 0, len(evs))
+			for _, e := range evs {
+				rows = append(rows, types.Row{
+					types.NewInt(e.QueryID),
+					types.NewString(e.SQL),
+					types.NewString(e.Error),
+					types.NewTimestamp(e.Time.UTC()),
+				})
+			}
+			return rows, nil
+		})
 }

@@ -1,0 +1,258 @@
+// Package dc is the Data Collector: bounded in-memory ring buffers of
+// typed engine events, in the spirit of Vertica's Data Collector (§8 of
+// the paper). Components append events as they happen — query lifecycle
+// phases, notable query events, tuple-mover operations, lock attempts,
+// errors — and monitoring queries read consistent snapshots back out
+// through the v_monitor virtual tables.
+//
+// Every ring is bounded: when full, the oldest event is overwritten and a
+// dropped counter is incremented, so collection can never grow without
+// bound or block the engine. A nil *Collector is valid everywhere and
+// disables collection entirely; all methods are nil-safe so emission
+// sites never need to branch.
+package dc
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultCapacity is the per-ring event capacity when none is configured.
+const DefaultCapacity = 1024
+
+// PhaseEvent records one query lifecycle phase (parse, analyze, plan,
+// queue, execute, fetch) with its start time and duration.
+type PhaseEvent struct {
+	QueryID  int64
+	Seq      int // 0-based position of this phase within its query
+	Phase    string
+	Start    time.Time
+	Duration time.Duration
+}
+
+// QueryEvent records a notable point event during a query's life —
+// GROUP_BY_SPILLED, JOIN_SPILLED, GRANT_EXTENSION_DENIED,
+// RUNTIME_CAP_EXCEEDED, REPLAN_ON_STORAGE_GENERATION — plus session
+// connect/disconnect markers (QueryID 0).
+type QueryEvent struct {
+	QueryID int64
+	Type    string
+	Detail  string
+	Time    time.Time
+}
+
+// MoverEvent records one tuple-mover operation: a moveout or a mergeout.
+type MoverEvent struct {
+	Op         string // "moveout" | "mergeout"
+	Projection string
+	Containers int   // containers written (moveout) or merged (mergeout)
+	Rows       int64 // rows moved (moveout only)
+	Bytes      int64 // input bytes merged (mergeout only)
+	Duration   time.Duration
+	Time       time.Time
+}
+
+// LockEvent records one table-lock acquisition attempt and how long the
+// transaction waited for it.
+type LockEvent struct {
+	Table   string
+	Txn     uint64
+	Mode    string
+	Wait    time.Duration
+	Granted bool
+	Time    time.Time
+}
+
+// ErrorEvent records a statement that failed, with the error text.
+type ErrorEvent struct {
+	QueryID int64
+	SQL     string
+	Error   string
+	Time    time.Time
+}
+
+// ring is a bounded FIFO that overwrites its oldest element when full.
+type ring[T any] struct {
+	mu      sync.Mutex
+	buf     []T
+	head    int   // index of the oldest element
+	n       int   // live elements, <= len(buf)
+	seq     int64 // total elements ever appended
+	dropped atomic.Int64
+}
+
+func newRing[T any](capacity int) *ring[T] {
+	return &ring[T]{buf: make([]T, capacity)}
+}
+
+func (r *ring[T]) append(v T) {
+	r.mu.Lock()
+	if r.n == len(r.buf) {
+		r.buf[r.head] = v
+		r.head = (r.head + 1) % len(r.buf)
+		r.dropped.Add(1)
+	} else {
+		r.buf[(r.head+r.n)%len(r.buf)] = v
+		r.n++
+	}
+	r.seq++
+	r.mu.Unlock()
+}
+
+// snapshot returns the live elements oldest-first.
+func (r *ring[T]) snapshot() []T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]T, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	return out
+}
+
+func (r *ring[T]) stats() RingStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RingStats{Appended: r.seq, Dropped: r.dropped.Load(), Len: r.n, Cap: len(r.buf)}
+}
+
+// RingStats describes one ring's occupancy for monitoring and tests.
+type RingStats struct {
+	Appended int64 // total events ever recorded
+	Dropped  int64 // events overwritten before being read
+	Len      int   // events currently retained
+	Cap      int   // ring capacity
+}
+
+// Collector holds one ring per event stream. The zero value is unusable;
+// construct with New. A nil Collector is a valid, fully disabled one.
+type Collector struct {
+	phases *ring[PhaseEvent]
+	events *ring[QueryEvent]
+	mover  *ring[MoverEvent]
+	locks  *ring[LockEvent]
+	errors *ring[ErrorEvent]
+}
+
+// New returns a Collector whose rings each hold capacity events.
+// capacity <= 0 selects DefaultCapacity.
+func New(capacity int) *Collector {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Collector{
+		phases: newRing[PhaseEvent](capacity),
+		events: newRing[QueryEvent](capacity),
+		mover:  newRing[MoverEvent](capacity),
+		locks:  newRing[LockEvent](capacity),
+		errors: newRing[ErrorEvent](capacity),
+	}
+}
+
+// RecordPhase appends one query-phase event.
+func (c *Collector) RecordPhase(e PhaseEvent) {
+	if c == nil {
+		return
+	}
+	c.phases.append(e)
+}
+
+// RecordEvent appends one notable query event.
+func (c *Collector) RecordEvent(e QueryEvent) {
+	if c == nil {
+		return
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	c.events.append(e)
+}
+
+// RecordMover appends one tuple-mover operation.
+func (c *Collector) RecordMover(e MoverEvent) {
+	if c == nil {
+		return
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	c.mover.append(e)
+}
+
+// RecordLock appends one lock-acquisition attempt.
+func (c *Collector) RecordLock(e LockEvent) {
+	if c == nil {
+		return
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	c.locks.append(e)
+}
+
+// RecordError appends one failed statement.
+func (c *Collector) RecordError(e ErrorEvent) {
+	if c == nil {
+		return
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	c.errors.append(e)
+}
+
+// Phases returns the retained phase events, oldest first.
+func (c *Collector) Phases() []PhaseEvent {
+	if c == nil {
+		return nil
+	}
+	return c.phases.snapshot()
+}
+
+// Events returns the retained query events, oldest first.
+func (c *Collector) Events() []QueryEvent {
+	if c == nil {
+		return nil
+	}
+	return c.events.snapshot()
+}
+
+// MoverEvents returns the retained tuple-mover events, oldest first.
+func (c *Collector) MoverEvents() []MoverEvent {
+	if c == nil {
+		return nil
+	}
+	return c.mover.snapshot()
+}
+
+// LockEvents returns the retained lock events, oldest first.
+func (c *Collector) LockEvents() []LockEvent {
+	if c == nil {
+		return nil
+	}
+	return c.locks.snapshot()
+}
+
+// Errors returns the retained error events, oldest first.
+func (c *Collector) Errors() []ErrorEvent {
+	if c == nil {
+		return nil
+	}
+	return c.errors.snapshot()
+}
+
+// Stats reports per-ring occupancy keyed by stream name: "phases",
+// "events", "mover", "locks", "errors".
+func (c *Collector) Stats() map[string]RingStats {
+	if c == nil {
+		return nil
+	}
+	return map[string]RingStats{
+		"phases": c.phases.stats(),
+		"events": c.events.stats(),
+		"mover":  c.mover.stats(),
+		"locks":  c.locks.stats(),
+		"errors": c.errors.stats(),
+	}
+}

@@ -1,0 +1,202 @@
+package dc
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingOverwriteOldest(t *testing.T) {
+	c := New(3)
+	for i := 0; i < 5; i++ {
+		c.RecordEvent(QueryEvent{QueryID: int64(i), Type: "E"})
+	}
+	got := c.Events()
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	for i, e := range got {
+		if want := int64(i + 2); e.QueryID != want {
+			t.Errorf("events[%d].QueryID = %d, want %d", i, e.QueryID, want)
+		}
+	}
+	st := c.Stats()["events"]
+	if st.Appended != 5 || st.Dropped != 2 || st.Len != 3 || st.Cap != 3 {
+		t.Errorf("stats = %+v, want {5 2 3 3}", st)
+	}
+}
+
+func TestAllStreams(t *testing.T) {
+	c := New(8)
+	c.RecordPhase(PhaseEvent{QueryID: 1, Phase: "parse", Start: time.Now(), Duration: time.Millisecond})
+	c.RecordEvent(QueryEvent{QueryID: 1, Type: "GROUP_BY_SPILLED", Detail: "4096 bytes"})
+	c.RecordMover(MoverEvent{Op: "moveout", Projection: "t_super", Containers: 2, Rows: 100})
+	c.RecordLock(LockEvent{Table: "t", Txn: 7, Mode: "X", Wait: time.Millisecond, Granted: true})
+	c.RecordError(ErrorEvent{QueryID: 2, SQL: "SELECT nope", Error: "boom"})
+
+	if got := c.Phases(); len(got) != 1 || got[0].Phase != "parse" {
+		t.Errorf("Phases() = %+v", got)
+	}
+	if got := c.Events(); len(got) != 1 || got[0].Type != "GROUP_BY_SPILLED" {
+		t.Errorf("Events() = %+v", got)
+	}
+	if got := c.MoverEvents(); len(got) != 1 || got[0].Op != "moveout" || got[0].Time.IsZero() {
+		t.Errorf("MoverEvents() = %+v", got)
+	}
+	if got := c.LockEvents(); len(got) != 1 || !got[0].Granted || got[0].Time.IsZero() {
+		t.Errorf("LockEvents() = %+v", got)
+	}
+	if got := c.Errors(); len(got) != 1 || got[0].Error != "boom" || got[0].Time.IsZero() {
+		t.Errorf("Errors() = %+v", got)
+	}
+	for name, st := range c.Stats() {
+		if st.Appended != 1 || st.Dropped != 0 || st.Len != 1 || st.Cap != 8 {
+			t.Errorf("%s stats = %+v, want {1 0 1 8}", name, st)
+		}
+	}
+}
+
+func TestNilCollectorSafe(t *testing.T) {
+	var c *Collector
+	c.RecordPhase(PhaseEvent{})
+	c.RecordEvent(QueryEvent{})
+	c.RecordMover(MoverEvent{})
+	c.RecordLock(LockEvent{})
+	c.RecordError(ErrorEvent{})
+	if c.Phases() != nil || c.Events() != nil || c.MoverEvents() != nil ||
+		c.LockEvents() != nil || c.Errors() != nil || c.Stats() != nil {
+		t.Error("nil collector must return nil snapshots")
+	}
+	if tr := NewTrace(nil); tr != nil {
+		t.Error("NewTrace(nil) must return nil")
+	}
+}
+
+func TestNilTraceSafe(t *testing.T) {
+	var tr *Trace
+	tr.Begin("parse")
+	tr.End()
+	tr.SetQueryID(1)
+	tr.Event("E", "")
+	tr.Flush()
+	if tr.QueryID() != 0 {
+		t.Error("nil trace QueryID must be 0")
+	}
+	ctx := WithTrace(context.Background(), nil)
+	if TraceFrom(ctx) != nil {
+		t.Error("WithTrace(nil) must be a no-op")
+	}
+}
+
+func TestTraceLifecycle(t *testing.T) {
+	c := New(16)
+	tr := NewTrace(c)
+	tr.Begin("parse")
+	tr.Begin("analyze") // implicitly ends parse
+	tr.End()
+	tr.Begin("execute")
+	tr.SetQueryID(42)
+	tr.Event("JOIN_SPILLED", "inner=big")
+	tr.Flush() // ends execute, stamps ids, publishes
+
+	phases := c.Phases()
+	if len(phases) != 3 {
+		t.Fatalf("got %d phases, want 3", len(phases))
+	}
+	wantNames := []string{"parse", "analyze", "execute"}
+	for i, p := range phases {
+		if p.Phase != wantNames[i] || p.Seq != i || p.QueryID != 42 {
+			t.Errorf("phases[%d] = %+v, want {Phase:%s Seq:%d QueryID:42}", i, p, wantNames[i], i)
+		}
+		if p.Start.IsZero() || p.Duration < 0 {
+			t.Errorf("phases[%d] has bad timing: %+v", i, p)
+		}
+	}
+	// Monotone starts, contiguous seq.
+	for i := 1; i < len(phases); i++ {
+		if phases[i].Start.Before(phases[i-1].Start) {
+			t.Errorf("phase %d starts before phase %d", i, i-1)
+		}
+	}
+	evs := c.Events()
+	if len(evs) != 1 || evs[0].QueryID != 42 || evs[0].Type != "JOIN_SPILLED" {
+		t.Errorf("Events() = %+v", evs)
+	}
+	if tr.QueryID() != 42 {
+		t.Errorf("QueryID() = %d, want 42", tr.QueryID())
+	}
+}
+
+func TestTraceEndWithoutBegin(t *testing.T) {
+	tr := NewTrace(New(4))
+	tr.End() // no open phase: must be a no-op
+	tr.Flush()
+	if got := tr.col.Phases(); len(got) != 0 {
+		t.Errorf("got %d phases, want 0", len(got))
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tr := NewTrace(New(4))
+	ctx := WithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Error("TraceFrom did not return the attached trace")
+	}
+	if TraceFrom(context.Background()) != nil {
+		t.Error("TraceFrom on empty ctx must be nil")
+	}
+}
+
+func TestConcurrentAppendNoLoss(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 500
+	)
+	c := New(goroutines * perG)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.RecordEvent(QueryEvent{QueryID: int64(g), Detail: fmt.Sprint(i)})
+				c.RecordLock(LockEvent{Txn: uint64(g)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, name := range []string{"events", "locks"} {
+		st := c.Stats()[name]
+		if st.Appended != goroutines*perG || st.Dropped != 0 || st.Len != goroutines*perG {
+			t.Errorf("%s stats = %+v, want %d appended with 0 dropped", name, st, goroutines*perG)
+		}
+	}
+}
+
+func TestConcurrentOverflowCountsDrops(t *testing.T) {
+	c := New(10)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.RecordEvent(QueryEvent{Type: "E"})
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()["events"]
+	if st.Appended != 400 || st.Dropped != 390 || st.Len != 10 {
+		t.Errorf("stats = %+v, want {Appended:400 Dropped:390 Len:10}", st)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	c := New(0)
+	if got := c.Stats()["phases"].Cap; got != DefaultCapacity {
+		t.Errorf("cap = %d, want %d", got, DefaultCapacity)
+	}
+}

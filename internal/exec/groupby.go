@@ -343,7 +343,7 @@ func (g *GroupBy) spillGroups(ctx *Ctx) error {
 	g.spills = append(g.spills, r)
 	g.groups = map[uint64][]*groupEntry{}
 	g.memUsed = 0
-	ctx.noteSpill(&g.prof, r.bytes)
+	ctx.noteSpill(&g.prof, r.bytes, "GROUP_BY_SPILLED")
 	return nil
 }
 

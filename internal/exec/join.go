@@ -501,6 +501,7 @@ func (j *HashJoin) switchToSortMerge(ctx *Ctx, budget int64) error {
 	ctx.Spills.Add(1)
 	j.prof.Spills.Add(1)
 	metrics.Spills.Inc()
+	ctx.Trace.Event("JOIN_SPILLED", fmt.Sprintf("switched to sort-merge at budget=%d", budget))
 	specsOf := func(keys []int) []SortSpec {
 		out := make([]SortSpec, len(keys))
 		for i, k := range keys {

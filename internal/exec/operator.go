@@ -29,6 +29,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"repro/internal/dc"
 	"repro/internal/metrics"
 	"repro/internal/resmgr"
 	"repro/internal/types"
@@ -61,6 +62,10 @@ type Ctx struct {
 	// calls are gated here, keeping the disabled-mode overhead to two
 	// atomic adds per batch.
 	ProfTimes bool
+	// Trace is the statement's Data Collector trace; operators emit
+	// notable events (spills, denied extensions) into it. Nil-safe: a nil
+	// trace drops events.
+	Trace *dc.Trace
 
 	// Stats counters (atomic; shared across worker pipelines).
 	RowsScanned     atomic.Int64
@@ -87,9 +92,10 @@ func (c *Ctx) Canceled() error {
 }
 
 // noteSpill records one externalization of n bytes in the query counters,
-// the operator's collector (nil-safe), the process metrics, and the
-// resource grant.
-func (c *Ctx) noteSpill(p *OpProf, n int64) {
+// the operator's collector (nil-safe), the process metrics, the resource
+// grant, and the Data Collector event stream. event names the operator
+// class that externalized (GROUP_BY_SPILLED, SORT_SPILLED, ...).
+func (c *Ctx) noteSpill(p *OpProf, n int64, event string) {
 	c.Spills.Add(1)
 	c.SpilledBytes.Add(n)
 	if p != nil {
@@ -99,6 +105,7 @@ func (c *Ctx) noteSpill(p *OpProf, n int64) {
 	metrics.Spills.Inc()
 	metrics.SpilledBytes.Add(n)
 	c.Grant.ReportSpill(n)
+	c.Trace.Event(event, fmt.Sprintf("spilled_bytes=%d", n))
 }
 
 // noteAlloc reports an operator's memory high-water to its collector
@@ -130,11 +137,18 @@ func (c *Ctx) extendBudget(budget, used int64) int64 {
 	}
 	short := used - budget + resmgr.MinGrantBytes
 	if short <= 0 || short >= budget {
+		c.Trace.Event("GRANT_EXTENSION_DENIED",
+			fmt.Sprintf("budget=%d used=%d", budget, used))
 		return 0 // the shortfall is no smaller than the denied request
 	}
 	if c.Grant.Request(short) == nil {
 		return short
 	}
+	// Both the doubling and the right-sized fallback were denied: the
+	// operator will externalize. Record why, so post-hoc diagnosis can
+	// tell "pool saturated" from "operator simply large".
+	c.Trace.Event("GRANT_EXTENSION_DENIED",
+		fmt.Sprintf("budget=%d used=%d denied=%d", budget, used, short))
 	return 0
 }
 

@@ -205,7 +205,7 @@ func (s *Sort) spillRun(ctx *Ctx) error {
 	s.runs = append(s.runs, rd)
 	s.rows = nil
 	s.memUsed = 0
-	ctx.noteSpill(&s.prof, rd.bytes)
+	ctx.noteSpill(&s.prof, rd.bytes, "SORT_SPILLED")
 	return nil
 }
 
@@ -396,7 +396,7 @@ func (e *externalSorter) spill() error {
 	e.runs = append(e.runs, rd)
 	e.rows = nil
 	e.memUsed = 0
-	e.ctx.noteSpill(e.prof, rd.bytes)
+	e.ctx.noteSpill(e.prof, rd.bytes, "SORT_SPILLED")
 	return nil
 }
 

@@ -26,4 +26,11 @@ var (
 	// Sessions. WOS rows is a pull-style func registered by the database
 	// instance (core.Open) since it reads live storage state.
 	ActiveSessions = Default.NewGauge("core.active_sessions")
+
+	// Latency histograms (µs). Each renders as .count/.sum/.p50/.p95/.p99
+	// samples in every snapshot sink.
+	QueryWallUs       = Default.NewHistogram("resmgr.query_wall_us")
+	QueueWaitHistUs   = Default.NewHistogram("resmgr.queue_wait_us")
+	MoverCycleUs      = Default.NewHistogram("storage.tuple_mover_cycle_us")
+	ServerStatementUs = Default.NewHistogram("server.statement_us")
 )

@@ -18,8 +18,9 @@ type Kind string
 
 // Metric kinds.
 const (
-	KindCounter Kind = "counter"
-	KindGauge   Kind = "gauge"
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
 )
 
 // Counter is a monotonically increasing metric.
@@ -58,6 +59,73 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // Name returns the registered name.
 func (g *Gauge) Name() string { return g.name }
 
+// histBuckets is the fixed bucket count: bucket i covers [2^i, 2^(i+1))
+// units, so 48 buckets span from 1 unit to ~2^48 (≈ 9 years at µs
+// resolution) — enough for any latency this engine can record.
+const histBuckets = 48
+
+// Histogram is a fixed log2-bucketed distribution of non-negative
+// observations (typically microseconds). Observe is lock-free: one
+// atomic add per bucket hit plus count/sum, cheap enough for per-query
+// paths. Quantiles are estimated as the upper bound of the bucket
+// containing the target rank.
+type Histogram struct {
+	name    string
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[histBucket(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// histBucket maps v to its bucket index: 0 for v<=1, else floor(log2 v).
+func histBucket(v int64) int {
+	i := 0
+	for v > 1 && i < histBuckets-1 {
+		v >>= 1
+		i++
+	}
+	return i
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Name returns the registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// Quantile returns an estimate of the q-th quantile (0 < q <= 1): the
+// upper bound of the bucket holding the target rank, or 0 with no data.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return int64(1) << uint(i+1) // bucket upper bound
+		}
+	}
+	return int64(1) << histBuckets
+}
+
 // Sample is one metric's snapshot row.
 type Sample struct {
 	Name  string
@@ -76,19 +144,21 @@ type funcEntry struct {
 // Registry holds named metrics. The zero value is not usable; use
 // NewRegistry or the package Default.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	funcs    map[string]funcEntry
-	funcSeq  int64
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	funcs      map[string]funcEntry
+	funcSeq    int64
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
-		funcs:    map[string]funcEntry{},
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+		funcs:      map[string]funcEntry{},
 	}
 }
 
@@ -117,6 +187,18 @@ func (r *Registry) NewGauge(name string) *Gauge {
 	g := &Gauge{name: name}
 	r.gauges[name] = g
 	return g
+}
+
+// NewHistogram registers (or returns the existing) histogram under name.
+func (r *Registry) NewHistogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	h := &Histogram{name: name}
+	r.histograms[name] = h
+	return h
 }
 
 // RegisterFunc registers a pull-style gauge evaluated at snapshot time. A
@@ -154,6 +236,17 @@ func (r *Registry) Snapshot() []Sample {
 	}
 	for _, g := range r.gauges {
 		out = append(out, Sample{Name: g.name, Kind: KindGauge, Value: g.Value()})
+	}
+	for _, h := range r.histograms {
+		// Histograms flatten to suffixed samples so every existing sink
+		// (/metrics, expvar, v_monitor.metrics) renders them unchanged.
+		out = append(out,
+			Sample{Name: h.name + ".count", Kind: KindHistogram, Value: h.Count()},
+			Sample{Name: h.name + ".sum", Kind: KindHistogram, Value: h.Sum()},
+			Sample{Name: h.name + ".p50", Kind: KindHistogram, Value: h.Quantile(0.50)},
+			Sample{Name: h.name + ".p95", Kind: KindHistogram, Value: h.Quantile(0.95)},
+			Sample{Name: h.name + ".p99", Kind: KindHistogram, Value: h.Quantile(0.99)},
+		)
 	}
 	type pending struct {
 		name string

@@ -87,6 +87,74 @@ func TestSnapshotFuncMayReenter(t *testing.T) {
 	}
 }
 
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test.latency_us")
+	if again := r.NewHistogram("test.latency_us"); again != h {
+		t.Fatal("NewHistogram with an existing name must return the same histogram")
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	// 100 observations at 100µs, 10 at 10000µs: p50 lands in the [64,128)
+	// bucket (upper bound 128), p99 in [8192,16384) (upper bound 16384).
+	for i := 0; i < 100; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10000)
+	}
+	h.Observe(-5) // clamps to 0, lands in bucket 0
+	if h.Count() != 111 {
+		t.Fatalf("count = %d, want 111", h.Count())
+	}
+	if h.Sum() != 100*100+10*10000 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	if got := h.Quantile(0.50); got != 128 {
+		t.Errorf("p50 = %d, want 128", got)
+	}
+	if got := h.Quantile(0.99); got != 16384 {
+		t.Errorf("p99 = %d, want 16384", got)
+	}
+	if h.Name() != "test.latency_us" {
+		t.Errorf("name = %q", h.Name())
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	for v, want := range map[int64]int{0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 1023: 9, 1024: 10, 1 << 50: histBuckets - 1} {
+		if got := histBucket(v); got != want {
+			t.Errorf("histBucket(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestHistogramInSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("x.lat_us")
+	h.Observe(50)
+	got := map[string]Sample{}
+	for _, s := range r.Snapshot() {
+		got[s.Name] = s
+	}
+	for _, name := range []string{"x.lat_us.count", "x.lat_us.sum", "x.lat_us.p50", "x.lat_us.p95", "x.lat_us.p99"} {
+		s, ok := got[name]
+		if !ok {
+			t.Fatalf("sample %q missing from snapshot", name)
+		}
+		if s.Kind != KindHistogram {
+			t.Errorf("%s kind = %q, want histogram", name, s.Kind)
+		}
+	}
+	if got["x.lat_us.count"].Value != 1 || got["x.lat_us.sum"].Value != 50 {
+		t.Errorf("count/sum = %d/%d, want 1/50", got["x.lat_us.count"].Value, got["x.lat_us.sum"].Value)
+	}
+	if got["x.lat_us.p50"].Value != 64 {
+		t.Errorf("p50 = %d, want 64 (upper bound of the [32,64) bucket holding 50)", got["x.lat_us.p50"].Value)
+	}
+}
+
 func funcValue(t *testing.T, r *Registry, name string) int64 {
 	t.Helper()
 	for _, s := range r.Snapshot() {

@@ -53,6 +53,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/vlog"
 )
 
 // Defaults applied by NewGovernor when Config fields are zero.
@@ -115,6 +116,9 @@ type Config struct {
 	// operator profile is retained even without an explicit PROFILE. Zero
 	// means DefaultSlowQueryThreshold; negative disables slow-query capture.
 	SlowQueryThreshold time.Duration
+	// Logger receives structured slow-query lines when SlowQueryThreshold
+	// trips. Nil disables logging (profiles are still retained).
+	Logger *vlog.Logger
 }
 
 // Stats is a snapshot of governor counters aggregated over all pools.
@@ -541,9 +545,14 @@ func (g *Governor) newGrantLocked(p *pool, bytes int64, wait time.Duration, labe
 	p.queueWait += wait
 	metrics.Admissions.Inc()
 	metrics.QueueWaitUs.Add(wait.Microseconds())
+	metrics.QueueWaitHistUs.Observe(wait.Microseconds())
+	// The query id is assigned here, at admission, so in-flight statements
+	// already carry the id their profile will retire under — the server can
+	// hand it to clients and the Data Collector can stamp events with it.
+	g.profileSeq++
 	gr := &Grant{gov: g, pool: p, label: label, queueWait: wait,
 		runtimeCap: p.cfg.RuntimeCap, parallelism: p.cfg.Parallelism,
-		started: time.Now()}
+		started: time.Now(), queryID: g.profileSeq}
 	gr.bytes.Store(bytes)
 	return gr
 }
@@ -630,9 +639,9 @@ func (g *Governor) release(gr *Grant) {
 	p.extBytes += extBytes
 	p.deniedExt += denied
 	wall := time.Since(gr.started)
-	g.profileSeq++
+	metrics.QueryWallUs.Observe(wall.Microseconds())
 	g.addProfileLocked(QueryProfile{
-		ID:               g.profileSeq,
+		ID:               gr.queryID,
 		Pool:             p.cfg.Name,
 		Label:            gr.label,
 		GrantBytes:       bytes,
@@ -651,12 +660,21 @@ func (g *Governor) release(gr *Grant) {
 	slow := g.cfg.SlowQueryThreshold > 0 && wall >= g.cfg.SlowQueryThreshold
 	if slow {
 		metrics.SlowQueries.Inc()
+		g.cfg.Logger.Warnf("slow_query",
+			"query_id", gr.queryID,
+			"pool", p.cfg.Name,
+			"wall_us", wall.Microseconds(),
+			"queue_wait_us", gr.queueWait.Microseconds(),
+			"spilled_bytes", spilled,
+			"rows", rows,
+			"label", gr.label,
+		)
 	}
 	if len(gr.opRecs) > 0 && (gr.opProfiled || slow) {
-		// Stamp the records with the query profile id just assigned so the
+		// Stamp the records with the query id assigned at admission so the
 		// two v_monitor tables join, then retain them.
 		for i := range gr.opRecs {
-			gr.opRecs[i].QueryID = g.profileSeq
+			gr.opRecs[i].QueryID = gr.queryID
 		}
 		g.addOpProfilesLocked(gr.opRecs)
 	}
@@ -735,6 +753,7 @@ type Grant struct {
 	runtimeCap  time.Duration
 	parallelism int
 	started     time.Time
+	queryID     int64  // assigned at admission; QueryProfile.ID at release
 	errMsg      string // set by SetError before Release
 
 	// bytes is the current grant size: the admitted bytes plus every
@@ -870,6 +889,16 @@ func (gr *Grant) Parallelism() int {
 	return gr.parallelism
 }
 
+// QueryID is the id assigned at admission. The grant's retained profile
+// appears in v_monitor.query_profiles under the same id, as do the Data
+// Collector's phase and event records — it is the engine-wide join key.
+func (gr *Grant) QueryID() int64 {
+	if gr == nil {
+		return 0
+	}
+	return gr.queryID
+}
+
 // QueueWait is how long the query sat in the admission queue.
 func (gr *Grant) QueueWait() time.Duration {
 	if gr == nil {
@@ -919,6 +948,8 @@ func (gr *Grant) SetError(err error) {
 
 // QueryStats is the per-query counter snapshot.
 type QueryStats struct {
+	// QueryID is the id assigned at admission; 0 for ungoverned queries.
+	QueryID      int64
 	Rows         int64
 	Spills       int64
 	SpilledBytes int64
@@ -939,6 +970,7 @@ func (gr *Grant) Stats() QueryStats {
 		return QueryStats{}
 	}
 	return QueryStats{
+		QueryID:          gr.queryID,
 		Rows:             gr.rows.Load(),
 		Spills:           gr.spills.Load(),
 		SpilledBytes:     gr.spilledBytes.Load(),

@@ -28,6 +28,10 @@ type Result struct {
 	// protocol is text).
 	Cols []string
 	Rows [][]string
+	// QueryID is the engine-assigned admission id of the statement,
+	// joinable against v_monitor.query_profiles and the Data Collector
+	// tables (0 for statements that bypassed admission).
+	QueryID int64
 	// QueueWait is how long the statement sat in the admission queue.
 	QueueWait time.Duration
 	// SpilledBytes counts operator externalizations during the statement.
@@ -116,17 +120,19 @@ func (c *Client) readReply() (*Result, error) {
 		return res, nil
 	case strings.HasPrefix(head, "ROWS "):
 		parts := strings.Fields(head)
-		if len(parts) != 5 {
+		if len(parts) != 6 {
 			return nil, fmt.Errorf("server: malformed header %q", head)
 		}
 		n, err := strconv.Atoi(parts[1])
 		if err != nil {
 			return nil, fmt.Errorf("server: malformed row count %q", head)
 		}
-		waitUS, _ := strconv.ParseInt(parts[2], 10, 64)
-		spilled, _ := strconv.ParseInt(parts[3], 10, 64)
-		wallUS, _ := strconv.ParseInt(parts[4], 10, 64)
+		queryID, _ := strconv.ParseInt(parts[2], 10, 64)
+		waitUS, _ := strconv.ParseInt(parts[3], 10, 64)
+		spilled, _ := strconv.ParseInt(parts[4], 10, 64)
+		wallUS, _ := strconv.ParseInt(parts[5], 10, 64)
 		res := &Result{
+			QueryID:      queryID,
 			QueueWait:    time.Duration(waitUS) * time.Microsecond,
 			SpilledBytes: spilled,
 			WallTime:     time.Duration(wallUS) * time.Microsecond,
@@ -158,18 +164,20 @@ func (c *Client) readReply() (*Result, error) {
 }
 
 // parseOKStats extracts the DML stats suffix
-// "[wait_us=N spilled=M wall_us=W]" from an OK message into
-// QueueWait/SpilledBytes/WallTime, trimming it from Message.
+// "[query_id=Q wait_us=N spilled=M wall_us=W]" from an OK message into
+// QueryID/QueueWait/SpilledBytes/WallTime, trimming it from Message.
 func (r *Result) parseOKStats() {
 	msg := r.Message
-	i := strings.LastIndex(msg, " [wait_us=")
+	i := strings.LastIndex(msg, " [query_id=")
 	if i < 0 || !strings.HasSuffix(msg, "]") {
 		return
 	}
-	var waitUS, spilled, wallUS int64
-	if _, err := fmt.Sscanf(msg[i+1:], "[wait_us=%d spilled=%d wall_us=%d]", &waitUS, &spilled, &wallUS); err != nil {
+	var queryID, waitUS, spilled, wallUS int64
+	if _, err := fmt.Sscanf(msg[i+1:], "[query_id=%d wait_us=%d spilled=%d wall_us=%d]",
+		&queryID, &waitUS, &spilled, &wallUS); err != nil {
 		return
 	}
+	r.QueryID = queryID
 	r.QueueWait = time.Duration(waitUS) * time.Microsecond
 	r.SpilledBytes = spilled
 	r.WallTime = time.Duration(wallUS) * time.Microsecond

@@ -20,10 +20,13 @@
 //
 //	ERR <message>                      statement failed
 //	OK <message>                       statement succeeded, no row set
-//	OK <message> [wait_us=N spilled=M wall_us=W]
-//	                                   DML reply: admission queue wait, spill
-//	                                   bytes and wall-clock ride on the OK line
-//	ROWS <n> <queue-wait-us> <spilled-bytes> <wall-us>
+//	OK <message> [query_id=Q wait_us=N spilled=M wall_us=W]
+//	                                   DML reply: the engine-assigned query id
+//	                                   (joinable against v_monitor.query_profiles
+//	                                   and the Data Collector tables), admission
+//	                                   queue wait, spill bytes and wall-clock
+//	                                   ride on the OK line
+//	ROWS <n> <query-id> <queue-wait-us> <spilled-bytes> <wall-us>
 //	<tab-separated column names>
 //	<n tab-separated data lines>       values escape \t, \n, \r, \\
 //	DONE
@@ -44,6 +47,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/resmgr"
 	"repro/internal/types"
 )
@@ -209,7 +213,11 @@ type stmtRequest struct {
 
 func (s *Server) handleConn(conn net.Conn) {
 	st := &session{srv: s, sess: s.db.NewSession(), w: bufio.NewWriter(conn)}
-	defer st.sess.Close()
+	s.db.Logger().Infof("session_connect", "remote", conn.RemoteAddr())
+	defer func() {
+		st.sess.Close()
+		s.db.Logger().Infof("session_disconnect", "remote", conn.RemoteAddr())
+	}()
 
 	// The reader parses lines into statements; \cancel acts immediately
 	// (that is the whole point: it must overtake the running statement).
@@ -300,6 +308,9 @@ func (st *session) runStatement(text string) {
 	srv.mu.Unlock()
 	defer srv.stmtWG.Done()
 
+	start := time.Now()
+	defer func() { metrics.ServerStatementUs.Observe(time.Since(start).Microseconds()) }()
+
 	ctx, cancel := context.WithCancel(srv.baseCtx)
 	st.cancelMu.Lock()
 	st.cancelStmt = cancel
@@ -349,14 +360,14 @@ func (st *session) writeResult(res *core.Result) {
 		// Row-less statements that ran under the governor (DML) surface
 		// their resource stats on the OK line, as SELECTs do on ROWS.
 		if res.Stats.WallTime > 0 {
-			msg += fmt.Sprintf(" [wait_us=%d spilled=%d wall_us=%d]",
-				res.Stats.QueueWait.Microseconds(), res.Stats.SpilledBytes,
-				res.Stats.WallTime.Microseconds())
+			msg += fmt.Sprintf(" [query_id=%d wait_us=%d spilled=%d wall_us=%d]",
+				res.Stats.QueryID, res.Stats.QueueWait.Microseconds(),
+				res.Stats.SpilledBytes, res.Stats.WallTime.Microseconds())
 		}
 		st.line("OK " + strings.ReplaceAll(msg, "\n", " "))
 		return
 	}
-	st.line(fmt.Sprintf("ROWS %d %d %d %d", len(res.Rows),
+	st.line(fmt.Sprintf("ROWS %d %d %d %d %d", len(res.Rows), res.Stats.QueryID,
 		res.Stats.QueueWait.Microseconds(), res.Stats.SpilledBytes,
 		res.Stats.WallTime.Microseconds()))
 	names := res.Schema.Names()

@@ -202,10 +202,13 @@ type AlterPoolStmt struct {
 	Opts PoolOpts
 }
 
-// SetStmt is SET RESOURCE POOL name: it switches the session's admission
-// pool.
+// SetStmt is SET RESOURCE POOL name (switches the session's admission
+// pool) or SET SESSION TRACE ON|OFF (toggles Data Collector query-phase
+// tracing for the session). Exactly one of Pool or Trace is set; Trace is
+// "on" or "off".
 type SetStmt struct {
-	Pool string
+	Pool  string
+	Trace string
 }
 
 // AnalyzeStmt is ANALYZE_STATISTICS('table') or

@@ -808,9 +808,21 @@ func (p *parser) parseAnalyze() (Statement, error) {
 	return st, nil
 }
 
-// parseSet parses SET RESOURCE POOL name.
+// parseSet parses SET RESOURCE POOL name and SET SESSION TRACE ON|OFF.
 func (p *parser) parseSet() (Statement, error) {
 	p.next() // SET
+	if p.accept(tokIdent, "session") {
+		if !p.accept(tokIdent, "trace") {
+			return nil, p.errHere("expected TRACE after SESSION, found %q", p.cur().text)
+		}
+		switch {
+		case p.accept(tokKeyword, "ON"):
+			return &SetStmt{Trace: "on"}, nil
+		case p.accept(tokIdent, "off"):
+			return &SetStmt{Trace: "off"}, nil
+		}
+		return nil, p.errHere("expected ON or OFF after SESSION TRACE, found %q", p.cur().text)
+	}
 	if err := p.expectResourcePool(); err != nil {
 		return nil, err
 	}

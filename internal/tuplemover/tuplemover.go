@@ -21,7 +21,9 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 
+	"repro/internal/dc"
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/types"
@@ -51,6 +53,9 @@ type Config struct {
 	// MinMergeCount is the minimum number of same-stratum containers that
 	// triggers a mergeout (default 2).
 	MinMergeCount int
+	// Collector receives moveout/mergeout events for the Data Collector's
+	// v_monitor.dc_tuple_mover_events stream. Nil disables recording.
+	Collector *dc.Collector
 }
 
 // TupleMover runs moveout and mergeout for one projection on one node.
@@ -100,6 +105,7 @@ func (tm *TupleMover) Moveout() (int, error) {
 
 func (tm *TupleMover) moveout() (int, error) {
 	cfg := &tm.cfg
+	start := time.Now()
 	bound := cfg.Epochs.Current()
 	rows := cfg.Mgr.WOS().Snapshot(bound)
 	if len(rows) == 0 {
@@ -225,6 +231,15 @@ func (tm *TupleMover) moveout() (int, error) {
 		}
 	}
 	cfg.Epochs.SetLGE(cfg.Projection, bound)
+	// Only cycles that actually wrote containers are recorded: an idle
+	// mover polling an empty WOS would otherwise flood the ring.
+	cfg.Collector.RecordMover(dc.MoverEvent{
+		Op:         "moveout",
+		Projection: cfg.Projection,
+		Containers: len(commit.Metas),
+		Rows:       int64(moved),
+		Duration:   time.Since(start),
+	})
 	return moved, nil
 }
 
@@ -378,6 +393,11 @@ func (h *mergeHeap) Pop() interface{} {
 
 func (tm *TupleMover) mergeContainers(inputs []*storage.ContainerReader, part string, seg int, ahm types.Epoch) error {
 	cfg := &tm.cfg
+	start := time.Now()
+	var inBytes int64
+	for _, in := range inputs {
+		inBytes += in.Meta.SizeBytes
+	}
 	nCols := len(inputs[0].Meta.Cols)
 	colIdx := make([]int, nCols)
 	for i := range colIdx {
@@ -493,6 +513,13 @@ func (tm *TupleMover) mergeContainers(inputs []*storage.ContainerReader, part st
 			return err
 		}
 	}
+	cfg.Collector.RecordMover(dc.MoverEvent{
+		Op:         "mergeout",
+		Projection: cfg.Projection,
+		Containers: len(inputs),
+		Bytes:      inBytes,
+		Duration:   time.Since(start),
+	})
 	return nil
 }
 

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/dc"
 )
 
 // TxnID identifies a transaction.
@@ -23,6 +25,15 @@ type LockManager struct {
 	cond    *sync.Cond
 	tables  map[string]map[TxnID]LockMode
 	timeout time.Duration
+	col     *dc.Collector // nil-safe Data Collector for lock-attempt events
+}
+
+// SetCollector wires the Data Collector that records blocking lock
+// attempts (v_monitor.dc_lock_attempts). Nil disables recording.
+func (lm *LockManager) SetCollector(col *dc.Collector) {
+	lm.mu.Lock()
+	lm.col = col
+	lm.mu.Unlock()
 }
 
 // NewLockManager creates a lock manager. timeout bounds how long Acquire
@@ -64,18 +75,26 @@ func (lm *LockManager) TryAcquire(txn TxnID, table string, mode LockMode) error 
 	return nil
 }
 
-// Acquire blocks until the lock is granted or the timeout elapses.
+// Acquire blocks until the lock is granted or the timeout elapses. Every
+// attempt — granted or timed out — is recorded with its wait time in the
+// Data Collector's lock stream (dc is a leaf package, so emitting under
+// lm.mu cannot re-enter the lock manager).
 func (lm *LockManager) Acquire(txn TxnID, table string, mode LockMode) error {
-	deadline := time.Now().Add(lm.timeout)
+	start := time.Now()
+	deadline := start.Add(lm.timeout)
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
 	for {
 		eff, ok := lm.grantable(txn, table, mode)
 		if ok {
 			lm.grant(txn, table, eff)
+			lm.col.RecordLock(dc.LockEvent{Table: table, Txn: uint64(txn),
+				Mode: mode.String(), Wait: time.Since(start), Granted: true})
 			return nil
 		}
 		if time.Now().After(deadline) {
+			lm.col.RecordLock(dc.LockEvent{Table: table, Txn: uint64(txn),
+				Mode: mode.String(), Wait: time.Since(start), Granted: false})
 			return ErrLockTimeout
 		}
 		// Wake periodically to re-check the deadline; Release broadcasts.

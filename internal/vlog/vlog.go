@@ -1,0 +1,94 @@
+// Package vlog is a minimal leveled, structured logger for engine
+// components: one line per event, `ts LEVEL event k=v ...`, safe for
+// concurrent use. A nil *Logger is valid and silent, so components can
+// hold a logger unconditionally and callers opt in by wiring one.
+package vlog
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level is a log severity.
+type Level int
+
+const (
+	Debug Level = iota
+	Info
+	Warn
+	Error
+)
+
+func (l Level) String() string {
+	switch l {
+	case Debug:
+		return "DEBUG"
+	case Info:
+		return "INFO"
+	case Warn:
+		return "WARN"
+	case Error:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("LEVEL(%d)", int(l))
+	}
+}
+
+// Logger writes structured lines at or above its minimum level. The
+// zero value is unusable; construct with New. A nil Logger drops
+// everything.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min Level
+}
+
+// New returns a Logger writing to w at or above min. A nil w returns a
+// nil (silent) Logger.
+func New(w io.Writer, min Level) *Logger {
+	if w == nil {
+		return nil
+	}
+	return &Logger{w: w, min: min}
+}
+
+// Log writes one line: `<RFC3339 ts> <LEVEL> <event> k=v ...`.
+// kv is alternating key, value pairs; values are formatted with %v and
+// quoted when they contain spaces.
+func (l *Logger) Log(level Level, event string, kv ...any) {
+	if l == nil || level < l.min {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(time.Now().UTC().Format(time.RFC3339Nano))
+	b.WriteByte(' ')
+	b.WriteString(level.String())
+	b.WriteByte(' ')
+	b.WriteString(event)
+	for i := 0; i+1 < len(kv); i += 2 {
+		s := fmt.Sprintf("%v", kv[i+1])
+		if strings.ContainsAny(s, " \t\n") {
+			s = fmt.Sprintf("%q", s)
+		}
+		fmt.Fprintf(&b, " %v=%s", kv[i], s)
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	l.w.Write([]byte(b.String())) //nolint:errcheck // logging is best-effort
+	l.mu.Unlock()
+}
+
+// Debugf logs at Debug level.
+func (l *Logger) Debugf(event string, kv ...any) { l.Log(Debug, event, kv...) }
+
+// Infof logs at Info level.
+func (l *Logger) Infof(event string, kv ...any) { l.Log(Info, event, kv...) }
+
+// Warnf logs at Warn level.
+func (l *Logger) Warnf(event string, kv ...any) { l.Log(Warn, event, kv...) }
+
+// Errorf logs at Error level.
+func (l *Logger) Errorf(event string, kv ...any) { l.Log(Error, event, kv...) }

@@ -1,0 +1,75 @@
+package vlog
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLogLineFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, Info)
+	l.Infof("slow_query", "query_id", 7, "pool", "general", "note", "has spaces")
+	line := buf.String()
+	for _, want := range []string{" INFO slow_query ", "query_id=7", "pool=general", `note="has spaces"`} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line %q missing %q", line, want)
+		}
+	}
+	if !strings.HasSuffix(line, "\n") {
+		t.Error("line must end with newline")
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, Warn)
+	l.Log(Debug, "d")
+	l.Infof("i")
+	l.Warnf("w")
+	l.Errorf("e")
+	out := buf.String()
+	if strings.Contains(out, "DEBUG") || strings.Contains(out, "INFO") {
+		t.Errorf("filtered levels leaked: %q", out)
+	}
+	if !strings.Contains(out, "WARN w") || !strings.Contains(out, "ERROR e") {
+		t.Errorf("expected WARN and ERROR lines, got %q", out)
+	}
+}
+
+func TestNilLoggerSilent(t *testing.T) {
+	var l *Logger
+	l.Infof("nothing", "k", "v") // must not panic
+	if got := New(nil, Info); got != nil {
+		t.Error("New(nil, ...) must return nil")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for lv, want := range map[Level]string{Debug: "DEBUG", Info: "INFO", Warn: "WARN", Error: "ERROR", Level(9): "LEVEL(9)"} {
+		if lv.String() != want {
+			t.Errorf("Level(%d).String() = %q, want %q", int(lv), lv.String(), want)
+		}
+	}
+}
+
+func TestConcurrentWrites(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, Info)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				l.Infof("e", "j", j)
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 400 {
+		t.Errorf("got %d lines, want 400", len(lines))
+	}
+}

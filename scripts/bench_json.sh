@@ -6,9 +6,13 @@
 # run the continuous-ingest scenario and write BENCH_PR7.json — sustained
 # ingest throughput and reader latency percentiles under concurrent
 # writers, a continuously cycling tuple mover, and TLP-checked live +
-# epoch-pinned readers. CI smokes both at 1 iteration (BENCH_ITERS=1x); for
-# recorded numbers use the default on an idle machine. Set BENCH_SKIP_PR6=1
-# or BENCH_SKIP_PR7=1 to regenerate only one file.
+# epoch-pinned readers — then run the Data Collector overhead benchmark and
+# write BENCH_PR8.json — the cost of always-on query-phase tracing over a
+# collector-disabled engine, plus the engine's log-bucketed query-wall
+# latency quantiles. CI smokes all three at 1 iteration (BENCH_ITERS=1x);
+# for recorded numbers use the default on an idle machine. Set
+# BENCH_SKIP_PR6=1, BENCH_SKIP_PR7=1 or BENCH_SKIP_PR8=1 to regenerate a
+# subset.
 #
 # The speedups scale with the host's cores: the parallel shapes fan worker
 # pipelines out across GOMAXPROCS, so a single-CPU container records mostly
@@ -19,6 +23,7 @@ set -eu
 ITERS="${BENCH_ITERS:-2x}"
 OUT="${BENCH_OUT:-BENCH_PR6.json}"
 OUT7="${BENCH7_OUT:-BENCH_PR7.json}"
+OUT8="${BENCH8_OUT:-BENCH_PR8.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -110,3 +115,37 @@ echo "bench-json: wrote $OUT7"
 cat "$OUT7"
 
 fi # BENCH_SKIP_PR7
+
+if [ -z "${BENCH_SKIP_PR8:-}" ]; then
+
+go test -bench '^BenchmarkDCOverhead$' -benchtime "$ITERS" -run '^$' . | tee "$RAW"
+
+awk -v iters="$ITERS" '
+/^BenchmarkDCOverhead\/off-?/ { off = $3 }
+/^BenchmarkDCOverhead\/on-?/ {
+  # BenchmarkDCOverhead/on-8  2  1213... ns/op  329... rows/s  512 wall-p50-us  4096 wall-p99-us
+  on = $3
+  for (i = 4; i <= NF; i++) {
+    if ($i == "wall-p50-us") p50 = $(i-1)
+    if ($i == "wall-p99-us") p99 = $(i-1)
+  }
+}
+/^cpu:/ { cpumodel = $0; sub(/^cpu: /, "", cpumodel) }
+END {
+  if (off == 0 || on == 0) { print "bench-json: no dc-overhead output parsed" > "/dev/stderr"; exit 1 }
+  "getconf _NPROCESSORS_ONLN" | getline cpus
+  printf "{\n"
+  printf "  \"benchtime\": \"%s\",\n", iters
+  printf "  \"cpus\": %d,\n", cpus
+  printf "  \"cpu_model\": \"%s\",\n", cpumodel
+  printf "  \"dc_overhead_pct\": %.2f,\n", (on - off) * 100.0 / off
+  printf "  \"query_wall_p50_us\": %.0f,\n", p50
+  printf "  \"query_wall_p99_us\": %.0f,\n", p99
+  printf "  \"note\": \"dc_overhead_pct is the 400k-row aggregation with always-on Data Collector phase tracing vs the collector disabled (DCCapacity < 0). query_wall quantiles come from the engines log-bucketed latency histogram (power-of-two upper bounds), accumulated over the governed statements of this benchmark process\"\n"
+  printf "}\n"
+}' "$RAW" > "$OUT8"
+
+echo "bench-json: wrote $OUT8"
+cat "$OUT8"
+
+fi # BENCH_SKIP_PR8
