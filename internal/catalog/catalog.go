@@ -140,6 +140,29 @@ type Catalog struct {
 	// and ANALYZE writes synchronize on the catalog lock.
 	colStats map[string]map[string]*stats.ColumnStats
 	pools    map[string]*PoolDef
+	// generation counts schema mutations (CREATE/DROP TABLE/PROJECTION) and
+	// statsEpoch counts ANALYZE_STATISTICS writes. Both are monotonic and
+	// in-memory only: they exist so the plan cache can key entries on the
+	// catalog state they were planned against — a bump lazily invalidates
+	// every cached plan without touching the cache.
+	generation int64
+	statsEpoch int64
+}
+
+// Generation returns the schema-mutation counter (bumped by CREATE/DROP of
+// tables and projections).
+func (c *Catalog) Generation() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.generation
+}
+
+// StatsEpoch returns the statistics-write counter (bumped by
+// ANALYZE_STATISTICS via SetTableStats).
+func (c *Catalog) StatsEpoch() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.statsEpoch
 }
 
 // New creates an empty catalog persisted under dir ("" keeps it in memory).
@@ -198,6 +221,7 @@ func (c *Catalog) CreateTable(t *Table) error {
 	}
 	t.Cols = t.Schema.Cols
 	c.tables[t.Name] = t
+	c.generation++
 	return c.persistLocked()
 }
 
@@ -215,6 +239,7 @@ func (c *Catalog) DropTable(name string) error {
 			delete(c.projections, pn)
 		}
 	}
+	c.generation++
 	return c.persistLocked()
 }
 
@@ -315,6 +340,7 @@ func (c *Catalog) CreateProjection(p *Projection) error {
 		p.Encodings = map[string]encoding.Kind{}
 	}
 	c.projections[p.Name] = p
+	c.generation++
 	return c.persistLocked()
 }
 
@@ -340,6 +366,7 @@ func (c *Catalog) DropProjection(name string) error {
 		}
 	}
 	delete(c.projections, name)
+	c.generation++
 	return c.persistLocked()
 }
 
@@ -423,6 +450,7 @@ func (c *Catalog) SetTableStats(table string, cols []*stats.ColumnStats) error {
 	for _, cs := range cols {
 		m[cs.Column] = cs
 	}
+	c.statsEpoch++
 	return c.persistLocked()
 }
 

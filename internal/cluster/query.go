@@ -57,6 +57,9 @@ type QueryResult struct {
 	Rows    []types.Row
 	Explain string
 	Stats   resmgr.QueryStats
+	// Probe echoes the placement-probe metadata the run used (projection
+	// choice, cost estimates) so the plan cache can store it on a miss.
+	Probe optimizer.ProbeInfo
 	// OpProfiles are the executed plans' per-operator records, node plans
 	// concatenated in execution order (each pre-order within its plan). The
 	// initiator merge pipeline is not profiled — it runs after the node
@@ -111,11 +114,29 @@ func (c *Cluster) RunAtCtx(ctx context.Context, q *optimizer.LogicalQuery, opts 
 	// has statistics — the memory estimate the admission request is sized
 	// from (dynamic grant sizing; planning itself consumes no governed
 	// memory). Per-node plans are rebuilt after admission, so a long queue
-	// wait cannot execute a stale probe.
+	// wait cannot execute a stale probe. A plan-cache hit supplies the
+	// probe metadata directly (opts.CachedProbe) and skips the probe Plan
+	// call — the expensive half of short-query planning — while placement
+	// checks and admission still run against live state.
 	tr.Begin("plan")
-	probe, err := optimizer.Plan(&nodeProvider{c, up[0]}, q, opts)
+	var probe optimizer.ProbeInfo
+	if cp := opts.CachedProbe; cp != nil {
+		probe = *cp
+	} else {
+		var pp *optimizer.PhysicalPlan
+		pp, err = optimizer.Plan(&nodeProvider{c, up[0]}, q, opts)
+		if err == nil {
+			probe = optimizer.ProbeInfo{
+				ProjectionsUsed: pp.ProjectionsUsed,
+				EstRows:         pp.EstRows,
+				EstMemBytes:     pp.EstMemBytes,
+				StatsBacked:     pp.StatsBacked,
+				Workers:         pp.Workers,
+			}
+		}
+	}
 	if err == nil {
-		err = c.checkPlacement(q, probe)
+		err = c.checkPlacement(q, probe.ProjectionsUsed)
 	}
 	if err != nil {
 		// Pre-admission failures still leave a query profile, so operators
@@ -174,8 +195,8 @@ func (c *Cluster) RunAtCtx(ctx context.Context, q *optimizer.LogicalQuery, opts 
 	if pp := grant.Parallelism(); pp > 0 {
 		opts.Parallelism = pp
 	}
-	allReplicated := c.allReplicated(probe)
-	localFinal := allReplicated || allVirtual || c.N() == 1 || c.groupsColocated(q, probe)
+	allReplicated := c.allReplicated(probe.ProjectionsUsed)
+	localFinal := allReplicated || allVirtual || c.N() == 1 || c.groupsColocated(q, probe.ProjectionsUsed)
 
 	// Build the per-node logical query and initiator merge pipeline.
 	nodeQ, merge, err := buildDistributedAgg(q, localFinal, c.N() == 1)
@@ -297,7 +318,7 @@ func (c *Cluster) RunAtCtx(ctx context.Context, q *optimizer.LogicalQuery, opts 
 	fmt.Fprintf(&explain, "-- distributed over %d node plan(s); local-final=%v\n", len(runs), localFinal)
 	explain.WriteString(runs[0].plan.Explain())
 	return &QueryResult{Schema: schema, Rows: final, Explain: explain.String(),
-		Stats: grant.Stats(), OpProfiles: opRecs}, nil
+		Stats: grant.Stats(), OpProfiles: opRecs, Probe: probe}, nil
 }
 
 // grantRequest sizes the admission request from the probe plan (the
@@ -311,8 +332,8 @@ func (c *Cluster) RunAtCtx(ctx context.Context, q *optimizer.LogicalQuery, opts 
 // renegotiation (Grant.Request) at the operators' spill thresholds.
 // Returning 0 keeps the pool's default (heuristic-only plans, unknown
 // pools).
-func (c *Cluster) grantRequest(poolName string, probe *optimizer.PhysicalPlan) int64 {
-	if probe == nil || !probe.StatsBacked {
+func (c *Cluster) grantRequest(poolName string, probe optimizer.ProbeInfo) int64 {
+	if !probe.StatsBacked {
 		return 0
 	}
 	return c.cfg.Governor.SizeGrant(poolName, probe.EstMemBytes)
@@ -406,11 +427,11 @@ func (c *Cluster) virtualTables(q *optimizer.LogicalQuery) (all, any bool) {
 }
 
 // allReplicated reports whether every chosen projection is replicated.
-func (c *Cluster) allReplicated(plan *optimizer.PhysicalPlan) bool {
-	if len(plan.ProjectionsUsed) == 0 {
+func (c *Cluster) allReplicated(projections []string) bool {
+	if len(projections) == 0 {
 		return false
 	}
-	for _, name := range plan.ProjectionsUsed {
+	for _, name := range projections {
 		p, err := c.cat.Projection(name)
 		if err != nil || !p.Seg.Replicated {
 			return false
@@ -423,11 +444,11 @@ func (c *Cluster) allReplicated(plan *optimizer.PhysicalPlan) bool {
 // are all among the group keys, making groups node-local ("Vertica uses
 // segmentation to perform ... efficient distributed aggregations,
 // particularly effective for high-cardinality distinct aggregates", §3.6).
-func (c *Cluster) groupsColocated(q *optimizer.LogicalQuery, plan *optimizer.PhysicalPlan) bool {
-	if !q.IsAggregate() || len(q.GroupBy) == 0 || len(plan.ProjectionsUsed) == 0 {
+func (c *Cluster) groupsColocated(q *optimizer.LogicalQuery, projections []string) bool {
+	if !q.IsAggregate() || len(q.GroupBy) == 0 || len(projections) == 0 {
 		return false
 	}
-	proj, err := c.cat.Projection(plan.ProjectionsUsed[0])
+	proj, err := c.cat.Projection(projections[0])
 	if err != nil || proj.Seg.Replicated || proj.Seg.Expr == nil {
 		return false
 	}
@@ -465,12 +486,12 @@ func flatToTable(q *optimizer.LogicalQuery, flat int) (*catalog.Table, int) {
 // every non-fact projection must be replicated, or share the fact's
 // segmentation text (co-segmented). Vertica's V2Opt reshuffles on the fly;
 // this reproduction requires placement that StarOpt also handled (§6.2).
-func (c *Cluster) checkPlacement(q *optimizer.LogicalQuery, plan *optimizer.PhysicalPlan) error {
+func (c *Cluster) checkPlacement(q *optimizer.LogicalQuery, projections []string) error {
 	if len(q.From) <= 1 || c.N() == 1 {
 		return nil
 	}
 	var segTexts []string
-	for _, name := range plan.ProjectionsUsed {
+	for _, name := range projections {
 		p, err := c.cat.Projection(name)
 		if err != nil {
 			return err

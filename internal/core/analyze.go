@@ -93,6 +93,9 @@ func (db *Database) execAnalyze(ctx context.Context, st *sql.AnalyzeStmt) (*Resu
 	if err := db.cat.SetTableStats(table, out); err != nil {
 		return nil, err
 	}
+	// Fresh statistics bumped the stats epoch; retire cached plans eagerly
+	// so v_monitor.plan_cache reflects the invalidation immediately.
+	db.sweepPlans()
 	rows := int64(len(res.Rows))
 	return &Result{
 		RowsAffected: rows,

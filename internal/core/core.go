@@ -21,6 +21,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 	"unicode/utf8"
 
@@ -31,6 +32,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/metrics"
 	"repro/internal/optimizer"
+	"repro/internal/plancache"
 	"repro/internal/resmgr"
 	"repro/internal/sql"
 	"repro/internal/storage"
@@ -101,6 +103,10 @@ type Options struct {
 	// Collector entirely (the v_monitor dc tables stay registered but
 	// empty).
 	DCCapacity int
+	// PlanCacheSize bounds the plan cache (entries). 0 = the default of
+	// 256; negative disables plan caching entirely (every SELECT replans —
+	// the cold-path baseline benchmarks compare against).
+	PlanCacheSize int
 	// LogWriter receives the engine's structured log lines (slow queries,
 	// server lifecycle). Nil means os.Stderr; io.Discard silences them.
 	LogWriter io.Writer
@@ -122,6 +128,14 @@ type Database struct {
 	sessMu   sync.Mutex
 	sessSeq  int64
 	sessions map[int64]*Session
+
+	// plans caches analyzed queries and probe metadata keyed on normalized
+	// fingerprints (nil when disabled). poolEpoch counts resource-pool
+	// CREATE/ALTER/DROP statements; together with the catalog's generation
+	// and stats epoch it makes every cached plan's validity checkable with
+	// three integer compares.
+	plans     *plancache.Cache
+	poolEpoch atomic.Int64
 }
 
 // Result is the outcome of one statement.
@@ -202,6 +216,15 @@ func Open(opts Options) (*Database, error) {
 		logger:   logger,
 		movers:   map[string]*tuplemover.TupleMover{},
 		sessions: map[int64]*Session{},
+	}
+	// Plan caching is on by default (the high-QPS serving path); a negative
+	// size opts out for cold-path baselines and ablation benches.
+	if opts.PlanCacheSize >= 0 {
+		size := opts.PlanCacheSize
+		if size == 0 {
+			size = 256
+		}
+		db.plans = plancache.New(size)
 	}
 	db.registerMonitorTables()
 	// Re-register persisted resource pools with the fresh governor: CREATE
@@ -336,6 +359,19 @@ type Session struct {
 	curStmt string // statement currently executing ("" when idle)
 	stmts   int64  // statements executed
 	notrace bool   // SET SESSION TRACE OFF: skip phase/event tracing
+
+	// prepared holds the session's PREPAREd statements by name. Prepared
+	// statements are session-scoped (like Vertica's and Postgres's) and die
+	// with the session.
+	prepared map[string]*preparedStmt
+}
+
+// preparedStmt is one PREPARE'd statement: the parsed body (never mutated —
+// EXECUTE substitutes parameters into a deep copy) and its parameter count.
+type preparedStmt struct {
+	name    string
+	stmt    sql.Statement
+	nparams int
 }
 
 // NewSession opens a session and registers it with v_monitor.sessions.
@@ -443,11 +479,23 @@ func (s *Session) ExecuteContext(ctx context.Context, sqlText string) (res *Resu
 	ctx = resmgr.WithPool(ctx, s.Pool())
 	ctx = resmgr.WithLabel(ctx, statementLabel(sqlText))
 	ctx = dc.WithTrace(ctx, tr)
+	return s.dispatch(ctx, stmt)
+}
+
+// dispatch routes a parsed statement to its implementation. EXECUTE re-enters
+// here with its parameter-substituted body.
+func (s *Session) dispatch(ctx context.Context, stmt sql.Statement) (*Result, error) {
 	switch st := stmt.(type) {
 	case *sql.TxnStmt:
 		return s.execTxnStmt(st)
 	case *sql.SelectStmt:
 		return s.db.execSelect(ctx, st)
+	case *sql.PrepareStmt:
+		return s.execPrepare(st)
+	case *sql.ExecuteStmt:
+		return s.execExecute(ctx, st)
+	case *sql.DeallocateStmt:
+		return s.execDeallocate(st)
 	case *sql.CreateTableStmt:
 		return s.db.execCreateTable(st)
 	case *sql.CreateProjectionStmt:
@@ -477,6 +525,56 @@ func (s *Session) ExecuteContext(ctx context.Context, sqlText string) (res *Resu
 	default:
 		return nil, fmt.Errorf("core: unsupported statement %T", stmt)
 	}
+}
+
+// execPrepare stores a parsed statement body under a session-scoped name.
+func (s *Session) execPrepare(st *sql.PrepareStmt) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.prepared[st.Name]; exists {
+		return nil, fmt.Errorf("core: prepared statement %q already exists", st.Name)
+	}
+	if s.prepared == nil {
+		s.prepared = map[string]*preparedStmt{}
+	}
+	s.prepared[st.Name] = &preparedStmt{name: st.Name, stmt: st.Stmt, nparams: st.NumParams}
+	return &Result{Message: "PREPARE"}, nil
+}
+
+// execExecute substitutes the EXECUTE arguments into a deep copy of the
+// prepared body and dispatches it like any other statement. A prepared
+// SELECT therefore flows through the plan cache: its fingerprint normalizes
+// the substituted values just like ad-hoc literals, so repeated EXECUTEs
+// with different parameters share one cache entry — re-binding selectivity
+// (and with it, grant size) at each execution without replanning, unless
+// the estimate diverges far enough that execSelect forces a replan.
+func (s *Session) execExecute(ctx context.Context, st *sql.ExecuteStmt) (*Result, error) {
+	s.mu.Lock()
+	ps := s.prepared[st.Name]
+	s.mu.Unlock()
+	if ps == nil {
+		return nil, fmt.Errorf("core: prepared statement %q does not exist", st.Name)
+	}
+	if len(st.Args) != ps.nparams {
+		return nil, fmt.Errorf("core: prepared statement %q needs %d parameter(s), got %d",
+			st.Name, ps.nparams, len(st.Args))
+	}
+	bound, err := sql.SubstituteParams(ps.stmt, st.Args)
+	if err != nil {
+		return nil, err
+	}
+	return s.dispatch(ctx, bound)
+}
+
+// execDeallocate drops a prepared statement by name.
+func (s *Session) execDeallocate(st *sql.DeallocateStmt) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.prepared[st.Name]; !exists {
+		return nil, fmt.Errorf("core: prepared statement %q does not exist", st.Name)
+	}
+	delete(s.prepared, st.Name)
+	return &Result{Message: "DEALLOCATE"}, nil
 }
 
 // statementLabel is the profile label for a statement: trimmed and bounded
@@ -740,6 +838,8 @@ func (db *Database) execCreatePool(st *sql.CreatePoolStmt) (*Result, error) {
 	if err := db.persistPool(st.Name, &st.Opts); err != nil {
 		return nil, err
 	}
+	db.poolEpoch.Add(1)
+	db.sweepPlans()
 	return &Result{Message: "CREATE RESOURCE POOL"}, nil
 }
 
@@ -777,6 +877,8 @@ func (db *Database) execAlterPool(st *sql.AlterPoolStmt) (*Result, error) {
 	if err := db.persistPool(st.Name, &st.Opts); err != nil {
 		return nil, err
 	}
+	db.poolEpoch.Add(1)
+	db.sweepPlans()
 	return &Result{Message: "ALTER RESOURCE POOL"}, nil
 }
 
@@ -811,16 +913,100 @@ func (s *Session) execSetPool(st *sql.SetStmt) (*Result, error) {
 
 // --- statement implementations ---------------------------------------------
 
+// divergenceThreshold is the selectivity ratio past which a cached plan's
+// probe metadata is considered wrong for the incoming literal values and
+// the statement replans from scratch (the "≥10×" rule for EXECUTE).
+const divergenceThreshold = 10.0
+
 func (db *Database) execSelect(ctx context.Context, st *sql.SelectStmt) (*Result, error) {
 	dc.TraceFrom(ctx).Begin("analyze")
-	q, err := sql.AnalyzeSelect(st, db.cat)
-	if err != nil {
-		return nil, err
-	}
 	opts := db.planOpts(st)
+
+	// Plan-cache lookup. EXPLAIN/PROFILE always replan (their whole point
+	// is showing planning), and system-table queries are too cheap and too
+	// volatile (virtual schemas can be re-registered) to cache.
+	var (
+		cacheEpochs plancache.Epochs
+		cacheKey    plancache.Key
+		cacheLits   []types.Value
+		entry       *plancache.Entry
+		cacheable   = db.plans != nil && !st.Explain && !st.Profile && !db.usesVirtual(st)
+	)
+	if cacheable {
+		fp, lits := sql.Fingerprint(st)
+		cacheLits = lits
+		pool := resmgr.PoolFromContext(ctx)
+		if pool == "" {
+			// An unset session pool admits against general: key it that way
+			// so explicit SET RESOURCE POOL general shares the entries.
+			pool = resmgr.GeneralPool
+		}
+		cacheKey = plancache.Key{
+			Fingerprint:   fp,
+			Pool:          pool,
+			Parallelism:   opts.Parallelism,
+			ForceParallel: opts.ForceParallel,
+		}
+		cacheEpochs = db.planEpochs()
+		entry = db.plans.Lookup(cacheKey, cacheEpochs)
+	}
+
+	var q *optimizer.LogicalQuery
+	var err error
+	switch {
+	case entry != nil && sql.LiteralsEqual(entry.Literals, cacheLits):
+		// Exact hit: the cached bound query embeds these very constants, so
+		// analysis is skipped entirely along with the probe plan.
+		q = entry.Query
+		opts.CachedProbe = probeOf(entry)
+	case entry != nil:
+		// Shape hit, different literals: the cached LogicalQuery embeds the
+		// old constants and must not run, but analysis (name binding) is the
+		// cheap half — re-analyze for correct constants and reuse the probe
+		// metadata, re-sizing the grant by how much the fresh literals move
+		// the selectivity estimate. Past divergenceThreshold the projection
+		// choice itself is suspect: drop the entry and replan.
+		q, err = sql.AnalyzeSelect(st, db.cat)
+		if err != nil {
+			return nil, err
+		}
+		sel, _ := optimizer.EstimateSelectivity(db.cat, q)
+		if ratio := divergence(sel, entry.Selectivity); ratio >= divergenceThreshold {
+			metrics.PlanCacheReplans.Inc()
+			entry = nil
+		} else {
+			probe := probeOf(entry)
+			if entry.Selectivity > 0 && sel > 0 {
+				probe.EstMemBytes = int64(float64(entry.EstMemBytes) * sel / entry.Selectivity)
+			}
+			opts.CachedProbe = probe
+		}
+	}
+	if q == nil {
+		q, err = sql.AnalyzeSelect(st, db.cat)
+		if err != nil {
+			return nil, err
+		}
+	}
 	res, err := db.cluster.RunCtx(ctx, q, opts)
 	if err != nil {
 		return nil, err
+	}
+	if cacheable && opts.CachedProbe == nil {
+		// Miss (or forced replan): record the plan with its fresh probe
+		// metadata and plan-time selectivity for future divergence checks.
+		sel, _ := optimizer.EstimateSelectivity(db.cat, q)
+		db.plans.Insert(cacheKey, &plancache.Entry{
+			Query:           q,
+			Literals:        cacheLits,
+			ProjectionsUsed: res.Probe.ProjectionsUsed,
+			EstRows:         res.Probe.EstRows,
+			EstMemBytes:     res.Probe.EstMemBytes,
+			StatsBacked:     res.Probe.StatsBacked,
+			Workers:         res.Probe.Workers,
+			Selectivity:     sel,
+			Epochs:          cacheEpochs,
+		})
 	}
 	if st.Explain {
 		return &Result{Explain: res.Explain, Message: res.Explain}, nil
@@ -833,6 +1019,63 @@ func (db *Database) execSelect(ctx context.Context, st *sql.SelectStmt) (*Result
 		return &Result{Explain: tree, Message: tree, OpProfiles: res.OpProfiles, Stats: res.Stats}, nil
 	}
 	return &Result{Schema: res.Schema, Rows: res.Rows, Explain: res.Explain, Stats: res.Stats}, nil
+}
+
+// probeOf replays a cache entry's probe metadata into the runner.
+func probeOf(e *plancache.Entry) *optimizer.ProbeInfo {
+	return &optimizer.ProbeInfo{
+		ProjectionsUsed: e.ProjectionsUsed,
+		EstRows:         e.EstRows,
+		EstMemBytes:     e.EstMemBytes,
+		StatsBacked:     e.StatsBacked,
+		Workers:         e.Workers,
+	}
+}
+
+// divergence is the symmetric ratio between two selectivity estimates
+// (always ≥ 1; a non-positive estimate on either side counts as fully
+// diverged).
+func divergence(a, b float64) float64 {
+	if a == b {
+		return 1
+	}
+	if a <= 0 || b <= 0 {
+		return divergenceThreshold // treat sign flips as fully diverged
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a / b
+}
+
+// usesVirtual reports whether the SELECT reads any system table.
+func (db *Database) usesVirtual(st *sql.SelectStmt) bool {
+	for _, te := range st.From {
+		if db.cat.Virtual(te.Table) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// planEpochs snapshots the three epoch counters a cached plan's validity
+// depends on.
+func (db *Database) planEpochs() plancache.Epochs {
+	return plancache.Epochs{
+		CatalogGen: db.cat.Generation(),
+		StatsEpoch: db.cat.StatsEpoch(),
+		PoolEpoch:  db.poolEpoch.Load(),
+	}
+}
+
+// sweepPlans eagerly retires cache entries invalidated by an epoch bump.
+// Lookup would retire them lazily anyway; the sweep keeps
+// v_monitor.plan_cache and the invalidation counters current the moment
+// DDL/ANALYZE/pool changes commit.
+func (db *Database) sweepPlans() {
+	if db.plans != nil {
+		db.plans.InvalidateStale(db.planEpochs())
+	}
 }
 
 // planOpts assembles the per-statement planner/runner options from the
@@ -908,6 +1151,7 @@ func (db *Database) execCreateTable(st *sql.CreateTableStmt) (*Result, error) {
 	if err := db.cat.CreateTable(t); err != nil {
 		return nil, err
 	}
+	db.sweepPlans()
 	return &Result{Message: "CREATE TABLE"}, nil
 }
 
@@ -936,6 +1180,7 @@ func (db *Database) execCreateProjection(st *sql.CreateProjectionStmt) (*Result,
 	if err := db.CreateProjection(p); err != nil {
 		return nil, err
 	}
+	db.sweepPlans()
 	return &Result{Message: "CREATE PROJECTION"}, nil
 }
 
@@ -990,11 +1235,13 @@ func (db *Database) execDrop(st *sql.DropStmt) (*Result, error) {
 		if err := db.cat.DropTable(st.Name); err != nil {
 			return nil, err
 		}
+		db.sweepPlans()
 		return &Result{Message: "DROP TABLE"}, nil
 	case "PROJECTION":
 		if err := db.cat.DropProjection(st.Name); err != nil {
 			return nil, err
 		}
+		db.sweepPlans()
 		return &Result{Message: "DROP PROJECTION"}, nil
 	case "RESOURCE POOL":
 		if err := db.Governor().DropPool(st.Name); err != nil {
@@ -1018,6 +1265,8 @@ func (db *Database) execDrop(st *sql.DropStmt) (*Result, error) {
 			s.mu.Unlock()
 		}
 		db.sessMu.Unlock()
+		db.poolEpoch.Add(1)
+		db.sweepPlans()
 		return &Result{Message: "DROP RESOURCE POOL"}, nil
 	default: // PARTITION: fast bulk deletion by dropping container files
 		// (paper §3.5). Requires an Owner lock.

@@ -407,6 +407,44 @@ func (db *Database) registerMonitorTables() {
 			return rows, nil
 		})
 
+	planCacheSchema := types.NewSchema(
+		col("statement", types.Varchar),
+		col("pool", types.Varchar),
+		col("parallelism", types.Int64),
+		col("hits", types.Int64),
+		col("est_rows", types.Int64),
+		col("est_mem_bytes", types.Int64),
+		col("stats_backed", types.Bool),
+		col("projections", types.Varchar),
+		col("catalog_generation", types.Int64),
+		col("stats_epoch", types.Int64),
+		col("pool_epoch", types.Int64),
+	)
+	db.cat.RegisterVirtual(&catalog.Table{Name: "v_monitor.plan_cache", Schema: planCacheSchema},
+		func() ([]types.Row, error) {
+			if db.plans == nil {
+				return nil, nil
+			}
+			infos := db.plans.Snapshot()
+			rows := make([]types.Row, 0, len(infos))
+			for _, i := range infos {
+				rows = append(rows, types.Row{
+					types.NewString(i.Fingerprint),
+					types.NewString(i.Pool),
+					types.NewInt(int64(i.Parallelism)),
+					types.NewInt(i.Hits),
+					types.NewInt(i.EstRows),
+					types.NewInt(i.EstMemBytes),
+					types.NewBool(i.StatsBacked),
+					types.NewString(strings.Join(i.Projections, ",")),
+					types.NewInt(i.CatalogGen),
+					types.NewInt(i.StatsEpoch),
+					types.NewInt(i.PoolEpoch),
+				})
+			}
+			return rows, nil
+		})
+
 	db.registerDCTables()
 }
 

@@ -192,22 +192,47 @@ func huffmanDecode(b []byte, n int) ([]int, int, error) {
 	stream := b[pos : pos+byteLen]
 	pos += byteLen
 
-	codes := canonicalCodes(lengths)
-	// Decode table: (length, code) -> symbol.
-	type key struct {
-		length int
-		code   uint64
-	}
-	table := make(map[key]int, symCount)
+	// Canonical decode tables: because codes are assigned numerically
+	// increasing by (length, symbol), a code c of length l is valid iff
+	// firstCode[l] <= c < firstCode[l]+count[l], and its symbol is the
+	// (c-firstCode[l])-th symbol of length l in symbol order. Array math per
+	// bit, no per-symbol map probes.
 	maxLen := 0
-	for s, l := range lengths {
-		if l > 0 {
-			table[key{l, codes[s]}] = s
-			if l > maxLen {
-				maxLen = l
-			}
+	for _, l := range lengths {
+		if l > maxLen {
+			maxLen = l
 		}
 	}
+	if maxLen == 0 && n > 0 {
+		return nil, 0, fmt.Errorf("encoding: huffman table has no codes")
+	}
+	// One spare slot past maxLen: the accumulator reaches maxLen+1 before
+	// the top-of-loop overflow check fires, and must find no match there.
+	count := make([]int, maxLen+2)
+	for _, l := range lengths {
+		if l > 0 {
+			count[l]++
+		}
+	}
+	firstCode := make([]uint64, maxLen+2)
+	offset := make([]int, maxLen+2)
+	var code uint64
+	idx := 0
+	for l := 1; l <= maxLen; l++ {
+		firstCode[l] = code
+		offset[l] = idx
+		code = (code + uint64(count[l])) << 1
+		idx += count[l]
+	}
+	symOfRank := make([]int, idx)
+	rank := append([]int(nil), offset...)
+	for s, l := range lengths {
+		if l > 0 {
+			symOfRank[rank[l]] = s
+			rank[l]++
+		}
+	}
+
 	out := make([]int, 0, n)
 	var acc uint64
 	accLen := 0
@@ -220,15 +245,14 @@ func huffmanDecode(b []byte, n int) ([]int, int, error) {
 			return nil, 0, fmt.Errorf("encoding: huffman stream exhausted after %d of %d symbols", len(out), n)
 		}
 		if bitPos < totalBits {
-			bit := stream[bitPos/8] >> (7 - bitPos%8) & 1
+			acc = acc<<1 | uint64(stream[bitPos>>3]>>(7-bitPos&7)&1)
 			bitPos++
-			acc = acc<<1 | uint64(bit)
 			accLen++
 		} else {
 			return nil, 0, fmt.Errorf("encoding: huffman stream exhausted mid-symbol")
 		}
-		if s, ok := table[key{accLen, acc}]; ok {
-			out = append(out, s)
+		if r := acc - firstCode[accLen]; acc >= firstCode[accLen] && r < uint64(count[accLen]) {
+			out = append(out, symOfRank[offset[accLen]+int(r)])
 			acc, accLen = 0, 0
 		}
 	}

@@ -141,6 +141,23 @@ func (c *Cmp) Type() types.Type { return types.Bool }
 
 // Eval implements Expr.
 func (c *Cmp) Eval(b *vector.Batch) (*vector.Vector, error) {
+	// Column-vs-constant kernels: comparing against a literal is the common
+	// scan predicate, and materializing the constant as a full vector per
+	// block (allocate + fill) costs more than the comparison itself.
+	if k, ok := c.R.(*Const); ok && !k.Val.Null {
+		lv, err := c.L.Eval(b)
+		if err != nil {
+			return nil, err
+		}
+		return c.evalConst(lv, k.Val, c.Op), nil
+	}
+	if k, ok := c.L.(*Const); ok && !k.Val.Null {
+		rv, err := c.R.Eval(b)
+		if err != nil {
+			return nil, err
+		}
+		return c.evalConst(rv, k.Val, c.Op.Swap()), nil
+	}
 	lv, err := c.L.Eval(b)
 	if err != nil {
 		return nil, err
@@ -228,6 +245,91 @@ func (c *Cmp) Eval(b *vector.Batch) (*vector.Vector, error) {
 	out := vector.NewFromInts(types.Bool, res)
 	out.Nulls = nulls
 	return out, nil
+}
+
+// evalConst compares vector v against the scalar k with operator op (already
+// swapped when the constant was the left operand). NULL rows of v yield NULL.
+func (c *Cmp) evalConst(v *vector.Vector, k types.Value, op CmpOp) *vector.Vector {
+	n := v.PhysLen()
+	res := make([]int64, n)
+	var nulls []bool
+	if v.Nulls != nil {
+		nulls = make([]bool, n)
+		copy(nulls, v.Nulls)
+	}
+	switch c.kind {
+	case cmpInt:
+		li, kv := v.Ints, k.I
+		switch op {
+		case Eq:
+			for i := 0; i < n; i++ {
+				if li[i] == kv {
+					res[i] = 1
+				}
+			}
+		case Ne:
+			for i := 0; i < n; i++ {
+				if li[i] != kv {
+					res[i] = 1
+				}
+			}
+		case Lt:
+			for i := 0; i < n; i++ {
+				if li[i] < kv {
+					res[i] = 1
+				}
+			}
+		case Le:
+			for i := 0; i < n; i++ {
+				if li[i] <= kv {
+					res[i] = 1
+				}
+			}
+		case Gt:
+			for i := 0; i < n; i++ {
+				if li[i] > kv {
+					res[i] = 1
+				}
+			}
+		default:
+			for i := 0; i < n; i++ {
+				if li[i] >= kv {
+					res[i] = 1
+				}
+			}
+		}
+	case cmpFloat:
+		lf, kf := asFloats(v), scalarFloat(k)
+		for i := 0; i < n; i++ {
+			var cc int
+			switch {
+			case lf[i] < kf:
+				cc = -1
+			case lf[i] > kf:
+				cc = 1
+			}
+			if cmpHolds(op, cc) {
+				res[i] = 1
+			}
+		}
+	case cmpStr:
+		ls, ks := v.Strs, k.S
+		for i := 0; i < n; i++ {
+			var cc int
+			switch {
+			case ls[i] < ks:
+				cc = -1
+			case ls[i] > ks:
+				cc = 1
+			}
+			if cmpHolds(op, cc) {
+				res[i] = 1
+			}
+		}
+	}
+	out := vector.NewFromInts(types.Bool, res)
+	out.Nulls = nulls
+	return out
 }
 
 // EvalRow implements Expr.

@@ -23,9 +23,26 @@ var (
 	TupleMoverMoveouts  = Default.NewCounter("storage.tuple_mover_moveouts")
 	TupleMoverMergeouts = Default.NewCounter("storage.tuple_mover_mergeouts")
 
+	// Decoded-block cache: repeated scans of immutable ROS containers serve
+	// decoded vectors from memory instead of re-running block decode.
+	BlockCacheHits      = Default.NewCounter("storage.block_cache_hits")
+	BlockCacheMisses    = Default.NewCounter("storage.block_cache_misses")
+	BlockCacheEvictions = Default.NewCounter("storage.block_cache_evictions")
+	BlockCacheBytes     = Default.NewGauge("storage.block_cache_bytes")
+
 	// Sessions. WOS rows is a pull-style func registered by the database
 	// instance (core.Open) since it reads live storage state.
 	ActiveSessions = Default.NewGauge("core.active_sessions")
+
+	// Plan cache. Invalidations count entries swept after an epoch bump
+	// (DDL, ANALYZE_STATISTICS, pool changes); StaleHits counts lookups
+	// that matched a fingerprint planned under an older epoch — always a
+	// miss, the counter exists so tests can assert no stale plan ran.
+	PlanCacheHits          = Default.NewCounter("plancache.hits")
+	PlanCacheMisses        = Default.NewCounter("plancache.misses")
+	PlanCacheEvictions     = Default.NewCounter("plancache.evictions")
+	PlanCacheInvalidations = Default.NewCounter("plancache.invalidations")
+	PlanCacheReplans       = Default.NewCounter("plancache.replans")
 
 	// Latency histograms (µs). Each renders as .count/.sum/.p50/.p95/.p99
 	// samples in every snapshot sink.

@@ -148,6 +148,26 @@ func estimateTable(cat *catalog.Catalog, t *catalog.Table, conjuncts []expr.Expr
 	return est
 }
 
+// EstimateSelectivity combines every table's local-conjunct selectivity
+// into one number for the bound query, histogram-backed where statistics
+// exist. The plan cache records it at insert time; EXECUTE re-binds
+// parameter values and compares the fresh estimate against the recorded
+// one — a ≥10× divergence means the cached plan was sized for a very
+// different slice of the data and triggers a replan.
+func EstimateSelectivity(cat *catalog.Catalog, q *LogicalQuery) (sel float64, statsBacked bool) {
+	perTable, _ := q.splitConjuncts()
+	offs := q.flatOffsets()
+	sel, statsBacked = 1.0, true
+	for i, t := range q.From {
+		est := estimateTable(cat, t.Table, perTable[i], offs[i])
+		sel *= est.sel
+		if !est.analyzed {
+			statsBacked = false
+		}
+	}
+	return sel, statsBacked
+}
+
 // ndvOf returns a column's NDV estimate (0 when unknown).
 func ndvOf(cat *catalog.Catalog, t *catalog.Table, col int) int64 {
 	if col < 0 || col >= t.Schema.Len() {

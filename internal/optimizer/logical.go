@@ -127,6 +127,24 @@ type PlanOpts struct {
 	// per-operator records. Planning is unaffected; the flag rides here
 	// because PlanOpts is the per-statement options record the runner sees.
 	Profile bool
+	// CachedProbe, when set, supplies the probe metadata (projection
+	// choice, cost estimates) from a plan-cache hit so the runner skips
+	// the placement-probe Plan call entirely. Per-node execution plans are
+	// still built fresh against the live catalog — only the probe is
+	// elided.
+	CachedProbe *ProbeInfo
+}
+
+// ProbeInfo is the slice of a placement probe's PhysicalPlan that the
+// query runner actually consumes: projection choice (placement, replication
+// and colocation checks) and the cost estimates behind admission sizing.
+// It is what the plan cache stores and replays.
+type ProbeInfo struct {
+	ProjectionsUsed []string
+	EstRows         int64
+	EstMemBytes     int64
+	StatsBacked     bool
+	Workers         int
 }
 
 // PhysicalPlan is a planned, executable query.

@@ -2,12 +2,19 @@ package server
 
 import (
 	"bufio"
+	stdbin "encoding/binary"
 	"fmt"
+	"io"
 	"net"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/encoding"
+	"repro/internal/types"
+	"repro/internal/vector"
 )
 
 // Client speaks the line protocol; it is the reference implementation for
@@ -16,8 +23,23 @@ type Client struct {
 	conn net.Conn
 	br   *bufio.Reader
 
+	bytesRead atomic.Int64 // wire bytes received, pre-buffering
+
 	reqMu   sync.Mutex // one request/response exchange at a time
 	writeMu sync.Mutex // raw writes (Cancel interleaves with Exec's write)
+}
+
+// countingConn counts bytes as they arrive off the socket, underneath the
+// client's read buffer, so text/binary wire sizes compare honestly.
+type countingConn struct {
+	net.Conn
+	n *atomic.Int64
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.n.Add(int64(n))
+	return n, err
 }
 
 // Result is one statement's parsed reply.
@@ -46,7 +68,22 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, br: bufio.NewReaderSize(conn, 1<<20)}, nil
+	c := &Client{}
+	c.conn = countingConn{Conn: conn, n: &c.bytesRead}
+	// 64KB is plenty: ReadString accumulates longer lines dynamically and
+	// binary frames stream through io.ReadFull, so the buffer size only
+	// bounds syscall batching, not frame size.
+	c.br = bufio.NewReaderSize(c.conn, 64<<10)
+	return c, nil
+}
+
+// BytesRead reports the total wire bytes this client has received.
+func (c *Client) BytesRead() int64 { return c.bytesRead.Load() }
+
+// Format negotiates the session's result frame: "binary" or "text".
+func (c *Client) Format(mode string) error {
+	_, err := c.Meta("\\format " + mode)
+	return err
 }
 
 // Close sends \q and closes the connection.
@@ -158,9 +195,103 @@ func (c *Client) readReply() (*Result, error) {
 			return nil, fmt.Errorf("server: missing DONE, got %q", tail)
 		}
 		return res, nil
+	case strings.HasPrefix(head, "BROWS "):
+		return c.readBinaryRows(head)
 	default:
 		return nil, fmt.Errorf("server: unexpected reply %q", head)
 	}
+}
+
+// readBinaryRows parses a columnar BROWS frame: header, names, type names,
+// then length-prefixed encoding blocks (ncols per row chunk) until the
+// advertised row count is reached. Values decode back into the same strings
+// the text protocol would have carried.
+func (c *Client) readBinaryRows(head string) (*Result, error) {
+	parts := strings.Fields(head)
+	if len(parts) != 7 {
+		return nil, fmt.Errorf("server: malformed header %q", head)
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("server: malformed row count %q", head)
+	}
+	ncols, err := strconv.Atoi(parts[2])
+	if err != nil || ncols < 1 {
+		return nil, fmt.Errorf("server: malformed column count %q", head)
+	}
+	queryID, _ := strconv.ParseInt(parts[3], 10, 64)
+	waitUS, _ := strconv.ParseInt(parts[4], 10, 64)
+	spilled, _ := strconv.ParseInt(parts[5], 10, 64)
+	wallUS, _ := strconv.ParseInt(parts[6], 10, 64)
+	res := &Result{
+		QueryID:      queryID,
+		QueueWait:    time.Duration(waitUS) * time.Microsecond,
+		SpilledBytes: spilled,
+		WallTime:     time.Duration(wallUS) * time.Microsecond,
+	}
+	hdr, err := c.readLine()
+	if err != nil {
+		return nil, err
+	}
+	res.Cols = splitFields(hdr)
+	typeLine, err := c.readLine()
+	if err != nil {
+		return nil, err
+	}
+	typs := make([]types.Type, 0, ncols)
+	for _, tn := range strings.Split(typeLine, "\t") {
+		t, err := types.ParseType(tn)
+		if err != nil {
+			return nil, fmt.Errorf("server: bad column type in BROWS frame: %v", err)
+		}
+		typs = append(typs, t)
+	}
+	if len(typs) != ncols {
+		return nil, fmt.Errorf("server: BROWS frame has %d types for %d columns", len(typs), ncols)
+	}
+	res.Rows = make([][]string, 0, n)
+	for len(res.Rows) < n {
+		cols := make([]*vector.Vector, ncols)
+		for j := 0; j < ncols; j++ {
+			var lenbuf [4]byte
+			if _, err := io.ReadFull(c.br, lenbuf[:]); err != nil {
+				return nil, err
+			}
+			blob := make([]byte, stdbin.BigEndian.Uint32(lenbuf[:]))
+			if _, err := io.ReadFull(c.br, blob); err != nil {
+				return nil, err
+			}
+			v, err := encoding.DecodeBlock(blob, typs[j], false)
+			if err != nil {
+				return nil, fmt.Errorf("server: bad column block: %v", err)
+			}
+			cols[j] = v
+		}
+		nr := cols[0].Len()
+		for j, v := range cols {
+			if v.Len() != nr {
+				return nil, fmt.Errorf("server: ragged BROWS chunk (col %d has %d rows, col 0 has %d)", j, v.Len(), nr)
+			}
+		}
+		if nr == 0 || len(res.Rows)+nr > n {
+			return nil, fmt.Errorf("server: BROWS chunk overruns advertised row count %d", n)
+		}
+		for i := 0; i < nr; i++ {
+			row := make([]string, ncols)
+			for j, v := range cols {
+				row[j] = v.ValueAt(i).String()
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	tail, err := c.readLine()
+	if err != nil {
+		return nil, err
+	}
+	if tail != "DONE" {
+		return nil, fmt.Errorf("server: missing DONE, got %q", tail)
+	}
+	return res, nil
 }
 
 // parseOKStats extracts the DML stats suffix

@@ -13,6 +13,9 @@
 //	                       session (out of band: valid mid-statement)
 //	\pin                   pin the session's snapshot to the current epoch
 //	\unpin                 return to READ COMMITTED latest-epoch reads
+//	\format binary|text    negotiate the result-set frame for this session
+//	                       (text is the default; binary sends column-encoded
+//	                       BROWS frames, see below)
 //	\stats                 report governor workload stats
 //	\q                     close the session
 //
@@ -31,6 +34,23 @@
 //	<n tab-separated data lines>       values escape \t, \n, \r, \\
 //	DONE
 //
+// Sessions negotiated to binary mode (\format binary) receive result sets
+// as columnar frames instead of ROWS: the column values travel through the
+// engine's own block encodings (RLE, delta, dictionary — paper §3.4.1), so
+// low-cardinality and sorted result columns compress on the wire exactly as
+// they do on disk.
+//
+//	BROWS <n> <ncols> <query-id> <queue-wait-us> <spilled-bytes> <wall-us>
+//	<tab-separated column names>
+//	<tab-separated column type names>
+//	column blocks                      rows travel in chunks of at most 4096;
+//	                                   each chunk is ncols blocks in column
+//	                                   order, each block a 4-byte big-endian
+//	                                   length followed by an encoding.Block
+//	DONE
+//
+// Every other reply (OK, ERR) is unchanged in binary mode.
+//
 // Cancelling a running statement produces its ERR reply (context canceled);
 // the session survives and accepts further statements.
 package server
@@ -38,6 +58,7 @@ package server
 import (
 	"bufio"
 	"context"
+	stdbin "encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -47,9 +68,12 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/encoding"
 	"repro/internal/metrics"
 	"repro/internal/resmgr"
+	"repro/internal/sql"
 	"repro/internal/types"
+	"repro/internal/vector"
 )
 
 // Config sets server parameters.
@@ -202,6 +226,7 @@ type session struct {
 
 	pinned      bool
 	pinnedEpoch types.Epoch
+	binary      bool // \format binary: columnar BROWS result frames
 }
 
 // stmtRequest is one unit of work handed from the reader to the executor.
@@ -226,7 +251,10 @@ func (s *Server) handleConn(conn net.Conn) {
 	go func() {
 		defer close(reqs)
 		sc := bufio.NewScanner(conn)
-		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		// Start small and let the scanner grow toward the 1MB statement
+		// limit on demand: a fixed 1MB per connection is real memory at
+		// thousands of idle connections.
+		sc.Buffer(make([]byte, 64<<10), 1<<20)
 		var buf strings.Builder
 		for sc.Scan() {
 			line := sc.Text()
@@ -281,16 +309,33 @@ func (st *session) cancelCurrent() {
 }
 
 func (st *session) runMeta(cmd string) {
-	switch cmd {
-	case "\\stats":
+	switch {
+	case cmd == "\\stats":
 		st.reply(func() { st.line("OK " + st.srv.db.Governor().Stats().String()) })
-	case "\\pin":
+	case cmd == "\\pin":
 		st.pinned = true
 		st.pinnedEpoch = st.srv.db.Txns().Epochs.ReadEpoch()
 		st.reply(func() { st.line(fmt.Sprintf("OK pinned epoch %d", st.pinnedEpoch)) })
-	case "\\unpin":
+	case cmd == "\\unpin":
 		st.pinned = false
 		st.reply(func() { st.line("OK unpinned") })
+	case cmd == "\\format" || strings.HasPrefix(cmd, "\\format "):
+		switch arg := strings.TrimSpace(strings.TrimPrefix(cmd, "\\format")); arg {
+		case "binary":
+			st.binary = true
+			st.reply(func() { st.line("OK format binary") })
+		case "text":
+			st.binary = false
+			st.reply(func() { st.line("OK format text") })
+		case "":
+			mode := "text"
+			if st.binary {
+				mode = "binary"
+			}
+			st.reply(func() { st.line("OK format " + mode) })
+		default:
+			st.reply(func() { st.line("ERR unknown result format " + arg + " (want binary or text)") })
+		}
 	default:
 		st.reply(func() { st.line("ERR unknown meta command " + cmd) })
 	}
@@ -324,7 +369,7 @@ func (st *session) runStatement(text string) {
 
 	var res *core.Result
 	var err error
-	if st.pinned && isSelect(text) {
+	if st.pinned && sql.Classify(text) == sql.ClassSelect {
 		// The pinned path bypasses the session executor: carry the session's
 		// resource pool on the context so admission still honors it.
 		res, err = srv.db.QueryAtContext(resmgr.WithPool(ctx, st.sess.Pool()), text, st.pinnedEpoch)
@@ -367,15 +412,14 @@ func (st *session) writeResult(res *core.Result) {
 		st.line("OK " + strings.ReplaceAll(msg, "\n", " "))
 		return
 	}
+	if st.binary {
+		st.writeBinaryResult(res)
+		return
+	}
 	st.line(fmt.Sprintf("ROWS %d %d %d %d %d", len(res.Rows), res.Stats.QueryID,
 		res.Stats.QueueWait.Microseconds(), res.Stats.SpilledBytes,
 		res.Stats.WallTime.Microseconds()))
-	names := res.Schema.Names()
-	esc := make([]string, len(names))
-	for i, n := range names {
-		esc[i] = escapeField(n)
-	}
-	st.line(strings.Join(esc, "\t"))
+	st.writeNamesLine(res)
 	cells := make([]string, res.Schema.Len())
 	for _, row := range res.Rows {
 		for i, v := range row {
@@ -386,8 +430,61 @@ func (st *session) writeResult(res *core.Result) {
 	st.line("DONE")
 }
 
-func isSelect(text string) bool {
-	return strings.HasPrefix(strings.ToUpper(strings.TrimSpace(text)), "SELECT")
+func (st *session) writeNamesLine(res *core.Result) {
+	names := res.Schema.Names()
+	esc := make([]string, len(names))
+	for i, n := range names {
+		esc[i] = escapeField(n)
+	}
+	st.line(strings.Join(esc, "\t"))
+}
+
+// binaryBlockRows bounds one BROWS column block: chunking keeps a huge
+// result from buffering as one giant block on either side of the wire.
+const binaryBlockRows = 4096
+
+// writeBinaryResult sends a result set as a columnar BROWS frame: the rows
+// are pivoted into column vectors (chunked at binaryBlockRows) and each
+// vector travels as one self-describing encoding block, Auto-encoded the
+// same way storage blocks are.
+func (st *session) writeBinaryResult(res *core.Result) {
+	// Encode every block before the first header byte: an encoding failure
+	// must produce a clean ERR reply, not a half-written binary frame.
+	var blocks [][]byte
+	for lo := 0; lo < len(res.Rows); lo += binaryBlockRows {
+		hi := lo + binaryBlockRows
+		if hi > len(res.Rows) {
+			hi = len(res.Rows)
+		}
+		batch := vector.NewBatchForSchema(res.Schema, hi-lo)
+		for _, row := range res.Rows[lo:hi] {
+			batch.AppendRow(row)
+		}
+		for _, col := range batch.Cols {
+			blob, err := encoding.EncodeBlock(encoding.Auto, col)
+			if err != nil {
+				st.line("ERR " + strings.ReplaceAll(err.Error(), "\n", " "))
+				return
+			}
+			blocks = append(blocks, blob)
+		}
+	}
+	st.line(fmt.Sprintf("BROWS %d %d %d %d %d %d", len(res.Rows), res.Schema.Len(),
+		res.Stats.QueryID, res.Stats.QueueWait.Microseconds(), res.Stats.SpilledBytes,
+		res.Stats.WallTime.Microseconds()))
+	st.writeNamesLine(res)
+	typs := make([]string, res.Schema.Len())
+	for i := range typs {
+		typs[i] = res.Schema.Col(i).Typ.String()
+	}
+	st.line(strings.Join(typs, "\t"))
+	var lenbuf [4]byte
+	for _, blob := range blocks {
+		stdbin.BigEndian.PutUint32(lenbuf[:], uint32(len(blob)))
+		st.w.Write(lenbuf[:])
+		st.w.Write(blob)
+	}
+	st.line("DONE")
 }
 
 var fieldEscaper = strings.NewReplacer("\\", "\\\\", "\t", "\\t", "\n", "\\n", "\r", "\\r")

@@ -123,6 +123,8 @@ func bindExpr(a AstExpr, sc *scope) (expr.Expr, error) {
 		return expr.NewCase(whens, els)
 	case *AAgg:
 		return nil, fmt.Errorf("sql: aggregate %s not allowed here", e.Func)
+	case *AParam:
+		return nil, fmt.Errorf("sql: parameter $%d outside a prepared statement (bind it with EXECUTE)", e.N)
 	default:
 		return nil, fmt.Errorf("sql: unsupported expression %T", a)
 	}
@@ -235,6 +237,8 @@ func astString(a AstExpr) string {
 		default:
 			return e.Func + "(" + astString(e.Arg) + ")"
 		}
+	case *AParam:
+		return fmt.Sprintf("$%d", e.N)
 	default:
 		return "?"
 	}

@@ -66,6 +66,11 @@ type AAgg struct {
 	Arg      AstExpr
 }
 
+// AParam is a $n positional placeholder (1-based). Placeholders are only
+// legal inside a PREPAREd statement body; EXECUTE substitutes literal
+// values before analysis.
+type AParam struct{ N int }
+
 func (*ALit) astExpr()    {}
 func (*ACol) astExpr()    {}
 func (*ABin) astExpr()    {}
@@ -75,6 +80,7 @@ func (*AIn) astExpr()     {}
 func (*AFunc) astExpr()   {}
 func (*ACase) astExpr()   {}
 func (*AAgg) astExpr()    {}
+func (*AParam) astExpr()  {}
 
 // SelectItem is one select-list entry.
 type SelectItem struct {
@@ -219,6 +225,25 @@ type AnalyzeStmt struct {
 	Buckets int64  // 0 = engine default
 }
 
+// PrepareStmt is PREPARE name AS <statement>. The body may contain $n
+// placeholders; NumParams is the highest placeholder index referenced.
+type PrepareStmt struct {
+	Name      string
+	Stmt      Statement
+	NumParams int
+}
+
+// ExecuteStmt is EXECUTE name [(args...)] with literal arguments.
+type ExecuteStmt struct {
+	Name string
+	Args []types.Value
+}
+
+// DeallocateStmt is DEALLOCATE [PREPARE] name.
+type DeallocateStmt struct {
+	Name string
+}
+
 func (*SelectStmt) stmt()           {}
 func (*CreateTableStmt) stmt()      {}
 func (*CreateProjectionStmt) stmt() {}
@@ -231,3 +256,6 @@ func (*CreatePoolStmt) stmt()       {}
 func (*AlterPoolStmt) stmt()        {}
 func (*SetStmt) stmt()              {}
 func (*AnalyzeStmt) stmt()          {}
+func (*PrepareStmt) stmt()          {}
+func (*ExecuteStmt) stmt()          {}
+func (*DeallocateStmt) stmt()       {}

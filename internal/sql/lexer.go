@@ -21,6 +21,7 @@ const (
 	tokFloat
 	tokString
 	tokSymbol // operators and punctuation
+	tokParam  // $1, $2, ... positional parameter
 )
 
 type token struct {
@@ -132,6 +133,12 @@ func (l *lexer) lex() ([]token, error) {
 			}
 			out = append(out, token{kind: tokIdent, text: strings.ToLower(l.src[qstart:l.pos]), pos: start})
 			l.pos++
+		case c == '$' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+			l.pos++
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+			out = append(out, token{kind: tokParam, text: l.src[start+1 : l.pos], pos: start})
 		default:
 			sym := l.lexSymbol()
 			if sym == "" {

@@ -121,6 +121,12 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseAlter()
 	case p.at(tokIdent, "analyze_statistics"):
 		return p.parseAnalyze()
+	case p.at(tokIdent, "prepare"):
+		return p.parsePrepare()
+	case p.at(tokIdent, "execute"):
+		return p.parseExecute()
+	case p.at(tokIdent, "deallocate"):
+		return p.parseDeallocate()
 	case p.at(tokKeyword, "SET"):
 		return p.parseSet()
 	case p.at(tokKeyword, "BEGIN"), p.at(tokKeyword, "COMMIT"), p.at(tokKeyword, "ROLLBACK"):
@@ -617,6 +623,13 @@ func (p *parser) parsePrimary() (AstExpr, error) {
 			return nil, err
 		}
 		return e, nil
+	case t.kind == tokParam:
+		p.next()
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 1 {
+			return nil, p.errHere("bad parameter $%s: parameter numbers start at $1", t.text)
+		}
+		return &AParam{N: n}, nil
 	}
 	return nil, p.errHere("unexpected token %q in expression", t.text)
 }
@@ -806,6 +819,72 @@ func (p *parser) parseAnalyze() (Statement, error) {
 		return nil, err
 	}
 	return st, nil
+}
+
+// parsePrepare parses PREPARE name AS <statement>. The body is parsed in
+// place with the same grammar as a top-level statement and may reference $n
+// placeholders.
+func (p *parser) parsePrepare() (Statement, error) {
+	p.next() // prepare
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(tokKeyword, "AS") {
+		return nil, p.errHere("expected AS after PREPARE %s, found %q", name.text, p.cur().text)
+	}
+	body, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	switch body.(type) {
+	case *PrepareStmt, *ExecuteStmt, *DeallocateStmt:
+		return nil, p.errHere("cannot PREPARE a %s statement", "PREPARE/EXECUTE/DEALLOCATE")
+	}
+	n, err := CountParams(body)
+	if err != nil {
+		return nil, err
+	}
+	return &PrepareStmt{Name: name.text, Stmt: body, NumParams: n}, nil
+}
+
+// parseExecute parses EXECUTE name [(literal, ...)].
+func (p *parser) parseExecute() (Statement, error) {
+	p.next() // execute
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &ExecuteStmt{Name: name.text}
+	if p.accept(tokSymbol, "(") {
+		if !p.accept(tokSymbol, ")") {
+			for {
+				v, err := p.parseLiteralValue()
+				if err != nil {
+					return nil, err
+				}
+				st.Args = append(st.Args, v)
+				if !p.accept(tokSymbol, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return st, nil
+}
+
+// parseDeallocate parses DEALLOCATE [PREPARE] name.
+func (p *parser) parseDeallocate() (Statement, error) {
+	p.next() // deallocate
+	p.accept(tokIdent, "prepare")
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &DeallocateStmt{Name: name.text}, nil
 }
 
 // parseSet parses SET RESOURCE POOL name and SET SESSION TRACE ON|OFF.

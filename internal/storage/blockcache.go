@@ -1,0 +1,122 @@
+package storage
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/vector"
+)
+
+// Decoded-block cache. ROS containers are immutable — once written they are
+// only ever replaced wholesale by the tuple mover — so a block's decoded
+// vector can be shared by every scan that reads it, and consumers treat scan
+// vectors as read-only. On a hot serving path this turns the dominant
+// per-query cost (entropy-decoding the same blocks over and over) into a map
+// hit. The cache is process-wide with a byte budget and LRU eviction; entries
+// are keyed by reader identity, so a container dropped or retired by
+// mergeout simply ages out.
+
+// DefaultBlockCacheBytes is the initial cache budget.
+const DefaultBlockCacheBytes = 64 << 20
+
+type blockKey struct {
+	r            *ContainerReader
+	col          int
+	offset       int64 // block offset within the column file
+	preserveRuns bool
+}
+
+type blockEntry struct {
+	key  blockKey
+	v    *vector.Vector
+	size int64
+}
+
+type blockCache struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	entries map[blockKey]*list.Element
+	lru     *list.List // front = most recently used
+}
+
+var sharedBlockCache = &blockCache{
+	budget:  DefaultBlockCacheBytes,
+	entries: make(map[blockKey]*list.Element),
+	lru:     list.New(),
+}
+
+// SetBlockCacheBudget resizes the decoded-block cache, evicting down to the
+// new budget. A budget <= 0 disables caching entirely.
+func SetBlockCacheBudget(bytes int64) {
+	c := sharedBlockCache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.budget = bytes
+	c.evictToLocked(bytes)
+}
+
+// BlockCacheUsed reports the bytes currently held by the decoded-block cache.
+func BlockCacheUsed() int64 {
+	c := sharedBlockCache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+func (c *blockCache) get(k blockKey) (*vector.Vector, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		metrics.BlockCacheMisses.Inc()
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	metrics.BlockCacheHits.Inc()
+	return el.Value.(*blockEntry).v, true
+}
+
+func (c *blockCache) put(k blockKey, v *vector.Vector) {
+	size := vectorFootprint(v)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size > c.budget {
+		return // larger than the whole cache; never worth evicting for
+	}
+	if el, ok := c.entries[k]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.evictToLocked(c.budget - size)
+	el := c.lru.PushFront(&blockEntry{key: k, v: v, size: size})
+	c.entries[k] = el
+	c.used += size
+	metrics.BlockCacheBytes.Set(c.used)
+}
+
+// evictToLocked drops least-recently-used entries until used <= target.
+func (c *blockCache) evictToLocked(target int64) {
+	for c.used > target {
+		el := c.lru.Back()
+		if el == nil {
+			break
+		}
+		e := el.Value.(*blockEntry)
+		c.lru.Remove(el)
+		delete(c.entries, e.key)
+		c.used -= e.size
+		metrics.BlockCacheEvictions.Inc()
+	}
+	metrics.BlockCacheBytes.Set(c.used)
+}
+
+// vectorFootprint approximates a decoded vector's heap size in bytes.
+func vectorFootprint(v *vector.Vector) int64 {
+	n := int64(len(v.Ints))*8 + int64(len(v.Floats))*8 + int64(len(v.Nulls)) + int64(len(v.RunLens))*8
+	for _, s := range v.Strs {
+		n += int64(len(s)) + 16
+	}
+	return n + 64 // struct overhead
+}

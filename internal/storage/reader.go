@@ -204,6 +204,10 @@ func (it *ColumnIter) SkipTo(p int64) error {
 }
 
 func (r *ContainerReader) decodeBlock(c int, e *PidxEntry, preserveRuns bool) (*vector.Vector, error) {
+	key := blockKey{r: r, col: c, offset: e.Offset, preserveRuns: preserveRuns}
+	if v, ok := sharedBlockCache.get(key); ok {
+		return v, nil
+	}
 	data, err := r.colData(c)
 	if err != nil {
 		return nil, err
@@ -211,7 +215,14 @@ func (r *ContainerReader) decodeBlock(c int, e *PidxEntry, preserveRuns bool) (*
 	if e.Offset+e.Length > int64(len(data)) {
 		return nil, fmt.Errorf("storage: block out of range in %s col %d", r.Dir, c)
 	}
-	return encoding.DecodeBlock(data[e.Offset:e.Offset+e.Length], r.Meta.Cols[c].Typ, preserveRuns)
+	v, err := encoding.DecodeBlock(data[e.Offset:e.Offset+e.Length], r.Meta.Cols[c].Typ, preserveRuns)
+	if err != nil {
+		return nil, err
+	}
+	// Scan consumers treat decoded vectors as read-only, so the container's
+	// immutability makes the cached copy safe to share across queries.
+	sharedBlockCache.put(key, v)
+	return v, nil
 }
 
 // FetchPositions gathers the values of column c at the given ascending
